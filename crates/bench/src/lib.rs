@@ -1,0 +1,9 @@
+//! `wcoj-bench` — experiment harness shared code (workload sizing, table printing).
+//!
+//! The actual benchmarks live in `benches/` (criterion) and the experiment binaries in
+//! `src/bin/` — one per reproduced table/figure of the paper. See `EXPERIMENTS.md` at
+//! the repository root for the index.
+
+pub mod report;
+
+pub use report::{ExperimentTable, Row};

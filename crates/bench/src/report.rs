@@ -1,0 +1,99 @@
+//! Small plain-text table reporting used by all experiment binaries.
+
+/// One row of an experiment table: a label plus numeric cells.
+#[derive(Debug, Clone)]
+pub struct Row {
+    /// Row label (e.g. the parameter setting).
+    pub label: String,
+    /// Numeric cells, one per column.
+    pub cells: Vec<f64>,
+}
+
+/// A plain-text table with a title, column headers, and rows; printed in a fixed-width
+/// layout so experiment output is easy to diff against `EXPERIMENTS.md`.
+#[derive(Debug, Clone)]
+pub struct ExperimentTable {
+    /// Table title (e.g. "E1: AGM bound for the triangle query").
+    pub title: String,
+    /// Column headers (not counting the leading label column).
+    pub columns: Vec<String>,
+    /// Table rows.
+    pub rows: Vec<Row>,
+}
+
+impl ExperimentTable {
+    /// Create an empty table.
+    pub fn new(title: impl Into<String>, columns: &[&str]) -> Self {
+        ExperimentTable {
+            title: title.into(),
+            columns: columns.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row.
+    pub fn push(&mut self, label: impl Into<String>, cells: Vec<f64>) {
+        self.rows.push(Row {
+            label: label.into(),
+            cells,
+        });
+    }
+
+    /// Render the table as a string.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("== {} ==\n", self.title));
+        let label_w = self
+            .rows
+            .iter()
+            .map(|r| r.label.len())
+            .chain(std::iter::once(12))
+            .max()
+            .unwrap_or(12);
+        out.push_str(&format!("{:label_w$}", ""));
+        for c in &self.columns {
+            out.push_str(&format!(" {:>16}", c));
+        }
+        out.push('\n');
+        for r in &self.rows {
+            out.push_str(&format!("{:label_w$}", r.label));
+            for v in &r.cells {
+                if v.abs() >= 1e6 || (*v != 0.0 && v.abs() < 1e-3) {
+                    out.push_str(&format!(" {:>16.3e}", v));
+                } else {
+                    out.push_str(&format!(" {:>16.3}", v));
+                }
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Print the table to stdout.
+    pub fn print(&self) {
+        println!("{}", self.render());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_contains_title_headers_and_cells() {
+        let mut t = ExperimentTable::new("demo", &["N", "bound"]);
+        t.push("case-1", vec![1000.0, 31.6]);
+        let s = t.render();
+        assert!(s.contains("demo"));
+        assert!(s.contains("bound"));
+        assert!(s.contains("case-1"));
+        assert!(s.contains("31.6"));
+    }
+
+    #[test]
+    fn large_values_use_scientific_notation() {
+        let mut t = ExperimentTable::new("demo", &["big"]);
+        t.push("row", vec![1.0e9]);
+        assert!(t.render().contains('e'));
+    }
+}

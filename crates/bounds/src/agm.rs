@@ -1,0 +1,219 @@
+//! The AGM bound (Atserias–Grohe–Marx) and the fractional edge cover number.
+//!
+//! For a query with hypergraph `H` and cardinality constraints `|R_F| ≤ N_F`, the AGM
+//! bound (Corollary 4.2) states `|Q| ≤ ∏_F N_F^{δ_F}` for any fractional edge cover
+//! `δ`, and the best such bound is obtained by solving the LP (5):
+//!
+//! ```text
+//! minimize   Σ_F δ_F · log2 N_F
+//! subject to Σ_{F ∋ v} δ_F ≥ 1   for every variable v
+//!            δ ≥ 0
+//! ```
+//!
+//! With unit weights the optimum is the fractional edge cover number `ρ*(H)`, and
+//! `|Q| ≤ N^{ρ*}` where `N = max_F N_F` (Grohe–Marx / Alon / Friedgut–Kahn).
+
+use crate::BoundError;
+use wcoj_lp::{Cmp, LinearProgram, Sense};
+use wcoj_query::{ConjunctiveQuery, Database, Hypergraph};
+
+/// The result of solving the AGM LP.
+#[derive(Debug, Clone)]
+pub struct AgmBound {
+    /// `log2` of the bound on `|Q|`.
+    pub log2_bound: f64,
+    /// The optimal fractional edge cover, one weight per atom (in atom order).
+    pub exponents: Vec<f64>,
+    /// `log2 N_F` per atom, as used in the objective.
+    pub log_sizes: Vec<f64>,
+}
+
+impl AgmBound {
+    /// The bound as a tuple count `2^{log2_bound}`.
+    pub fn tuple_bound(&self) -> f64 {
+        self.log2_bound.exp2()
+    }
+}
+
+/// Solve the fractional edge cover LP with the given per-edge objective weights
+/// (`log2` sizes). Returns `(objective, cover)`.
+fn solve_cover_lp(h: &Hypergraph, weights: &[f64]) -> Result<(f64, Vec<f64>), BoundError> {
+    if !h.covers_all_vertices() {
+        return Err(BoundError::Infinite {
+            reason: "some variable occurs in no atom".to_string(),
+        });
+    }
+    let mut lp = LinearProgram::new(Sense::Minimize);
+    let vars: Vec<_> = weights
+        .iter()
+        .enumerate()
+        .map(|(f, &w)| lp.add_var(format!("delta_{f}"), w))
+        .collect();
+    for v in 0..h.num_vertices() {
+        let terms: Vec<_> = h
+            .edges_containing(v)
+            .into_iter()
+            .map(|f| (vars[f], 1.0))
+            .collect();
+        lp.add_constraint(&terms, Cmp::Ge, 1.0);
+    }
+    let sol = lp.solve()?;
+    Ok((sol.objective, sol.primal))
+}
+
+/// The fractional edge cover number `ρ*(H)`: the covering LP with unit weights.
+pub fn fractional_edge_cover_number(h: &Hypergraph) -> f64 {
+    let weights = vec![1.0; h.num_edges()];
+    solve_cover_lp(h, &weights)
+        .map(|(obj, _)| obj)
+        .unwrap_or(f64::INFINITY)
+}
+
+/// The AGM bound for `query` given explicit per-atom sizes `N_F` (in atom order).
+pub fn agm_bound_from_sizes(
+    query: &ConjunctiveQuery,
+    sizes: &[u64],
+) -> Result<AgmBound, BoundError> {
+    if sizes.len() != query.atoms().len() {
+        return Err(BoundError::Invalid(format!(
+            "expected {} sizes, got {}",
+            query.atoms().len(),
+            sizes.len()
+        )));
+    }
+    if sizes.iter().any(|&s| s == 0) {
+        // An empty relation forces an empty output; report log2 bound of -inf as 0
+        // tuples via a zero bound.
+        return Ok(AgmBound {
+            log2_bound: f64::NEG_INFINITY,
+            exponents: vec![0.0; sizes.len()],
+            log_sizes: sizes
+                .iter()
+                .map(|&s| if s == 0 { f64::NEG_INFINITY } else { (s as f64).log2() })
+                .collect(),
+        });
+    }
+    let log_sizes: Vec<f64> = sizes.iter().map(|&s| (s as f64).log2()).collect();
+    let (obj, cover) = solve_cover_lp(&query.hypergraph(), &log_sizes)?;
+    Ok(AgmBound {
+        log2_bound: obj,
+        exponents: cover,
+        log_sizes,
+    })
+}
+
+/// The AGM bound for `query` over the concrete database `db`, using the actual
+/// relation sizes as the cardinality constraints.
+pub fn agm_bound(query: &ConjunctiveQuery, db: &Database) -> Result<AgmBound, BoundError> {
+    let sizes: Result<Vec<u64>, _> = (0..query.atoms().len())
+        .map(|i| {
+            db.relation_for_atom(query, i)
+                .map(|r| r.len() as u64)
+                .map_err(|e| BoundError::Database(e.to_string()))
+        })
+        .collect();
+    agm_bound_from_sizes(query, &sizes?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wcoj_query::query::examples;
+    use wcoj_storage::Relation;
+
+    #[test]
+    fn rho_star_of_standard_hypergraphs() {
+        assert!((fractional_edge_cover_number(&Hypergraph::cycle(3)) - 1.5).abs() < 1e-9);
+        assert!((fractional_edge_cover_number(&Hypergraph::cycle(4)) - 2.0).abs() < 1e-9);
+        assert!((fractional_edge_cover_number(&Hypergraph::cycle(5)) - 2.5).abs() < 1e-9);
+        // LW(k) has rho* = k/(k-1)
+        assert!(
+            (fractional_edge_cover_number(&Hypergraph::loomis_whitney(3)) - 1.5).abs() < 1e-9
+        );
+        assert!(
+            (fractional_edge_cover_number(&Hypergraph::loomis_whitney(4)) - 4.0 / 3.0).abs()
+                < 1e-9
+        );
+        assert!(
+            (fractional_edge_cover_number(&Hypergraph::loomis_whitney(5)) - 5.0 / 4.0).abs()
+                < 1e-9
+        );
+        // k-clique has rho* = k/2
+        assert!((fractional_edge_cover_number(&Hypergraph::clique(4)) - 2.0).abs() < 1e-9);
+        assert!((fractional_edge_cover_number(&Hypergraph::clique(5)) - 2.5).abs() < 1e-9);
+        // star with k leaves needs every edge: rho* = k
+        assert!((fractional_edge_cover_number(&Hypergraph::star(4)) - 4.0).abs() < 1e-9);
+        // uncovered vertex: infinite
+        assert!(fractional_edge_cover_number(&Hypergraph::new(2, vec![vec![0]])).is_infinite());
+    }
+
+    #[test]
+    fn triangle_agm_equal_sizes() {
+        let q = examples::triangle();
+        let b = agm_bound_from_sizes(&q, &[1 << 10, 1 << 10, 1 << 10]).unwrap();
+        assert!((b.log2_bound - 15.0).abs() < 1e-6);
+        for e in &b.exponents {
+            assert!((e - 0.5).abs() < 1e-6);
+        }
+        assert!((b.tuple_bound() - 32768.0).abs() < 1e-2);
+    }
+
+    #[test]
+    fn triangle_agm_skewed_sizes_picks_integral_cover() {
+        // |T| enormous: cover A and C through R and S instead (alpha = beta = 1).
+        let q = examples::triangle();
+        let b = agm_bound_from_sizes(&q, &[4, 4, 1 << 20]).unwrap();
+        assert!((b.log2_bound - 4.0).abs() < 1e-6);
+        assert!(b.exponents[2].abs() < 1e-6);
+    }
+
+    #[test]
+    fn agm_wrong_arity_and_empty_relation() {
+        let q = examples::triangle();
+        assert!(matches!(
+            agm_bound_from_sizes(&q, &[1, 2]).unwrap_err(),
+            BoundError::Invalid(_)
+        ));
+        let b = agm_bound_from_sizes(&q, &[0, 5, 5]).unwrap();
+        assert_eq!(b.log2_bound, f64::NEG_INFINITY);
+        assert_eq!(b.tuple_bound(), 0.0);
+    }
+
+    #[test]
+    fn agm_bound_from_database() {
+        let q = examples::triangle();
+        let mut db = Database::new();
+        db.insert("R", Relation::from_pairs("A", "B", (0..16).map(|i| (i / 4, i % 4))));
+        db.insert("S", Relation::from_pairs("B", "C", (0..16).map(|i| (i / 4, i % 4))));
+        db.insert("T", Relation::from_pairs("A", "C", (0..16).map(|i| (i / 4, i % 4))));
+        let b = agm_bound(&q, &db).unwrap();
+        // |R|=|S|=|T|=16, bound = 16^{3/2} = 64
+        assert!((b.tuple_bound() - 64.0).abs() < 1e-6);
+        // the bound really is an upper bound on the true output (complete tripartite
+        // structure here gives exactly 4*4*4 = 64 triangles)
+        let missing = {
+            let mut db2 = Database::new();
+            db2.insert("R", Relation::from_pairs("A", "B", vec![(1, 2)]));
+            db2
+        };
+        assert!(matches!(
+            agm_bound(&q, &missing).unwrap_err(),
+            BoundError::Database(_)
+        ));
+    }
+
+    #[test]
+    fn agm_exponents_form_a_fractional_edge_cover() {
+        let q = examples::four_cycle();
+        let b = agm_bound_from_sizes(&q, &[100, 200, 300, 400]).unwrap();
+        assert!(q.hypergraph().is_fractional_edge_cover(&b.exponents));
+        // bound value consistent with exponents
+        let recomputed: f64 = b
+            .exponents
+            .iter()
+            .zip(&b.log_sizes)
+            .map(|(d, l)| d * l)
+            .sum();
+        assert!((recomputed - b.log2_bound).abs() < 1e-6);
+    }
+}

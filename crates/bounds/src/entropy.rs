@@ -1,0 +1,193 @@
+//! Empirical entropy functions — the "entropy argument" of Sections 2 and 4.2.
+//!
+//! Given a query output `Q(D)`, construct the uniform distribution over its tuples and
+//! let `H` be its entropy function. Then (Section 2 of the paper):
+//!
+//! * `H[A_[n]] = log2 |Q(D)|` (uniformity),
+//! * `H[A_F] ≤ log2 |R_F|` for every atom (support bound, inequality (31)),
+//! * `H[Y | X] ≤ log2 N_{Y|X}` for every satisfied degree constraint,
+//! * `H` is a polymatroid (non-negative, monotone, submodular).
+//!
+//! These facts are what turn a linear inequality over entropies into an output-size
+//! bound. This module computes such empirical entropy functions exactly so that tests
+//! and experiments can verify every step of the argument on concrete data.
+
+use crate::setfn::SetFunction;
+use std::collections::HashMap;
+use wcoj_storage::{Relation, Value};
+
+/// The entropy (in bits) of the empirical distribution given by `counts` (absolute
+/// frequencies).
+fn entropy_of_counts(counts: &HashMap<Vec<Value>, usize>, total: usize) -> f64 {
+    if total == 0 {
+        return 0.0;
+    }
+    let total_f = total as f64;
+    counts
+        .values()
+        .map(|&c| {
+            let p = c as f64 / total_f;
+            -p * p.log2()
+        })
+        .sum()
+}
+
+/// The entropy function of the uniform distribution over the tuples of `rel`, with
+/// variable `i` of the resulting [`SetFunction`] bound to column `columns[i]`.
+///
+/// Every marginal entropy `H[S]` for `S ⊆ columns` is computed exactly. The relation
+/// must be non-empty for the distribution to exist; an empty relation yields the zero
+/// function (by convention `log 0 := 0` is avoided — there is simply no distribution,
+/// and all bounds are vacuous).
+pub fn entropy_of_relation(rel: &Relation, columns: &[&str]) -> SetFunction {
+    let n = columns.len();
+    let mut h = SetFunction::zero(n);
+    if rel.is_empty() {
+        return h;
+    }
+    let positions: Vec<usize> = columns
+        .iter()
+        .map(|c| rel.schema().require(c).expect("column must exist"))
+        .collect();
+    let total = rel.len();
+    for mask in 1u32..(1u32 << n) {
+        let cols: Vec<usize> = (0..n)
+            .filter(|&i| mask & (1 << i) != 0)
+            .map(|i| positions[i])
+            .collect();
+        let mut counts: HashMap<Vec<Value>, usize> = HashMap::new();
+        for t in rel.iter() {
+            let key: Vec<Value> = cols.iter().map(|&p| t[p]).collect();
+            *counts.entry(key).or_insert(0) += 1;
+        }
+        h.set(mask, entropy_of_counts(&counts, total));
+    }
+    h
+}
+
+/// `H[Y | X]` of an empirical entropy function, with variable sets given as index
+/// lists (chain rule (29)).
+pub fn conditional_entropy(h: &SetFunction, y: &[usize], x: &[usize]) -> f64 {
+    let y_mask = crate::setfn::mask_of(y) | crate::setfn::mask_of(x);
+    let x_mask = crate::setfn::mask_of(x);
+    h.conditional(y_mask, x_mask)
+}
+
+/// Verify the support bound (31) numerically: `H[S] ≤ log2 |support_S|` where the
+/// support size is the number of distinct projections of `rel` onto the columns of
+/// `S`. Returns the maximum violation (≤ ~1e-9 when the inequality holds).
+pub fn max_support_bound_violation(rel: &Relation, columns: &[&str]) -> f64 {
+    let h = entropy_of_relation(rel, columns);
+    let mut worst = f64::NEG_INFINITY;
+    if rel.is_empty() {
+        return 0.0;
+    }
+    for mask in 1u32..(1u32 << columns.len()) {
+        let cols: Vec<&str> = (0..columns.len())
+            .filter(|&i| mask & (1 << i) != 0)
+            .map(|i| columns[i])
+            .collect();
+        let support = rel.project(&cols).map(|p| p.len()).unwrap_or(0).max(1);
+        let violation = h.get(mask) - (support as f64).log2();
+        worst = worst.max(violation);
+    }
+    worst
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wcoj_storage::Schema;
+
+    fn output_like_relation() -> Relation {
+        // A plausible triangle-query output over variables A, B, C.
+        Relation::from_rows(
+            Schema::new(&["A", "B", "C"]),
+            vec![
+                vec![1, 2, 3],
+                vec![1, 2, 4],
+                vec![1, 3, 3],
+                vec![2, 2, 3],
+                vec![2, 5, 1],
+                vec![3, 1, 1],
+            ],
+        )
+    }
+
+    #[test]
+    fn uniform_distribution_total_entropy_is_log_size() {
+        let r = output_like_relation();
+        let h = entropy_of_relation(&r, &["A", "B", "C"]);
+        assert!((h.total() - (6f64).log2()).abs() < 1e-9);
+        assert_eq!(h.get(0), 0.0);
+    }
+
+    #[test]
+    fn empirical_entropies_are_polymatroids() {
+        let r = output_like_relation();
+        let h = entropy_of_relation(&r, &["A", "B", "C"]);
+        assert!(h.is_polymatroid(), "entropy functions are polymatroids");
+        // marginal order can be anything, but every single-variable entropy is at most
+        // log2 of its distinct-value count
+        assert!(max_support_bound_violation(&r, &["A", "B", "C"]) < 1e-9);
+    }
+
+    #[test]
+    fn marginal_of_uniform_single_column() {
+        // two columns; the first column is uniform over 4 values, the second constant
+        let rows = (0..4).map(|i| vec![i, 7]).collect();
+        let r = Relation::from_rows(Schema::new(&["X", "Y"]), rows);
+        let h = entropy_of_relation(&r, &["X", "Y"]);
+        assert!((h.get(0b01) - 2.0).abs() < 1e-9); // H[X] = log2 4
+        assert!(h.get(0b10).abs() < 1e-9); // H[Y] = 0 (constant)
+        assert!((h.get(0b11) - 2.0).abs() < 1e-9);
+        // conditional H[Y | X] = 0, H[X | Y] = 2
+        assert!(conditional_entropy(&h, &[1], &[0]).abs() < 1e-9);
+        assert!((conditional_entropy(&h, &[0], &[1]) - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn skewed_distribution_has_less_entropy_than_uniform() {
+        // column heavily skewed toward value 0
+        let mut rows: Vec<Vec<u64>> = (0..7).map(|i| vec![0, i]).collect();
+        rows.push(vec![1, 100]);
+        let r = Relation::from_rows(Schema::new(&["X", "Y"]), rows);
+        let h = entropy_of_relation(&r, &["X", "Y"]);
+        // H[X] for distribution (7/8, 1/8) is about 0.543 bits < 1 bit
+        assert!(h.get(0b01) < 1.0);
+        assert!(h.get(0b01) > 0.5);
+        // support bound still holds
+        assert!(max_support_bound_violation(&r, &["X", "Y"]) < 1e-9);
+    }
+
+    #[test]
+    fn empty_relation_gives_zero_function() {
+        let r = Relation::empty(Schema::new(&["A", "B"]));
+        let h = entropy_of_relation(&r, &["A", "B"]);
+        assert_eq!(h.total(), 0.0);
+        assert_eq!(max_support_bound_violation(&r, &["A", "B"]), 0.0);
+    }
+
+    #[test]
+    fn column_subset_can_be_reordered() {
+        let r = output_like_relation();
+        let h = entropy_of_relation(&r, &["C", "A"]);
+        assert_eq!(h.num_vars(), 2);
+        // H[{C,A}] equals the entropy of the (A,C) marginal regardless of order
+        let h2 = entropy_of_relation(&r, &["A", "C"]);
+        assert!((h.total() - h2.total()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degree_constraint_implies_conditional_entropy_bound() {
+        // deg(B | A) <= 2 in this relation; hence H[B | A] <= 1 bit.
+        let r = Relation::from_rows(
+            Schema::new(&["A", "B"]),
+            vec![vec![1, 1], vec![1, 2], vec![2, 1], vec![3, 5], vec![3, 6]],
+        );
+        assert_eq!(r.max_degree(&["A"], &["B"]).unwrap(), 2);
+        let h = entropy_of_relation(&r, &["A", "B"]);
+        let cond = conditional_entropy(&h, &[1], &[0]);
+        assert!(cond <= 1.0 + 1e-9, "H[B|A] = {cond} must be <= log2(deg) = 1");
+    }
+}

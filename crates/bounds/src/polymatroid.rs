@@ -1,0 +1,338 @@
+//! The polymatroid bound (44)/(68): maximize `h([n])` over all polymatroids satisfying
+//! the degree constraints.
+//!
+//! The LP has one variable `h(S)` per non-empty subset `S ⊆ [n]` and the *elemental*
+//! Shannon constraints, which generate the whole Shannon cone `Γ_n`:
+//!
+//! * monotonicity at the top: `h([n]) − h([n] \ {i}) ≥ 0` for every `i`;
+//! * conditioned submodularity: `h(S ∪ {i}) + h(S ∪ {j}) − h(S ∪ {i,j}) − h(S) ≥ 0`
+//!   for every pair `i ≠ j` and every `S ⊆ [n] \ {i, j}`;
+//!
+//! plus one degree constraint `h(Y) − h(X) ≤ log2 N_{Y|X}` per element of `DC`.
+//!
+//! The LP is exponential in the number of query variables (the paper discusses why
+//! this is unacceptable for 20+ variable OLAP queries and gives Proposition 4.4 as the
+//! remedy); here it is exact and fine for the `n ≤ 8` queries of the experiments.
+
+use crate::setfn::SetFunction;
+use crate::BoundError;
+use wcoj_lp::{Cmp, LinearProgram, LpError, Sense, VarId};
+use wcoj_query::{ConjunctiveQuery, ConstraintSet};
+
+/// Maximum number of query variables accepted by the exponential LP.
+pub const MAX_VARS: usize = 10;
+
+/// The result of solving the polymatroid LP.
+#[derive(Debug, Clone)]
+pub struct PolymatroidBound {
+    /// `log2` of the bound on `|Q|` (i.e. the LP optimum `h*([n])`).
+    pub log2_bound: f64,
+    /// The optimal polymatroid `h*`.
+    pub h: SetFunction,
+    /// Dual value `δ_{Y|X}` of each degree constraint, in `DC` order. By LP duality
+    /// (equation (73) of the paper) `log2_bound = Σ δ_{Y|X} · log2 N_{Y|X}`, and the
+    /// `δ` vector is the coefficient vector of a Shannon-flow inequality
+    /// (Proposition 5.4).
+    pub constraint_duals: Vec<f64>,
+}
+
+impl PolymatroidBound {
+    /// The bound as a tuple count `2^{log2_bound}`.
+    pub fn tuple_bound(&self) -> f64 {
+        self.log2_bound.exp2()
+    }
+}
+
+/// A partially-built Shannon-cone LP: one variable per non-empty subset plus all
+/// elemental Shannon constraints. Callers add their own objective terms and extra
+/// constraints before solving. Used by both the polymatroid bound and the
+/// Shannon-flow-inequality test in [`crate::flow`].
+pub struct ShannonLp {
+    /// The LP under construction (maximization).
+    pub lp: LinearProgram,
+    /// `vars[mask]` is the LP variable for `h(S)` (`mask > 0`); index 0 is unused.
+    pub vars: Vec<Option<VarId>>,
+    /// Number of ground variables `n`.
+    pub n: usize,
+}
+
+impl ShannonLp {
+    /// The LP variable for `h(S)`; panics on the empty set.
+    pub fn var(&self, mask: u32) -> VarId {
+        self.vars[mask as usize].expect("h(emptyset) is not a variable")
+    }
+
+    /// Add a linear constraint `Σ coeff · h(S)  cmp  rhs` given as (mask, coeff)
+    /// pairs; the empty-set mask contributes nothing (h(∅) = 0).
+    pub fn add_constraint(&mut self, terms: &[(u32, f64)], cmp: Cmp, rhs: f64) {
+        let lp_terms: Vec<(VarId, f64)> = terms
+            .iter()
+            .filter(|(m, _)| *m != 0)
+            .map(|&(m, c)| (self.var(m), c))
+            .collect();
+        self.lp.add_constraint(&lp_terms, cmp, rhs);
+    }
+}
+
+/// Build the Shannon-cone LP skeleton over `n` variables with the objective
+/// `maximize Σ objective[mask] · h(S)` (only non-zero entries need be present).
+pub fn build_shannon_lp(n: usize, objective: &[(u32, f64)]) -> Result<ShannonLp, BoundError> {
+    if n == 0 || n > MAX_VARS {
+        return Err(BoundError::TooManyVariables(n));
+    }
+    let full: u32 = ((1u64 << n) - 1) as u32;
+    let mut obj = vec![0.0; (full as usize) + 1];
+    for &(m, c) in objective {
+        obj[m as usize] += c;
+    }
+
+    let mut lp = LinearProgram::new(Sense::Maximize);
+    let mut vars: Vec<Option<VarId>> = vec![None; (full as usize) + 1];
+    for mask in 1..=full {
+        vars[mask as usize] = Some(lp.add_var(format!("h_{mask:b}"), obj[mask as usize]));
+    }
+    let mut shannon = ShannonLp { lp, vars, n };
+
+    // Monotonicity at the top set: h([n]) - h([n] \ {i}) >= 0.
+    for i in 0..n {
+        let without = full & !(1u32 << i);
+        let mut terms = vec![(full, 1.0)];
+        if without != 0 {
+            terms.push((without, -1.0));
+        }
+        shannon.add_constraint(&terms, Cmp::Ge, 0.0);
+    }
+
+    // Conditioned submodularity: h(S+i) + h(S+j) - h(S+i+j) - h(S) >= 0.
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let bi = 1u32 << i;
+            let bj = 1u32 << j;
+            let rest = full & !(bi | bj);
+            // enumerate subsets S of `rest`
+            let mut s = rest;
+            loop {
+                let mut terms = vec![(s | bi, 1.0), (s | bj, 1.0), (s | bi | bj, -1.0)];
+                if s != 0 {
+                    terms.push((s, -1.0));
+                }
+                shannon.add_constraint(&terms, Cmp::Ge, 0.0);
+                if s == 0 {
+                    break;
+                }
+                s = (s - 1) & rest;
+            }
+        }
+    }
+    Ok(shannon)
+}
+
+/// Compute the polymatroid bound `max { h([n]) : h ∈ Γ_n ∩ H_DC }` for a query with
+/// `n` variables under degree constraints `dc`.
+///
+/// Degree constraints are added *after* the Shannon skeleton, so their dual values are
+/// the trailing entries of the LP dual — these are returned as `constraint_duals`.
+pub fn polymatroid_bound(n: usize, dc: &ConstraintSet) -> Result<PolymatroidBound, BoundError> {
+    if dc.iter().any(|c| c.bound == 0) {
+        // an empty guard relation: the output is empty
+        return Ok(PolymatroidBound {
+            log2_bound: f64::NEG_INFINITY,
+            h: SetFunction::zero(n),
+            constraint_duals: vec![0.0; dc.len()],
+        });
+    }
+    let full: u32 = ((1u64 << n) - 1) as u32;
+    let mut shannon = build_shannon_lp(n, &[(full, 1.0)])?;
+
+    // Remember how many constraints the skeleton used, so we can find the duals of the
+    // degree constraints afterwards.
+    let skeleton_rows = shannon.lp.num_constraints();
+
+    for c in dc.iter() {
+        let y_mask = crate::setfn::mask_of(&c.y);
+        let x_mask = crate::setfn::mask_of(&c.x);
+        let mut terms = vec![(y_mask, 1.0)];
+        if x_mask != 0 {
+            terms.push((x_mask, -1.0));
+        }
+        shannon.add_constraint(&terms, Cmp::Le, c.log_bound());
+    }
+
+    let sol = match shannon.lp.solve() {
+        Ok(s) => s,
+        Err(LpError::Unbounded) => {
+            return Err(BoundError::Infinite {
+                reason: "degree constraints do not bound every variable".to_string(),
+            })
+        }
+        Err(e) => return Err(e.into()),
+    };
+
+    let mut h = SetFunction::zero(n);
+    for mask in 1..=full {
+        h.set(mask, sol.primal[shannon.var(mask)]);
+    }
+    let constraint_duals: Vec<f64> = (0..dc.len())
+        .map(|i| sol.dual[skeleton_rows + i])
+        .collect();
+    Ok(PolymatroidBound {
+        log2_bound: sol.objective,
+        h,
+        constraint_duals,
+    })
+}
+
+/// Convenience wrapper taking the query (for its variable count).
+pub fn polymatroid_bound_for_query(
+    query: &ConjunctiveQuery,
+    dc: &ConstraintSet,
+) -> Result<PolymatroidBound, BoundError> {
+    polymatroid_bound(query.num_vars(), dc)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wcoj_query::query::examples;
+    use wcoj_query::DegreeConstraint;
+
+    #[test]
+    fn triangle_cardinality_only_matches_agm() {
+        // With only cardinality constraints the polymatroid bound equals the AGM bound
+        // (Table 1, first row): for |R|=|S|=|T|=2^10 it is 2^15.
+        let q = examples::triangle();
+        let dc = ConstraintSet::all_cardinalities(&q, &[("R", 1024), ("S", 1024), ("T", 1024)])
+            .unwrap();
+        let b = polymatroid_bound_for_query(&q, &dc).unwrap();
+        assert!((b.log2_bound - 15.0).abs() < 1e-6);
+        assert!(b.h.is_polymatroid());
+        // duals are the Shearer coefficients (1/2, 1/2, 1/2); their weighted sum
+        // reproduces the bound (strong duality, equation (73))
+        let dual_obj: f64 = b
+            .constraint_duals
+            .iter()
+            .zip(dc.iter())
+            .map(|(d, c)| d * c.log_bound())
+            .sum();
+        assert!((dual_obj - b.log2_bound).abs() < 1e-6);
+        for d in &b.constraint_duals {
+            assert!((d - 0.5).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn fd_constraints_tighten_the_bound() {
+        // Triangle with cardinalities 2^10 plus the FD A -> B (guarded by R).
+        // Intuition: once A is fixed B is determined, so the output is at most
+        // |T| = 2^10 * 1 ... the polymatroid bound drops from 15 to 10.
+        let q = examples::triangle();
+        let mut dc = ConstraintSet::all_cardinalities(&q, &[("R", 1024), ("S", 1024), ("T", 1024)])
+            .unwrap();
+        dc.push_named(&q, &["A"], &["B"], 1).unwrap();
+        let b = polymatroid_bound_for_query(&q, &dc).unwrap();
+        assert!(
+            b.log2_bound < 10.0 + 1e-6,
+            "FD should cap the bound at |T|: got {}",
+            b.log2_bound
+        );
+        assert!(b.log2_bound > 10.0 - 1e-6);
+    }
+
+    #[test]
+    fn degree_constraints_interpolate() {
+        // Triangle, |R|=|S|=|T|=2^10, deg_R(B|A) <= 2^d. As d grows from 0 to 10 the
+        // bound grows monotonically from 10 to 15.
+        let q = examples::triangle();
+        let mut last = 0.0;
+        for d in [0u32, 2, 5, 10] {
+            let mut dc = ConstraintSet::all_cardinalities(
+                &q,
+                &[("R", 1024), ("S", 1024), ("T", 1024)],
+            )
+            .unwrap();
+            dc.push_named(&q, &["A"], &["B"], 1u64 << d).unwrap();
+            let b = polymatroid_bound_for_query(&q, &dc).unwrap();
+            assert!(b.log2_bound >= last - 1e-6, "bound must be monotone in d");
+            last = b.log2_bound;
+            assert!(b.log2_bound <= 15.0 + 1e-6);
+        }
+        assert!((last - 15.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn unbounded_variable_detected() {
+        // A single cardinality constraint on {A,B} says nothing about C: infinite.
+        let q = examples::triangle();
+        let dc = ConstraintSet::from_constraints(vec![DegreeConstraint::cardinality(
+            vec![0, 1],
+            1024,
+        )]);
+        assert!(matches!(
+            polymatroid_bound_for_query(&q, &dc).unwrap_err(),
+            BoundError::Infinite { .. }
+        ));
+    }
+
+    #[test]
+    fn empty_relation_gives_zero_bound() {
+        let q = examples::triangle();
+        let dc =
+            ConstraintSet::all_cardinalities(&q, &[("R", 0), ("S", 10), ("T", 10)]).unwrap();
+        let b = polymatroid_bound_for_query(&q, &dc).unwrap();
+        assert_eq!(b.log2_bound, f64::NEG_INFINITY);
+        assert_eq!(b.tuple_bound(), 0.0);
+    }
+
+    #[test]
+    fn too_many_variables_rejected() {
+        let dc = ConstraintSet::new();
+        assert!(matches!(
+            polymatroid_bound(MAX_VARS + 1, &dc).unwrap_err(),
+            BoundError::TooManyVariables(_)
+        ));
+        assert!(matches!(
+            build_shannon_lp(0, &[]).unwrap_err(),
+            BoundError::TooManyVariables(0)
+        ));
+    }
+
+    #[test]
+    fn example_one_bound_is_half_the_sum_of_logs() {
+        // Example 1 of the paper: the Shannon-flow inequality
+        //   h(ABCD) <= 1/2 [h(AB) + h(BC) + h(CD) + h(ACD|AC) + h(ABD|BD)]
+        // is tight for the polymatroid bound, so with all five statistics equal to 2^8
+        // the bound is 2^{(5*8)/2} = 2^20.
+        let q = examples::example_one();
+        let mut dc = ConstraintSet::new();
+        let n = 256u64;
+        dc.push_named(&q, &[], &["A", "B"], n).unwrap();
+        dc.push_named(&q, &[], &["B", "C"], n).unwrap();
+        dc.push_named(&q, &[], &["C", "D"], n).unwrap();
+        dc.push_named(&q, &["A", "C"], &["D"], n).unwrap();
+        dc.push_named(&q, &["B", "D"], &["A"], n).unwrap();
+        let b = polymatroid_bound_for_query(&q, &dc).unwrap();
+        assert!(
+            (b.log2_bound - 20.0).abs() < 1e-5,
+            "expected 20 bits, got {}",
+            b.log2_bound
+        );
+        // each dual should be 1/2
+        for d in &b.constraint_duals {
+            assert!((d - 0.5).abs() < 1e-5, "dual {d}");
+        }
+    }
+
+    #[test]
+    fn four_cycle_bound() {
+        // 4-cycle with all sizes N: AGM bound is N^2 (rho* = 2), and with cardinality
+        // constraints only the polymatroid bound agrees.
+        let q = examples::four_cycle();
+        let dc = ConstraintSet::all_cardinalities(
+            &q,
+            &[("R", 1 << 8), ("S", 1 << 8), ("T", 1 << 8), ("W", 1 << 8)],
+        )
+        .unwrap();
+        let b = polymatroid_bound_for_query(&q, &dc).unwrap();
+        assert!((b.log2_bound - 16.0).abs() < 1e-6);
+    }
+}

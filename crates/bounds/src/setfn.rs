@@ -1,0 +1,290 @@
+//! Set functions on `2^[n]`, represented densely by bitmask.
+//!
+//! Section 3.2 of the paper works with several classes of non-negative set functions:
+//! modular (`M_n`), entropic (`Γ*_n`), polymatroidal (`Γ_n`), and subadditive
+//! (`SA_n`), related by the chain of inclusions (34). [`SetFunction`] is the concrete
+//! representation used throughout this workspace; predicates test membership in each
+//! (finitely checkable) class.
+
+/// A set function `f : 2^[n] → ℝ`, stored densely: `values[mask]` is `f(S)` where bit
+/// `i` of `mask` indicates `i ∈ S`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SetFunction {
+    n: usize,
+    values: Vec<f64>,
+}
+
+/// Numerical tolerance for the class-membership predicates.
+const EPS: f64 = 1e-9;
+
+impl SetFunction {
+    /// The zero function on `n` variables.
+    pub fn zero(n: usize) -> Self {
+        assert!(n <= 25, "dense set functions limited to 25 variables");
+        SetFunction {
+            n,
+            values: vec![0.0; 1 << n],
+        }
+    }
+
+    /// Build from an explicit table of length `2^n`.
+    pub fn from_values(n: usize, values: Vec<f64>) -> Self {
+        assert_eq!(values.len(), 1 << n, "need exactly 2^n values");
+        SetFunction { n, values }
+    }
+
+    /// The modular function `f(S) = Σ_{i ∈ S} weights[i]` (the class `M_n`).
+    pub fn modular(weights: &[f64]) -> Self {
+        let n = weights.len();
+        let mut f = SetFunction::zero(n);
+        for mask in 0u32..(1u32 << n) {
+            let mut v = 0.0;
+            for (i, w) in weights.iter().enumerate() {
+                if mask & (1 << i) != 0 {
+                    v += w;
+                }
+            }
+            f.values[mask as usize] = v;
+        }
+        f
+    }
+
+    /// Number of variables `n`.
+    pub fn num_vars(&self) -> usize {
+        self.n
+    }
+
+    /// `f(S)` for the subset encoded by `mask`.
+    pub fn get(&self, mask: u32) -> f64 {
+        self.values[mask as usize]
+    }
+
+    /// Set `f(S)` for the subset encoded by `mask`.
+    pub fn set(&mut self, mask: u32, value: f64) {
+        self.values[mask as usize] = value;
+    }
+
+    /// `f(S)` where `S` is given as a list of variable indices.
+    pub fn get_set(&self, vars: &[usize]) -> f64 {
+        self.get(mask_of(vars))
+    }
+
+    /// The full-set mask `[n]`.
+    pub fn full_mask(&self) -> u32 {
+        ((1u64 << self.n) - 1) as u32
+    }
+
+    /// `f([n])` — the quantity every bound in the paper maximizes.
+    pub fn total(&self) -> f64 {
+        self.get(self.full_mask())
+    }
+
+    /// Conditional value `f(Y | X) = f(Y) − f(X)` (the chain rule (29)). `X` must be a
+    /// subset of `Y`.
+    pub fn conditional(&self, y_mask: u32, x_mask: u32) -> f64 {
+        debug_assert_eq!(x_mask & !y_mask, 0, "X must be a subset of Y");
+        self.get(y_mask) - self.get(x_mask)
+    }
+
+    /// Whether `f(∅) = 0` and `f ≥ 0` everywhere.
+    pub fn is_nonnegative_grounded(&self) -> bool {
+        self.values[0].abs() <= EPS && self.values.iter().all(|&v| v >= -EPS)
+    }
+
+    /// Monotonicity (32): `f(X) ≤ f(Y)` whenever `X ⊆ Y`. Checked via the elemental
+    /// form `f(S) ≤ f(S ∪ {i})`.
+    pub fn is_monotone(&self) -> bool {
+        for mask in 0u32..(1u32 << self.n) {
+            for i in 0..self.n {
+                let bit = 1u32 << i;
+                if mask & bit == 0 && self.get(mask) > self.get(mask | bit) + EPS {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// Submodularity (33): `f(X ∪ Y) + f(X ∩ Y) ≤ f(X) + f(Y)`. Checked via the
+    /// elemental form `f(S ∪ {i}) + f(S ∪ {j}) ≥ f(S ∪ {i,j}) + f(S)`.
+    pub fn is_submodular(&self) -> bool {
+        for mask in 0u32..(1u32 << self.n) {
+            for i in 0..self.n {
+                for j in (i + 1)..self.n {
+                    let bi = 1u32 << i;
+                    let bj = 1u32 << j;
+                    if mask & bi == 0 && mask & bj == 0 {
+                        let lhs = self.get(mask | bi) + self.get(mask | bj);
+                        let rhs = self.get(mask | bi | bj) + self.get(mask);
+                        if lhs + EPS < rhs {
+                            return false;
+                        }
+                    }
+                }
+            }
+        }
+        true
+    }
+
+    /// Whether `f` is a polymatroid (the class `Γ_n`): grounded, non-negative,
+    /// monotone, and submodular.
+    pub fn is_polymatroid(&self) -> bool {
+        self.is_nonnegative_grounded() && self.is_monotone() && self.is_submodular()
+    }
+
+    /// Whether `f` is modular: `f(S) = Σ_{i∈S} f({i})` for every `S`.
+    pub fn is_modular(&self) -> bool {
+        for mask in 0u32..(1u32 << self.n) {
+            let mut sum = 0.0;
+            for i in 0..self.n {
+                if mask & (1 << i) != 0 {
+                    sum += self.get(1 << i);
+                }
+            }
+            if (self.get(mask) - sum).abs() > 1e-7 {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Subadditivity: `f(X ∪ Y) ≤ f(X) + f(Y)` for all `X, Y` (the class `SA_n`).
+    pub fn is_subadditive(&self) -> bool {
+        let full = 1u32 << self.n;
+        for x in 0..full {
+            for y in 0..full {
+                if self.get(x | y) > self.get(x) + self.get(y) + EPS {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// Pointwise sum with another set function on the same variables.
+    pub fn add(&self, other: &SetFunction) -> SetFunction {
+        assert_eq!(self.n, other.n);
+        SetFunction {
+            n: self.n,
+            values: self
+                .values
+                .iter()
+                .zip(&other.values)
+                .map(|(a, b)| a + b)
+                .collect(),
+        }
+    }
+
+    /// Pointwise scaling by a non-negative constant.
+    pub fn scale(&self, c: f64) -> SetFunction {
+        SetFunction {
+            n: self.n,
+            values: self.values.iter().map(|v| v * c).collect(),
+        }
+    }
+}
+
+/// The bitmask of a list of variable indices.
+pub fn mask_of(vars: &[usize]) -> u32 {
+    vars.iter().fold(0u32, |m, &v| m | (1u32 << v))
+}
+
+/// The variable indices of a bitmask, in increasing order.
+pub fn vars_of(mask: u32) -> Vec<usize> {
+    (0..32).filter(|&i| mask & (1 << i) != 0).collect()
+}
+
+/// Iterate over all subsets of `mask` (including `0` and `mask` itself).
+pub fn subsets_of(mask: u32) -> Vec<u32> {
+    let mut out = Vec::new();
+    let mut sub = mask;
+    loop {
+        out.push(sub);
+        if sub == 0 {
+            break;
+        }
+        sub = (sub - 1) & mask;
+    }
+    out.reverse();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mask_helpers() {
+        assert_eq!(mask_of(&[0, 2]), 0b101);
+        assert_eq!(vars_of(0b1010), vec![1, 3]);
+        assert_eq!(subsets_of(0b101), vec![0b000, 0b001, 0b100, 0b101]);
+        assert_eq!(subsets_of(0), vec![0]);
+    }
+
+    #[test]
+    fn modular_functions_are_polymatroids() {
+        let f = SetFunction::modular(&[1.0, 2.0, 0.5]);
+        assert!(f.is_modular());
+        assert!(f.is_polymatroid());
+        assert!(f.is_subadditive());
+        assert!((f.total() - 3.5).abs() < 1e-12);
+        assert!((f.get_set(&[0, 2]) - 1.5).abs() < 1e-12);
+        assert!((f.conditional(0b111, 0b001) - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rank_function_is_polymatroid_but_not_modular() {
+        // f(S) = min(|S|, 2): the rank function of the uniform matroid U_{2,3}
+        let mut f = SetFunction::zero(3);
+        for mask in 0u32..8 {
+            f.set(mask, (mask.count_ones().min(2)) as f64);
+        }
+        assert!(f.is_polymatroid());
+        assert!(!f.is_modular());
+        assert!(f.is_subadditive());
+    }
+
+    #[test]
+    fn non_monotone_and_non_submodular_detected() {
+        let mut f = SetFunction::zero(2);
+        f.set(0b01, 2.0);
+        f.set(0b10, 2.0);
+        f.set(0b11, 1.0); // smaller than f({0}): not monotone
+        assert!(!f.is_monotone());
+        assert!(f.is_submodular());
+        assert!(!f.is_polymatroid());
+
+        // XOR-like: f({i}) = 1, f({0,1}) = 2 is modular; make it supermodular instead
+        let mut g = SetFunction::zero(2);
+        g.set(0b01, 1.0);
+        g.set(0b10, 1.0);
+        g.set(0b11, 3.0);
+        assert!(g.is_monotone());
+        assert!(!g.is_submodular());
+        assert!(!g.is_subadditive());
+    }
+
+    #[test]
+    fn grounding_and_negativity_detected() {
+        let mut f = SetFunction::zero(1);
+        f.set(0, 0.5);
+        assert!(!f.is_nonnegative_grounded());
+        let mut g = SetFunction::zero(1);
+        g.set(1, -1.0);
+        assert!(!g.is_nonnegative_grounded());
+    }
+
+    #[test]
+    fn add_and_scale() {
+        let f = SetFunction::modular(&[1.0, 1.0]);
+        let g = f.scale(2.0).add(&f);
+        assert!((g.total() - 6.0).abs() < 1e-12);
+        assert!(g.is_modular());
+    }
+
+    #[test]
+    #[should_panic(expected = "2^n")]
+    fn from_values_checks_length() {
+        let _ = SetFunction::from_values(2, vec![0.0; 3]);
+    }
+}

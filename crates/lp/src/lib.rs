@@ -1,0 +1,119 @@
+//! `wcoj-lp` — a small, dependency-free linear-programming solver.
+//!
+//! Every output-size bound in *Worst-Case Optimal Join Algorithms* (Ngo, PODS 2018)
+//! is the optimal value of a linear program:
+//!
+//! * the AGM bound / fractional edge cover number is the LP (5)/(42) of the paper,
+//! * the generalized bound for acyclic degree constraints is the modular LP (54)
+//!   and its dual (57),
+//! * the polymatroid bound is the exponential-size LP (68),
+//! * Shannon-flow inequalities are characterized by feasibility of the dual LP (72).
+//!
+//! This crate provides the solver used by `wcoj-bounds` for all of these: a dense,
+//! two-phase primal simplex with Bland's anti-cycling rule, returning both the primal
+//! optimum and the dual solution (needed to translate bound proofs into algorithms,
+//! Section 5 of the paper).
+//!
+//! The solver is intentionally simple: the LPs arising from join queries have
+//! 0/±1 constraint matrices and `log`-of-cardinality objective coefficients, so a
+//! dense tableau with `f64` arithmetic and a modest tolerance is exact enough (vertex
+//! solutions such as the triangle's (½, ½, ½) are recovered to ~1e-9).
+//!
+//! # Example
+//!
+//! Fractional edge cover LP for the triangle query with |R| = |S| = |T| = 2:
+//!
+//! ```
+//! use wcoj_lp::{LinearProgram, Sense, Cmp};
+//!
+//! let mut lp = LinearProgram::new(Sense::Minimize);
+//! let r = lp.add_var("delta_R", 1.0); // objective coefficient log2 |R| = 1
+//! let s = lp.add_var("delta_S", 1.0);
+//! let t = lp.add_var("delta_T", 1.0);
+//! // every vertex of the triangle hypergraph must be fractionally covered
+//! lp.add_constraint(&[(r, 1.0), (t, 1.0)], Cmp::Ge, 1.0); // vertex A in edges R, T
+//! lp.add_constraint(&[(r, 1.0), (s, 1.0)], Cmp::Ge, 1.0); // vertex B in edges R, S
+//! lp.add_constraint(&[(s, 1.0), (t, 1.0)], Cmp::Ge, 1.0); // vertex C in edges S, T
+//! let sol = lp.solve().unwrap();
+//! assert!((sol.objective - 1.5).abs() < 1e-9);            // rho* = 3/2
+//! assert!((sol.primal[r] - 0.5).abs() < 1e-9);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod error;
+pub mod problem;
+pub mod simplex;
+pub mod solution;
+
+pub use error::LpError;
+pub use problem::{Cmp, LinearProgram, Sense, VarId};
+pub use simplex::SimplexOptions;
+pub use solution::{Solution, Status};
+
+/// Numerical tolerance used throughout the solver.
+pub const EPS: f64 = 1e-9;
+
+/// Convenience: solve a pure fractional-covering LP
+/// `min sum_j w_j x_j  s.t.  sum_{j : j covers i} x_j >= 1  for all i,  x >= 0`.
+///
+/// `cover[i]` lists the variable indices covering element `i`; `weights[j]` is the
+/// objective coefficient of variable `j`. This is the shape of the AGM LP (5) and its
+/// generalization (57) in the paper. Returns `(objective, primal)`.
+pub fn solve_covering_lp(
+    num_vars: usize,
+    weights: &[f64],
+    cover: &[Vec<usize>],
+) -> Result<(f64, Vec<f64>), LpError> {
+    assert_eq!(weights.len(), num_vars, "one weight per variable");
+    let mut lp = LinearProgram::new(Sense::Minimize);
+    let vars: Vec<VarId> = (0..num_vars)
+        .map(|j| lp.add_var(format!("x{j}"), weights[j]))
+        .collect();
+    for row in cover {
+        let terms: Vec<(VarId, f64)> = row.iter().map(|&j| (vars[j], 1.0)).collect();
+        lp.add_constraint(&terms, Cmp::Ge, 1.0);
+    }
+    let sol = lp.solve()?;
+    Ok((sol.objective, sol.primal))
+}
+
+#[cfg(test)]
+mod lib_tests {
+    use super::*;
+
+    #[test]
+    fn covering_lp_triangle() {
+        // unit weights: fractional edge cover number of the triangle is 3/2
+        let (obj, x) = solve_covering_lp(
+            3,
+            &[1.0, 1.0, 1.0],
+            &[vec![0, 2], vec![0, 1], vec![1, 2]],
+        )
+        .unwrap();
+        assert!((obj - 1.5).abs() < 1e-9);
+        for v in x {
+            assert!((v - 0.5).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn covering_lp_single_edge() {
+        let (obj, x) = solve_covering_lp(1, &[7.0], &[vec![0], vec![0]]).unwrap();
+        assert!((obj - 7.0).abs() < 1e-9);
+        assert!((x[0] - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn covering_lp_star_query() {
+        // star query R1(A,B1), R2(A,B2), R3(A,B3): rho* = 3 (every edge needed)
+        let (obj, _) = solve_covering_lp(
+            3,
+            &[1.0, 1.0, 1.0],
+            &[vec![0, 1, 2], vec![0], vec![1], vec![2]],
+        )
+        .unwrap();
+        assert!((obj - 3.0).abs() < 1e-9);
+    }
+}

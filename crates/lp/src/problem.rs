@@ -1,0 +1,225 @@
+//! Linear-program builder.
+//!
+//! A [`LinearProgram`] is built incrementally: add variables (each with an objective
+//! coefficient), then add constraints over those variables, then call
+//! [`LinearProgram::solve`]. All variables are non-negative unless added with
+//! [`LinearProgram::add_free_var`].
+
+use crate::error::LpError;
+use crate::simplex::{self, SimplexOptions};
+use crate::solution::Solution;
+
+/// Identifier of a variable in a [`LinearProgram`].
+///
+/// Variable ids are dense indices (`0, 1, 2, …` in insertion order) and index directly
+/// into [`crate::Solution::primal`].
+pub type VarId = usize;
+
+/// Optimization direction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Sense {
+    /// Minimize the objective.
+    Minimize,
+    /// Maximize the objective.
+    Maximize,
+}
+
+/// Comparison operator of a linear constraint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Cmp {
+    /// `<=`
+    Le,
+    /// `>=`
+    Ge,
+    /// `=`
+    Eq,
+}
+
+/// A single linear constraint `sum_j coeff_j * x_j  (<=|>=|=)  rhs`.
+#[derive(Debug, Clone)]
+pub struct Constraint {
+    /// Sparse list of `(variable, coefficient)` terms. A variable may appear at most
+    /// once; duplicates are summed when the constraint is added.
+    pub terms: Vec<(VarId, f64)>,
+    /// The comparison operator.
+    pub cmp: Cmp,
+    /// The right-hand side.
+    pub rhs: f64,
+    /// Optional human-readable name (used in debugging output).
+    pub name: Option<String>,
+}
+
+/// A linear program over non-negative (or explicitly free) variables.
+#[derive(Debug, Clone)]
+pub struct LinearProgram {
+    sense: Sense,
+    objective: Vec<f64>,
+    names: Vec<String>,
+    free: Vec<bool>,
+    constraints: Vec<Constraint>,
+}
+
+impl LinearProgram {
+    /// Create an empty program with the given optimization direction.
+    pub fn new(sense: Sense) -> Self {
+        LinearProgram {
+            sense,
+            objective: Vec::new(),
+            names: Vec::new(),
+            free: Vec::new(),
+            constraints: Vec::new(),
+        }
+    }
+
+    /// The optimization direction of this program.
+    pub fn sense(&self) -> Sense {
+        self.sense
+    }
+
+    /// Add a non-negative variable with the given objective coefficient.
+    pub fn add_var(&mut self, name: impl Into<String>, obj_coeff: f64) -> VarId {
+        let id = self.objective.len();
+        self.objective.push(obj_coeff);
+        self.names.push(name.into());
+        self.free.push(false);
+        id
+    }
+
+    /// Add a free (unrestricted in sign) variable with the given objective coefficient.
+    ///
+    /// Internally the solver splits free variables into a difference of two
+    /// non-negative variables.
+    pub fn add_free_var(&mut self, name: impl Into<String>, obj_coeff: f64) -> VarId {
+        let id = self.add_var(name, obj_coeff);
+        self.free[id] = true;
+        id
+    }
+
+    /// Add the constraint `sum_j coeff_j x_j  cmp  rhs`.
+    ///
+    /// Duplicate variables in `terms` are summed. Returns the constraint index, which
+    /// indexes into [`crate::Solution::dual`].
+    pub fn add_constraint(&mut self, terms: &[(VarId, f64)], cmp: Cmp, rhs: f64) -> usize {
+        self.add_named_constraint(terms, cmp, rhs, None::<String>)
+    }
+
+    /// Like [`Self::add_constraint`] but with a debug name attached.
+    pub fn add_named_constraint(
+        &mut self,
+        terms: &[(VarId, f64)],
+        cmp: Cmp,
+        rhs: f64,
+        name: Option<impl Into<String>>,
+    ) -> usize {
+        let mut dense: Vec<(VarId, f64)> = Vec::with_capacity(terms.len());
+        for &(v, c) in terms {
+            if let Some(entry) = dense.iter_mut().find(|(w, _)| *w == v) {
+                entry.1 += c;
+            } else {
+                dense.push((v, c));
+            }
+        }
+        self.constraints.push(Constraint {
+            terms: dense,
+            cmp,
+            rhs,
+            name: name.map(Into::into),
+        });
+        self.constraints.len() - 1
+    }
+
+    /// Number of variables added so far.
+    pub fn num_vars(&self) -> usize {
+        self.objective.len()
+    }
+
+    /// Number of constraints added so far.
+    pub fn num_constraints(&self) -> usize {
+        self.constraints.len()
+    }
+
+    /// Objective coefficients, indexed by [`VarId`].
+    pub fn objective(&self) -> &[f64] {
+        &self.objective
+    }
+
+    /// Variable names, indexed by [`VarId`].
+    pub fn var_names(&self) -> &[String] {
+        &self.names
+    }
+
+    /// Whether each variable is free (sign-unrestricted).
+    pub fn free_mask(&self) -> &[bool] {
+        &self.free
+    }
+
+    /// The constraints added so far.
+    pub fn constraints(&self) -> &[Constraint] {
+        &self.constraints
+    }
+
+    /// Solve with default options.
+    pub fn solve(&self) -> Result<Solution, LpError> {
+        self.solve_with(SimplexOptions::default())
+    }
+
+    /// Solve with explicit simplex options.
+    pub fn solve_with(&self, options: SimplexOptions) -> Result<Solution, LpError> {
+        if self.num_vars() == 0 {
+            return Err(LpError::EmptyProblem);
+        }
+        for (ci, c) in self.constraints.iter().enumerate() {
+            for &(v, _) in &c.terms {
+                if v >= self.num_vars() {
+                    let _ = ci;
+                    return Err(LpError::UnknownVariable(v));
+                }
+            }
+        }
+        simplex::solve(self, options)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_and_introspect() {
+        let mut lp = LinearProgram::new(Sense::Maximize);
+        let x = lp.add_var("x", 3.0);
+        let y = lp.add_var("y", 5.0);
+        lp.add_constraint(&[(x, 1.0)], Cmp::Le, 4.0);
+        lp.add_constraint(&[(y, 2.0)], Cmp::Le, 12.0);
+        lp.add_constraint(&[(x, 3.0), (y, 2.0)], Cmp::Le, 18.0);
+        assert_eq!(lp.num_vars(), 2);
+        assert_eq!(lp.num_constraints(), 3);
+        assert_eq!(lp.sense(), Sense::Maximize);
+        assert_eq!(lp.var_names(), &["x".to_string(), "y".to_string()]);
+        assert_eq!(lp.objective(), &[3.0, 5.0]);
+    }
+
+    #[test]
+    fn duplicate_terms_are_summed() {
+        let mut lp = LinearProgram::new(Sense::Minimize);
+        let x = lp.add_var("x", 1.0);
+        lp.add_constraint(&[(x, 1.0), (x, 2.0)], Cmp::Ge, 6.0);
+        let sol = lp.solve().unwrap();
+        // constraint is effectively 3x >= 6
+        assert!((sol.primal[x] - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn unknown_variable_rejected() {
+        let mut lp = LinearProgram::new(Sense::Minimize);
+        let _x = lp.add_var("x", 1.0);
+        lp.add_constraint(&[(7, 1.0)], Cmp::Ge, 1.0);
+        assert_eq!(lp.solve().unwrap_err(), LpError::UnknownVariable(7));
+    }
+
+    #[test]
+    fn empty_problem_rejected() {
+        let lp = LinearProgram::new(Sense::Minimize);
+        assert_eq!(lp.solve().unwrap_err(), LpError::EmptyProblem);
+    }
+}

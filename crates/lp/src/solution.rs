@@ -1,0 +1,65 @@
+//! Solution of a linear program.
+
+/// Termination status of the simplex solver.
+///
+/// Infeasible / unbounded problems are reported through [`crate::LpError`], so a
+/// returned [`Solution`] always carries [`Status::Optimal`]; the enum exists so that
+/// downstream code (and future solver extensions such as early termination) can
+/// pattern-match on it explicitly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Status {
+    /// An optimal basic feasible solution was found.
+    Optimal,
+}
+
+/// The result of solving a [`crate::LinearProgram`].
+#[derive(Debug, Clone)]
+pub struct Solution {
+    /// Termination status.
+    pub status: Status,
+    /// Optimal objective value, in the original optimization sense.
+    pub objective: f64,
+    /// Optimal primal values, indexed by [`crate::VarId`] (insertion order).
+    pub primal: Vec<f64>,
+    /// Dual values, one per constraint (in the order constraints were added).
+    ///
+    /// The sign convention is chosen so that strong duality reads
+    /// `objective == sum_i dual[i] * rhs[i]` in the *original* sense of the program.
+    /// For a minimization problem, `>=` constraints have non-negative duals and `<=`
+    /// constraints non-positive duals; for maximization it is the reverse. Equality
+    /// constraints have unrestricted duals.
+    pub dual: Vec<f64>,
+    /// Number of simplex pivots performed (phase 1 + phase 2).
+    pub pivots: usize,
+}
+
+impl Solution {
+    /// Value of variable `v` in the optimal solution.
+    pub fn value(&self, v: crate::VarId) -> f64 {
+        self.primal[v]
+    }
+
+    /// `sum_i dual[i] * rhs[i]` — by strong duality this equals `objective` (up to
+    /// numerical tolerance). Exposed for testing and sanity checks.
+    pub fn dual_objective(&self, rhs: &[f64]) -> f64 {
+        self.dual.iter().zip(rhs).map(|(y, b)| y * b).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dual_objective_is_dot_product() {
+        let sol = Solution {
+            status: Status::Optimal,
+            objective: 11.0,
+            primal: vec![1.0, 2.0],
+            dual: vec![3.0, 4.0],
+            pivots: 0,
+        };
+        assert!((sol.dual_objective(&[1.0, 2.0]) - 11.0).abs() < 1e-12);
+        assert!((sol.value(1) - 2.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,335 @@
+//! Databases: named relations bound to the atoms of a query, plus verification that a
+//! database satisfies a set of degree constraints (`D ⊨ DC`).
+
+use crate::constraints::{ConstraintSet, DegreeConstraint};
+use crate::query::{ConjunctiveQuery, QueryError};
+use std::collections::HashMap;
+use std::fmt;
+use wcoj_storage::{Relation, StorageError};
+
+/// Errors raised when binding a database to a query or verifying constraints.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DatabaseError {
+    /// No relation is stored under the given atom name.
+    MissingRelation(String),
+    /// The stored relation's arity does not match the atom's arity.
+    ArityMismatch {
+        /// The atom (relation) name.
+        atom: String,
+        /// Arity expected by the query atom.
+        expected: usize,
+        /// Arity of the stored relation.
+        found: usize,
+    },
+    /// A degree constraint has no candidate guard atom in the query.
+    NoGuard {
+        /// Index of the constraint within its [`ConstraintSet`].
+        constraint: usize,
+    },
+    /// A storage-level error.
+    Storage(StorageError),
+    /// A query-level error.
+    Query(QueryError),
+}
+
+impl fmt::Display for DatabaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DatabaseError::MissingRelation(r) => write!(f, "missing relation `{r}`"),
+            DatabaseError::ArityMismatch {
+                atom,
+                expected,
+                found,
+            } => write!(
+                f,
+                "relation `{atom}` has arity {found}, the query atom expects {expected}"
+            ),
+            DatabaseError::NoGuard { constraint } => {
+                write!(f, "degree constraint #{constraint} has no guard atom")
+            }
+            DatabaseError::Storage(e) => write!(f, "storage error: {e}"),
+            DatabaseError::Query(e) => write!(f, "query error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for DatabaseError {}
+
+impl From<StorageError> for DatabaseError {
+    fn from(e: StorageError) -> Self {
+        DatabaseError::Storage(e)
+    }
+}
+
+impl From<QueryError> for DatabaseError {
+    fn from(e: QueryError) -> Self {
+        DatabaseError::Query(e)
+    }
+}
+
+/// A database instance: a map from relation names to [`Relation`]s.
+///
+/// Relations are matched to query atoms *by name and positionally*: the atom
+/// `R(A, C)` binds the first column of the stored relation `R` to variable `A` and the
+/// second to `C`, regardless of the stored attribute names. This is what allows
+/// self-joins such as the clique query `E(X0,X1), E(X0,X2), E(X1,X2)` over a single
+/// stored edge relation.
+#[derive(Debug, Clone, Default)]
+pub struct Database {
+    relations: HashMap<String, Relation>,
+}
+
+impl Database {
+    /// An empty database.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Insert (or replace) the relation stored under `name`.
+    pub fn insert(&mut self, name: impl Into<String>, relation: Relation) {
+        self.relations.insert(name.into(), relation);
+    }
+
+    /// The relation stored under `name`, if any.
+    pub fn get(&self, name: &str) -> Option<&Relation> {
+        self.relations.get(name)
+    }
+
+    /// Names of the stored relations (unsorted).
+    pub fn relation_names(&self) -> Vec<&str> {
+        self.relations.keys().map(|s| s.as_str()).collect()
+    }
+
+    /// Number of stored relations.
+    pub fn num_relations(&self) -> usize {
+        self.relations.len()
+    }
+
+    /// Total number of tuples across all stored relations (`|D|`).
+    pub fn total_tuples(&self) -> usize {
+        self.relations.values().map(|r| r.len()).sum()
+    }
+
+    /// Size of the largest stored relation (the `N` of the AGM bound `N^{ρ*}`).
+    pub fn max_relation_size(&self) -> usize {
+        self.relations.values().map(|r| r.len()).max().unwrap_or(0)
+    }
+
+    /// The relation for atom `i` of `query`, with its columns renamed (positionally)
+    /// to the atom's variable names.
+    pub fn relation_for_atom(
+        &self,
+        query: &ConjunctiveQuery,
+        atom_index: usize,
+    ) -> Result<Relation, DatabaseError> {
+        let atom = query.atom(atom_index);
+        let stored = self
+            .relations
+            .get(&atom.name)
+            .ok_or_else(|| DatabaseError::MissingRelation(atom.name.clone()))?;
+        if stored.arity() != atom.vars.len() {
+            return Err(DatabaseError::ArityMismatch {
+                atom: atom.name.clone(),
+                expected: atom.vars.len(),
+                found: stored.arity(),
+            });
+        }
+        let var_names = query.atom_var_names(atom_index);
+        Ok(stored.rename(&var_names)?)
+    }
+
+    /// All atom relations of `query`, in atom order, renamed to atom variables.
+    pub fn atom_relations(
+        &self,
+        query: &ConjunctiveQuery,
+    ) -> Result<Vec<Relation>, DatabaseError> {
+        (0..query.atoms().len())
+            .map(|i| self.relation_for_atom(query, i))
+            .collect()
+    }
+
+    /// Whether a single constraint is satisfied (`D ⊨ {c}`): some guard atom's
+    /// relation has degree at most `c.bound`.
+    pub fn satisfies_constraint(
+        &self,
+        query: &ConjunctiveQuery,
+        c: &DegreeConstraint,
+        constraint_index: usize,
+    ) -> Result<bool, DatabaseError> {
+        let guards = match c.guard {
+            Some(g) => vec![g],
+            None => c.candidate_guards(query),
+        };
+        if guards.is_empty() {
+            return Err(DatabaseError::NoGuard {
+                constraint: constraint_index,
+            });
+        }
+        for g in guards {
+            let rel = self.relation_for_atom(query, g)?;
+            let x_names: Vec<&str> = c.x.iter().map(|&v| query.var_name(v)).collect();
+            let y_names: Vec<&str> = c.y.iter().map(|&v| query.var_name(v)).collect();
+            let deg = rel.max_degree(&x_names, &y_names)?;
+            if deg <= c.bound {
+                return Ok(true);
+            }
+        }
+        Ok(false)
+    }
+
+    /// Whether the database satisfies every constraint in `dc` (`D ⊨ DC`).
+    pub fn satisfies(
+        &self,
+        query: &ConjunctiveQuery,
+        dc: &ConstraintSet,
+    ) -> Result<bool, DatabaseError> {
+        for (i, c) in dc.iter().enumerate() {
+            if !self.satisfies_constraint(query, c, i)? {
+                return Ok(false);
+            }
+        }
+        Ok(true)
+    }
+
+    /// Derive the tightest cardinality constraints this database satisfies for
+    /// `query`: one `|R_F| ≤ |R_F(D)|` constraint per atom. This is the standard way
+    /// experiments construct the `DC` set in the AGM regime.
+    pub fn cardinality_constraints(
+        &self,
+        query: &ConjunctiveQuery,
+    ) -> Result<ConstraintSet, DatabaseError> {
+        let mut dc = ConstraintSet::new();
+        for i in 0..query.atoms().len() {
+            let rel = self.relation_for_atom(query, i)?;
+            dc.push(
+                DegreeConstraint::cardinality(query.atom_var_set(i), rel.len() as u64)
+                    .with_guard(i),
+            );
+        }
+        Ok(dc)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::query::examples;
+    use wcoj_storage::Schema;
+
+    fn triangle_db() -> Database {
+        let mut db = Database::new();
+        db.insert("R", Relation::from_pairs("A", "B", vec![(1, 2), (2, 3), (1, 3)]));
+        db.insert("S", Relation::from_pairs("B", "C", vec![(2, 3), (3, 1), (3, 4)]));
+        db.insert("T", Relation::from_pairs("A", "C", vec![(1, 3), (2, 1), (1, 4)]));
+        db
+    }
+
+    #[test]
+    fn basic_accessors() {
+        let db = triangle_db();
+        assert_eq!(db.num_relations(), 3);
+        assert_eq!(db.total_tuples(), 9);
+        assert_eq!(db.max_relation_size(), 3);
+        assert!(db.get("R").is_some());
+        assert!(db.get("Z").is_none());
+        let mut names = db.relation_names();
+        names.sort_unstable();
+        assert_eq!(names, vec!["R", "S", "T"]);
+    }
+
+    #[test]
+    fn relation_for_atom_renames_positionally() {
+        let q = examples::clique(3); // E(X0,X1), E(X0,X2), E(X1,X2)
+        let mut db = Database::new();
+        db.insert("E", Relation::from_pairs("src", "dst", vec![(1, 2), (2, 3)]));
+        let r0 = db.relation_for_atom(&q, 0).unwrap();
+        assert_eq!(r0.schema().attrs(), &["X0".to_string(), "X1".to_string()]);
+        let r2 = db.relation_for_atom(&q, 2).unwrap();
+        assert_eq!(r2.schema().attrs(), &["X1".to_string(), "X2".to_string()]);
+        assert_eq!(db.atom_relations(&q).unwrap().len(), 3);
+    }
+
+    #[test]
+    fn missing_relation_and_arity_mismatch() {
+        let q = examples::triangle();
+        let mut db = Database::new();
+        db.insert("R", Relation::from_pairs("A", "B", vec![(1, 2)]));
+        assert_eq!(
+            db.relation_for_atom(&q, 1).unwrap_err(),
+            DatabaseError::MissingRelation("S".to_string())
+        );
+        db.insert(
+            "S",
+            Relation::from_rows(Schema::new(&["B", "C", "D"]), vec![vec![1, 2, 3]]),
+        );
+        assert!(matches!(
+            db.relation_for_atom(&q, 1).unwrap_err(),
+            DatabaseError::ArityMismatch { expected: 2, found: 3, .. }
+        ));
+    }
+
+    #[test]
+    fn satisfies_cardinality_constraints() {
+        let q = examples::triangle();
+        let db = triangle_db();
+        let dc = ConstraintSet::all_cardinalities(&q, &[("R", 3), ("S", 3), ("T", 3)]).unwrap();
+        assert!(db.satisfies(&q, &dc).unwrap());
+        let too_tight =
+            ConstraintSet::all_cardinalities(&q, &[("R", 2), ("S", 3), ("T", 3)]).unwrap();
+        assert!(!db.satisfies(&q, &too_tight).unwrap());
+    }
+
+    #[test]
+    fn satisfies_degree_constraints() {
+        let q = examples::triangle();
+        let db = triangle_db();
+        // deg_R(B | A): A=1 has 2 neighbours, A=2 has 1 -> max 2
+        let mut dc = ConstraintSet::new();
+        dc.push_named(&q, &["A"], &["B"], 2).unwrap();
+        assert!(db.satisfies(&q, &dc).unwrap());
+        let mut dc_tight = ConstraintSet::new();
+        dc_tight.push_named(&q, &["A"], &["B"], 1).unwrap();
+        assert!(!db.satisfies(&q, &dc_tight).unwrap());
+    }
+
+    #[test]
+    fn no_guard_is_an_error() {
+        let q = examples::triangle();
+        let db = triangle_db();
+        // {A, B, C} is not contained in any atom
+        let c = DegreeConstraint::cardinality(vec![0, 1, 2], 100);
+        let dc = ConstraintSet::from_constraints(vec![c]);
+        assert_eq!(
+            db.satisfies(&q, &dc).unwrap_err(),
+            DatabaseError::NoGuard { constraint: 0 }
+        );
+    }
+
+    #[test]
+    fn derived_cardinality_constraints_are_satisfied_and_tight() {
+        let q = examples::triangle();
+        let db = triangle_db();
+        let dc = db.cardinality_constraints(&q).unwrap();
+        assert_eq!(dc.len(), 3);
+        assert!(db.satisfies(&q, &dc).unwrap());
+        assert!(dc.iter().all(|c| c.bound == 3));
+    }
+
+    #[test]
+    fn error_display() {
+        let e = DatabaseError::MissingRelation("R".into());
+        assert!(e.to_string().contains('R'));
+        let e = DatabaseError::NoGuard { constraint: 2 };
+        assert!(e.to_string().contains('2'));
+        let e: DatabaseError = StorageError::NoJoinAttributes.into();
+        assert!(e.to_string().contains("storage"));
+        let e: DatabaseError = QueryError::EmptyQuery.into();
+        assert!(e.to_string().contains("query"));
+        let e = DatabaseError::ArityMismatch {
+            atom: "R".into(),
+            expected: 2,
+            found: 3,
+        };
+        assert!(e.to_string().contains("arity 3"));
+    }
+}

@@ -1,0 +1,153 @@
+//! GYO (Graham / Yu–Özsoyoğlu) reduction and α-acyclicity of query hypergraphs.
+//!
+//! α-acyclicity of the *query* hypergraph is orthogonal to acyclicity of the
+//! *constraint* set (Definition 3 of the paper explicitly warns about this): the
+//! triangle query is cyclic as a hypergraph yet its cardinality-only constraint set is
+//! acyclic. We still provide GYO reduction because (a) acyclic queries are the classic
+//! case where join-project (Yannakakis-style) plans are optimal, which experiment E8
+//! contrasts with WCOJ behaviour on cyclic queries, and (b) it is used to pick
+//! baseline plans in `wcoj-core`.
+
+use crate::hypergraph::Hypergraph;
+use crate::VarId;
+
+/// The result of running GYO reduction on a hypergraph.
+#[derive(Debug, Clone)]
+pub struct GyoReduction {
+    /// Whether the hypergraph is α-acyclic (the reduction removed every edge).
+    pub acyclic: bool,
+    /// Indices of the removed edges, in removal order ("ears").
+    pub ear_order: Vec<usize>,
+    /// The edges that could not be removed (empty iff `acyclic`).
+    pub residual_edges: Vec<Vec<VarId>>,
+}
+
+/// Run GYO reduction.
+///
+/// The classical two rules are applied until a fixpoint:
+/// 1. delete a vertex that occurs in exactly one edge;
+/// 2. delete an edge that is a subset of another (remaining) edge.
+///
+/// The hypergraph is α-acyclic iff every edge is eventually deleted.
+pub fn gyo_reduce(h: &Hypergraph) -> GyoReduction {
+    // Work on mutable copies of the edges; `alive[i]` tracks whether edge i remains.
+    let mut edges: Vec<Vec<VarId>> = h.edges().to_vec();
+    let mut alive: Vec<bool> = vec![true; edges.len()];
+    let mut ear_order = Vec::new();
+
+    loop {
+        let mut changed = false;
+
+        // Rule 1: remove vertices that occur in exactly one live edge.
+        let mut occurrence: std::collections::HashMap<VarId, usize> =
+            std::collections::HashMap::new();
+        for (i, e) in edges.iter().enumerate() {
+            if alive[i] {
+                for &v in e {
+                    *occurrence.entry(v).or_insert(0) += 1;
+                }
+            }
+        }
+        for (i, e) in edges.iter_mut().enumerate() {
+            if !alive[i] {
+                continue;
+            }
+            let before = e.len();
+            e.retain(|v| occurrence.get(v).copied().unwrap_or(0) > 1);
+            if e.len() != before {
+                changed = true;
+            }
+        }
+
+        // Rule 2: remove edges that are subsets of another live edge (or empty).
+        for i in 0..edges.len() {
+            if !alive[i] {
+                continue;
+            }
+            let is_empty = edges[i].is_empty();
+            let subset_of_other = (0..edges.len()).any(|j| {
+                j != i && alive[j] && edges[i].iter().all(|v| edges[j].contains(v))
+            });
+            if is_empty || subset_of_other {
+                alive[i] = false;
+                ear_order.push(i);
+                changed = true;
+            }
+        }
+
+        if !changed {
+            break;
+        }
+    }
+
+    let residual_edges: Vec<Vec<VarId>> = edges
+        .iter()
+        .zip(&alive)
+        .filter(|(_, &a)| a)
+        .map(|(e, _)| e.clone())
+        .collect();
+    GyoReduction {
+        acyclic: residual_edges.is_empty(),
+        ear_order,
+        residual_edges,
+    }
+}
+
+/// Whether the hypergraph is α-acyclic.
+pub fn is_alpha_acyclic(h: &Hypergraph) -> bool {
+    gyo_reduce(h).acyclic
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn path_query_is_acyclic() {
+        // R(A,B), S(B,C), T(C,D)
+        let h = Hypergraph::new(4, vec![vec![0, 1], vec![1, 2], vec![2, 3]]);
+        let red = gyo_reduce(&h);
+        assert!(red.acyclic);
+        assert_eq!(red.ear_order.len(), 3);
+        assert!(red.residual_edges.is_empty());
+        assert!(is_alpha_acyclic(&h));
+    }
+
+    #[test]
+    fn triangle_is_cyclic() {
+        let h = Hypergraph::cycle(3);
+        let red = gyo_reduce(&h);
+        assert!(!red.acyclic);
+        assert_eq!(red.residual_edges.len(), 3);
+        assert!(!is_alpha_acyclic(&h));
+    }
+
+    #[test]
+    fn four_cycle_is_cyclic_but_chorded_four_cycle_is_acyclic() {
+        assert!(!is_alpha_acyclic(&Hypergraph::cycle(4)));
+        // adding the "big" edge {0,1,2,3} makes it acyclic (it absorbs everything)
+        let mut edges: Vec<Vec<VarId>> = Hypergraph::cycle(4).edges().to_vec();
+        edges.push(vec![0, 1, 2, 3]);
+        assert!(is_alpha_acyclic(&Hypergraph::new(4, edges)));
+    }
+
+    #[test]
+    fn star_and_single_edge_are_acyclic() {
+        assert!(is_alpha_acyclic(&Hypergraph::star(4)));
+        assert!(is_alpha_acyclic(&Hypergraph::new(2, vec![vec![0, 1]])));
+    }
+
+    #[test]
+    fn loomis_whitney_is_cyclic_for_k_at_least_3() {
+        assert!(!is_alpha_acyclic(&Hypergraph::loomis_whitney(3)));
+        assert!(!is_alpha_acyclic(&Hypergraph::loomis_whitney(4)));
+        // LW(2) is just two unary edges {0}, {1}... actually edges {1} and {0}; acyclic
+        assert!(is_alpha_acyclic(&Hypergraph::loomis_whitney(2)));
+    }
+
+    #[test]
+    fn duplicate_edges_do_not_confuse_reduction() {
+        let h = Hypergraph::new(2, vec![vec![0, 1], vec![0, 1]]);
+        assert!(is_alpha_acyclic(&h));
+    }
+}

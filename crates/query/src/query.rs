@@ -1,0 +1,380 @@
+//! Full conjunctive queries.
+
+use crate::hypergraph::Hypergraph;
+use crate::VarId;
+use std::fmt;
+
+/// Errors produced while building or validating a query.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum QueryError {
+    /// The query has no atoms.
+    EmptyQuery,
+    /// The same variable appears twice in one atom (e.g. `R(A, A)`), which this model
+    /// does not support — rewrite with an explicit equality selection instead.
+    DuplicateVarInAtom {
+        /// Atom name.
+        atom: String,
+        /// Offending variable name.
+        var: String,
+    },
+    /// A referenced variable does not exist in the query.
+    UnknownVariable(String),
+    /// A referenced atom does not exist in the query.
+    UnknownAtom(String),
+}
+
+impl fmt::Display for QueryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QueryError::EmptyQuery => write!(f, "query has no atoms"),
+            QueryError::DuplicateVarInAtom { atom, var } => {
+                write!(f, "variable `{var}` appears twice in atom `{atom}`")
+            }
+            QueryError::UnknownVariable(v) => write!(f, "unknown variable `{v}`"),
+            QueryError::UnknownAtom(a) => write!(f, "unknown atom `{a}`"),
+        }
+    }
+}
+
+impl std::error::Error for QueryError {}
+
+/// One atom `R_F(A_F)` of a conjunctive query: a relation name plus the query
+/// variables appearing in each argument position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Atom {
+    /// The relation name. Several atoms may share a name (self-joins), e.g. the
+    /// triangle query over a single edge relation.
+    pub name: String,
+    /// Variable ids in argument-position order.
+    pub vars: Vec<VarId>,
+}
+
+/// A full conjunctive query `Q(A_[n]) ← ⋀_F R_F(A_F)` (equation (25) of the paper).
+///
+/// The head contains every variable (the query is *full*); projections are handled by
+/// the engines/baselines that need them.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConjunctiveQuery {
+    var_names: Vec<String>,
+    atoms: Vec<Atom>,
+}
+
+impl ConjunctiveQuery {
+    /// Start building a query.
+    pub fn builder() -> QueryBuilder {
+        QueryBuilder::default()
+    }
+
+    /// Number of variables `n`.
+    pub fn num_vars(&self) -> usize {
+        self.var_names.len()
+    }
+
+    /// The variable names, indexed by [`VarId`] (order of first appearance).
+    pub fn var_names(&self) -> &[String] {
+        &self.var_names
+    }
+
+    /// Name of variable `v`.
+    pub fn var_name(&self, v: VarId) -> &str {
+        &self.var_names[v]
+    }
+
+    /// Id of the variable named `name`.
+    pub fn var_id(&self, name: &str) -> Result<VarId, QueryError> {
+        self.var_names
+            .iter()
+            .position(|n| n == name)
+            .ok_or_else(|| QueryError::UnknownVariable(name.to_string()))
+    }
+
+    /// The atoms of the query body.
+    pub fn atoms(&self) -> &[Atom] {
+        &self.atoms
+    }
+
+    /// The `i`-th atom.
+    pub fn atom(&self, i: usize) -> &Atom {
+        &self.atoms[i]
+    }
+
+    /// Index of the first atom with the given relation name.
+    pub fn atom_index(&self, name: &str) -> Result<usize, QueryError> {
+        self.atoms
+            .iter()
+            .position(|a| a.name == name)
+            .ok_or_else(|| QueryError::UnknownAtom(name.to_string()))
+    }
+
+    /// Variable names of atom `i`, in argument order — this doubles as the schema the
+    /// corresponding relation must have in a [`crate::Database`].
+    pub fn atom_var_names(&self, i: usize) -> Vec<&str> {
+        self.atoms[i]
+            .vars
+            .iter()
+            .map(|&v| self.var_names[v].as_str())
+            .collect()
+    }
+
+    /// The query's multi-hypergraph `H = ([n], E)`.
+    pub fn hypergraph(&self) -> Hypergraph {
+        Hypergraph::new(
+            self.num_vars(),
+            self.atoms.iter().map(|a| a.vars.clone()).collect(),
+        )
+    }
+
+    /// Ids of the variables of atom `i`, sorted.
+    pub fn atom_var_set(&self, i: usize) -> Vec<VarId> {
+        let mut v = self.atoms[i].vars.clone();
+        v.sort_unstable();
+        v
+    }
+
+    /// The atoms (by index) whose variable set contains variable `v`.
+    pub fn atoms_containing(&self, v: VarId) -> Vec<usize> {
+        self.atoms
+            .iter()
+            .enumerate()
+            .filter(|(_, a)| a.vars.contains(&v))
+            .map(|(i, _)| i)
+            .collect()
+    }
+}
+
+impl fmt::Display for ConjunctiveQuery {
+    /// Datalog syntax, e.g. `Q(A, B, C) :- R(A, B), S(B, C), T(A, C).`
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Q({})", self.var_names.join(", "))?;
+        write!(f, " :- ")?;
+        let body: Vec<String> = self
+            .atoms
+            .iter()
+            .map(|a| {
+                let vars: Vec<&str> = a.vars.iter().map(|&v| self.var_names[v].as_str()).collect();
+                format!("{}({})", a.name, vars.join(", "))
+            })
+            .collect();
+        write!(f, "{}.", body.join(", "))
+    }
+}
+
+/// Incremental builder for [`ConjunctiveQuery`]. Variables are registered in order of
+/// first appearance across atoms.
+#[derive(Debug, Default, Clone)]
+pub struct QueryBuilder {
+    atoms: Vec<(String, Vec<String>)>,
+}
+
+impl QueryBuilder {
+    /// Add an atom `name(vars...)`.
+    pub fn atom(mut self, name: &str, vars: &[&str]) -> Self {
+        self.atoms.push((
+            name.to_string(),
+            vars.iter().map(|s| s.to_string()).collect(),
+        ));
+        self
+    }
+
+    /// Finish building, validating the query.
+    pub fn build(self) -> Result<ConjunctiveQuery, QueryError> {
+        if self.atoms.is_empty() {
+            return Err(QueryError::EmptyQuery);
+        }
+        let mut var_names: Vec<String> = Vec::new();
+        let mut atoms = Vec::new();
+        for (name, vars) in self.atoms {
+            let mut ids = Vec::with_capacity(vars.len());
+            for v in &vars {
+                if vars.iter().filter(|w| *w == v).count() > 1 {
+                    return Err(QueryError::DuplicateVarInAtom {
+                        atom: name.clone(),
+                        var: v.clone(),
+                    });
+                }
+                let id = match var_names.iter().position(|n| n == v) {
+                    Some(id) => id,
+                    None => {
+                        var_names.push(v.clone());
+                        var_names.len() - 1
+                    }
+                };
+                ids.push(id);
+            }
+            atoms.push(Atom { name, vars: ids });
+        }
+        Ok(ConjunctiveQuery { var_names, atoms })
+    }
+}
+
+/// Pre-built queries used throughout the paper and this workspace's experiments.
+pub mod examples {
+    use super::ConjunctiveQuery;
+
+    /// The triangle query (2): `Q(A,B,C) ← R(A,B), S(B,C), T(A,C)`.
+    pub fn triangle() -> ConjunctiveQuery {
+        ConjunctiveQuery::builder()
+            .atom("R", &["A", "B"])
+            .atom("S", &["B", "C"])
+            .atom("T", &["A", "C"])
+            .build()
+            .unwrap()
+    }
+
+    /// The 4-cycle query: `Q(A,B,C,D) ← R(A,B), S(B,C), T(C,D), W(D,A)`.
+    pub fn four_cycle() -> ConjunctiveQuery {
+        ConjunctiveQuery::builder()
+            .atom("R", &["A", "B"])
+            .atom("S", &["B", "C"])
+            .atom("T", &["C", "D"])
+            .atom("W", &["D", "A"])
+            .build()
+            .unwrap()
+    }
+
+    /// The Loomis–Whitney query `LW(k)`: `k` variables, each atom omits exactly one.
+    pub fn loomis_whitney(k: usize) -> ConjunctiveQuery {
+        assert!(k >= 2);
+        let names: Vec<String> = (0..k).map(|i| format!("X{i}")).collect();
+        let mut b = ConjunctiveQuery::builder();
+        for skip in 0..k {
+            let vars: Vec<&str> = (0..k)
+                .filter(|&v| v != skip)
+                .map(|v| names[v].as_str())
+                .collect();
+            b = b.atom(&format!("R{skip}"), &vars);
+        }
+        b.build().unwrap()
+    }
+
+    /// The `k`-clique query over a single edge relation `E`, variables `X0..Xk-1`.
+    pub fn clique(k: usize) -> ConjunctiveQuery {
+        assert!(k >= 2);
+        let names: Vec<String> = (0..k).map(|i| format!("X{i}")).collect();
+        let mut b = ConjunctiveQuery::builder();
+        for i in 0..k {
+            for j in (i + 1)..k {
+                b = b.atom("E", &[names[i].as_str(), names[j].as_str()]);
+            }
+        }
+        b.build().unwrap()
+    }
+
+    /// The chain query of equation (63):
+    /// `Q(A,B,C,D) ← R(A), S(A,B), T(B,C), W(C,A,D)`.
+    pub fn chain_with_guard() -> ConjunctiveQuery {
+        ConjunctiveQuery::builder()
+            .atom("R", &["A"])
+            .atom("S", &["A", "B"])
+            .atom("T", &["B", "C"])
+            .atom("W", &["C", "A", "D"])
+            .build()
+            .unwrap()
+    }
+
+    /// The query of Example 1 (Section 5.2.3):
+    /// `Q(A,B,C,D) ← R(A,B), S(B,C), T(C,D), W(A,C,D), V(A,B,D)`.
+    pub fn example_one() -> ConjunctiveQuery {
+        ConjunctiveQuery::builder()
+            .atom("R", &["A", "B"])
+            .atom("S", &["B", "C"])
+            .atom("T", &["C", "D"])
+            .atom("W", &["A", "C", "D"])
+            .atom("V", &["A", "B", "D"])
+            .build()
+            .unwrap()
+    }
+
+    /// Star query with `k` leaves: `Q(A, B1..Bk) ← R1(A,B1), ..., Rk(A,Bk)`.
+    pub fn star(k: usize) -> ConjunctiveQuery {
+        let mut b = ConjunctiveQuery::builder();
+        for i in 1..=k {
+            let bi = format!("B{i}");
+            b = b.atom(&format!("R{i}"), &["A", bi.as_str()]);
+        }
+        b.build().unwrap()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_registers_vars_in_appearance_order() {
+        let q = examples::triangle();
+        assert_eq!(q.num_vars(), 3);
+        assert_eq!(
+            q.var_names(),
+            &["A".to_string(), "B".to_string(), "C".to_string()]
+        );
+        assert_eq!(q.var_id("C").unwrap(), 2);
+        assert!(q.var_id("Z").is_err());
+        assert_eq!(q.var_name(1), "B");
+        assert_eq!(q.atoms().len(), 3);
+        assert_eq!(q.atom(1).name, "S");
+        assert_eq!(q.atom(1).vars, vec![1, 2]);
+        assert_eq!(q.atom_var_names(2), vec!["A", "C"]);
+        assert_eq!(q.atom_index("T").unwrap(), 2);
+        assert!(q.atom_index("Z").is_err());
+        assert_eq!(q.atoms_containing(0), vec![0, 2]);
+    }
+
+    #[test]
+    fn empty_query_rejected() {
+        assert_eq!(
+            ConjunctiveQuery::builder().build().unwrap_err(),
+            QueryError::EmptyQuery
+        );
+    }
+
+    #[test]
+    fn duplicate_var_in_atom_rejected() {
+        let err = ConjunctiveQuery::builder()
+            .atom("R", &["A", "A"])
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, QueryError::DuplicateVarInAtom { .. }));
+    }
+
+    #[test]
+    fn hypergraph_matches_atoms() {
+        let q = examples::four_cycle();
+        let h = q.hypergraph();
+        assert_eq!(h.num_vertices(), 4);
+        assert_eq!(h.num_edges(), 4);
+        assert_eq!(q.atom_var_set(3), vec![0, 3]);
+    }
+
+    #[test]
+    fn display_round_trip_syntax() {
+        let q = examples::triangle();
+        let s = q.to_string();
+        assert_eq!(s, "Q(A, B, C) :- R(A, B), S(B, C), T(A, C).");
+    }
+
+    #[test]
+    fn example_queries_have_expected_shapes() {
+        assert_eq!(examples::loomis_whitney(4).num_vars(), 4);
+        assert_eq!(examples::loomis_whitney(4).atoms().len(), 4);
+        assert_eq!(examples::clique(4).atoms().len(), 6);
+        assert_eq!(examples::clique(4).num_vars(), 4);
+        assert_eq!(examples::chain_with_guard().num_vars(), 4);
+        assert_eq!(examples::example_one().atoms().len(), 5);
+        assert_eq!(examples::star(3).num_vars(), 4);
+        // self-join: all clique atoms share the relation name E
+        assert!(examples::clique(3).atoms().iter().all(|a| a.name == "E"));
+    }
+
+    #[test]
+    fn error_display() {
+        assert!(QueryError::EmptyQuery.to_string().contains("no atoms"));
+        assert!(QueryError::UnknownVariable("X".into()).to_string().contains('X'));
+        assert!(QueryError::UnknownAtom("R".into()).to_string().contains('R'));
+        let e = QueryError::DuplicateVarInAtom {
+            atom: "R".into(),
+            var: "A".into(),
+        };
+        assert!(e.to_string().contains('R') && e.to_string().contains('A'));
+    }
+}

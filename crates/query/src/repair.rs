@@ -1,0 +1,293 @@
+//! Acyclic constraint repair (Proposition 5.2 and Corollary 5.3 of the paper).
+//!
+//! If the constraint dependency graph `G_DC` is cyclic, Algorithm 3 (backtracking
+//! search) cannot be applied directly. Proposition 5.2 shows that whenever the
+//! worst-case output size is finite there exists an *acyclic* constraint set `DC'`
+//! such that (i) every database satisfying `DC` satisfies `DC'` and (ii) the
+//! worst-case output size under `DC'` is still finite. The construction weakens one
+//! constraint at a time — replacing `(X, Y, N)` by `(X, Y \ {y}, N)` for a carefully
+//! chosen `y` on a cycle — while keeping every variable *bound* (reachable from
+//! cardinality constraints by chasing constraints).
+
+use crate::constraints::{ConstraintSet, DegreeConstraint};
+use crate::VarId;
+use std::fmt;
+
+/// Errors raised by constraint repair.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RepairError {
+    /// Some variable is not bound: the worst-case output size is infinite (Claim 1 of
+    /// Proposition 5.2), so no acyclic repair with a finite bound exists.
+    OutputInfinite {
+        /// The unbound variables.
+        unbound: Vec<VarId>,
+    },
+    /// The repair procedure could not find a constraint to weaken on some cycle. This
+    /// indicates a violation of Proposition 5.2's preconditions (it cannot happen when
+    /// the output is finite).
+    Stuck,
+}
+
+impl fmt::Display for RepairError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RepairError::OutputInfinite { unbound } => write!(
+                f,
+                "worst-case output size is infinite: unbound variables {unbound:?}"
+            ),
+            RepairError::Stuck => write!(f, "constraint repair could not break a cycle"),
+        }
+    }
+}
+
+impl std::error::Error for RepairError {}
+
+/// Compute the set of *bound* variables (Proposition 5.2): start with nothing and
+/// repeatedly apply "if all of `X` is bound then all of `Y` is bound". Cardinality
+/// constraints (`X = ∅`) seed the fixpoint.
+pub fn bound_variables(num_vars: usize, dc: &ConstraintSet) -> Vec<bool> {
+    let mut bound = vec![false; num_vars];
+    loop {
+        let mut changed = false;
+        for c in dc.iter() {
+            if c.x.iter().all(|&x| bound[x]) {
+                for &y in &c.y {
+                    if !bound[y] {
+                        bound[y] = true;
+                        changed = true;
+                    }
+                }
+            }
+        }
+        if !changed {
+            return bound;
+        }
+    }
+}
+
+/// Whether the worst-case output size is finite, i.e. every variable is bound
+/// (Claim 1 of Proposition 5.2).
+pub fn is_output_finite(num_vars: usize, dc: &ConstraintSet) -> bool {
+    bound_variables(num_vars, dc).iter().all(|&b| b)
+}
+
+/// Find one directed cycle in the adjacency list `adj`, returned as a vertex sequence
+/// `v0 → v1 → … → vk → v0` (without repeating `v0` at the end). Returns `None` if the
+/// graph is acyclic.
+fn find_cycle(adj: &[Vec<VarId>]) -> Option<Vec<VarId>> {
+    #[derive(Clone, Copy, PartialEq)]
+    enum Color {
+        White,
+        Gray,
+        Black,
+    }
+    let n = adj.len();
+    let mut color = vec![Color::White; n];
+    let mut parent = vec![usize::MAX; n];
+
+    fn dfs(
+        v: usize,
+        adj: &[Vec<VarId>],
+        color: &mut [Color],
+        parent: &mut [usize],
+    ) -> Option<(usize, usize)> {
+        color[v] = Color::Gray;
+        for &u in &adj[v] {
+            match color[u] {
+                Color::Gray => return Some((v, u)), // back edge v -> u closes a cycle
+                Color::White => {
+                    parent[u] = v;
+                    if let Some(found) = dfs(u, adj, color, parent) {
+                        return Some(found);
+                    }
+                }
+                Color::Black => {}
+            }
+        }
+        color[v] = Color::Black;
+        None
+    }
+
+    for s in 0..n {
+        if color[s] == Color::White {
+            if let Some((v, u)) = dfs(s, adj, &mut color, &mut parent) {
+                // walk back from v to u to recover the cycle u -> ... -> v -> u
+                let mut cycle = vec![v];
+                let mut cur = v;
+                while cur != u {
+                    cur = parent[cur];
+                    cycle.push(cur);
+                }
+                cycle.reverse();
+                return Some(cycle);
+            }
+        }
+    }
+    None
+}
+
+/// Repair `dc` into an acyclic constraint set `DC'` per Proposition 5.2.
+///
+/// The returned set satisfies: (i) any database satisfying `dc` satisfies the result
+/// (every weakened constraint is implied by the original, with the same guard); and
+/// (ii) every variable is still bound, so the worst-case output size remains finite.
+/// Requires the output size under `dc` to be finite in the first place.
+///
+/// The repair is *sound* but not necessarily *bound-optimal*: searching for the
+/// acyclic `DC'` with the smallest worst-case output size (the "best acyclic
+/// constraint set" discussed after Proposition 5.2) requires evaluating the size bound
+/// and is provided by `wcoj-bounds::modular::best_acyclic_repair`.
+pub fn repair_to_acyclic(
+    dc: &ConstraintSet,
+    num_vars: usize,
+) -> Result<ConstraintSet, RepairError> {
+    let bound = bound_variables(num_vars, dc);
+    if let Some(_unbound) = bound.iter().position(|&b| !b) {
+        let unbound: Vec<VarId> = (0..num_vars).filter(|&v| !bound[v]).collect();
+        return Err(RepairError::OutputInfinite { unbound });
+    }
+
+    let mut current: Vec<DegreeConstraint> = dc.constraints().to_vec();
+    loop {
+        let cur_set = ConstraintSet::from_constraints(current.clone());
+        let adj = cur_set.constraint_graph(num_vars);
+        let Some(cycle) = find_cycle(&adj) else {
+            return Ok(cur_set);
+        };
+        // Try every (constraint, y) pair that realizes an edge of the cycle; weaken it
+        // to (X, Y \ {y}) (or drop the constraint if Y \ {y} = X) and keep the change
+        // if all variables remain bound.
+        let mut applied = false;
+        'outer: for k in 0..cycle.len() {
+            let x = cycle[k];
+            let y = cycle[(k + 1) % cycle.len()];
+            for (ci, c) in current.iter().enumerate() {
+                let realizes_edge = c.x.contains(&x) && c.y_minus_x().contains(&y);
+                if !realizes_edge {
+                    continue;
+                }
+                let mut candidate = current.clone();
+                let new_y: Vec<VarId> = c.y.iter().copied().filter(|&v| v != y).collect();
+                if new_y.len() > c.x.len() {
+                    let mut weakened =
+                        DegreeConstraint::new(c.x.clone(), new_y, c.bound);
+                    weakened.guard = c.guard;
+                    candidate[ci] = weakened;
+                } else {
+                    candidate.remove(ci);
+                }
+                let cand_set = ConstraintSet::from_constraints(candidate.clone());
+                if is_output_finite(num_vars, &cand_set) {
+                    current = candidate;
+                    applied = true;
+                    break 'outer;
+                }
+            }
+        }
+        if !applied {
+            return Err(RepairError::Stuck);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::query::examples;
+
+    /// The constraint set of the paper's equation (63): N_A (card), N_{B|A}, N_{C|B},
+    /// N_{AD|C}. The chain A→B→C→{A,D} is cyclic, and removing any constraint makes
+    /// some variable unbound — the example the paper uses to motivate careful repair.
+    fn chain_dc() -> (usize, ConstraintSet) {
+        let q = examples::chain_with_guard();
+        let mut dc = ConstraintSet::new();
+        dc.push_named(&q, &[], &["A"], 100).unwrap();
+        dc.push_named(&q, &["A"], &["B"], 10).unwrap();
+        dc.push_named(&q, &["B"], &["C"], 10).unwrap();
+        dc.push_named(&q, &["C"], &["A", "D"], 10).unwrap();
+        (q.num_vars(), dc)
+    }
+
+    #[test]
+    fn bound_variables_fixpoint() {
+        let (n, dc) = chain_dc();
+        let b = bound_variables(n, &dc);
+        assert!(b.iter().all(|&x| x));
+        assert!(is_output_finite(n, &dc));
+
+        // Without the cardinality constraint on A, nothing is bound.
+        let dc2 = ConstraintSet::from_constraints(dc.constraints()[1..].to_vec());
+        let b2 = bound_variables(n, &dc2);
+        assert!(b2.iter().all(|&x| !x));
+        assert!(!is_output_finite(n, &dc2));
+    }
+
+    #[test]
+    fn find_cycle_smoke() {
+        let adj = vec![vec![1], vec![2], vec![0], vec![]];
+        let cycle = find_cycle(&adj).unwrap();
+        assert_eq!(cycle.len(), 3);
+        // consecutive vertices must be edges, and it must close
+        for k in 0..cycle.len() {
+            let a = cycle[k];
+            let b = cycle[(k + 1) % cycle.len()];
+            assert!(adj[a].contains(&b), "not an edge: {a}->{b}");
+        }
+        assert!(find_cycle(&[vec![1], vec![], vec![1]]).is_none());
+    }
+
+    #[test]
+    fn repair_produces_acyclic_and_finite_set() {
+        let (n, dc) = chain_dc();
+        assert!(!dc.is_acyclic(n));
+        let repaired = repair_to_acyclic(&dc, n).unwrap();
+        assert!(repaired.is_acyclic(n));
+        assert!(is_output_finite(n, &repaired));
+        // weakening never invents new constraints
+        assert!(repaired.len() <= dc.len());
+    }
+
+    #[test]
+    fn repair_of_already_acyclic_set_is_identity() {
+        let q = examples::triangle();
+        let dc = ConstraintSet::all_cardinalities(&q, &[("R", 5), ("S", 5), ("T", 5)]).unwrap();
+        let repaired = repair_to_acyclic(&dc, 3).unwrap();
+        assert_eq!(repaired, dc);
+    }
+
+    #[test]
+    fn repair_rejects_infinite_output() {
+        let q = examples::triangle();
+        // a single degree constraint with no cardinality anywhere: nothing is bound
+        let mut dc = ConstraintSet::new();
+        dc.push_named(&q, &["A"], &["B"], 5).unwrap();
+        let err = repair_to_acyclic(&dc, 3).unwrap_err();
+        match err {
+            RepairError::OutputInfinite { unbound } => {
+                assert_eq!(unbound, vec![0, 1, 2]);
+            }
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn simple_fd_cycles_are_broken() {
+        // Corollary 5.3 setting: cardinalities plus the simple-FD cycle A -> B, B -> A.
+        let q = examples::triangle();
+        let mut dc = ConstraintSet::all_cardinalities(&q, &[("R", 5), ("S", 5), ("T", 5)]).unwrap();
+        dc.push_named(&q, &["A"], &["B"], 1).unwrap();
+        dc.push_named(&q, &["B"], &["A"], 1).unwrap();
+        assert!(!dc.is_acyclic(3));
+        let repaired = repair_to_acyclic(&dc, 3).unwrap();
+        assert!(repaired.is_acyclic(3));
+        // the cardinality constraints must survive untouched
+        assert!(repaired.iter().filter(|c| c.is_cardinality()).count() >= 3);
+    }
+
+    #[test]
+    fn error_display() {
+        let e = RepairError::OutputInfinite { unbound: vec![2] };
+        assert!(e.to_string().contains('2'));
+        assert!(!RepairError::Stuck.to_string().is_empty());
+    }
+}

@@ -1,0 +1,107 @@
+//! String interning: maps external string values to dense [`crate::Value`] codes.
+
+use crate::Value;
+use std::collections::HashMap;
+
+/// A bidirectional string ↔ code dictionary.
+///
+/// Codes are assigned densely in insertion order starting from 0, which keeps the
+/// dictionary-encoded domains small — important because worst-case optimal joins
+/// iterate and intersect sorted code sets.
+#[derive(Debug, Default, Clone)]
+pub struct Dictionary {
+    by_string: HashMap<String, Value>,
+    by_code: Vec<String>,
+}
+
+impl Dictionary {
+    /// Create an empty dictionary.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Intern `s`, returning its code (allocating a new one if unseen).
+    pub fn intern(&mut self, s: &str) -> Value {
+        if let Some(&c) = self.by_string.get(s) {
+            return c;
+        }
+        let code = self.by_code.len() as Value;
+        self.by_code.push(s.to_string());
+        self.by_string.insert(s.to_string(), code);
+        code
+    }
+
+    /// Look up the code of `s` without allocating.
+    pub fn code(&self, s: &str) -> Option<Value> {
+        self.by_string.get(s).copied()
+    }
+
+    /// Look up the string of `code`.
+    pub fn string(&self, code: Value) -> Option<&str> {
+        self.by_code.get(code as usize).map(|s| s.as_str())
+    }
+
+    /// Number of distinct interned strings.
+    pub fn len(&self) -> usize {
+        self.by_code.len()
+    }
+
+    /// Whether the dictionary is empty.
+    pub fn is_empty(&self) -> bool {
+        self.by_code.is_empty()
+    }
+
+    /// Intern a whole tuple of strings.
+    pub fn intern_row(&mut self, row: &[&str]) -> Vec<Value> {
+        row.iter().map(|s| self.intern(s)).collect()
+    }
+
+    /// Decode a tuple of codes back to strings; unknown codes decode to `"?<code>"`.
+    pub fn decode_row(&self, row: &[Value]) -> Vec<String> {
+        row.iter()
+            .map(|&c| {
+                self.string(c)
+                    .map(|s| s.to_string())
+                    .unwrap_or_else(|| format!("?{c}"))
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_idempotent_and_dense() {
+        let mut d = Dictionary::new();
+        let a = d.intern("alice");
+        let b = d.intern("bob");
+        let a2 = d.intern("alice");
+        assert_eq!(a, a2);
+        assert_ne!(a, b);
+        assert_eq!(a, 0);
+        assert_eq!(b, 1);
+        assert_eq!(d.len(), 2);
+        assert!(!d.is_empty());
+    }
+
+    #[test]
+    fn round_trip() {
+        let mut d = Dictionary::new();
+        let codes = d.intern_row(&["x", "y", "x"]);
+        assert_eq!(codes, vec![0, 1, 0]);
+        assert_eq!(d.decode_row(&codes), vec!["x", "y", "x"]);
+        assert_eq!(d.code("y"), Some(1));
+        assert_eq!(d.code("z"), None);
+        assert_eq!(d.string(99), None);
+        assert_eq!(d.decode_row(&[99]), vec!["?99".to_string()]);
+    }
+
+    #[test]
+    fn empty_dictionary() {
+        let d = Dictionary::new();
+        assert!(d.is_empty());
+        assert_eq!(d.len(), 0);
+    }
+}

@@ -1,0 +1,78 @@
+//! Error type for the storage layer.
+
+use std::fmt;
+
+/// Errors produced by relation construction and relational operators.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StorageError {
+    /// An attribute name was not found in the relation's schema.
+    UnknownAttribute(String),
+    /// A tuple's arity did not match the schema arity.
+    ArityMismatch {
+        /// Arity declared by the schema.
+        expected: usize,
+        /// Arity of the offending tuple.
+        found: usize,
+    },
+    /// Two relations that were expected to share a schema (e.g. for union/difference)
+    /// did not.
+    SchemaMismatch {
+        /// Schema of the left operand.
+        left: Vec<String>,
+        /// Schema of the right operand.
+        right: Vec<String>,
+    },
+    /// A join was requested on attributes that do not exist on both sides.
+    NoJoinAttributes,
+    /// An operation required a non-empty attribute list but got an empty one.
+    EmptyAttributeList,
+    /// A duplicate attribute name appeared where attribute names must be unique.
+    DuplicateAttribute(String),
+}
+
+impl fmt::Display for StorageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StorageError::UnknownAttribute(a) => write!(f, "unknown attribute `{a}`"),
+            StorageError::ArityMismatch { expected, found } => {
+                write!(f, "tuple arity {found} does not match schema arity {expected}")
+            }
+            StorageError::SchemaMismatch { left, right } => {
+                write!(f, "schema mismatch: {left:?} vs {right:?}")
+            }
+            StorageError::NoJoinAttributes => write!(f, "relations share no join attributes"),
+            StorageError::EmptyAttributeList => write!(f, "attribute list must be non-empty"),
+            StorageError::DuplicateAttribute(a) => write!(f, "duplicate attribute `{a}`"),
+        }
+    }
+}
+
+impl std::error::Error for StorageError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        assert!(StorageError::UnknownAttribute("X".into())
+            .to_string()
+            .contains("X"));
+        assert!(StorageError::ArityMismatch {
+            expected: 2,
+            found: 3
+        }
+        .to_string()
+        .contains('3'));
+        assert!(StorageError::DuplicateAttribute("A".into())
+            .to_string()
+            .contains('A'));
+        assert!(!StorageError::NoJoinAttributes.to_string().is_empty());
+        assert!(!StorageError::EmptyAttributeList.to_string().is_empty());
+        let e = StorageError::SchemaMismatch {
+            left: vec!["A".into()],
+            right: vec!["B".into()],
+        };
+        assert!(e.to_string().contains('A') && e.to_string().contains('B'));
+    }
+}

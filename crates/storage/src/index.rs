@@ -1,0 +1,170 @@
+//! Prefix hash index: from bound prefixes to the sorted list of next-attribute values.
+//!
+//! This is the access path assumed by Generic Join and by Algorithm 3 of the paper:
+//! for an atom `R_F` and a global variable order, once the variables preceding `A_i`
+//! have been bound to a tuple `t`, the algorithm needs the *sorted set*
+//! `π_{A_i} σ_{prefix = t} R_F` in O(1) lookup time, so that set intersections can be
+//! computed in time proportional to the smallest set.
+
+use crate::error::StorageError;
+use crate::relation::Relation;
+use crate::Value;
+use std::collections::HashMap;
+
+/// A multi-level hash index over a relation reordered by a chosen attribute order.
+///
+/// `levels[k]` maps each length-`k` prefix (over the first `k` attributes of the
+/// order) that occurs in the relation to the sorted distinct values of attribute
+/// `k` extending it.
+#[derive(Debug, Clone)]
+pub struct PrefixIndex {
+    attr_order: Vec<String>,
+    levels: Vec<HashMap<Vec<Value>, Vec<Value>>>,
+    len: usize,
+}
+
+impl PrefixIndex {
+    /// Build the index for `rel` with its attributes reordered to `attr_order`
+    /// (which must be a permutation of the relation's attributes).
+    pub fn build(rel: &Relation, attr_order: &[&str]) -> Result<Self, StorageError> {
+        let reordered = rel.reorder(attr_order)?;
+        let arity = reordered.arity();
+        let mut levels: Vec<HashMap<Vec<Value>, Vec<Value>>> = vec![HashMap::new(); arity];
+        for t in reordered.iter() {
+            for (k, level) in levels.iter_mut().enumerate() {
+                let prefix: Vec<Value> = t[..k].to_vec();
+                let entry = level.entry(prefix).or_default();
+                // tuples are sorted, so values arrive in non-decreasing order per prefix
+                if entry.last() != Some(&t[k]) {
+                    entry.push(t[k]);
+                }
+            }
+        }
+        Ok(PrefixIndex {
+            attr_order: attr_order.iter().map(|s| s.to_string()).collect(),
+            levels,
+            len: rel.len(),
+        })
+    }
+
+    /// The attribute order the index was built over.
+    pub fn attr_order(&self) -> &[String] {
+        &self.attr_order
+    }
+
+    /// Arity of the indexed relation.
+    pub fn arity(&self) -> usize {
+        self.attr_order.len()
+    }
+
+    /// Number of tuples in the indexed relation.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the indexed relation was empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Sorted distinct values of attribute `prefix.len()` (in index order) extending
+    /// `prefix`, or `None` if the prefix does not occur.
+    pub fn values_after(&self, prefix: &[Value]) -> Option<&[Value]> {
+        self.levels
+            .get(prefix.len())
+            .and_then(|lvl| lvl.get(prefix))
+            .map(|v| v.as_slice())
+    }
+
+    /// Number of distinct values extending `prefix` (0 if the prefix does not occur).
+    pub fn count_after(&self, prefix: &[Value]) -> usize {
+        self.values_after(prefix).map_or(0, |v| v.len())
+    }
+
+    /// Whether any tuple extends `prefix`. A full-length prefix is tested for
+    /// membership in the relation.
+    pub fn contains_prefix(&self, prefix: &[Value]) -> bool {
+        if prefix.is_empty() {
+            return self.len > 0;
+        }
+        if prefix.len() == self.arity() {
+            // membership: look up the parent prefix and binary-search the last value
+            return self
+                .values_after(&prefix[..prefix.len() - 1])
+                .map(|vals| vals.binary_search(&prefix[prefix.len() - 1]).is_ok())
+                .unwrap_or(false);
+        }
+        self.values_after(prefix).is_some()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::Schema;
+
+    fn rel() -> Relation {
+        Relation::from_rows(
+            Schema::new(&["A", "B"]),
+            vec![vec![1, 2], vec![1, 3], vec![2, 3], vec![2, 5], vec![4, 1]],
+        )
+    }
+
+    #[test]
+    fn values_after_prefixes() {
+        let idx = PrefixIndex::build(&rel(), &["A", "B"]).unwrap();
+        assert_eq!(idx.values_after(&[]).unwrap(), &[1, 2, 4]);
+        assert_eq!(idx.values_after(&[1]).unwrap(), &[2, 3]);
+        assert_eq!(idx.values_after(&[2]).unwrap(), &[3, 5]);
+        assert_eq!(idx.values_after(&[4]).unwrap(), &[1]);
+        assert!(idx.values_after(&[9]).is_none());
+        assert_eq!(idx.count_after(&[1]), 2);
+        assert_eq!(idx.count_after(&[9]), 0);
+        assert_eq!(idx.len(), 5);
+        assert!(!idx.is_empty());
+        assert_eq!(idx.arity(), 2);
+    }
+
+    #[test]
+    fn reordered_index() {
+        let idx = PrefixIndex::build(&rel(), &["B", "A"]).unwrap();
+        assert_eq!(idx.attr_order(), &["B".to_string(), "A".to_string()]);
+        assert_eq!(idx.values_after(&[]).unwrap(), &[1, 2, 3, 5]);
+        assert_eq!(idx.values_after(&[3]).unwrap(), &[1, 2]);
+    }
+
+    #[test]
+    fn contains_prefix_all_lengths() {
+        let idx = PrefixIndex::build(&rel(), &["A", "B"]).unwrap();
+        assert!(idx.contains_prefix(&[]));
+        assert!(idx.contains_prefix(&[1]));
+        assert!(idx.contains_prefix(&[1, 3]));
+        assert!(!idx.contains_prefix(&[1, 9]));
+        assert!(!idx.contains_prefix(&[9]));
+        let empty = PrefixIndex::build(&Relation::empty(Schema::new(&["A"])), &["A"]).unwrap();
+        assert!(!empty.contains_prefix(&[]));
+        assert!(empty.is_empty());
+    }
+
+    #[test]
+    fn bad_order_rejected() {
+        assert!(PrefixIndex::build(&rel(), &["A"]).is_err());
+        assert!(PrefixIndex::build(&rel(), &["A", "Z"]).is_err());
+    }
+
+    #[test]
+    fn duplicate_heavy_relation() {
+        // many tuples sharing prefixes: distinct next-values must be deduplicated
+        let rows = (0..100).map(|i| vec![i % 5, i % 7]).collect();
+        let r = Relation::from_rows(Schema::new(&["A", "B"]), rows);
+        let idx = PrefixIndex::build(&r, &["A", "B"]).unwrap();
+        assert_eq!(idx.values_after(&[]).unwrap().len(), 5);
+        for a in 0..5 {
+            let vals = idx.values_after(&[a]).unwrap();
+            let mut sorted = vals.to_vec();
+            sorted.sort_unstable();
+            sorted.dedup();
+            assert_eq!(vals, sorted.as_slice());
+        }
+    }
+}

@@ -1,0 +1,64 @@
+//! `wcoj-storage` — the in-memory relational substrate used by every join algorithm in
+//! this workspace.
+//!
+//! The worst-case optimal join algorithms of Ngo (PODS 2018) make exactly one
+//! assumption about the storage layer (Section 2 of the paper): *the intersection of
+//! two sets can be enumerated in time proportional to the smaller set* (up to a log
+//! factor). This crate provides data structures that satisfy that assumption and
+//! expose it explicitly:
+//!
+//! * [`Relation`] — a sorted, deduplicated, row-major relation over dictionary-encoded
+//!   [`Value`]s with the classical unary/binary operators (selection, projection,
+//!   semijoin, union, difference, binary hash join, sort-merge join);
+//! * [`trie::Trie`] — a CSR-flattened prefix trie over a chosen attribute order with a
+//!   seekable cursor, the access path required by Leapfrog Triejoin;
+//! * [`index::PrefixIndex`] — a hash index from bound prefixes to the sorted list of
+//!   next-attribute values, the access path used by Generic Join and by the
+//!   backtracking search of Algorithm 3;
+//! * [`stats::WorkCounter`] — instrumentation counting comparisons, probes, and
+//!   intermediate tuples so that tests and benchmarks can check the *work* bounds the
+//!   paper proves, not just wall-clock time.
+//!
+//! # Quick example
+//!
+//! ```
+//! use wcoj_storage::{Relation, Schema};
+//!
+//! let r = Relation::from_rows(
+//!     Schema::new(&["A", "B"]),
+//!     vec![vec![1, 2], vec![1, 3], vec![2, 3]],
+//! );
+//! assert_eq!(r.len(), 3);
+//! let s = r.select_eq("A", 1).unwrap();
+//! assert_eq!(s.len(), 2);
+//! let p = r.project(&["B"]).unwrap();
+//! assert_eq!(p.len(), 2); // {2, 3}
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod dictionary;
+pub mod error;
+pub mod index;
+pub mod ops;
+pub mod relation;
+pub mod schema;
+pub mod stats;
+pub mod trie;
+
+pub use dictionary::Dictionary;
+pub use error::StorageError;
+pub use index::PrefixIndex;
+pub use ops::{hash_join, intersect_sorted, merge_join, nested_loop_join};
+pub use relation::{Relation, Tuple};
+pub use schema::Schema;
+pub use stats::WorkCounter;
+pub use trie::{Trie, TrieCursor};
+
+/// A dictionary-encoded attribute value.
+///
+/// All algorithms in the workspace operate on `u64` values; strings and other external
+/// types are interned through [`Dictionary`]. This mirrors how production WCOJ engines
+/// (LogicBlox, EmptyHeaded, Umbra) execute joins over dense dictionary codes.
+pub type Value = u64;

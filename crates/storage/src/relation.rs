@@ -1,0 +1,498 @@
+//! Sorted, deduplicated, row-major relations.
+
+use crate::error::StorageError;
+use crate::schema::Schema;
+use crate::Value;
+
+/// A tuple is a row of dictionary-encoded values, one per schema attribute.
+pub type Tuple = Vec<Value>;
+
+/// An in-memory relation: a [`Schema`] plus a lexicographically sorted, deduplicated
+/// set of tuples.
+///
+/// Keeping tuples sorted gives us set semantics, O(log n) membership and prefix range
+/// lookups, and makes building tries ([`crate::Trie`]) and prefix indexes
+/// ([`crate::PrefixIndex`]) a single linear pass.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Relation {
+    schema: Schema,
+    tuples: Vec<Tuple>,
+}
+
+impl Relation {
+    /// An empty relation with the given schema.
+    pub fn empty(schema: Schema) -> Self {
+        Relation {
+            schema,
+            tuples: Vec::new(),
+        }
+    }
+
+    /// Build a relation from rows, sorting and deduplicating. Panics if any row's
+    /// arity does not match the schema; use [`Relation::try_from_rows`] for a fallible
+    /// version.
+    pub fn from_rows(schema: Schema, rows: Vec<Tuple>) -> Self {
+        Self::try_from_rows(schema, rows).expect("row arity must match schema arity")
+    }
+
+    /// Build a relation from rows, sorting and deduplicating.
+    pub fn try_from_rows(schema: Schema, rows: Vec<Tuple>) -> Result<Self, StorageError> {
+        for row in &rows {
+            if row.len() != schema.arity() {
+                return Err(StorageError::ArityMismatch {
+                    expected: schema.arity(),
+                    found: row.len(),
+                });
+            }
+        }
+        let mut tuples = rows;
+        tuples.sort_unstable();
+        tuples.dedup();
+        Ok(Relation { schema, tuples })
+    }
+
+    /// Build a binary relation over attributes `(a, b)` from `(Value, Value)` pairs —
+    /// the common case of edge relations in graph workloads.
+    pub fn from_pairs(a: &str, b: &str, pairs: impl IntoIterator<Item = (Value, Value)>) -> Self {
+        let rows: Vec<Tuple> = pairs.into_iter().map(|(x, y)| vec![x, y]).collect();
+        Self::from_rows(Schema::new(&[a, b]), rows)
+    }
+
+    /// The schema of this relation.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Number of tuples.
+    pub fn len(&self) -> usize {
+        self.tuples.len()
+    }
+
+    /// Whether the relation has no tuples.
+    pub fn is_empty(&self) -> bool {
+        self.tuples.is_empty()
+    }
+
+    /// Arity (number of attributes).
+    pub fn arity(&self) -> usize {
+        self.schema.arity()
+    }
+
+    /// The sorted tuples.
+    pub fn tuples(&self) -> &[Tuple] {
+        &self.tuples
+    }
+
+    /// Iterator over the sorted tuples.
+    pub fn iter(&self) -> impl Iterator<Item = &Tuple> {
+        self.tuples.iter()
+    }
+
+    /// Insert a single tuple, keeping the relation sorted. O(n) worst case; intended
+    /// for small incremental updates — bulk loads should use [`Relation::from_rows`].
+    pub fn insert(&mut self, tuple: Tuple) -> Result<bool, StorageError> {
+        if tuple.len() != self.schema.arity() {
+            return Err(StorageError::ArityMismatch {
+                expected: self.schema.arity(),
+                found: tuple.len(),
+            });
+        }
+        match self.tuples.binary_search(&tuple) {
+            Ok(_) => Ok(false),
+            Err(pos) => {
+                self.tuples.insert(pos, tuple);
+                Ok(true)
+            }
+        }
+    }
+
+    /// Membership test (binary search).
+    pub fn contains(&self, tuple: &[Value]) -> bool {
+        self.tuples
+            .binary_search_by(|t| t.as_slice().cmp(tuple))
+            .is_ok()
+    }
+
+    /// The contiguous range of tuples whose first `prefix.len()` values equal `prefix`.
+    ///
+    /// This is the primitive behind `σ_{A_S = a_S}` selections on the leading
+    /// attributes and behind trie construction; it runs in O(log n) time.
+    pub fn prefix_range(&self, prefix: &[Value]) -> &[Tuple] {
+        let lo = self.tuples.partition_point(|t| t[..prefix.len()] < *prefix);
+        let hi = self.tuples.partition_point(|t| t[..prefix.len()] <= *prefix);
+        &self.tuples[lo..hi]
+    }
+
+    /// Sorted distinct values of attribute `attr`.
+    pub fn distinct_values(&self, attr: &str) -> Result<Vec<Value>, StorageError> {
+        let pos = self.schema.require(attr)?;
+        let mut vals: Vec<Value> = self.tuples.iter().map(|t| t[pos]).collect();
+        vals.sort_unstable();
+        vals.dedup();
+        Ok(vals)
+    }
+
+    /// Selection `σ_{attr = value}`.
+    pub fn select_eq(&self, attr: &str, value: Value) -> Result<Relation, StorageError> {
+        let pos = self.schema.require(attr)?;
+        let rows: Vec<Tuple> = self
+            .tuples
+            .iter()
+            .filter(|t| t[pos] == value)
+            .cloned()
+            .collect();
+        Ok(Relation {
+            schema: self.schema.clone(),
+            tuples: rows, // still sorted: filtering preserves order
+        })
+    }
+
+    /// Selection by an arbitrary predicate over whole tuples.
+    pub fn select_where<F: Fn(&[Value]) -> bool>(&self, pred: F) -> Relation {
+        Relation {
+            schema: self.schema.clone(),
+            tuples: self.tuples.iter().filter(|t| pred(t)).cloned().collect(),
+        }
+    }
+
+    /// Projection `π_{attrs}` (deduplicating).
+    pub fn project(&self, attrs: &[&str]) -> Result<Relation, StorageError> {
+        let schema = self.schema.project(attrs)?;
+        let positions = self.schema.positions(attrs)?;
+        let rows: Vec<Tuple> = self
+            .tuples
+            .iter()
+            .map(|t| positions.iter().map(|&p| t[p]).collect())
+            .collect();
+        Relation::try_from_rows(schema, rows)
+    }
+
+    /// Rename the attributes (positionally). The new schema must have the same arity.
+    pub fn rename(&self, new_attrs: &[&str]) -> Result<Relation, StorageError> {
+        let schema = Schema::try_new(new_attrs.iter().map(|s| s.to_string()).collect())?;
+        if schema.arity() != self.schema.arity() {
+            return Err(StorageError::ArityMismatch {
+                expected: self.schema.arity(),
+                found: schema.arity(),
+            });
+        }
+        Ok(Relation {
+            schema,
+            tuples: self.tuples.clone(),
+        })
+    }
+
+    /// Reorder columns to the order given by `attrs` (which must be a permutation of
+    /// the schema) — used to build tries over a global variable order.
+    pub fn reorder(&self, attrs: &[&str]) -> Result<Relation, StorageError> {
+        if attrs.len() != self.schema.arity() {
+            return Err(StorageError::ArityMismatch {
+                expected: self.schema.arity(),
+                found: attrs.len(),
+            });
+        }
+        self.project(attrs)
+    }
+
+    /// Set union (schemas must match exactly).
+    pub fn union(&self, other: &Relation) -> Result<Relation, StorageError> {
+        self.check_same_schema(other)?;
+        let mut rows = self.tuples.clone();
+        rows.extend(other.tuples.iter().cloned());
+        Relation::try_from_rows(self.schema.clone(), rows)
+    }
+
+    /// Set difference `self \ other` (schemas must match exactly).
+    pub fn difference(&self, other: &Relation) -> Result<Relation, StorageError> {
+        self.check_same_schema(other)?;
+        let rows: Vec<Tuple> = self
+            .tuples
+            .iter()
+            .filter(|t| !other.contains(t))
+            .cloned()
+            .collect();
+        Ok(Relation {
+            schema: self.schema.clone(),
+            tuples: rows,
+        })
+    }
+
+    /// Set intersection (schemas must match exactly).
+    pub fn intersect(&self, other: &Relation) -> Result<Relation, StorageError> {
+        self.check_same_schema(other)?;
+        let (small, large) = if self.len() <= other.len() {
+            (self, other)
+        } else {
+            (other, self)
+        };
+        let rows: Vec<Tuple> = small
+            .tuples
+            .iter()
+            .filter(|t| large.contains(t))
+            .cloned()
+            .collect();
+        Ok(Relation {
+            schema: self.schema.clone(),
+            tuples: rows,
+        })
+    }
+
+    /// Semijoin `self ⋉ other`: keep the tuples of `self` whose projection onto the
+    /// shared attributes appears in `other`.
+    pub fn semijoin(&self, other: &Relation) -> Result<Relation, StorageError> {
+        let common = self.schema.common_attrs(other.schema());
+        if common.is_empty() {
+            return Err(StorageError::NoJoinAttributes);
+        }
+        let common_refs: Vec<&str> = common.iter().map(|s| s.as_str()).collect();
+        let my_pos = self.schema.positions(&common_refs)?;
+        let other_proj = other.project(&common_refs)?;
+        let rows: Vec<Tuple> = self
+            .tuples
+            .iter()
+            .filter(|t| {
+                let key: Vec<Value> = my_pos.iter().map(|&p| t[p]).collect();
+                other_proj.contains(&key)
+            })
+            .cloned()
+            .collect();
+        Ok(Relation {
+            schema: self.schema.clone(),
+            tuples: rows,
+        })
+    }
+
+    /// Antijoin `self ▷ other`: keep the tuples of `self` whose projection onto the
+    /// shared attributes does *not* appear in `other`.
+    pub fn antijoin(&self, other: &Relation) -> Result<Relation, StorageError> {
+        let keep = self.semijoin(other)?;
+        self.difference(&keep)
+    }
+
+    /// Maximum degree `deg(A_Y | A_X)` of Definition 1 in the paper: the maximum over
+    /// bindings `t` of the `X` attributes of the number of distinct `Y`-projections of
+    /// tuples matching `t`. With `x_attrs` empty this is simply the number of distinct
+    /// `Y`-projections (a cardinality).
+    pub fn max_degree(&self, x_attrs: &[&str], y_attrs: &[&str]) -> Result<u64, StorageError> {
+        let y_pos = self.schema.positions(y_attrs)?;
+        if x_attrs.is_empty() {
+            let mut ys: Vec<Vec<Value>> = self
+                .tuples
+                .iter()
+                .map(|t| y_pos.iter().map(|&p| t[p]).collect())
+                .collect();
+            ys.sort_unstable();
+            ys.dedup();
+            return Ok(ys.len() as u64);
+        }
+        let x_pos = self.schema.positions(x_attrs)?;
+        use std::collections::HashMap;
+        let mut groups: HashMap<Vec<Value>, Vec<Vec<Value>>> = HashMap::new();
+        for t in &self.tuples {
+            let x: Vec<Value> = x_pos.iter().map(|&p| t[p]).collect();
+            let y: Vec<Value> = y_pos.iter().map(|&p| t[p]).collect();
+            groups.entry(x).or_default().push(y);
+        }
+        let mut max = 0u64;
+        for (_, mut ys) in groups {
+            ys.sort_unstable();
+            ys.dedup();
+            max = max.max(ys.len() as u64);
+        }
+        Ok(max)
+    }
+
+    /// Whether the functional dependency `X → Y` holds in this relation (every binding
+    /// of the `X` attributes determines at most one binding of the `Y` attributes).
+    pub fn fd_holds(&self, x_attrs: &[&str], y_attrs: &[&str]) -> Result<bool, StorageError> {
+        Ok(self.max_degree(x_attrs, y_attrs)? <= 1)
+    }
+
+    fn check_same_schema(&self, other: &Relation) -> Result<(), StorageError> {
+        if self.schema != other.schema {
+            return Err(StorageError::SchemaMismatch {
+                left: self.schema.attrs().to_vec(),
+                right: other.schema.attrs().to_vec(),
+            });
+        }
+        Ok(())
+    }
+}
+
+impl std::fmt::Display for Relation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "{} [{} tuples]", self.schema, self.len())?;
+        for t in self.tuples.iter().take(20) {
+            writeln!(f, "  {t:?}")?;
+        }
+        if self.len() > 20 {
+            writeln!(f, "  ... ({} more)", self.len() - 20)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r_ab() -> Relation {
+        Relation::from_rows(
+            Schema::new(&["A", "B"]),
+            vec![vec![1, 2], vec![1, 3], vec![2, 3], vec![1, 2]],
+        )
+    }
+
+    #[test]
+    fn from_rows_sorts_and_dedups() {
+        let r = r_ab();
+        assert_eq!(r.len(), 3);
+        assert_eq!(r.tuples(), &[vec![1, 2], vec![1, 3], vec![2, 3]]);
+        assert_eq!(r.arity(), 2);
+        assert!(!r.is_empty());
+    }
+
+    #[test]
+    fn arity_mismatch_rejected() {
+        let err = Relation::try_from_rows(Schema::new(&["A", "B"]), vec![vec![1]]).unwrap_err();
+        assert_eq!(
+            err,
+            StorageError::ArityMismatch {
+                expected: 2,
+                found: 1
+            }
+        );
+    }
+
+    #[test]
+    fn from_pairs_builds_edge_relation() {
+        let r = Relation::from_pairs("A", "B", vec![(3, 4), (1, 2), (3, 4)]);
+        assert_eq!(r.len(), 2);
+        assert_eq!(r.schema().attrs(), &["A".to_string(), "B".to_string()]);
+    }
+
+    #[test]
+    fn insert_keeps_sorted_and_reports_novelty() {
+        let mut r = Relation::empty(Schema::new(&["A"]));
+        assert!(r.insert(vec![5]).unwrap());
+        assert!(r.insert(vec![1]).unwrap());
+        assert!(!r.insert(vec![5]).unwrap());
+        assert_eq!(r.tuples(), &[vec![1], vec![5]]);
+        assert!(r.insert(vec![1, 2]).is_err());
+    }
+
+    #[test]
+    fn contains_and_prefix_range() {
+        let r = r_ab();
+        assert!(r.contains(&[1, 3]));
+        assert!(!r.contains(&[3, 1]));
+        assert_eq!(r.prefix_range(&[1]), &[vec![1, 2], vec![1, 3]]);
+        assert_eq!(r.prefix_range(&[2]), &[vec![2, 3]]);
+        assert!(r.prefix_range(&[9]).is_empty());
+        assert_eq!(r.prefix_range(&[]).len(), 3);
+    }
+
+    #[test]
+    fn distinct_values_sorted() {
+        let r = r_ab();
+        assert_eq!(r.distinct_values("A").unwrap(), vec![1, 2]);
+        assert_eq!(r.distinct_values("B").unwrap(), vec![2, 3]);
+        assert!(r.distinct_values("Z").is_err());
+    }
+
+    #[test]
+    fn select_eq_and_where() {
+        let r = r_ab();
+        let s = r.select_eq("A", 1).unwrap();
+        assert_eq!(s.len(), 2);
+        let w = r.select_where(|t| t[0] + t[1] == 5);
+        assert_eq!(w.len(), 1); // only (2,3) sums to 5
+        assert_eq!(w.tuples(), &[vec![2, 3]]);
+    }
+
+    #[test]
+    fn project_dedups() {
+        let r = r_ab();
+        let p = r.project(&["A"]).unwrap();
+        assert_eq!(p.tuples(), &[vec![1], vec![2]]);
+        let p2 = r.project(&["B", "A"]).unwrap();
+        assert_eq!(p2.schema().attrs(), &["B".to_string(), "A".to_string()]);
+        assert!(p2.contains(&[2, 1]));
+    }
+
+    #[test]
+    fn rename_and_reorder() {
+        let r = r_ab();
+        let rn = r.rename(&["X", "Y"]).unwrap();
+        assert_eq!(rn.schema().attrs(), &["X".to_string(), "Y".to_string()]);
+        assert_eq!(rn.len(), r.len());
+        assert!(r.rename(&["X"]).is_err());
+        let ro = r.reorder(&["B", "A"]).unwrap();
+        assert!(ro.contains(&[2, 1]));
+        assert!(r.reorder(&["A"]).is_err());
+    }
+
+    #[test]
+    fn union_difference_intersect() {
+        let r = r_ab();
+        let s = Relation::from_rows(Schema::new(&["A", "B"]), vec![vec![1, 2], vec![9, 9]]);
+        let u = r.union(&s).unwrap();
+        assert_eq!(u.len(), 4);
+        let d = r.difference(&s).unwrap();
+        assert_eq!(d.len(), 2);
+        assert!(!d.contains(&[1, 2]));
+        let i = r.intersect(&s).unwrap();
+        assert_eq!(i.tuples(), &[vec![1, 2]]);
+        let bad = Relation::empty(Schema::new(&["X"]));
+        assert!(r.union(&bad).is_err());
+        assert!(r.difference(&bad).is_err());
+        assert!(r.intersect(&bad).is_err());
+    }
+
+    #[test]
+    fn semijoin_and_antijoin() {
+        let r = r_ab();
+        let s = Relation::from_rows(Schema::new(&["B", "C"]), vec![vec![3, 7]]);
+        let sj = r.semijoin(&s).unwrap();
+        assert_eq!(sj.tuples(), &[vec![1, 3], vec![2, 3]]);
+        let aj = r.antijoin(&s).unwrap();
+        assert_eq!(aj.tuples(), &[vec![1, 2]]);
+        let disjoint = Relation::empty(Schema::new(&["Z"]));
+        assert_eq!(
+            r.semijoin(&disjoint).unwrap_err(),
+            StorageError::NoJoinAttributes
+        );
+    }
+
+    #[test]
+    fn degrees_and_fds() {
+        // A=1 has B in {2,3}; A=2 has B in {3}
+        let r = r_ab();
+        assert_eq!(r.max_degree(&["A"], &["B"]).unwrap(), 2);
+        assert_eq!(r.max_degree(&["B"], &["A"]).unwrap(), 2);
+        assert_eq!(r.max_degree(&[], &["A"]).unwrap(), 2);
+        assert_eq!(r.max_degree(&[], &["A", "B"]).unwrap(), 3);
+        assert!(!r.fd_holds(&["A"], &["B"]).unwrap());
+        let key = Relation::from_rows(Schema::new(&["K", "V"]), vec![vec![1, 10], vec![2, 20]]);
+        assert!(key.fd_holds(&["K"], &["V"]).unwrap());
+    }
+
+    #[test]
+    fn display_truncates() {
+        let rows: Vec<Tuple> = (0..30).map(|i| vec![i]).collect();
+        let r = Relation::from_rows(Schema::new(&["A"]), rows);
+        let s = format!("{r}");
+        assert!(s.contains("30 tuples"));
+        assert!(s.contains("more"));
+    }
+
+    #[test]
+    fn empty_relation_behaves() {
+        let r = Relation::empty(Schema::new(&["A", "B"]));
+        assert!(r.is_empty());
+        assert_eq!(r.distinct_values("A").unwrap(), Vec::<Value>::new());
+        assert_eq!(r.max_degree(&["A"], &["B"]).unwrap(), 0);
+        assert!(r.fd_holds(&["A"], &["B"]).unwrap());
+        assert_eq!(r.prefix_range(&[1]).len(), 0);
+    }
+}

@@ -1,0 +1,180 @@
+//! Relation schemas: ordered lists of attribute names.
+
+use crate::error::StorageError;
+
+/// The schema of a relation: an ordered list of distinct attribute names.
+///
+/// Attribute names double as query variables when relations are used as atoms of a
+/// conjunctive query; `wcoj-query` maps them onto variable ids.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Schema {
+    attrs: Vec<String>,
+}
+
+impl Schema {
+    /// Create a schema from attribute names. Panics on duplicates (use
+    /// [`Schema::try_new`] for a fallible version).
+    pub fn new(attrs: &[&str]) -> Self {
+        Self::try_new(attrs.iter().map(|s| s.to_string()).collect()).expect("duplicate attribute")
+    }
+
+    /// Create a schema from owned attribute names, checking for duplicates.
+    pub fn try_new(attrs: Vec<String>) -> Result<Self, StorageError> {
+        for (i, a) in attrs.iter().enumerate() {
+            if attrs[..i].contains(a) {
+                return Err(StorageError::DuplicateAttribute(a.clone()));
+            }
+        }
+        Ok(Schema { attrs })
+    }
+
+    /// Number of attributes (the arity of relations with this schema).
+    pub fn arity(&self) -> usize {
+        self.attrs.len()
+    }
+
+    /// The attribute names in order.
+    pub fn attrs(&self) -> &[String] {
+        &self.attrs
+    }
+
+    /// Position of attribute `name`, if present.
+    pub fn position(&self, name: &str) -> Option<usize> {
+        self.attrs.iter().position(|a| a == name)
+    }
+
+    /// Position of attribute `name`, or an error naming the missing attribute.
+    pub fn require(&self, name: &str) -> Result<usize, StorageError> {
+        self.position(name)
+            .ok_or_else(|| StorageError::UnknownAttribute(name.to_string()))
+    }
+
+    /// Whether the schema contains attribute `name`.
+    pub fn contains(&self, name: &str) -> bool {
+        self.position(name).is_some()
+    }
+
+    /// Positions of each of `names`, in the given order.
+    pub fn positions(&self, names: &[&str]) -> Result<Vec<usize>, StorageError> {
+        names.iter().map(|n| self.require(n)).collect()
+    }
+
+    /// Attributes shared with `other`, in this schema's order.
+    pub fn common_attrs(&self, other: &Schema) -> Vec<String> {
+        self.attrs
+            .iter()
+            .filter(|a| other.contains(a))
+            .cloned()
+            .collect()
+    }
+
+    /// Attributes of this schema not present in `other`, in this schema's order.
+    pub fn attrs_not_in(&self, other: &Schema) -> Vec<String> {
+        self.attrs
+            .iter()
+            .filter(|a| !other.contains(a))
+            .cloned()
+            .collect()
+    }
+
+    /// Schema of the natural join of `self` and `other`: this schema's attributes
+    /// followed by `other`'s attributes that are not shared.
+    pub fn join_schema(&self, other: &Schema) -> Schema {
+        let mut attrs = self.attrs.clone();
+        attrs.extend(other.attrs_not_in(self));
+        Schema { attrs }
+    }
+
+    /// Schema restricted to `names` (in the order of `names`).
+    pub fn project(&self, names: &[&str]) -> Result<Schema, StorageError> {
+        if names.is_empty() {
+            return Err(StorageError::EmptyAttributeList);
+        }
+        let mut attrs = Vec::with_capacity(names.len());
+        for n in names {
+            self.require(n)?;
+            if attrs.contains(&n.to_string()) {
+                return Err(StorageError::DuplicateAttribute(n.to_string()));
+            }
+            attrs.push(n.to_string());
+        }
+        Ok(Schema { attrs })
+    }
+}
+
+impl std::fmt::Display for Schema {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "({})", self.attrs.join(", "))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_positions() {
+        let s = Schema::new(&["A", "B", "C"]);
+        assert_eq!(s.arity(), 3);
+        assert_eq!(s.position("B"), Some(1));
+        assert_eq!(s.position("Z"), None);
+        assert!(s.contains("C"));
+        assert_eq!(s.require("A").unwrap(), 0);
+        assert_eq!(
+            s.require("Z").unwrap_err(),
+            StorageError::UnknownAttribute("Z".to_string())
+        );
+        assert_eq!(s.positions(&["C", "A"]).unwrap(), vec![2, 0]);
+    }
+
+    #[test]
+    fn duplicates_rejected() {
+        assert_eq!(
+            Schema::try_new(vec!["A".into(), "A".into()]).unwrap_err(),
+            StorageError::DuplicateAttribute("A".to_string())
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate attribute")]
+    fn new_panics_on_duplicates() {
+        let _ = Schema::new(&["A", "A"]);
+    }
+
+    #[test]
+    fn common_and_difference() {
+        let r = Schema::new(&["A", "B"]);
+        let s = Schema::new(&["B", "C"]);
+        assert_eq!(r.common_attrs(&s), vec!["B".to_string()]);
+        assert_eq!(r.attrs_not_in(&s), vec!["A".to_string()]);
+        assert_eq!(
+            r.join_schema(&s).attrs(),
+            &["A".to_string(), "B".to_string(), "C".to_string()]
+        );
+    }
+
+    #[test]
+    fn projection_schema() {
+        let s = Schema::new(&["A", "B", "C"]);
+        let p = s.project(&["C", "A"]).unwrap();
+        assert_eq!(p.attrs(), &["C".to_string(), "A".to_string()]);
+        assert_eq!(
+            s.project(&[]).unwrap_err(),
+            StorageError::EmptyAttributeList
+        );
+        assert_eq!(
+            s.project(&["A", "A"]).unwrap_err(),
+            StorageError::DuplicateAttribute("A".to_string())
+        );
+        assert!(matches!(
+            s.project(&["D"]).unwrap_err(),
+            StorageError::UnknownAttribute(_)
+        ));
+    }
+
+    #[test]
+    fn display() {
+        let s = Schema::new(&["A", "B"]);
+        assert_eq!(s.to_string(), "(A, B)");
+    }
+}

@@ -1,0 +1,170 @@
+//! Work counters.
+//!
+//! The theorems of the paper bound *work* — the number of elementary operations such
+//! as set-intersection steps, index probes, and intermediate tuples materialized — not
+//! wall-clock time. Every engine in `wcoj-core` threads a [`WorkCounter`] through its
+//! execution so tests and benchmarks can verify the analyses directly (e.g. Theorem
+//! 5.1's `O(n · |DC| · log|D| · (|D| + 2^bound))` or the `Õ(N + √(|R||S||T|))` claim
+//! for the triangle algorithms of Section 2).
+
+use std::cell::Cell;
+
+/// Counters of elementary work performed by an operator or a whole query plan.
+///
+/// Uses interior mutability (`Cell`) so that read-only operator code can record work
+/// without plumbing `&mut` everywhere.
+#[derive(Debug, Default)]
+pub struct WorkCounter {
+    intersect_steps: Cell<u64>,
+    probes: Cell<u64>,
+    intermediate_tuples: Cell<u64>,
+    output_tuples: Cell<u64>,
+    comparisons: Cell<u64>,
+}
+
+impl Clone for WorkCounter {
+    fn clone(&self) -> Self {
+        WorkCounter {
+            intersect_steps: Cell::new(self.intersect_steps.get()),
+            probes: Cell::new(self.probes.get()),
+            intermediate_tuples: Cell::new(self.intermediate_tuples.get()),
+            output_tuples: Cell::new(self.output_tuples.get()),
+            comparisons: Cell::new(self.comparisons.get()),
+        }
+    }
+}
+
+impl WorkCounter {
+    /// A fresh counter with all tallies at zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record `n` steps of set-intersection work (iterations of the smaller set,
+    /// leapfrog seeks, galloping probes, ...).
+    pub fn add_intersect_steps(&self, n: u64) {
+        self.intersect_steps.set(self.intersect_steps.get() + n);
+    }
+
+    /// Record `n` index probes (hash lookups or binary searches).
+    pub fn add_probes(&self, n: u64) {
+        self.probes.set(self.probes.get() + n);
+    }
+
+    /// Record `n` intermediate tuples materialized by a plan (the quantity that blows
+    /// up for one-pair-at-a-time plans on skewed inputs).
+    pub fn add_intermediate(&self, n: u64) {
+        self.intermediate_tuples
+            .set(self.intermediate_tuples.get() + n);
+    }
+
+    /// Record `n` output tuples emitted.
+    pub fn add_output(&self, n: u64) {
+        self.output_tuples.set(self.output_tuples.get() + n);
+    }
+
+    /// Record `n` element comparisons (sort-merge, galloping search, ...).
+    pub fn add_comparisons(&self, n: u64) {
+        self.comparisons.set(self.comparisons.get() + n);
+    }
+
+    /// Total set-intersection steps recorded.
+    pub fn intersect_steps(&self) -> u64 {
+        self.intersect_steps.get()
+    }
+
+    /// Total index probes recorded.
+    pub fn probes(&self) -> u64 {
+        self.probes.get()
+    }
+
+    /// Total intermediate tuples recorded.
+    pub fn intermediate_tuples(&self) -> u64 {
+        self.intermediate_tuples.get()
+    }
+
+    /// Total output tuples recorded.
+    pub fn output_tuples(&self) -> u64 {
+        self.output_tuples.get()
+    }
+
+    /// Total comparisons recorded.
+    pub fn comparisons(&self) -> u64 {
+        self.comparisons.get()
+    }
+
+    /// Grand total of all recorded work, used as the "total work" measure in
+    /// experiments comparing engines.
+    pub fn total_work(&self) -> u64 {
+        self.intersect_steps.get()
+            + self.probes.get()
+            + self.intermediate_tuples.get()
+            + self.output_tuples.get()
+            + self.comparisons.get()
+    }
+
+    /// Reset every tally to zero.
+    pub fn reset(&self) {
+        self.intersect_steps.set(0);
+        self.probes.set(0);
+        self.intermediate_tuples.set(0);
+        self.output_tuples.set(0);
+        self.comparisons.set(0);
+    }
+
+    /// Merge the tallies of `other` into `self`.
+    pub fn merge(&self, other: &WorkCounter) {
+        self.add_intersect_steps(other.intersect_steps());
+        self.add_probes(other.probes());
+        self.add_intermediate(other.intermediate_tuples());
+        self.add_output(other.output_tuples());
+        self.add_comparisons(other.comparisons());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_reset() {
+        let w = WorkCounter::new();
+        w.add_intersect_steps(3);
+        w.add_probes(2);
+        w.add_intermediate(5);
+        w.add_output(1);
+        w.add_comparisons(4);
+        assert_eq!(w.intersect_steps(), 3);
+        assert_eq!(w.probes(), 2);
+        assert_eq!(w.intermediate_tuples(), 5);
+        assert_eq!(w.output_tuples(), 1);
+        assert_eq!(w.comparisons(), 4);
+        assert_eq!(w.total_work(), 15);
+        w.reset();
+        assert_eq!(w.total_work(), 0);
+    }
+
+    #[test]
+    fn merge_adds_tallies() {
+        let a = WorkCounter::new();
+        let b = WorkCounter::new();
+        a.add_probes(2);
+        b.add_probes(3);
+        b.add_output(7);
+        a.merge(&b);
+        assert_eq!(a.probes(), 5);
+        assert_eq!(a.output_tuples(), 7);
+        // merging does not mutate the source
+        assert_eq!(b.probes(), 3);
+    }
+
+    #[test]
+    fn clone_snapshots_current_state() {
+        let a = WorkCounter::new();
+        a.add_comparisons(9);
+        let c = a.clone();
+        a.add_comparisons(1);
+        assert_eq!(c.comparisons(), 9);
+        assert_eq!(a.comparisons(), 10);
+    }
+}

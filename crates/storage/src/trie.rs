@@ -1,0 +1,474 @@
+//! CSR-flattened prefix tries with seekable cursors — the access path required by
+//! Leapfrog Triejoin (Veldhuizen 2014), the WCOJ algorithm that inspired Generic Join
+//! in the paper's historical account (Section 1.2).
+//!
+//! A [`Trie`] stores a relation's tuples, reordered by a chosen attribute order, as
+//! one sorted value array per level plus child-range offsets. A [`TrieCursor`]
+//! implements the linear-iterator interface Leapfrog needs: `open`, `up`, `next`,
+//! `seek` (least upper bound within the current sibling group), `key`, `at_end`.
+//! `seek` uses galloping (exponential then binary) search so that a full leapfrog
+//! intersection of `k` sorted sets costs `O(k · min_size · log(max/min))`.
+
+use crate::error::StorageError;
+use crate::relation::Relation;
+use crate::stats::WorkCounter;
+use crate::Value;
+
+/// One level of the trie: all node values at this depth (grouped by parent, each group
+/// sorted), plus the start offset of each node's children in the next level.
+#[derive(Debug, Clone)]
+struct TrieLevel {
+    /// Node values at this depth, concatenated parent group by parent group.
+    values: Vec<Value>,
+    /// `child_start[i]..child_start[i+1]` is the range of node `i`'s children in the
+    /// next level's `values`. Present for every level; for the last level all ranges
+    /// are empty.
+    child_start: Vec<usize>,
+}
+
+/// A prefix trie over a relation in a fixed attribute order.
+#[derive(Debug, Clone)]
+pub struct Trie {
+    attr_order: Vec<String>,
+    levels: Vec<TrieLevel>,
+    num_tuples: usize,
+}
+
+impl Trie {
+    /// Build a trie for `rel` with attributes reordered to `attr_order` (a permutation
+    /// of the relation's attributes).
+    pub fn build(rel: &Relation, attr_order: &[&str]) -> Result<Self, StorageError> {
+        let reordered = rel.reorder(attr_order)?;
+        let arity = reordered.arity();
+        let tuples = reordered.tuples();
+
+        let mut levels: Vec<TrieLevel> = Vec::with_capacity(arity);
+        // group_bounds[g] = (start, end) range of tuples forming sibling group g at the
+        // current level; at level 0 there is a single group spanning all tuples.
+        let mut group_bounds: Vec<(usize, usize)> = vec![(0, tuples.len())];
+
+        for depth in 0..arity {
+            let mut values = Vec::new();
+            let mut next_groups = Vec::new();
+            for &(start, end) in &group_bounds {
+                let mut i = start;
+                while i < end {
+                    let v = tuples[i][depth];
+                    let mut j = i + 1;
+                    while j < end && tuples[j][depth] == v {
+                        j += 1;
+                    }
+                    values.push(v);
+                    next_groups.push((i, j));
+                    i = j;
+                }
+            }
+            // child_start for this level is derived from next_groups sizes once we know
+            // how many distinct children each node has at depth+1 — we fill it in the
+            // next iteration. Store the tuple ranges for now and convert below.
+            levels.push(TrieLevel {
+                values,
+                child_start: Vec::new(),
+            });
+            group_bounds = next_groups;
+            // After the last level the per-node tuple ranges are singleton leaves.
+            if depth + 1 == arity {
+                let n = levels[depth].values.len();
+                levels[depth].child_start = vec![0; n + 1];
+            }
+        }
+
+        // Second pass: compute child_start offsets. Node i at level d has as children
+        // the distinct values at level d+1 whose parent group is i; since both levels
+        // were produced by the same in-order traversal, children appear consecutively.
+        for depth in 0..arity.saturating_sub(1) {
+            let parent_count = levels[depth].values.len();
+            let mut child_start = Vec::with_capacity(parent_count + 1);
+            child_start.push(0usize);
+            // Recompute grouping: walk the reordered tuples once per level pair.
+            // Children of parent node i are the distinct (depth+1)-values within the
+            // parent's tuple range. We re-derive the ranges the same way as above.
+            // To avoid storing ranges across passes, rebuild them here.
+            let ranges = Self::node_ranges(tuples, depth + 1);
+            debug_assert_eq!(ranges.len(), levels[depth + 1].values.len());
+            // Count how many children each parent has by matching parent ranges.
+            let parent_ranges = Self::node_ranges(tuples, depth);
+            debug_assert_eq!(parent_ranges.len(), parent_count);
+            let mut ci = 0usize;
+            for &(pstart, pend) in &parent_ranges {
+                let mut count = 0usize;
+                while ci < ranges.len() && ranges[ci].0 >= pstart && ranges[ci].1 <= pend {
+                    count += 1;
+                    ci += 1;
+                }
+                child_start.push(child_start.last().unwrap() + count);
+            }
+            debug_assert_eq!(*child_start.last().unwrap(), levels[depth + 1].values.len());
+            levels[depth].child_start = child_start;
+        }
+
+        Ok(Trie {
+            attr_order: attr_order.iter().map(|s| s.to_string()).collect(),
+            levels,
+            num_tuples: tuples.len(),
+        })
+    }
+
+    /// Tuple ranges of the distinct-prefix nodes at `depth` (prefix length `depth+1`),
+    /// in order.
+    fn node_ranges(tuples: &[Vec<Value>], depth: usize) -> Vec<(usize, usize)> {
+        let mut ranges = Vec::new();
+        let mut i = 0;
+        while i < tuples.len() {
+            let mut j = i + 1;
+            while j < tuples.len() && tuples[j][..=depth] == tuples[i][..=depth] {
+                j += 1;
+            }
+            ranges.push((i, j));
+            i = j;
+        }
+        ranges
+    }
+
+    /// The attribute order of the trie.
+    pub fn attr_order(&self) -> &[String] {
+        &self.attr_order
+    }
+
+    /// Arity (number of levels).
+    pub fn arity(&self) -> usize {
+        self.attr_order.len()
+    }
+
+    /// Number of tuples in the underlying relation.
+    pub fn num_tuples(&self) -> usize {
+        self.num_tuples
+    }
+
+    /// Number of trie nodes at `depth` (distinct prefixes of length `depth + 1`).
+    pub fn nodes_at(&self, depth: usize) -> usize {
+        self.levels.get(depth).map_or(0, |l| l.values.len())
+    }
+
+    /// A cursor positioned at the root.
+    pub fn cursor(&self) -> TrieCursor<'_> {
+        TrieCursor {
+            trie: self,
+            stack: Vec::new(),
+            counter: None,
+        }
+    }
+
+    /// A cursor that records its seek/next work into `counter`.
+    pub fn cursor_with_counter<'a>(&'a self, counter: &'a WorkCounter) -> TrieCursor<'a> {
+        TrieCursor {
+            trie: self,
+            stack: Vec::new(),
+            counter: Some(counter),
+        }
+    }
+}
+
+/// A cursor frame: position within the sibling group, whose exclusive upper bound is
+/// `end` (the group's start is wherever the frame was opened).
+#[derive(Debug, Clone, Copy)]
+struct Frame {
+    pos: usize,
+    end: usize,
+}
+
+/// A seekable cursor over a [`Trie`], implementing the Leapfrog Triejoin iterator
+/// interface.
+#[derive(Debug, Clone)]
+pub struct TrieCursor<'a> {
+    trie: &'a Trie,
+    stack: Vec<Frame>,
+    counter: Option<&'a WorkCounter>,
+}
+
+impl<'a> TrieCursor<'a> {
+    /// Current depth: number of levels that have been opened (0 = at root).
+    pub fn depth(&self) -> usize {
+        self.stack.len()
+    }
+
+    /// Descend into the first child of the current node (or into the first root-level
+    /// value when at the root). Returns `false` without moving if there are no
+    /// children (already at the deepest level, or the trie is empty).
+    pub fn open(&mut self) -> bool {
+        let next_level = self.stack.len();
+        if next_level >= self.trie.levels.len() {
+            return false;
+        }
+        let (begin, end) = match self.stack.last() {
+            None => (0, self.trie.levels[0].values.len()),
+            Some(frame) => {
+                let cs = &self.trie.levels[next_level - 1].child_start;
+                (cs[frame.pos], cs[frame.pos + 1])
+            }
+        };
+        if begin == end {
+            return false;
+        }
+        self.stack.push(Frame { pos: begin, end });
+        true
+    }
+
+    /// Ascend one level. No-op at the root.
+    pub fn up(&mut self) {
+        self.stack.pop();
+    }
+
+    /// The value at the cursor's current position. Panics if the cursor is at the root
+    /// or at the end of its sibling group.
+    pub fn key(&self) -> Value {
+        let frame = self.stack.last().expect("cursor is at the root");
+        assert!(frame.pos < frame.end, "cursor is at end of its group");
+        self.trie.levels[self.stack.len() - 1].values[frame.pos]
+    }
+
+    /// Whether the cursor has run past the last sibling at the current level.
+    pub fn at_end(&self) -> bool {
+        match self.stack.last() {
+            None => true,
+            Some(f) => f.pos >= f.end,
+        }
+    }
+
+    /// Advance to the next sibling. Returns `false` if that moves past the end.
+    pub fn next(&mut self) -> bool {
+        if let Some(c) = self.counter {
+            c.add_intersect_steps(1);
+        }
+        let frame = self.stack.last_mut().expect("cursor is at the root");
+        if frame.pos < frame.end {
+            frame.pos += 1;
+        }
+        frame.pos < frame.end
+    }
+
+    /// Seek to the least sibling with value `>= target` (galloping search). Returns
+    /// `false` if no such sibling exists (the cursor is then `at_end`).
+    pub fn seek(&mut self, target: Value) -> bool {
+        let depth = self.stack.len();
+        let frame = self.stack.last_mut().expect("cursor is at the root");
+        let values = &self.trie.levels[depth - 1].values;
+        if frame.pos >= frame.end {
+            return false;
+        }
+        // Galloping: double the step until we pass `target`, then binary search.
+        let mut step = 1usize;
+        let mut lo = frame.pos;
+        let mut hi = frame.end;
+        let mut probes = 1u64;
+        while lo + step < frame.end && values[lo + step] < target {
+            lo += step;
+            step *= 2;
+            probes += 1;
+        }
+        hi = hi.min(lo + step + 1);
+        // Binary search in [lo, hi) for the first value >= target.
+        let mut l = lo;
+        let mut h = hi;
+        while l < h {
+            let m = (l + h) / 2;
+            probes += 1;
+            if values[m] < target {
+                l = m + 1;
+            } else {
+                h = m;
+            }
+        }
+        if let Some(c) = self.counter {
+            c.add_probes(probes);
+        }
+        frame.pos = l;
+        frame.pos < frame.end
+    }
+
+    /// Convenience: the values remaining in the current sibling group, from the
+    /// cursor's position onward (used in tests and by simple engines).
+    pub fn remaining(&self) -> &'a [Value] {
+        match self.stack.last() {
+            None => &[],
+            Some(f) => &self.trie.levels[self.stack.len() - 1].values[f.pos..f.end],
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::Schema;
+
+    fn rel() -> Relation {
+        Relation::from_rows(
+            Schema::new(&["A", "B", "C"]),
+            vec![
+                vec![1, 2, 10],
+                vec![1, 2, 11],
+                vec![1, 3, 10],
+                vec![2, 2, 12],
+                vec![4, 1, 1],
+                vec![4, 1, 2],
+            ],
+        )
+    }
+
+    #[test]
+    fn build_counts_nodes() {
+        let t = Trie::build(&rel(), &["A", "B", "C"]).unwrap();
+        assert_eq!(t.arity(), 3);
+        assert_eq!(t.num_tuples(), 6);
+        assert_eq!(t.nodes_at(0), 3); // A in {1, 2, 4}
+        assert_eq!(t.nodes_at(1), 4); // (1,2) (1,3) (2,2) (4,1)
+        assert_eq!(t.nodes_at(2), 6); // all tuples distinct
+        assert_eq!(t.attr_order(), &["A".to_string(), "B".to_string(), "C".to_string()]);
+    }
+
+    #[test]
+    fn cursor_walks_first_level() {
+        let t = Trie::build(&rel(), &["A", "B", "C"]).unwrap();
+        let mut c = t.cursor();
+        assert!(c.at_end()); // root has no key
+        assert!(c.open());
+        assert_eq!(c.depth(), 1);
+        assert_eq!(c.key(), 1);
+        assert!(c.next());
+        assert_eq!(c.key(), 2);
+        assert!(c.next());
+        assert_eq!(c.key(), 4);
+        assert!(!c.next());
+        assert!(c.at_end());
+        c.up();
+        assert_eq!(c.depth(), 0);
+    }
+
+    #[test]
+    fn cursor_descends_into_correct_children() {
+        let t = Trie::build(&rel(), &["A", "B", "C"]).unwrap();
+        let mut c = t.cursor();
+        c.open();
+        // move to A = 4
+        assert!(c.seek(4));
+        assert_eq!(c.key(), 4);
+        assert!(c.open());
+        assert_eq!(c.key(), 1); // B values under A=4: {1}
+        assert!(c.open());
+        assert_eq!(c.remaining(), &[1, 2]); // C values under (4,1)
+        assert_eq!(c.key(), 1);
+        assert!(c.next());
+        assert_eq!(c.key(), 2);
+        assert!(!c.next());
+    }
+
+    #[test]
+    fn seek_is_least_upper_bound() {
+        let t = Trie::build(&rel(), &["A", "B", "C"]).unwrap();
+        let mut c = t.cursor();
+        c.open();
+        assert!(c.seek(2));
+        assert_eq!(c.key(), 2);
+        assert!(c.seek(3));
+        assert_eq!(c.key(), 4); // 3 absent, lub is 4
+        assert!(!c.seek(5)); // nothing >= 5
+        assert!(c.at_end());
+    }
+
+    #[test]
+    fn seek_within_child_group_does_not_escape() {
+        let t = Trie::build(&rel(), &["A", "B", "C"]).unwrap();
+        let mut c = t.cursor();
+        c.open();
+        // A = 1, children B in {2, 3}
+        assert_eq!(c.key(), 1);
+        c.open();
+        assert!(c.seek(3));
+        assert_eq!(c.key(), 3);
+        assert!(!c.seek(4)); // 4 exists at level B only under A=2/A=4 groups, not here
+    }
+
+    #[test]
+    fn reordered_trie() {
+        let t = Trie::build(&rel(), &["C", "B", "A"]).unwrap();
+        let mut c = t.cursor();
+        c.open();
+        // C values overall: 1, 2, 10, 11, 12
+        assert_eq!(c.remaining(), &[1, 2, 10, 11, 12]);
+        assert!(c.seek(10));
+        c.open();
+        assert_eq!(c.remaining(), &[2, 3]); // B values with C=10
+    }
+
+    #[test]
+    fn empty_relation_trie() {
+        let t = Trie::build(&Relation::empty(Schema::new(&["A", "B"])), &["A", "B"]).unwrap();
+        let mut c = t.cursor();
+        assert!(!c.open());
+        assert_eq!(t.nodes_at(0), 0);
+        assert_eq!(t.num_tuples(), 0);
+    }
+
+    #[test]
+    fn unary_relation_trie() {
+        let r = Relation::from_rows(Schema::new(&["A"]), vec![vec![5], vec![2], vec![9]]);
+        let t = Trie::build(&r, &["A"]).unwrap();
+        let mut c = t.cursor();
+        assert!(c.open());
+        assert_eq!(c.remaining(), &[2, 5, 9]);
+        assert!(!c.open()); // no deeper level
+        assert!(c.seek(6));
+        assert_eq!(c.key(), 9);
+    }
+
+    #[test]
+    fn counter_records_probe_work() {
+        let r = Relation::from_rows(Schema::new(&["A"]), (0..1000).map(|i| vec![i]).collect());
+        let t = Trie::build(&r, &["A"]).unwrap();
+        let w = WorkCounter::new();
+        let mut c = t.cursor_with_counter(&w);
+        c.open();
+        c.seek(900);
+        c.next();
+        assert!(w.probes() > 0);
+        assert!(w.intersect_steps() > 0);
+    }
+
+    #[test]
+    fn bad_attr_order_rejected() {
+        assert!(Trie::build(&rel(), &["A", "B"]).is_err());
+        assert!(Trie::build(&rel(), &["A", "B", "Z"]).is_err());
+    }
+
+    #[test]
+    fn trie_enumerates_all_tuples() {
+        // depth-first walk of the trie must reproduce the sorted tuple set
+        let r = rel();
+        let t = Trie::build(&r, &["A", "B", "C"]).unwrap();
+        let mut out = Vec::new();
+        let mut c = t.cursor();
+        fn walk(c: &mut TrieCursor<'_>, arity: usize, prefix: &mut Vec<Value>, out: &mut Vec<Vec<Value>>) {
+            if !c.open() {
+                return;
+            }
+            loop {
+                if c.at_end() {
+                    break;
+                }
+                prefix.push(c.key());
+                if prefix.len() == arity {
+                    out.push(prefix.clone());
+                } else {
+                    walk(c, arity, prefix, out);
+                }
+                prefix.pop();
+                if !c.next() {
+                    break;
+                }
+            }
+            c.up();
+        }
+        walk(&mut c, 3, &mut Vec::new(), &mut out);
+        assert_eq!(out, r.tuples());
+    }
+}

@@ -1,0 +1,7 @@
+//! Facade crate re-exporting the whole workspace public API.
+pub use wcoj_bounds as bounds;
+pub use wcoj_core as core;
+pub use wcoj_lp as lp;
+pub use wcoj_query as query;
+pub use wcoj_storage as storage;
+pub use wcoj_workloads as workloads;
