@@ -1,0 +1,67 @@
+//! Triangle-query benchmark: binary hash-join plan vs. Generic Join vs. Leapfrog
+//! Triejoin, over uniform and Zipf-skewed edge relations.
+//!
+//! Dependency-free harness (no criterion in this environment): each engine is warmed
+//! up once, then timed over several iterations with `std::time::Instant`; the median
+//! wall-clock time and the `WorkCounter` totals are reported side by side with the
+//! AGM bound so the work numbers can be read against `N^{3/2}`.
+//!
+//! Run with `cargo bench -p wcoj-bench` (see `EXPERIMENTS.md`, experiment E2).
+
+use std::time::Instant;
+use wcoj_bench::ExperimentTable;
+use wcoj_bounds::agm::agm_bound;
+use wcoj_core::exec::{execute_with_order, Engine};
+use wcoj_core::planner::agm_variable_order;
+use wcoj_workloads::{triangle, triangle_skewed};
+
+fn median_time_ms<F: FnMut()>(mut f: F, iters: usize) -> f64 {
+    let mut samples: Vec<f64> = Vec::with_capacity(iters);
+    for _ in 0..iters {
+        let start = Instant::now();
+        f();
+        samples.push(start.elapsed().as_secs_f64() * 1e3);
+    }
+    samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    samples[samples.len() / 2]
+}
+
+fn bench_workload(table: &mut ExperimentTable, label: &str, w: &wcoj_workloads::Workload) {
+    let order = agm_variable_order(&w.query, &w.db).expect("planner");
+    let agm = agm_bound(&w.query, &w.db).expect("agm").tuple_bound();
+    for engine in [Engine::BinaryHash, Engine::GenericJoin, Engine::Leapfrog] {
+        // warm-up run also gives us the output size and work counters
+        let out = execute_with_order(&w.query, &w.db, engine, &order).expect("execute");
+        let ms = median_time_ms(
+            || {
+                let _ = execute_with_order(&w.query, &w.db, engine, &order).unwrap();
+            },
+            5,
+        );
+        table.push(
+            format!("{label}/{engine:?}"),
+            vec![
+                ms,
+                out.work.total_work() as f64,
+                out.result.len() as f64,
+                agm,
+            ],
+        );
+    }
+}
+
+fn main() {
+    let mut table = ExperimentTable::new(
+        "E2: triangle query — binary plan vs Generic Join vs Leapfrog Triejoin",
+        &["median_ms", "work", "out_tuples", "agm_bound"],
+    );
+    for &n in &[1_024usize, 4_096, 16_384] {
+        let w = triangle(n, 0xC0FFEE);
+        bench_workload(&mut table, &format!("uniform_n{n}"), &w);
+    }
+    for &n in &[1_024usize, 4_096, 16_384] {
+        let w = triangle_skewed(n, n as u64 / 4, 1.1, 0xBEEF);
+        bench_workload(&mut table, &format!("zipf_n{n}"), &w);
+    }
+    table.print();
+}

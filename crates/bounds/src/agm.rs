@@ -81,7 +81,7 @@ pub fn agm_bound_from_sizes(
             sizes.len()
         )));
     }
-    if sizes.iter().any(|&s| s == 0) {
+    if sizes.contains(&0) {
         // An empty relation forces an empty output; report log2 bound of -inf as 0
         // tuples via a zero bound.
         return Ok(AgmBound {
@@ -89,7 +89,13 @@ pub fn agm_bound_from_sizes(
             exponents: vec![0.0; sizes.len()],
             log_sizes: sizes
                 .iter()
-                .map(|&s| if s == 0 { f64::NEG_INFINITY } else { (s as f64).log2() })
+                .map(|&s| {
+                    if s == 0 {
+                        f64::NEG_INFINITY
+                    } else {
+                        (s as f64).log2()
+                    }
+                })
                 .collect(),
         });
     }
@@ -127,16 +133,12 @@ mod tests {
         assert!((fractional_edge_cover_number(&Hypergraph::cycle(4)) - 2.0).abs() < 1e-9);
         assert!((fractional_edge_cover_number(&Hypergraph::cycle(5)) - 2.5).abs() < 1e-9);
         // LW(k) has rho* = k/(k-1)
+        assert!((fractional_edge_cover_number(&Hypergraph::loomis_whitney(3)) - 1.5).abs() < 1e-9);
         assert!(
-            (fractional_edge_cover_number(&Hypergraph::loomis_whitney(3)) - 1.5).abs() < 1e-9
+            (fractional_edge_cover_number(&Hypergraph::loomis_whitney(4)) - 4.0 / 3.0).abs() < 1e-9
         );
         assert!(
-            (fractional_edge_cover_number(&Hypergraph::loomis_whitney(4)) - 4.0 / 3.0).abs()
-                < 1e-9
-        );
-        assert!(
-            (fractional_edge_cover_number(&Hypergraph::loomis_whitney(5)) - 5.0 / 4.0).abs()
-                < 1e-9
+            (fractional_edge_cover_number(&Hypergraph::loomis_whitney(5)) - 5.0 / 4.0).abs() < 1e-9
         );
         // k-clique has rho* = k/2
         assert!((fractional_edge_cover_number(&Hypergraph::clique(4)) - 2.0).abs() < 1e-9);
@@ -183,9 +185,18 @@ mod tests {
     fn agm_bound_from_database() {
         let q = examples::triangle();
         let mut db = Database::new();
-        db.insert("R", Relation::from_pairs("A", "B", (0..16).map(|i| (i / 4, i % 4))));
-        db.insert("S", Relation::from_pairs("B", "C", (0..16).map(|i| (i / 4, i % 4))));
-        db.insert("T", Relation::from_pairs("A", "C", (0..16).map(|i| (i / 4, i % 4))));
+        db.insert(
+            "R",
+            Relation::from_pairs("A", "B", (0..16).map(|i| (i / 4, i % 4))),
+        );
+        db.insert(
+            "S",
+            Relation::from_pairs("B", "C", (0..16).map(|i| (i / 4, i % 4))),
+        );
+        db.insert(
+            "T",
+            Relation::from_pairs("A", "C", (0..16).map(|i| (i / 4, i % 4))),
+        );
         let b = agm_bound(&q, &db).unwrap();
         // |R|=|S|=|T|=16, bound = 16^{3/2} = 64
         assert!((b.tuple_bound() - 64.0).abs() < 1e-6);

@@ -1,0 +1,171 @@
+//! The entropic bound (43) — `max { h([n]) : h ∈ Γ̄*_n ∩ H_DC }` — in the regimes
+//! where it is computable.
+//!
+//! The closure of the entropic cone `Γ̄*_n` has no finite description for `n ≥ 4`
+//! (Section 3.2 of the paper), so the exact entropic bound is not computable in
+//! general. It is, however, always sandwiched by two LPs this workspace can solve:
+//!
+//! ```text
+//! modular bound  ≤  entropic bound  ≤  polymatroid bound
+//! ```
+//!
+//! * the **upper bound** is the polymatroid bound (68), since `Γ̄*_n ⊆ Γ_n`;
+//! * the **lower bound** is the maximum over *modular* functions (LP (54) without the
+//!   acyclicity precondition), since every non-negative modular function is the
+//!   entropy of a product of independent uniform variables and hence entropic.
+//!
+//! The sandwich collapses to an exact value when:
+//!
+//! * `n ≤ 3` — `Γ̄*_n = Γ_n` for up to three variables (the first gap is the
+//!   Zhang–Yeung inequality at `n = 4`), so the upper bound is exact;
+//! * the constraint set is **acyclic** — Proposition 4.4 gives
+//!   modular = polymatroid, squeezing the entropic bound between equal values;
+//! * the two LP values happen to coincide numerically.
+
+use crate::modular::modular_bound_unchecked;
+use crate::polymatroid::polymatroid_bound;
+use crate::BoundError;
+use wcoj_query::{ConjunctiveQuery, ConstraintSet};
+
+/// The result of bracketing (and, when possible, pinning down) the entropic bound.
+#[derive(Debug, Clone)]
+pub struct EntropicBound {
+    /// `log2` lower bound: the best modular witness (always attainable by a product
+    /// distribution, hence entropic).
+    pub log2_lower: f64,
+    /// `log2` upper bound: the polymatroid relaxation.
+    pub log2_upper: f64,
+    /// Whether `log2_lower == log2_upper` is known to pin the entropic bound exactly
+    /// (small `n`, acyclic constraints, or numerically coinciding LPs).
+    pub exact: bool,
+}
+
+impl EntropicBound {
+    /// The usable `log2` bound on `|Q|` (the upper end of the bracket).
+    pub fn log2_bound(&self) -> f64 {
+        self.log2_upper
+    }
+
+    /// The bound as a tuple count `2^{log2_upper}`.
+    pub fn tuple_bound(&self) -> f64 {
+        self.log2_upper.exp2()
+    }
+
+    /// Width of the bracket in bits (0 when [`EntropicBound::exact`]).
+    pub fn gap(&self) -> f64 {
+        self.log2_upper - self.log2_lower
+    }
+}
+
+/// Numerical tolerance for declaring the two LP values equal.
+const EPS: f64 = 1e-6;
+
+/// Bracket the entropic bound (43) for `n` variables under degree constraints `dc`,
+/// reporting an exact value whenever one of the collapse conditions applies.
+pub fn entropic_bound(n: usize, dc: &ConstraintSet) -> Result<EntropicBound, BoundError> {
+    let upper = polymatroid_bound(n, dc)?;
+    let lower = modular_bound_unchecked(n, dc)?;
+    // NEG_INFINITY (an empty guard relation) compares equal to itself, so the
+    // empty-output case is reported exact automatically.
+    let coincide = (upper.log2_bound - lower.log2_bound).abs() < EPS
+        || (upper.log2_bound == f64::NEG_INFINITY && lower.log2_bound == f64::NEG_INFINITY);
+    let exact = n <= 3 || dc.is_acyclic(n) || coincide;
+    Ok(EntropicBound {
+        log2_lower: lower.log2_bound,
+        log2_upper: upper.log2_bound,
+        exact,
+    })
+}
+
+/// Convenience wrapper taking the query for its variable count.
+pub fn entropic_bound_for_query(
+    query: &ConjunctiveQuery,
+    dc: &ConstraintSet,
+) -> Result<EntropicBound, BoundError> {
+    entropic_bound(query.num_vars(), dc)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::entropy::entropy_of_relation;
+    use wcoj_query::query::examples;
+    use wcoj_storage::{Relation, Schema};
+
+    #[test]
+    fn triangle_entropic_bound_is_exact_and_matches_agm() {
+        // n = 3: the entropic and polymatroid bounds coincide; with cardinality
+        // constraints only, both equal the AGM bound N^{3/2}.
+        let q = examples::triangle();
+        let dc =
+            ConstraintSet::all_cardinalities(&q, &[("R", 1024), ("S", 1024), ("T", 1024)]).unwrap();
+        let b = entropic_bound_for_query(&q, &dc).unwrap();
+        assert!(b.exact);
+        assert!((b.log2_bound() - 15.0).abs() < 1e-5);
+        // Shearer: the modular witness attains the bound, so the bracket is tight.
+        assert!(b.gap() < 1e-5);
+    }
+
+    #[test]
+    fn acyclic_constraints_give_exact_bound() {
+        let q = examples::chain_with_guard();
+        let mut dc = ConstraintSet::new();
+        dc.push_named(&q, &[], &["A"], 1 << 7).unwrap();
+        dc.push_named(&q, &["A"], &["B"], 1 << 3).unwrap();
+        dc.push_named(&q, &["B"], &["C"], 1 << 4).unwrap();
+        dc.push_named(&q, &["C"], &["D"], 1 << 5).unwrap();
+        let b = entropic_bound(4, &dc).unwrap();
+        assert!(b.exact, "acyclic DC collapses the sandwich");
+        assert!((b.log2_bound() - 19.0).abs() < 1e-5);
+        assert!(b.gap() < 1e-5);
+    }
+
+    #[test]
+    fn bracket_ordering_always_holds() {
+        // Cyclic 4-variable set: exactness is not guaranteed, but the bracket must be
+        // ordered and finite.
+        let q = examples::four_cycle();
+        let dc =
+            ConstraintSet::all_cardinalities(&q, &[("R", 256), ("S", 256), ("T", 256), ("W", 256)])
+                .unwrap();
+        let b = entropic_bound_for_query(&q, &dc).unwrap();
+        assert!(b.log2_lower <= b.log2_upper + 1e-9);
+        assert!((b.log2_upper - 16.0).abs() < 1e-5); // AGM: rho* = 2 at N = 2^8
+    }
+
+    #[test]
+    fn empty_relation_is_exactly_zero_tuples() {
+        let q = examples::triangle();
+        let dc = ConstraintSet::all_cardinalities(&q, &[("R", 0), ("S", 8), ("T", 8)]).unwrap();
+        let b = entropic_bound_for_query(&q, &dc).unwrap();
+        assert!(b.exact);
+        assert_eq!(b.tuple_bound(), 0.0);
+    }
+
+    #[test]
+    fn unbounded_variable_is_an_error() {
+        let q = examples::triangle();
+        let mut dc = ConstraintSet::new();
+        dc.push_named(&q, &[], &["A", "B"], 64).unwrap();
+        assert!(matches!(
+            entropic_bound_for_query(&q, &dc).unwrap_err(),
+            BoundError::Infinite { .. }
+        ));
+    }
+
+    #[test]
+    fn empirical_entropy_respects_the_entropic_bound() {
+        // The entropy function of any concrete output satisfying DC is an entropic
+        // member of H_DC, so its total entropy is at most the upper bound.
+        let out = Relation::from_rows(
+            Schema::new(&["A", "B", "C"]),
+            vec![vec![1, 2, 3], vec![1, 3, 3], vec![2, 2, 1], vec![2, 3, 1]],
+        );
+        let q = examples::triangle();
+        // |R|,|S|,|T| >= the projections of `out`, so `out` is a feasible output
+        let dc = ConstraintSet::all_cardinalities(&q, &[("R", 4), ("S", 4), ("T", 4)]).unwrap();
+        let b = entropic_bound_for_query(&q, &dc).unwrap();
+        let h = entropy_of_relation(&out, &["A", "B", "C"]);
+        assert!(h.total() <= b.log2_bound() + 1e-9);
+    }
+}

@@ -188,6 +188,9 @@ mod tests {
         assert_eq!(r.max_degree(&["A"], &["B"]).unwrap(), 2);
         let h = entropy_of_relation(&r, &["A", "B"]);
         let cond = conditional_entropy(&h, &[1], &[0]);
-        assert!(cond <= 1.0 + 1e-9, "H[B|A] = {cond} must be <= log2(deg) = 1");
+        assert!(
+            cond <= 1.0 + 1e-9,
+            "H[B|A] = {cond} must be <= log2(deg) = 1"
+        );
     }
 }

@@ -195,8 +195,8 @@ mod tests {
         // Shannon-flow coefficient vector (Proposition 5.4): check it on the triangle
         // with an FD.
         let q = examples::triangle();
-        let mut dc = ConstraintSet::all_cardinalities(&q, &[("R", 64), ("S", 64), ("T", 64)])
-            .unwrap();
+        let mut dc =
+            ConstraintSet::all_cardinalities(&q, &[("R", 64), ("S", 64), ("T", 64)]).unwrap();
         dc.push_named(&q, &["A"], &["B"], 4).unwrap();
         let b = crate::polymatroid::polymatroid_bound_for_query(&q, &dc).unwrap();
         let dv = DeltaVector::from_constraint_duals(&dc, &b.constraint_duals);

@@ -1,0 +1,273 @@
+//! Numeric verification of **Friedgut's inequality** (Theorem 4.1) on concrete
+//! databases.
+//!
+//! For a hypergraph `H = ([n], E)`, a fractional edge cover `δ`, and non-negative
+//! weight functions `w_F` over the tuples of each edge,
+//!
+//! ```text
+//! Σ_{a ∈ ∏ domains} ∏_F w_F(a_F)  ≤  ∏_F ( Σ_{a_F} w_F(a_F)^{1/δ_F} )^{δ_F}.
+//! ```
+//!
+//! With 0/1 indicator weights `w_F = 1_{R_F}` the left side is `|Q(D)|` and the right
+//! side is `∏ |R_F|^{δ_F}` — the AGM bound (Corollary 4.2). This module evaluates
+//! both sides exactly on concrete databases so tests can confirm the inequality, the
+//! specialization to AGM, and the tightness cases the paper discusses.
+//!
+//! Edges with `δ_F = 0` contribute the limit factor
+//! `lim_{δ→0} (Σ w^{1/δ})^δ = max_a w_F(a)`.
+
+use crate::agm::agm_bound;
+use crate::BoundError;
+use std::collections::HashMap;
+use wcoj_query::{ConjunctiveQuery, Database};
+use wcoj_storage::ops::nested_loop_join;
+use wcoj_storage::{Relation, Tuple};
+
+/// Per-edge weight function: tuple (in the atom's variable order) → non-negative
+/// weight. Tuples not present have weight 0.
+pub type EdgeWeights = HashMap<Tuple, f64>;
+
+/// Both sides of Friedgut's inequality, evaluated exactly.
+#[derive(Debug, Clone)]
+pub struct FriedgutCheck {
+    /// The left-hand side `Σ_a ∏_F w_F(a_F)`.
+    pub lhs: f64,
+    /// The right-hand side `∏_F (Σ w_F^{1/δ_F})^{δ_F}`.
+    pub rhs: f64,
+}
+
+impl FriedgutCheck {
+    /// Whether the inequality holds (up to relative numerical tolerance).
+    pub fn holds(&self) -> bool {
+        self.lhs <= self.rhs * (1.0 + 1e-9) + 1e-9
+    }
+}
+
+/// The right-hand-side factor of a single edge.
+fn edge_factor(weights: &EdgeWeights, delta: f64) -> f64 {
+    if weights.is_empty() {
+        return 0.0;
+    }
+    if delta <= 1e-12 {
+        // limit: (Σ w^{1/δ})^δ → max w as δ → 0
+        return weights.values().cloned().fold(0.0f64, f64::max);
+    }
+    let sum: f64 = weights.values().map(|&w| w.powf(1.0 / delta)).sum();
+    sum.powf(delta)
+}
+
+/// Evaluate both sides of Friedgut's inequality for `query` with explicit per-atom
+/// weight functions (tuples in each atom's variable order) and exponents `delta`.
+///
+/// `delta` must be a fractional edge cover of the query hypergraph; a non-cover is
+/// rejected with [`BoundError::Invalid`] since the inequality is only guaranteed for
+/// covers.
+pub fn friedgut_check(
+    query: &ConjunctiveQuery,
+    weights: &[EdgeWeights],
+    delta: &[f64],
+) -> Result<FriedgutCheck, BoundError> {
+    let m = query.atoms().len();
+    if weights.len() != m || delta.len() != m {
+        return Err(BoundError::Invalid(format!(
+            "expected {m} weight functions and exponents, got {} and {}",
+            weights.len(),
+            delta.len()
+        )));
+    }
+    if !query.hypergraph().is_fractional_edge_cover(delta) {
+        return Err(BoundError::Invalid(
+            "delta is not a fractional edge cover".to_string(),
+        ));
+    }
+
+    // LHS: any assignment with a non-zero product has every a_F in the support of
+    // w_F, so it suffices to join the supports and sum the products over the output.
+    let supports: Vec<Relation> = (0..m)
+        .map(|f| {
+            let names = query.atom_var_names(f);
+            let rows: Vec<Tuple> = weights[f]
+                .iter()
+                .filter(|(_, &w)| w > 0.0)
+                .map(|(t, _)| t.clone())
+                .collect();
+            Relation::try_from_rows(
+                wcoj_storage::Schema::try_new(names.iter().map(|s| s.to_string()).collect())
+                    .map_err(|e| BoundError::Database(e.to_string()))?,
+                rows,
+            )
+            .map_err(|e| BoundError::Database(e.to_string()))
+        })
+        .collect::<Result<_, _>>()?;
+    let support_refs: Vec<&Relation> = supports.iter().collect();
+    let joined =
+        nested_loop_join(&support_refs).map_err(|e| BoundError::Database(e.to_string()))?;
+
+    let atom_positions: Vec<Vec<usize>> = (0..m)
+        .map(|f| {
+            query
+                .atom_var_names(f)
+                .iter()
+                .map(|name| joined.schema().require(name).expect("joined schema"))
+                .collect()
+        })
+        .collect();
+    let mut lhs = 0.0f64;
+    for t in joined.iter() {
+        let mut product = 1.0f64;
+        for (wf, positions) in weights.iter().zip(&atom_positions) {
+            let key: Tuple = positions.iter().map(|&p| t[p]).collect();
+            product *= wf.get(&key).copied().unwrap_or(0.0);
+        }
+        lhs += product;
+    }
+
+    let rhs = weights
+        .iter()
+        .zip(delta)
+        .map(|(wf, &d)| edge_factor(wf, d))
+        .product();
+    Ok(FriedgutCheck { lhs, rhs })
+}
+
+/// Indicator weights for every tuple of each atom relation of `db` — the AGM
+/// specialization of Friedgut's inequality.
+pub fn indicator_weights(
+    query: &ConjunctiveQuery,
+    db: &Database,
+) -> Result<Vec<EdgeWeights>, BoundError> {
+    (0..query.atoms().len())
+        .map(|f| {
+            let rel = db
+                .relation_for_atom(query, f)
+                .map_err(|e| BoundError::Database(e.to_string()))?;
+            Ok(rel.iter().map(|t| (t.clone(), 1.0)).collect())
+        })
+        .collect()
+}
+
+/// Verify the AGM specialization on a concrete database: with indicator weights and
+/// the *optimal* fractional edge cover from the AGM LP, the left side is `|Q(D)|` and
+/// the right side is the AGM tuple bound.
+pub fn agm_specialization(
+    query: &ConjunctiveQuery,
+    db: &Database,
+) -> Result<FriedgutCheck, BoundError> {
+    let weights = indicator_weights(query, db)?;
+    let bound = agm_bound(query, db)?;
+    friedgut_check(query, &weights, &bound.exponents)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wcoj_query::query::examples;
+
+    fn triangle_db() -> Database {
+        let mut db = Database::new();
+        db.insert(
+            "R",
+            Relation::from_pairs("A", "B", (0..16).map(|i| (i / 4, i % 4))),
+        );
+        db.insert(
+            "S",
+            Relation::from_pairs("B", "C", (0..16).map(|i| (i / 4, i % 4))),
+        );
+        db.insert(
+            "T",
+            Relation::from_pairs("A", "C", (0..16).map(|i| (i / 4, i % 4))),
+        );
+        db
+    }
+
+    #[test]
+    fn agm_specialization_is_tight_on_complete_tripartite_data() {
+        // Complete 4x4 bipartite pieces: |Q| = 64 = 16^{3/2}, the AGM worst case.
+        let q = examples::triangle();
+        let check = agm_specialization(&q, &triangle_db()).unwrap();
+        assert!(check.holds());
+        assert!((check.lhs - 64.0).abs() < 1e-9);
+        assert!((check.rhs - 64.0).abs() < 1e-6, "rhs = {}", check.rhs);
+    }
+
+    #[test]
+    fn agm_specialization_on_sparse_data_is_slack() {
+        let q = examples::triangle();
+        let mut db = Database::new();
+        db.insert(
+            "R",
+            Relation::from_pairs("A", "B", vec![(1, 2), (2, 3), (1, 3)]),
+        );
+        db.insert(
+            "S",
+            Relation::from_pairs("B", "C", vec![(2, 3), (3, 1), (3, 4)]),
+        );
+        db.insert(
+            "T",
+            Relation::from_pairs("A", "C", vec![(1, 3), (2, 1), (1, 4)]),
+        );
+        let check = agm_specialization(&q, &db).unwrap();
+        assert!(check.holds());
+        assert!((check.lhs - 3.0).abs() < 1e-9); // 3 triangles
+        assert!(check.lhs < check.rhs);
+    }
+
+    #[test]
+    fn weighted_inequality_holds_for_non_indicator_weights() {
+        let q = examples::triangle();
+        let db = triangle_db();
+        let mut weights = indicator_weights(&q, &db).unwrap();
+        // perturb the weights deterministically away from 0/1
+        for (f, wf) in weights.iter_mut().enumerate() {
+            for (i, (_, w)) in wf.iter_mut().enumerate() {
+                *w = 0.25 + ((i + f) % 5) as f64 * 0.5;
+            }
+        }
+        let check = friedgut_check(&q, &weights, &[0.5, 0.5, 0.5]).unwrap();
+        assert!(check.lhs > 0.0);
+        assert!(check.holds(), "lhs {} rhs {}", check.lhs, check.rhs);
+    }
+
+    #[test]
+    fn integral_cover_reduces_to_cauchy_schwarz_style_bound() {
+        // cover (1, 1, 0): rhs = |R| * |S| * max_T w = 16 * 16 * 1
+        let q = examples::triangle();
+        let db = triangle_db();
+        let weights = indicator_weights(&q, &db).unwrap();
+        let check = friedgut_check(&q, &weights, &[1.0, 1.0, 0.0]).unwrap();
+        assert!(check.holds());
+        assert!((check.rhs - 256.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn non_cover_rejected() {
+        let q = examples::triangle();
+        let db = triangle_db();
+        let weights = indicator_weights(&q, &db).unwrap();
+        assert!(matches!(
+            friedgut_check(&q, &weights, &[0.4, 0.4, 0.4]).unwrap_err(),
+            BoundError::Invalid(_)
+        ));
+        assert!(matches!(
+            friedgut_check(&q, &weights, &[0.5, 0.5]).unwrap_err(),
+            BoundError::Invalid(_)
+        ));
+    }
+
+    #[test]
+    fn empty_support_gives_zero_on_both_sides() {
+        let q = examples::triangle();
+        let mut db = Database::new();
+        db.insert(
+            "R",
+            Relation::from_pairs("A", "B", Vec::<(u64, u64)>::new()),
+        );
+        db.insert("S", Relation::from_pairs("B", "C", vec![(1, 2)]));
+        db.insert("T", Relation::from_pairs("A", "C", vec![(1, 2)]));
+        let weights = indicator_weights(&q, &db).unwrap();
+        let check = friedgut_check(&q, &weights, &[0.5, 0.5, 0.5]).unwrap();
+        assert_eq!(check.lhs, 0.0);
+        assert_eq!(check.rhs, 0.0);
+        assert!(check.holds());
+    }
+}

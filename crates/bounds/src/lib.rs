@@ -94,7 +94,10 @@ impl std::fmt::Display for BoundError {
             }
             BoundError::Invalid(msg) => write!(f, "invalid input: {msg}"),
             BoundError::TooManyVariables(n) => {
-                write!(f, "{n} variables is too many for the exponential polymatroid LP")
+                write!(
+                    f,
+                    "{n} variables is too many for the exponential polymatroid LP"
+                )
             }
             BoundError::Database(msg) => write!(f, "database error: {msg}"),
         }
@@ -125,6 +128,8 @@ mod tests {
         .contains("unbound"));
         let e: BoundError = wcoj_lp::LpError::Infeasible.into();
         assert!(e.to_string().contains("infeasible"));
-        assert!(BoundError::Database("boom".into()).to_string().contains("boom"));
+        assert!(BoundError::Database("boom".into())
+            .to_string()
+            .contains("boom"));
     }
 }

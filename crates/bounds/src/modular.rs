@@ -195,8 +195,8 @@ mod tests {
         // With only cardinality constraints the modular LP's dual is exactly the AGM
         // LP: triangle with |R|=|S|=|T|=2^10 gives 15 bits and exponents (1/2,1/2,1/2).
         let q = examples::triangle();
-        let dc = ConstraintSet::all_cardinalities(&q, &[("R", 1024), ("S", 1024), ("T", 1024)])
-            .unwrap();
+        let dc =
+            ConstraintSet::all_cardinalities(&q, &[("R", 1024), ("S", 1024), ("T", 1024)]).unwrap();
         let b = modular_bound(q.num_vars(), &dc).unwrap();
         assert!((b.log2_bound - 15.0).abs() < 1e-6);
         for e in &b.exponents {
@@ -320,6 +320,10 @@ mod tests {
         assert!(repaired.is_acyclic(3));
         // With the FD A->B (or B->A) kept, the bound is |T| * 1 = 2^8 = 8 bits:
         // choose v_A + v_C <= 8 (T), v_B <= 0 (FD), maximize v_A + v_B + v_C.
-        assert!((bound.log2_bound - 8.0).abs() < 1e-6, "got {}", bound.log2_bound);
+        assert!(
+            (bound.log2_bound - 8.0).abs() < 1e-6,
+            "got {}",
+            bound.log2_bound
+        );
     }
 }

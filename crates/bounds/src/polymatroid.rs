@@ -47,6 +47,7 @@ impl PolymatroidBound {
 /// elemental Shannon constraints. Callers add their own objective terms and extra
 /// constraints before solving. Used by both the polymatroid bound and the
 /// Shannon-flow-inequality test in [`crate::flow`].
+#[derive(Debug)]
 pub struct ShannonLp {
     /// The LP under construction (maximization).
     pub lp: LinearProgram,
@@ -172,9 +173,7 @@ pub fn polymatroid_bound(n: usize, dc: &ConstraintSet) -> Result<PolymatroidBoun
     for mask in 1..=full {
         h.set(mask, sol.primal[shannon.var(mask)]);
     }
-    let constraint_duals: Vec<f64> = (0..dc.len())
-        .map(|i| sol.dual[skeleton_rows + i])
-        .collect();
+    let constraint_duals: Vec<f64> = (0..dc.len()).map(|i| sol.dual[skeleton_rows + i]).collect();
     Ok(PolymatroidBound {
         log2_bound: sol.objective,
         h,
@@ -201,8 +200,8 @@ mod tests {
         // With only cardinality constraints the polymatroid bound equals the AGM bound
         // (Table 1, first row): for |R|=|S|=|T|=2^10 it is 2^15.
         let q = examples::triangle();
-        let dc = ConstraintSet::all_cardinalities(&q, &[("R", 1024), ("S", 1024), ("T", 1024)])
-            .unwrap();
+        let dc =
+            ConstraintSet::all_cardinalities(&q, &[("R", 1024), ("S", 1024), ("T", 1024)]).unwrap();
         let b = polymatroid_bound_for_query(&q, &dc).unwrap();
         assert!((b.log2_bound - 15.0).abs() < 1e-6);
         assert!(b.h.is_polymatroid());
@@ -226,8 +225,8 @@ mod tests {
         // Intuition: once A is fixed B is determined, so the output is at most
         // |T| = 2^10 * 1 ... the polymatroid bound drops from 15 to 10.
         let q = examples::triangle();
-        let mut dc = ConstraintSet::all_cardinalities(&q, &[("R", 1024), ("S", 1024), ("T", 1024)])
-            .unwrap();
+        let mut dc =
+            ConstraintSet::all_cardinalities(&q, &[("R", 1024), ("S", 1024), ("T", 1024)]).unwrap();
         dc.push_named(&q, &["A"], &["B"], 1).unwrap();
         let b = polymatroid_bound_for_query(&q, &dc).unwrap();
         assert!(
@@ -245,11 +244,9 @@ mod tests {
         let q = examples::triangle();
         let mut last = 0.0;
         for d in [0u32, 2, 5, 10] {
-            let mut dc = ConstraintSet::all_cardinalities(
-                &q,
-                &[("R", 1024), ("S", 1024), ("T", 1024)],
-            )
-            .unwrap();
+            let mut dc =
+                ConstraintSet::all_cardinalities(&q, &[("R", 1024), ("S", 1024), ("T", 1024)])
+                    .unwrap();
             dc.push_named(&q, &["A"], &["B"], 1u64 << d).unwrap();
             let b = polymatroid_bound_for_query(&q, &dc).unwrap();
             assert!(b.log2_bound >= last - 1e-6, "bound must be monotone in d");
@@ -263,10 +260,8 @@ mod tests {
     fn unbounded_variable_detected() {
         // A single cardinality constraint on {A,B} says nothing about C: infinite.
         let q = examples::triangle();
-        let dc = ConstraintSet::from_constraints(vec![DegreeConstraint::cardinality(
-            vec![0, 1],
-            1024,
-        )]);
+        let dc =
+            ConstraintSet::from_constraints(vec![DegreeConstraint::cardinality(vec![0, 1], 1024)]);
         assert!(matches!(
             polymatroid_bound_for_query(&q, &dc).unwrap_err(),
             BoundError::Infinite { .. }
@@ -276,8 +271,7 @@ mod tests {
     #[test]
     fn empty_relation_gives_zero_bound() {
         let q = examples::triangle();
-        let dc =
-            ConstraintSet::all_cardinalities(&q, &[("R", 0), ("S", 10), ("T", 10)]).unwrap();
+        let dc = ConstraintSet::all_cardinalities(&q, &[("R", 0), ("S", 10), ("T", 10)]).unwrap();
         let b = polymatroid_bound_for_query(&q, &dc).unwrap();
         assert_eq!(b.log2_bound, f64::NEG_INFINITY);
         assert_eq!(b.tuple_bound(), 0.0);
@@ -297,11 +291,12 @@ mod tests {
     }
 
     #[test]
-    fn example_one_bound_is_half_the_sum_of_logs() {
+    fn example_one_bound_beats_the_half_sum_certificate() {
         // Example 1 of the paper: the Shannon-flow inequality
         //   h(ABCD) <= 1/2 [h(AB) + h(BC) + h(CD) + h(ACD|AC) + h(ABD|BD)]
-        // is tight for the polymatroid bound, so with all five statistics equal to 2^8
-        // the bound is 2^{(5*8)/2} = 2^20.
+        // certifies 2^{(5*8)/2} = 2^20 with all five statistics equal to 2^8 — but it
+        // is not tight: subadditivity alone gives h(ABCD) <= h(AB) + h(CD) = 16 bits,
+        // and the modular witness v = (8, 0, 8, 0) attains it, so the LP optimum is 16.
         let q = examples::example_one();
         let mut dc = ConstraintSet::new();
         let n = 256u64;
@@ -312,14 +307,19 @@ mod tests {
         dc.push_named(&q, &["B", "D"], &["A"], n).unwrap();
         let b = polymatroid_bound_for_query(&q, &dc).unwrap();
         assert!(
-            (b.log2_bound - 20.0).abs() < 1e-5,
-            "expected 20 bits, got {}",
+            (b.log2_bound - 16.0).abs() < 1e-5,
+            "expected 16 bits, got {}",
             b.log2_bound
         );
-        // each dual should be 1/2
-        for d in &b.constraint_duals {
-            assert!((d - 0.5).abs() < 1e-5, "dual {d}");
-        }
+        assert!(b.h.is_polymatroid());
+        // strong duality still ties the duals to the optimum (equation (73))
+        let dual_obj: f64 = b
+            .constraint_duals
+            .iter()
+            .zip(dc.iter())
+            .map(|(d, c)| d * c.log_bound())
+            .sum();
+        assert!((dual_obj - b.log2_bound).abs() < 1e-5);
     }
 
     #[test]

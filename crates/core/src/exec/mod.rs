@@ -1,0 +1,252 @@
+//! The unified join-execution layer.
+//!
+//! Three engines share one entry point, [`execute_with_order`]:
+//!
+//! * [`Engine::BinaryHash`] — the classical left-deep binary hash-join baseline
+//!   ([`binary`]);
+//! * [`Engine::GenericJoin`] — Algorithm 2 of the paper over [`PrefixIndex`]
+//!   cursors ([`generic`]);
+//! * [`Engine::Leapfrog`] — Leapfrog Triejoin over [`Trie`] cursors
+//!   ([`leapfrog`]).
+//!
+//! The WCOJ engines are written once against `wcoj_storage::TrieAccess`, so each can
+//! also run on the other's backend; the defaults here match each algorithm's native
+//! access path. All engines produce the same [`Relation`] (columns in the query's
+//! variable order) and thread a [`WorkCounter`] through execution so tests and
+//! benchmarks can compare *work* against the AGM bound, not just wall-clock time.
+
+pub mod binary;
+pub mod generic;
+pub mod leapfrog;
+
+use crate::error::ExecError;
+use crate::planner::agm_variable_order;
+use wcoj_query::plan::{atom_attr_order, atom_levels, is_valid_order};
+use wcoj_query::{ConjunctiveQuery, Database, VarId};
+use wcoj_storage::{PrefixIndex, Relation, Schema, Trie, TrieAccess, Tuple, WorkCounter};
+
+/// Which join engine to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Engine {
+    /// Left-deep binary hash-join plan (the one-pair-at-a-time baseline).
+    BinaryHash,
+    /// Generic Join over prefix-index cursors.
+    GenericJoin,
+    /// Leapfrog Triejoin over trie cursors.
+    Leapfrog,
+}
+
+/// The result of executing a query: the output relation (columns in the query's
+/// variable order), the work performed, and the variable order that was used.
+#[derive(Debug, Clone)]
+pub struct ExecOutput {
+    /// The query output.
+    pub result: Relation,
+    /// Elementary-operation tallies recorded during execution.
+    pub work: WorkCounter,
+    /// The global variable order the engine ran with (identity for the binary
+    /// baseline, which is order-insensitive).
+    pub order: Vec<VarId>,
+}
+
+/// Execute `query` over `db` with the given engine, letting the AGM-guided planner
+/// pick the variable order for the WCOJ engines.
+pub fn execute(
+    query: &ConjunctiveQuery,
+    db: &Database,
+    engine: Engine,
+) -> Result<ExecOutput, ExecError> {
+    let order = match engine {
+        Engine::BinaryHash => (0..query.num_vars()).collect(),
+        _ => agm_variable_order(query, db)?,
+    };
+    execute_with_order(query, db, engine, &order)
+}
+
+/// Execute `query` over `db` with the given engine and an explicit global variable
+/// order (ignored by the binary baseline).
+pub fn execute_with_order(
+    query: &ConjunctiveQuery,
+    db: &Database,
+    engine: Engine,
+    order: &[VarId],
+) -> Result<ExecOutput, ExecError> {
+    if !is_valid_order(query, order) {
+        return Err(ExecError::InvalidOrder(order.to_vec()));
+    }
+    let counter = WorkCounter::new();
+    let result = match engine {
+        Engine::BinaryHash => binary::binary_hash_plan(query, db, &counter)?,
+        Engine::GenericJoin => {
+            let relations = db.atom_relations(query)?;
+            let mut indexes = Vec::with_capacity(relations.len());
+            for (i, rel) in relations.iter().enumerate() {
+                let attrs = atom_attr_order(query, i, order)?;
+                indexes.push(PrefixIndex::build(rel, &attrs)?);
+            }
+            let rows = {
+                let mut cursors: Vec<Box<dyn TrieAccess + '_>> = indexes
+                    .iter()
+                    .map(|ix| Box::new(ix.cursor_with_counter(&counter)) as Box<dyn TrieAccess>)
+                    .collect();
+                generic::generic_join(&mut cursors, &participants(query, order), &counter)
+            };
+            rows_to_relation(query, order, rows)?
+        }
+        Engine::Leapfrog => {
+            let relations = db.atom_relations(query)?;
+            let mut tries = Vec::with_capacity(relations.len());
+            for (i, rel) in relations.iter().enumerate() {
+                let attrs = atom_attr_order(query, i, order)?;
+                tries.push(Trie::build(rel, &attrs)?);
+            }
+            let rows = {
+                let mut cursors: Vec<Box<dyn TrieAccess + '_>> = tries
+                    .iter()
+                    .map(|t| Box::new(t.cursor_with_counter(&counter)) as Box<dyn TrieAccess>)
+                    .collect();
+                leapfrog::leapfrog_triejoin(&mut cursors, &participants(query, order), &counter)
+            };
+            rows_to_relation(query, order, rows)?
+        }
+    };
+    Ok(ExecOutput {
+        result,
+        work: counter,
+        order: order.to_vec(),
+    })
+}
+
+/// `participants[l]` = indices of the atoms containing the variable at level `l`.
+fn participants(query: &ConjunctiveQuery, order: &[VarId]) -> Vec<Vec<usize>> {
+    let mut parts = vec![Vec::new(); order.len()];
+    for atom in 0..query.atoms().len() {
+        for level in atom_levels(query, atom, order) {
+            parts[level].push(atom);
+        }
+    }
+    parts
+}
+
+/// Package global-order rows as a relation with columns back in variable-id order.
+fn rows_to_relation(
+    query: &ConjunctiveQuery,
+    order: &[VarId],
+    rows: Vec<Tuple>,
+) -> Result<Relation, ExecError> {
+    let ordered_names: Vec<String> = order
+        .iter()
+        .map(|&v| query.var_name(v).to_string())
+        .collect();
+    let schema = Schema::try_new(ordered_names)?;
+    let rel = Relation::try_from_rows(schema, rows)?;
+    let var_refs: Vec<&str> = query.var_names().iter().map(|s| s.as_str()).collect();
+    Ok(rel.project(&var_refs)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wcoj_query::query::examples;
+
+    fn triangle_db() -> Database {
+        let mut db = Database::new();
+        db.insert(
+            "R",
+            Relation::from_pairs("x", "y", vec![(1, 2), (2, 3), (1, 3)]),
+        );
+        db.insert(
+            "S",
+            Relation::from_pairs("x", "y", vec![(2, 3), (3, 1), (3, 4)]),
+        );
+        db.insert(
+            "T",
+            Relation::from_pairs("x", "y", vec![(1, 3), (2, 1), (1, 4)]),
+        );
+        db
+    }
+
+    #[test]
+    fn all_engines_agree_on_the_triangle() {
+        let q = examples::triangle();
+        let db = triangle_db();
+        let outs: Vec<_> = [Engine::BinaryHash, Engine::GenericJoin, Engine::Leapfrog]
+            .into_iter()
+            .map(|e| execute(&q, &db, e).unwrap())
+            .collect();
+        assert_eq!(outs[0].result, outs[1].result);
+        assert_eq!(outs[1].result, outs[2].result);
+        assert_eq!(outs[0].result.len(), 3);
+        // WCOJ engines record cursor work, the baseline records intermediates
+        assert!(outs[0].work.intermediate_tuples() > 0);
+        assert!(outs[1].work.probes() > 0);
+        assert!(outs[2].work.probes() > 0);
+    }
+
+    #[test]
+    fn every_variable_order_gives_the_same_result() {
+        let q = examples::triangle();
+        let db = triangle_db();
+        let reference = execute(&q, &db, Engine::Leapfrog).unwrap().result;
+        for order in [
+            vec![0, 1, 2],
+            vec![0, 2, 1],
+            vec![1, 0, 2],
+            vec![1, 2, 0],
+            vec![2, 0, 1],
+            vec![2, 1, 0],
+        ] {
+            for engine in [Engine::GenericJoin, Engine::Leapfrog] {
+                let out = execute_with_order(&q, &db, engine, &order).unwrap();
+                assert_eq!(out.result, reference, "order {order:?} engine {engine:?}");
+                assert_eq!(out.order, order);
+            }
+        }
+    }
+
+    #[test]
+    fn self_join_clique_query() {
+        // clique(3) over one edge relation: triangles in a single graph
+        let q = examples::clique(3);
+        let mut db = Database::new();
+        db.insert(
+            "E",
+            Relation::from_pairs(
+                "src",
+                "dst",
+                vec![(1, 2), (1, 3), (2, 3), (3, 4), (2, 4), (1, 4)],
+            ),
+        );
+        let gj = execute(&q, &db, Engine::GenericJoin).unwrap();
+        let lf = execute(&q, &db, Engine::Leapfrog).unwrap();
+        let bh = execute(&q, &db, Engine::BinaryHash).unwrap();
+        assert_eq!(gj.result, lf.result);
+        assert_eq!(gj.result, bh.result);
+        // K4 minus nothing: every 3-subset of {1,2,3,4} with increasing edges = 4
+        assert_eq!(gj.result.len(), 4);
+    }
+
+    #[test]
+    fn invalid_order_rejected() {
+        let q = examples::triangle();
+        let db = triangle_db();
+        assert!(matches!(
+            execute_with_order(&q, &db, Engine::Leapfrog, &[0, 1]).unwrap_err(),
+            ExecError::InvalidOrder(_)
+        ));
+    }
+
+    #[test]
+    fn empty_relation_gives_empty_output() {
+        let q = examples::triangle();
+        let mut db = triangle_db();
+        db.insert(
+            "S",
+            Relation::from_pairs("x", "y", Vec::<(u64, u64)>::new()),
+        );
+        for engine in [Engine::BinaryHash, Engine::GenericJoin, Engine::Leapfrog] {
+            let out = execute(&q, &db, engine).unwrap();
+            assert!(out.result.is_empty(), "{engine:?}");
+        }
+    }
+}

@@ -1,1 +1,55 @@
-//! placeholder (implementation pending)
+//! `wcoj-core` — the join-execution engine of the workspace.
+//!
+//! This crate turns the *objects* modeled by `wcoj-query` / `wcoj-storage` /
+//! `wcoj-bounds` into the *subject* of Ngo's PODS 2018 survey: worst-case optimal
+//! join execution. It provides:
+//!
+//! * **Generic Join** (Algorithm 2, Section 4.2) — recursive variable-at-a-time
+//!   binding with smallest-first sorted-set intersection — [`exec::generic`];
+//! * **Leapfrog Triejoin** (Veldhuizen 2014, the survey's Section 1.2 ancestor) —
+//!   k-way leapfrog intersection over sorted trie cursors — [`exec::leapfrog`];
+//! * the classical **binary hash-join baseline** the paper compares against —
+//!   [`exec::binary`];
+//! * an **AGM-guided planner** that picks variable orders from the optimal
+//!   fractional edge cover of the `wcoj-bounds` LP — [`planner`];
+//! * one entry point, [`exec::execute`], returning the output relation plus the
+//!   [`wcoj_storage::WorkCounter`] tallies that let tests compare measured work
+//!   against the `N^{ρ*}` bound directly.
+//!
+//! Both WCOJ engines are written once against the [`wcoj_storage::TrieAccess`]
+//! trait, so they run unchanged over CSR tries and prefix hash indexes, and any
+//! future access path (compressed, distributed, cached) only has to implement the
+//! trait.
+//!
+//! # Example: the triangle query three ways
+//!
+//! ```
+//! use wcoj_core::exec::{execute, Engine};
+//! use wcoj_query::query::examples;
+//! use wcoj_query::Database;
+//! use wcoj_storage::Relation;
+//!
+//! let q = examples::triangle();
+//! let mut db = Database::new();
+//! db.insert("R", Relation::from_pairs("a", "b", vec![(1, 2), (2, 3), (1, 3)]));
+//! db.insert("S", Relation::from_pairs("b", "c", vec![(2, 3), (3, 1), (3, 4)]));
+//! db.insert("T", Relation::from_pairs("a", "c", vec![(1, 3), (2, 1), (1, 4)]));
+//!
+//! let gj = execute(&q, &db, Engine::GenericJoin).unwrap();
+//! let lf = execute(&q, &db, Engine::Leapfrog).unwrap();
+//! let bh = execute(&q, &db, Engine::BinaryHash).unwrap();
+//! assert_eq!(gj.result, lf.result);
+//! assert_eq!(gj.result, bh.result);
+//! assert_eq!(gj.result.len(), 3); // three triangles
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod error;
+pub mod exec;
+pub mod planner;
+
+pub use error::ExecError;
+pub use exec::{execute, execute_with_order, Engine, ExecOutput};
+pub use planner::agm_variable_order;

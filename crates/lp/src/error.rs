@@ -42,8 +42,14 @@ mod tests {
 
     #[test]
     fn display_messages() {
-        assert_eq!(LpError::Infeasible.to_string(), "linear program is infeasible");
-        assert_eq!(LpError::Unbounded.to_string(), "linear program is unbounded");
+        assert_eq!(
+            LpError::Infeasible.to_string(),
+            "linear program is infeasible"
+        );
+        assert_eq!(
+            LpError::Unbounded.to_string(),
+            "linear program is unbounded"
+        );
         assert!(LpError::IterationLimit(10).to_string().contains("10"));
         assert!(LpError::UnknownVariable(3).to_string().contains('3'));
     }

@@ -86,12 +86,8 @@ mod lib_tests {
     #[test]
     fn covering_lp_triangle() {
         // unit weights: fractional edge cover number of the triangle is 3/2
-        let (obj, x) = solve_covering_lp(
-            3,
-            &[1.0, 1.0, 1.0],
-            &[vec![0, 2], vec![0, 1], vec![1, 2]],
-        )
-        .unwrap();
+        let (obj, x) =
+            solve_covering_lp(3, &[1.0, 1.0, 1.0], &[vec![0, 2], vec![0, 1], vec![1, 2]]).unwrap();
         assert!((obj - 1.5).abs() < 1e-9);
         for v in x {
             assert!((v - 0.5).abs() < 1e-9);

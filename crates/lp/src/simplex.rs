@@ -95,11 +95,7 @@ fn build_tableau(lp: &LinearProgram) -> Tableau {
     let n_struct = cost.len();
 
     // One slack/surplus column per inequality row.
-    let n_slack = lp
-        .constraints()
-        .iter()
-        .filter(|c| c.cmp != Cmp::Eq)
-        .count();
+    let n_slack = lp.constraints().iter().filter(|c| c.cmp != Cmp::Eq).count();
     let art0 = n_struct + n_slack;
     let ncols = art0 + m;
     cost.resize(ncols, 0.0);
@@ -281,8 +277,8 @@ pub(crate) fn solve(lp: &LinearProgram, opts: SimplexOptions) -> Result<Solution
 
     // ---- Phase 1: minimize the sum of artificial variables. ----
     let mut phase1_cost = vec![0.0; tab.ncols];
-    for c in tab.art0..tab.ncols {
-        phase1_cost[c] = 1.0;
+    for cost in phase1_cost.iter_mut().skip(tab.art0) {
+        *cost = 1.0;
     }
     // Price out the initially-basic artificials so reduced costs start consistent:
     // (run_simplex recomputes reduced costs from scratch each iteration, so nothing to

@@ -136,9 +136,7 @@ impl ConstraintSet {
         let mut out = ConstraintSet::new();
         for &(name, bound) in sizes {
             let idx = query.atom_index(name)?;
-            out.push(
-                DegreeConstraint::cardinality(query.atom_var_set(idx), bound).with_guard(idx),
-            );
+            out.push(DegreeConstraint::cardinality(query.atom_var_set(idx), bound).with_guard(idx));
         }
         Ok(out)
     }
@@ -347,8 +345,7 @@ mod tests {
     #[test]
     fn all_cardinalities_builder() {
         let q = examples::triangle();
-        let dc =
-            ConstraintSet::all_cardinalities(&q, &[("R", 10), ("S", 20), ("T", 30)]).unwrap();
+        let dc = ConstraintSet::all_cardinalities(&q, &[("R", 10), ("S", 20), ("T", 30)]).unwrap();
         assert_eq!(dc.len(), 3);
         assert!(dc.cardinalities_only());
         assert!(dc.cardinalities_and_simple_fds_only());
@@ -360,7 +357,7 @@ mod tests {
     #[test]
     fn constraint_graph_and_acyclicity() {
         let q = examples::chain_with_guard(); // A, B, C, D
-        // constraints from the paper's example (63): N_A, N_{B|A}, N_{C|B}, N_{AD|C}
+                                              // constraints from the paper's example (63): N_A, N_{B|A}, N_{C|B}, N_{AD|C}
         let mut dc = ConstraintSet::new();
         dc.push_named(&q, &[], &["A"], 10).unwrap();
         dc.push_named(&q, &["A"], &["B"], 5).unwrap();

@@ -139,10 +139,7 @@ impl Database {
     }
 
     /// All atom relations of `query`, in atom order, renamed to atom variables.
-    pub fn atom_relations(
-        &self,
-        query: &ConjunctiveQuery,
-    ) -> Result<Vec<Relation>, DatabaseError> {
+    pub fn atom_relations(&self, query: &ConjunctiveQuery) -> Result<Vec<Relation>, DatabaseError> {
         (0..query.atoms().len())
             .map(|i| self.relation_for_atom(query, i))
             .collect()
@@ -218,9 +215,18 @@ mod tests {
 
     fn triangle_db() -> Database {
         let mut db = Database::new();
-        db.insert("R", Relation::from_pairs("A", "B", vec![(1, 2), (2, 3), (1, 3)]));
-        db.insert("S", Relation::from_pairs("B", "C", vec![(2, 3), (3, 1), (3, 4)]));
-        db.insert("T", Relation::from_pairs("A", "C", vec![(1, 3), (2, 1), (1, 4)]));
+        db.insert(
+            "R",
+            Relation::from_pairs("A", "B", vec![(1, 2), (2, 3), (1, 3)]),
+        );
+        db.insert(
+            "S",
+            Relation::from_pairs("B", "C", vec![(2, 3), (3, 1), (3, 4)]),
+        );
+        db.insert(
+            "T",
+            Relation::from_pairs("A", "C", vec![(1, 3), (2, 1), (1, 4)]),
+        );
         db
     }
 
@@ -241,7 +247,10 @@ mod tests {
     fn relation_for_atom_renames_positionally() {
         let q = examples::clique(3); // E(X0,X1), E(X0,X2), E(X1,X2)
         let mut db = Database::new();
-        db.insert("E", Relation::from_pairs("src", "dst", vec![(1, 2), (2, 3)]));
+        db.insert(
+            "E",
+            Relation::from_pairs("src", "dst", vec![(1, 2), (2, 3)]),
+        );
         let r0 = db.relation_for_atom(&q, 0).unwrap();
         assert_eq!(r0.schema().attrs(), &["X0".to_string(), "X1".to_string()]);
         let r2 = db.relation_for_atom(&q, 2).unwrap();
@@ -264,7 +273,11 @@ mod tests {
         );
         assert!(matches!(
             db.relation_for_atom(&q, 1).unwrap_err(),
-            DatabaseError::ArityMismatch { expected: 2, found: 3, .. }
+            DatabaseError::ArityMismatch {
+                expected: 2,
+                found: 3,
+                ..
+            }
         ));
     }
 

@@ -65,9 +65,8 @@ pub fn gyo_reduce(h: &Hypergraph) -> GyoReduction {
                 continue;
             }
             let is_empty = edges[i].is_empty();
-            let subset_of_other = (0..edges.len()).any(|j| {
-                j != i && alive[j] && edges[i].iter().all(|v| edges[j].contains(v))
-            });
+            let subset_of_other = (0..edges.len())
+                .any(|j| j != i && alive[j] && edges[i].iter().all(|v| edges[j].contains(v)));
             if is_empty || subset_of_other {
                 alive[i] = false;
                 ear_order.push(i);

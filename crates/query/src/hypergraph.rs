@@ -78,11 +78,7 @@ impl Hypergraph {
             return false;
         }
         (0..self.num_vertices).all(|v| {
-            let total: f64 = self
-                .edges_containing(v)
-                .iter()
-                .map(|&i| weights[i])
-                .sum();
+            let total: f64 = self.edges_containing(v).iter().map(|&i| weights[i]).sum();
             total >= 1.0 - 1e-9
         })
     }

@@ -14,7 +14,10 @@
 //! * a **database** binding atom names to [`wcoj_storage::Relation`]s, with
 //!   verification that it satisfies a constraint set (`D ⊨ DC`) — [`Database`];
 //! * GYO reduction / α-acyclicity of the query hypergraph — [`gyo`];
-//! * a small datalog-style parser for queries and constraints — [`parser`].
+//! * a small datalog-style parser for queries and constraints — [`parser`];
+//! * **variable-order planning** for the join engines of `wcoj-core`: per-atom
+//!   attribute orders induced by a global variable order, and a weighted greedy
+//!   order heuristic fed by the AGM fractional edge cover — [`plan`].
 //!
 //! # Example
 //!
@@ -44,6 +47,7 @@ pub mod database;
 pub mod gyo;
 pub mod hypergraph;
 pub mod parser;
+pub mod plan;
 pub mod query;
 pub mod repair;
 
@@ -51,6 +55,7 @@ pub use constraints::{constraint_graph, ConstraintSet, DegreeConstraint};
 pub use database::Database;
 pub use hypergraph::Hypergraph;
 pub use parser::{parse_constraints, parse_query, ParseError};
+pub use plan::{atom_attr_order, default_order, is_valid_order, weighted_greedy_order};
 pub use query::{Atom, ConjunctiveQuery, QueryBuilder, QueryError};
 pub use repair::{bound_variables, is_output_finite, repair_to_acyclic};
 

@@ -59,11 +59,15 @@ fn parse_atom(text: &str) -> Result<(String, Vec<String>), ParseError> {
         .find('(')
         .ok_or_else(|| ParseError::Syntax(format!("expected `(` in atom `{text}`")))?;
     if !text.ends_with(')') {
-        return Err(ParseError::Syntax(format!("expected `)` at end of atom `{text}`")));
+        return Err(ParseError::Syntax(format!(
+            "expected `)` at end of atom `{text}`"
+        )));
     }
     let name = text[..open].trim();
     if name.is_empty() {
-        return Err(ParseError::Syntax(format!("missing relation name in `{text}`")));
+        return Err(ParseError::Syntax(format!(
+            "missing relation name in `{text}`"
+        )));
     }
     let inner = &text[open + 1..text.len() - 1];
     let vars: Vec<String> = inner
@@ -72,7 +76,9 @@ fn parse_atom(text: &str) -> Result<(String, Vec<String>), ParseError> {
         .filter(|v| !v.is_empty())
         .collect();
     if vars.is_empty() {
-        return Err(ParseError::Syntax(format!("atom `{name}` has no variables")));
+        return Err(ParseError::Syntax(format!(
+            "atom `{name}` has no variables"
+        )));
     }
     Ok((name.to_string(), vars))
 }
@@ -184,7 +190,9 @@ fn parse_constraint_line(
             return Ok(DegreeConstraint::functional_dependency(xs, ys).with_guard(guard_idx));
         }
     }
-    Err(ParseError::Syntax(format!("unrecognized constraint `{line}`")))
+    Err(ParseError::Syntax(format!(
+        "unrecognized constraint `{line}`"
+    )))
 }
 
 fn parse_bound(text: &str, line: &str) -> Result<u64, ParseError> {
@@ -246,10 +254,22 @@ mod tests {
     #[test]
     fn parse_errors() {
         assert_eq!(parse_query("").unwrap_err(), ParseError::Empty);
-        assert!(matches!(parse_query("R(A,").unwrap_err(), ParseError::Syntax(_)));
-        assert!(matches!(parse_query("R A,B)").unwrap_err(), ParseError::Syntax(_)));
-        assert!(matches!(parse_query("(A,B)").unwrap_err(), ParseError::Syntax(_)));
-        assert!(matches!(parse_query("R()").unwrap_err(), ParseError::Syntax(_)));
+        assert!(matches!(
+            parse_query("R(A,").unwrap_err(),
+            ParseError::Syntax(_)
+        ));
+        assert!(matches!(
+            parse_query("R A,B)").unwrap_err(),
+            ParseError::Syntax(_)
+        ));
+        assert!(matches!(
+            parse_query("(A,B)").unwrap_err(),
+            ParseError::Syntax(_)
+        ));
+        assert!(matches!(
+            parse_query("R()").unwrap_err(),
+            ParseError::Syntax(_)
+        ));
         // duplicate variable inside an atom is a query-level error
         assert!(matches!(
             parse_query("R(A,A)").unwrap_err(),
@@ -311,7 +331,9 @@ mod tests {
     #[test]
     fn error_display() {
         assert!(ParseError::Empty.to_string().contains("empty"));
-        assert!(ParseError::Syntax("boom".into()).to_string().contains("boom"));
+        assert!(ParseError::Syntax("boom".into())
+            .to_string()
+            .contains("boom"));
         let e: ParseError = QueryError::EmptyQuery.into();
         assert!(!e.to_string().is_empty());
     }

@@ -369,8 +369,12 @@ mod tests {
     #[test]
     fn error_display() {
         assert!(QueryError::EmptyQuery.to_string().contains("no atoms"));
-        assert!(QueryError::UnknownVariable("X".into()).to_string().contains('X'));
-        assert!(QueryError::UnknownAtom("R".into()).to_string().contains('R'));
+        assert!(QueryError::UnknownVariable("X".into())
+            .to_string()
+            .contains('X'));
+        assert!(QueryError::UnknownAtom("R".into())
+            .to_string()
+            .contains('R'));
         let e = QueryError::DuplicateVarInAtom {
             atom: "R".into(),
             var: "A".into(),

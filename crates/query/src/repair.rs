@@ -169,8 +169,7 @@ pub fn repair_to_acyclic(
                 let mut candidate = current.clone();
                 let new_y: Vec<VarId> = c.y.iter().copied().filter(|&v| v != y).collect();
                 if new_y.len() > c.x.len() {
-                    let mut weakened =
-                        DegreeConstraint::new(c.x.clone(), new_y, c.bound);
+                    let mut weakened = DegreeConstraint::new(c.x.clone(), new_y, c.bound);
                     weakened.guard = c.guard;
                     candidate[ci] = weakened;
                 } else {

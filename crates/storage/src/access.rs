@@ -1,0 +1,373 @@
+//! [`TrieAccess`] — the common cursor interface both join algorithms are written
+//! against.
+//!
+//! The worst-case optimal join algorithms of the paper need exactly one capability
+//! from storage: positioned enumeration of the sorted set of values extending a bound
+//! prefix, with a least-upper-bound `seek` so that set intersections run in time
+//! proportional to the smallest set (Section 2). Two access paths provide it:
+//!
+//! * [`crate::TrieCursor`] over a CSR-flattened [`crate::Trie`] — contiguous sorted
+//!   sibling groups, galloping `seek`; the classic Leapfrog Triejoin iterator;
+//! * [`PrefixCursor`] over a [`PrefixIndex`] — hash lookup per `open`, then the same
+//!   sorted-slice navigation; the access path Generic Join assumes.
+//!
+//! `TrieAccess` abstracts over both so that Generic Join and Leapfrog Triejoin in
+//! `wcoj-core` are written once and run on either backend. The trait is object-safe:
+//! engines hold `Box<dyn TrieAccess>` and can mix backends within one query.
+//!
+//! # Contract
+//!
+//! A cursor is a stack of *sibling groups*. At depth `d` the cursor is positioned at
+//! one value of the sorted group of distinct values extending the length-`d-1` prefix
+//! chosen at shallower depths. `open` descends into the children of the current value,
+//! `up` pops back, `next`/`seek` move within the current group and never escape it.
+//! `seek` only moves forward (targets must be non-decreasing between `open`s — the
+//! leapfrog discipline).
+
+use crate::index::PrefixIndex;
+use crate::stats::WorkCounter;
+use crate::trie::TrieCursor;
+use crate::Value;
+
+/// The linear-iterator interface over a trie-shaped view of a relation, as required
+/// by Leapfrog Triejoin (Veldhuizen 2014) and Generic Join (Algorithm 2 of the
+/// paper).
+pub trait TrieAccess {
+    /// Number of levels (the arity of the underlying relation).
+    fn arity(&self) -> usize;
+
+    /// Current depth: number of levels opened (0 = at the root, no key).
+    fn depth(&self) -> usize;
+
+    /// Descend into the sorted group of values extending the current prefix.
+    /// Returns `false` without moving if there is no deeper level or the group is
+    /// empty.
+    fn open(&mut self) -> bool;
+
+    /// Ascend one level; no-op at the root.
+    fn up(&mut self);
+
+    /// The value at the cursor's position. Panics at the root or past the end of the
+    /// current group.
+    fn key(&self) -> Value;
+
+    /// Whether the cursor has run past the last value of its current group (always
+    /// true at the root).
+    fn at_end(&self) -> bool;
+
+    /// Advance to the next value in the group. Returns `false` when that moves past
+    /// the end.
+    fn next(&mut self) -> bool;
+
+    /// Position at the least value `>= target` in the current group. Returns `false`
+    /// (and leaves the cursor `at_end`) if there is none. Forward-only.
+    fn seek(&mut self, target: Value) -> bool;
+
+    /// Number of values remaining in the current group from the cursor's position —
+    /// the fan-out estimate Generic Join uses to intersect smallest-first. Returns 0
+    /// at the root.
+    fn group_size(&self) -> usize;
+}
+
+impl TrieAccess for TrieCursor<'_> {
+    fn arity(&self) -> usize {
+        TrieCursor::arity(self)
+    }
+
+    fn depth(&self) -> usize {
+        TrieCursor::depth(self)
+    }
+
+    fn open(&mut self) -> bool {
+        TrieCursor::open(self)
+    }
+
+    fn up(&mut self) {
+        TrieCursor::up(self)
+    }
+
+    fn key(&self) -> Value {
+        TrieCursor::key(self)
+    }
+
+    fn at_end(&self) -> bool {
+        TrieCursor::at_end(self)
+    }
+
+    fn next(&mut self) -> bool {
+        TrieCursor::next(self)
+    }
+
+    fn seek(&mut self, target: Value) -> bool {
+        TrieCursor::seek(self, target)
+    }
+
+    fn group_size(&self) -> usize {
+        self.remaining().len()
+    }
+}
+
+/// One open level of a [`PrefixCursor`]: the sorted distinct values extending the
+/// prefix chosen above, plus the position within them.
+#[derive(Debug, Clone, Copy)]
+struct PrefixFrame<'a> {
+    values: &'a [Value],
+    pos: usize,
+}
+
+/// A [`TrieAccess`] cursor over a [`PrefixIndex`].
+///
+/// Each `open` costs one hash probe (`values_after` on the prefix assembled from the
+/// keys above); navigation within a level is galloping search over the sorted slice,
+/// identical in cost shape to [`TrieCursor`]. Obtained from
+/// [`PrefixIndex::cursor`] / [`PrefixIndex::cursor_with_counter`].
+#[derive(Debug, Clone)]
+pub struct PrefixCursor<'a> {
+    index: &'a PrefixIndex,
+    frames: Vec<PrefixFrame<'a>>,
+    counter: Option<&'a WorkCounter>,
+}
+
+impl PrefixIndex {
+    /// A [`PrefixCursor`] positioned at the root.
+    pub fn cursor(&self) -> PrefixCursor<'_> {
+        PrefixCursor {
+            index: self,
+            frames: Vec::new(),
+            counter: None,
+        }
+    }
+
+    /// A cursor that records its probe/step work into `counter`.
+    pub fn cursor_with_counter<'a>(&'a self, counter: &'a WorkCounter) -> PrefixCursor<'a> {
+        PrefixCursor {
+            index: self,
+            frames: Vec::new(),
+            counter: Some(counter),
+        }
+    }
+}
+
+impl TrieAccess for PrefixCursor<'_> {
+    fn arity(&self) -> usize {
+        self.index.arity()
+    }
+
+    fn depth(&self) -> usize {
+        self.frames.len()
+    }
+
+    fn open(&mut self) -> bool {
+        if self.frames.len() >= self.index.arity() {
+            return false;
+        }
+        let prefix: Vec<Value> = self
+            .frames
+            .iter()
+            .map(|f| {
+                debug_assert!(f.pos < f.values.len(), "open below an exhausted level");
+                f.values[f.pos]
+            })
+            .collect();
+        if let Some(c) = self.counter {
+            c.add_probes(1); // the hash lookup
+        }
+        match self.index.values_after(&prefix) {
+            Some(values) if !values.is_empty() => {
+                self.frames.push(PrefixFrame { values, pos: 0 });
+                true
+            }
+            _ => false,
+        }
+    }
+
+    fn up(&mut self) {
+        self.frames.pop();
+    }
+
+    fn key(&self) -> Value {
+        let f = self.frames.last().expect("cursor is at the root");
+        assert!(f.pos < f.values.len(), "cursor is at end of its group");
+        f.values[f.pos]
+    }
+
+    fn at_end(&self) -> bool {
+        match self.frames.last() {
+            None => true,
+            Some(f) => f.pos >= f.values.len(),
+        }
+    }
+
+    fn next(&mut self) -> bool {
+        if let Some(c) = self.counter {
+            c.add_intersect_steps(1);
+        }
+        let f = self.frames.last_mut().expect("cursor is at the root");
+        if f.pos < f.values.len() {
+            f.pos += 1;
+        }
+        f.pos < f.values.len()
+    }
+
+    fn seek(&mut self, target: Value) -> bool {
+        let counter = self.counter;
+        let f = self.frames.last_mut().expect("cursor is at the root");
+        if f.pos >= f.values.len() {
+            return false;
+        }
+        let (pos, probes) = crate::ops::gallop_lub(f.values, f.pos, f.values.len(), target);
+        if let Some(c) = counter {
+            c.add_probes(probes);
+        }
+        f.pos = pos;
+        f.pos < f.values.len()
+    }
+
+    fn group_size(&self) -> usize {
+        match self.frames.last() {
+            None => 0,
+            Some(f) => f.values.len().saturating_sub(f.pos),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::relation::Relation;
+    use crate::schema::Schema;
+    use crate::trie::Trie;
+
+    fn rel() -> Relation {
+        Relation::from_rows(
+            Schema::new(&["A", "B", "C"]),
+            vec![
+                vec![1, 2, 10],
+                vec![1, 2, 11],
+                vec![1, 3, 10],
+                vec![2, 2, 12],
+                vec![4, 1, 1],
+                vec![4, 1, 2],
+            ],
+        )
+    }
+
+    /// Depth-first enumeration through the trait — must reproduce the sorted tuples
+    /// identically for both backends.
+    fn enumerate(c: &mut dyn TrieAccess, arity: usize) -> Vec<Vec<Value>> {
+        let mut out = Vec::new();
+        let mut prefix = Vec::new();
+        walk(c, arity, &mut prefix, &mut out);
+        out
+    }
+
+    fn walk(
+        c: &mut dyn TrieAccess,
+        arity: usize,
+        prefix: &mut Vec<Value>,
+        out: &mut Vec<Vec<Value>>,
+    ) {
+        if !c.open() {
+            return;
+        }
+        while !c.at_end() {
+            prefix.push(c.key());
+            if prefix.len() == arity {
+                out.push(prefix.clone());
+            } else {
+                walk(c, arity, prefix, out);
+            }
+            prefix.pop();
+            if !c.next() {
+                break;
+            }
+        }
+        c.up();
+    }
+
+    #[test]
+    fn both_backends_enumerate_identically() {
+        let r = rel();
+        let trie = Trie::build(&r, &["A", "B", "C"]).unwrap();
+        let index = PrefixIndex::build(&r, &["A", "B", "C"]).unwrap();
+        let mut tc = trie.cursor();
+        let mut pc = index.cursor();
+        let from_trie = enumerate(&mut tc, 3);
+        let from_index = enumerate(&mut pc, 3);
+        assert_eq!(from_trie, r.tuples());
+        assert_eq!(from_index, r.tuples());
+    }
+
+    #[test]
+    fn prefix_cursor_matches_trie_cursor_navigation() {
+        let r = rel();
+        let trie = Trie::build(&r, &["A", "B", "C"]).unwrap();
+        let index = PrefixIndex::build(&r, &["A", "B", "C"]).unwrap();
+        let mut cursors: Vec<Box<dyn TrieAccess>> =
+            vec![Box::new(trie.cursor()), Box::new(index.cursor())];
+        for c in cursors.iter_mut() {
+            assert_eq!(c.arity(), 3);
+            assert!(c.at_end()); // root
+            assert_eq!(c.group_size(), 0);
+            assert!(c.open());
+            assert_eq!(c.depth(), 1);
+            assert_eq!(c.key(), 1);
+            assert_eq!(c.group_size(), 3); // A in {1, 2, 4}
+            assert!(c.seek(3));
+            assert_eq!(c.key(), 4); // lub of 3
+            assert!(c.open());
+            assert_eq!(c.key(), 1); // B under A=4
+            assert!(c.open());
+            assert_eq!(c.group_size(), 2); // C in {1, 2}
+            assert!(c.next());
+            assert_eq!(c.key(), 2);
+            assert!(!c.next());
+            assert!(c.at_end());
+            c.up();
+            c.up();
+            assert_eq!(c.depth(), 1);
+            assert!(!c.seek(5)); // nothing >= 5 at level A
+            assert!(c.at_end());
+        }
+    }
+
+    #[test]
+    fn prefix_cursor_seek_is_forward_only_within_group() {
+        let r = rel();
+        let index = PrefixIndex::build(&r, &["A", "B", "C"]).unwrap();
+        let mut c = index.cursor();
+        c.open();
+        assert_eq!(c.key(), 1);
+        c.open(); // B under A=1: {2, 3}
+        assert!(c.seek(3));
+        assert_eq!(c.key(), 3);
+        assert!(!c.seek(4)); // 4 only occurs at level A, never under A=1
+    }
+
+    #[test]
+    fn prefix_cursor_counts_work() {
+        let rows = (0..1000).map(|i| vec![i]).collect();
+        let r = Relation::from_rows(Schema::new(&["A"]), rows);
+        let index = PrefixIndex::build(&r, &["A"]).unwrap();
+        let w = WorkCounter::new();
+        let mut c = index.cursor_with_counter(&w);
+        assert!(c.open());
+        assert!(c.seek(900));
+        assert_eq!(c.key(), 900);
+        c.next();
+        assert!(w.probes() > 1, "open probe + galloping probes");
+        assert!(w.intersect_steps() > 0);
+    }
+
+    #[test]
+    fn empty_relation_cursors() {
+        let r = Relation::empty(Schema::new(&["A", "B"]));
+        let trie = Trie::build(&r, &["A", "B"]).unwrap();
+        let index = PrefixIndex::build(&r, &["A", "B"]).unwrap();
+        let mut tc = trie.cursor();
+        let mut pc = index.cursor();
+        assert!(!TrieAccess::open(&mut tc));
+        assert!(!TrieAccess::open(&mut pc));
+        assert_eq!(pc.arity(), 2);
+    }
+}

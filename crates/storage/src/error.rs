@@ -35,7 +35,10 @@ impl fmt::Display for StorageError {
         match self {
             StorageError::UnknownAttribute(a) => write!(f, "unknown attribute `{a}`"),
             StorageError::ArityMismatch { expected, found } => {
-                write!(f, "tuple arity {found} does not match schema arity {expected}")
+                write!(
+                    f,
+                    "tuple arity {found} does not match schema arity {expected}"
+                )
             }
             StorageError::SchemaMismatch { left, right } => {
                 write!(f, "schema mismatch: {left:?} vs {right:?}")

@@ -15,6 +15,9 @@
 //! * [`index::PrefixIndex`] — a hash index from bound prefixes to the sorted list of
 //!   next-attribute values, the access path used by Generic Join and by the
 //!   backtracking search of Algorithm 3;
+//! * [`access::TrieAccess`] — the common cursor trait over both access paths
+//!   (`TrieCursor` and [`access::PrefixCursor`]), so the join engines in `wcoj-core`
+//!   are written once and run on either backend;
 //! * [`stats::WorkCounter`] — instrumentation counting comparisons, probes, and
 //!   intermediate tuples so that tests and benchmarks can check the *work* bounds the
 //!   paper proves, not just wall-clock time.
@@ -38,6 +41,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod access;
 pub mod dictionary;
 pub mod error;
 pub mod index;
@@ -47,6 +51,7 @@ pub mod schema;
 pub mod stats;
 pub mod trie;
 
+pub use access::{PrefixCursor, TrieAccess};
 pub use dictionary::Dictionary;
 pub use error::StorageError;
 pub use index::PrefixIndex;

@@ -52,6 +52,41 @@ pub fn intersect_sorted(lists: &[&[Value]], counter: &WorkCounter) -> Vec<Value>
     out
 }
 
+/// Least-upper-bound galloping search within `values[start..end]`: the first index
+/// `>= start` (and `< end`) whose value is `>= target`, or `end` if none. Returns the
+/// index and the number of probes performed. Shared by every seekable cursor
+/// ([`crate::TrieCursor`], [`crate::PrefixCursor`]).
+pub(crate) fn gallop_lub(
+    values: &[Value],
+    start: usize,
+    end: usize,
+    target: Value,
+) -> (usize, u64) {
+    debug_assert!(end <= values.len());
+    // Galloping: double the step until we pass `target`, then binary search.
+    let mut step = 1usize;
+    let mut lo = start;
+    let mut probes = 1u64;
+    while lo + step < end && values[lo + step] < target {
+        lo += step;
+        step *= 2;
+        probes += 1;
+    }
+    let mut h = end.min(lo + step + 1);
+    // Binary search in [lo, h) for the first value >= target.
+    let mut l = lo;
+    while l < h {
+        let m = (l + h) / 2;
+        probes += 1;
+        if values[m] < target {
+            l = m + 1;
+        } else {
+            h = m;
+        }
+    }
+    (l, probes)
+}
+
 /// Find the first index `>= start` with `list[index] >= target` using galloping search.
 fn gallop(list: &[Value], start: usize, target: Value, counter: &WorkCounter) -> usize {
     let mut lo = start;
@@ -106,12 +141,11 @@ pub fn hash_join(
         .map(|a| right.schema().require(a))
         .collect::<Result<_, _>>()?;
 
-    let (build_rel, probe_rel, build_key, probe_key, build_is_left) =
-        if left.len() <= right.len() {
-            (left, right, &left_pos, &right_pos, true)
-        } else {
-            (right, left, &right_pos, &left_pos, false)
-        };
+    let (build_rel, probe_rel, build_key, probe_key, build_is_left) = if left.len() <= right.len() {
+        (left, right, &left_pos, &right_pos, true)
+    } else {
+        (right, left, &right_pos, &left_pos, false)
+    };
 
     let mut table: HashMap<Vec<Value>, Vec<&Tuple>> = HashMap::new();
     for t in build_rel.iter() {
@@ -181,18 +215,18 @@ pub fn merge_join(
                 // find the extent of the equal-key runs on both sides
                 let i_end = i + lt[i..].iter().take_while(|t| &t[..k] == lk).count();
                 let j_end = j + rt[j..].iter().take_while(|t| &t[..k] == rk).count();
-                for a in i..i_end {
-                    for b in j..j_end {
+                for lrow in &lt[i..i_end] {
+                    for rrow in &rt[j..j_end] {
                         // output in the left-schema-first attribute order
                         let mut row = Vec::with_capacity(out_schema.arity());
                         // left attributes in original left order:
                         for attr in left.schema().attrs() {
                             let p = l.schema().require(attr).unwrap();
-                            row.push(lt[a][p]);
+                            row.push(lrow[p]);
                         }
                         for attr in &right_rest {
                             let p = r.schema().require(attr).unwrap();
-                            row.push(rt[b][p]);
+                            row.push(rrow[p]);
                         }
                         rows.push(row);
                     }

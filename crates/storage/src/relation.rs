@@ -119,7 +119,9 @@ impl Relation {
     /// attributes and behind trie construction; it runs in O(log n) time.
     pub fn prefix_range(&self, prefix: &[Value]) -> &[Tuple] {
         let lo = self.tuples.partition_point(|t| t[..prefix.len()] < *prefix);
-        let hi = self.tuples.partition_point(|t| t[..prefix.len()] <= *prefix);
+        let hi = self
+            .tuples
+            .partition_point(|t| t[..prefix.len()] <= *prefix);
         &self.tuples[lo..hi]
     }
 

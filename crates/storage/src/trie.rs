@@ -192,6 +192,11 @@ impl<'a> TrieCursor<'a> {
         self.stack.len()
     }
 
+    /// Arity of the underlying trie (total number of levels).
+    pub fn arity(&self) -> usize {
+        self.trie.arity()
+    }
+
     /// Descend into the first child of the current node (or into the first root-level
     /// value when at the root). Returns `false` without moving if there are no
     /// children (already at the deepest level, or the trie is empty).
@@ -236,6 +241,7 @@ impl<'a> TrieCursor<'a> {
     }
 
     /// Advance to the next sibling. Returns `false` if that moves past the end.
+    #[allow(clippy::should_implement_trait)]
     pub fn next(&mut self) -> bool {
         if let Some(c) = self.counter {
             c.add_intersect_steps(1);
@@ -256,33 +262,11 @@ impl<'a> TrieCursor<'a> {
         if frame.pos >= frame.end {
             return false;
         }
-        // Galloping: double the step until we pass `target`, then binary search.
-        let mut step = 1usize;
-        let mut lo = frame.pos;
-        let mut hi = frame.end;
-        let mut probes = 1u64;
-        while lo + step < frame.end && values[lo + step] < target {
-            lo += step;
-            step *= 2;
-            probes += 1;
-        }
-        hi = hi.min(lo + step + 1);
-        // Binary search in [lo, hi) for the first value >= target.
-        let mut l = lo;
-        let mut h = hi;
-        while l < h {
-            let m = (l + h) / 2;
-            probes += 1;
-            if values[m] < target {
-                l = m + 1;
-            } else {
-                h = m;
-            }
-        }
+        let (pos, probes) = crate::ops::gallop_lub(values, frame.pos, frame.end, target);
         if let Some(c) = self.counter {
             c.add_probes(probes);
         }
-        frame.pos = l;
+        frame.pos = pos;
         frame.pos < frame.end
     }
 
@@ -323,7 +307,10 @@ mod tests {
         assert_eq!(t.nodes_at(0), 3); // A in {1, 2, 4}
         assert_eq!(t.nodes_at(1), 4); // (1,2) (1,3) (2,2) (4,1)
         assert_eq!(t.nodes_at(2), 6); // all tuples distinct
-        assert_eq!(t.attr_order(), &["A".to_string(), "B".to_string(), "C".to_string()]);
+        assert_eq!(
+            t.attr_order(),
+            &["A".to_string(), "B".to_string(), "C".to_string()]
+        );
     }
 
     #[test]
@@ -447,7 +434,12 @@ mod tests {
         let t = Trie::build(&r, &["A", "B", "C"]).unwrap();
         let mut out = Vec::new();
         let mut c = t.cursor();
-        fn walk(c: &mut TrieCursor<'_>, arity: usize, prefix: &mut Vec<Value>, out: &mut Vec<Vec<Value>>) {
+        fn walk(
+            c: &mut TrieCursor<'_>,
+            arity: usize,
+            prefix: &mut Vec<Value>,
+            out: &mut Vec<Vec<Value>>,
+        ) {
             if !c.open() {
                 return;
             }

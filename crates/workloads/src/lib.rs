@@ -1,1 +1,364 @@
-//! placeholder (implementation pending)
+//! `wcoj-workloads` — deterministic query/data generators for tests, experiments,
+//! and benchmarks.
+//!
+//! Every generator returns a [`Workload`]: a [`ConjunctiveQuery`] paired with a
+//! [`Database`] binding its atoms. Data generation is seeded (a SplitMix64 PRNG, no
+//! external dependencies), so every test and benchmark run sees identical inputs.
+//!
+//! Two data regimes matter for the paper's story:
+//!
+//! * **uniform** random edges — the regime where binary plans are fine and the AGM
+//!   bound is slack;
+//! * **Zipf-skewed** edges ([`zipf_pairs`]) — heavy-hitter joins where
+//!   one-pair-at-a-time plans blow up on intermediate results while the WCOJ engines
+//!   stay within `O(N^{ρ*})` (Section 1.1's motivating example is exactly such a
+//!   skew).
+//!
+//! # Example
+//!
+//! ```
+//! let w = wcoj_workloads::triangle(256, 42);
+//! assert_eq!(w.query.num_vars(), 3);
+//! assert_eq!(w.db.num_relations(), 3);
+//! assert!(w.db.get("R").unwrap().len() <= 256);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use wcoj_query::query::examples;
+use wcoj_query::{ConjunctiveQuery, Database};
+use wcoj_storage::{Relation, Value};
+
+/// A named query plus a database binding every atom — one unit of experimental work.
+#[derive(Debug, Clone)]
+pub struct Workload {
+    /// Short identifier used in test/benchmark output (e.g. `triangle_n256`).
+    pub name: String,
+    /// The query.
+    pub query: ConjunctiveQuery,
+    /// The database its atoms are bound to.
+    pub db: Database,
+}
+
+/// SplitMix64 — a tiny, high-quality, dependency-free PRNG (Steele et al. 2014).
+/// Deterministic per seed; used for all data generation in the workspace.
+#[derive(Debug, Clone)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// A generator seeded with `seed`.
+    pub fn new(seed: u64) -> Self {
+        SplitMix64 { state: seed }
+    }
+
+    /// The next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// A value uniform in `[0, bound)`; `bound` must be positive.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "bound must be positive");
+        // rejection-free: multiply-shift (Lemire); bias is negligible for our bounds
+        ((self.next_u64() as u128 * bound as u128) >> 64) as u64
+    }
+
+    /// A float uniform in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+/// `n` uniform random pairs over `[0, domain)²` (duplicates collapse when the
+/// relation is built, so the result may hold fewer than `n` tuples).
+pub fn random_pairs(n: usize, domain: u64, seed: u64) -> Vec<(Value, Value)> {
+    let mut rng = SplitMix64::new(seed);
+    (0..n)
+        .map(|_| (rng.below(domain), rng.below(domain)))
+        .collect()
+}
+
+/// `n` pairs whose endpoints follow a (truncated) Zipf distribution with exponent
+/// `theta` over `[0, domain)` — value `k` has probability ∝ `1/(k+1)^theta`. Skewed
+/// heavy hitters are what break one-pair-at-a-time plans.
+pub fn zipf_pairs(n: usize, domain: u64, theta: f64, seed: u64) -> Vec<(Value, Value)> {
+    assert!(domain > 0);
+    let mut rng = SplitMix64::new(seed);
+    // inverse-CDF sampling over the precomputed harmonic weights
+    let weights: Vec<f64> = (0..domain)
+        .map(|k| 1.0 / ((k + 1) as f64).powf(theta))
+        .collect();
+    let total: f64 = weights.iter().sum();
+    let mut cdf = Vec::with_capacity(domain as usize);
+    let mut acc = 0.0;
+    for w in &weights {
+        acc += w / total;
+        cdf.push(acc);
+    }
+    let sample = |rng: &mut SplitMix64| -> Value {
+        let u = rng.unit_f64();
+        match cdf.binary_search_by(|p| p.partial_cmp(&u).unwrap()) {
+            Ok(i) | Err(i) => (i as u64).min(domain - 1),
+        }
+    };
+    (0..n)
+        .map(|_| (sample(&mut rng), sample(&mut rng)))
+        .collect()
+}
+
+/// The default domain heuristic: `~2·sqrt(n)` distinct values, dense enough that
+/// joins have non-trivial output without exploding.
+fn default_domain(n: usize) -> u64 {
+    (2.0 * (n as f64).sqrt()).ceil() as u64 + 1
+}
+
+/// Triangle query `Q(A,B,C) ← R(A,B), S(B,C), T(A,C)` over three independent
+/// uniform random relations of (up to) `n` tuples each.
+pub fn triangle(n: usize, seed: u64) -> Workload {
+    let d = default_domain(n);
+    let mut db = Database::new();
+    db.insert(
+        "R",
+        Relation::from_pairs("A", "B", random_pairs(n, d, seed)),
+    );
+    db.insert(
+        "S",
+        Relation::from_pairs("B", "C", random_pairs(n, d, seed ^ 0x5151)),
+    );
+    db.insert(
+        "T",
+        Relation::from_pairs("A", "C", random_pairs(n, d, seed ^ 0xA3A3)),
+    );
+    Workload {
+        name: format!("triangle_n{n}"),
+        query: examples::triangle(),
+        db,
+    }
+}
+
+/// Triangle query over Zipf-skewed relations with exponent `theta` over
+/// `[0, domain)` — the adversarial regime for binary plans.
+pub fn triangle_skewed(n: usize, domain: u64, theta: f64, seed: u64) -> Workload {
+    let mut db = Database::new();
+    db.insert(
+        "R",
+        Relation::from_pairs("A", "B", zipf_pairs(n, domain, theta, seed)),
+    );
+    db.insert(
+        "S",
+        Relation::from_pairs("B", "C", zipf_pairs(n, domain, theta, seed ^ 0x5151)),
+    );
+    db.insert(
+        "T",
+        Relation::from_pairs("A", "C", zipf_pairs(n, domain, theta, seed ^ 0xA3A3)),
+    );
+    Workload {
+        name: format!("triangle_zipf_n{n}_t{theta}"),
+        query: examples::triangle(),
+        db,
+    }
+}
+
+/// 4-cycle query `Q(A,B,C,D) ← R(A,B), S(B,C), T(C,D), W(D,A)` over uniform random
+/// relations of (up to) `n` tuples each.
+pub fn four_cycle(n: usize, seed: u64) -> Workload {
+    let d = default_domain(n);
+    let mut db = Database::new();
+    for (i, name) in ["R", "S", "T", "W"].iter().enumerate() {
+        let pairs = random_pairs(n, d, seed ^ (0x1111 * (i as u64 + 1)));
+        let (a, b) = match i {
+            0 => ("A", "B"),
+            1 => ("B", "C"),
+            2 => ("C", "D"),
+            _ => ("D", "A"),
+        };
+        db.insert(*name, Relation::from_pairs(a, b, pairs));
+    }
+    Workload {
+        name: format!("four_cycle_n{n}"),
+        query: examples::four_cycle(),
+        db,
+    }
+}
+
+/// `k`-path query `Q(X0..Xk) ← R1(X0,X1), …, Rk(X_{k-1},Xk)` over uniform random
+/// relations of (up to) `n` tuples each. Acyclic — the regime where Yannakakis-style
+/// processing is optimal and WCOJ engines must not regress.
+pub fn k_path(k: usize, n: usize, seed: u64) -> Workload {
+    assert!(k >= 1);
+    let d = default_domain(n);
+    let mut builder = ConjunctiveQuery::builder();
+    let names: Vec<String> = (0..=k).map(|i| format!("X{i}")).collect();
+    for i in 0..k {
+        builder = builder.atom(&format!("R{}", i + 1), &[&names[i], &names[i + 1]]);
+    }
+    let query = builder.build().expect("path query is valid");
+    let mut db = Database::new();
+    for i in 0..k {
+        db.insert(
+            format!("R{}", i + 1),
+            Relation::from_pairs(
+                &names[i],
+                &names[i + 1],
+                random_pairs(n, d, seed ^ (0x2222 * (i as u64 + 1))),
+            ),
+        );
+    }
+    Workload {
+        name: format!("path{k}_n{n}"),
+        query,
+        db,
+    }
+}
+
+/// Star query `Q(A,B1..Bk) ← R1(A,B1), …, Rk(A,Bk)` over uniform random relations
+/// of (up to) `n` tuples each.
+pub fn star(k: usize, n: usize, seed: u64) -> Workload {
+    assert!(k >= 1);
+    let d = default_domain(n);
+    let query = examples::star(k);
+    let mut db = Database::new();
+    for i in 1..=k {
+        db.insert(
+            format!("R{i}"),
+            Relation::from_pairs(
+                "A",
+                &format!("B{i}"),
+                random_pairs(n, d, seed ^ (0x3333 * i as u64)),
+            ),
+        );
+    }
+    Workload {
+        name: format!("star{k}_n{n}"),
+        query,
+        db,
+    }
+}
+
+/// The lower-bound instance of Section 1.1 of the paper: each edge relation is a
+/// "bowtie" `{0}×[m] ∪ [m]×{0}`, so `|R| = |S| = |T| = 2m − 1` while **every**
+/// pairwise join materializes `Ω(m²)` intermediate tuples — yet the output has only
+/// `3m − 2` triangles. The instance that separates one-pair-at-a-time plans from
+/// worst-case optimal execution.
+pub fn triangle_adversarial(m: u64) -> Workload {
+    assert!(m >= 1);
+    let bowtie = || {
+        (0..m)
+            .map(|j| (0, j))
+            .chain((0..m).map(|i| (i, 0)))
+            .collect::<Vec<_>>()
+    };
+    let mut db = Database::new();
+    db.insert("R", Relation::from_pairs("A", "B", bowtie()));
+    db.insert("S", Relation::from_pairs("B", "C", bowtie()));
+    db.insert("T", Relation::from_pairs("A", "C", bowtie()));
+    Workload {
+        name: format!("triangle_adversarial_m{m}"),
+        query: examples::triangle(),
+        db,
+    }
+}
+
+/// Triangle-finding as a self-join: `clique(3)` over a single uniform random edge
+/// relation of (up to) `n` tuples.
+pub fn clique3(n: usize, seed: u64) -> Workload {
+    let d = default_domain(n);
+    let mut db = Database::new();
+    db.insert(
+        "E",
+        Relation::from_pairs("src", "dst", random_pairs(n, d, seed)),
+    );
+    Workload {
+        name: format!("clique3_n{n}"),
+        query: examples::clique(3),
+        db,
+    }
+}
+
+/// A small scenario-diverse suite sized for differential tests: every generator at
+/// sizes where the nested-loop reference is still tractable.
+pub fn differential_suite(seed: u64) -> Vec<Workload> {
+    vec![
+        triangle(64, seed),
+        triangle(256, seed ^ 1),
+        triangle_skewed(128, 24, 1.2, seed ^ 2),
+        triangle_adversarial(48),
+        four_cycle(64, seed ^ 3),
+        k_path(3, 96, seed ^ 4),
+        star(3, 96, seed ^ 5),
+        clique3(96, seed ^ 6),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splitmix_is_deterministic_and_bounded() {
+        let mut a = SplitMix64::new(7);
+        let mut b = SplitMix64::new(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut r = SplitMix64::new(9);
+        for _ in 0..1000 {
+            assert!(r.below(17) < 17);
+            let u = r.unit_f64();
+            assert!((0.0..1.0).contains(&u));
+        }
+    }
+
+    #[test]
+    fn random_pairs_reproducible() {
+        assert_eq!(random_pairs(50, 10, 3), random_pairs(50, 10, 3));
+        assert_ne!(random_pairs(50, 10, 3), random_pairs(50, 10, 4));
+    }
+
+    #[test]
+    fn zipf_pairs_are_skewed() {
+        let pairs = zipf_pairs(10_000, 100, 1.5, 11);
+        // the most frequent value must dominate: value 0 should appear in well over
+        // 10% of the first coordinates under theta = 1.5
+        let zeros = pairs.iter().filter(|(a, _)| *a == 0).count();
+        assert!(zeros > 1_000, "zeros = {zeros}");
+        assert!(pairs.iter().all(|&(a, b)| a < 100 && b < 100));
+    }
+
+    #[test]
+    fn generators_bind_all_atoms() {
+        for w in differential_suite(42) {
+            for i in 0..w.query.atoms().len() {
+                let rel = w.db.relation_for_atom(&w.query, i);
+                assert!(rel.is_ok(), "{}: atom {i} unbound", w.name);
+                assert!(!rel.unwrap().is_empty(), "{}: atom {i} empty", w.name);
+            }
+        }
+    }
+
+    #[test]
+    fn workload_names_are_distinct() {
+        let names: Vec<String> = differential_suite(1).into_iter().map(|w| w.name).collect();
+        let mut dedup = names.clone();
+        dedup.sort();
+        dedup.dedup();
+        assert_eq!(dedup.len(), names.len());
+    }
+
+    #[test]
+    fn star_and_path_shapes() {
+        let p = k_path(3, 32, 5);
+        assert_eq!(p.query.num_vars(), 4);
+        assert_eq!(p.query.atoms().len(), 3);
+        let s = star(4, 32, 5);
+        assert_eq!(s.query.num_vars(), 5);
+        assert_eq!(s.query.atoms().len(), 4);
+    }
+}
