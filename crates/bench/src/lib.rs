@@ -1,9 +1,12 @@
-//! `wcoj-bench` — experiment harness shared code (workload sizing, table printing).
+//! `wcoj-bench` — experiment harness shared code (workload sizing, table printing,
+//! machine-readable benchmark records).
 //!
-//! The actual benchmarks live in `benches/` (criterion) and the experiment binaries in
-//! `src/bin/` — one per reproduced table/figure of the paper. See `EXPERIMENTS.md` at
-//! the repository root for the index.
+//! The actual benchmarks live in `benches/` (dependency-free in-tree harness) and
+//! the experiment binaries in `src/bin/` — one per reproduced table/figure of the
+//! paper. See `EXPERIMENTS.md` at the repository root for the index. The benchmark
+//! additionally writes `BENCH_joins.json` (see [`report::write_bench_json`]) so the
+//! perf trajectory is tracked across PRs.
 
 pub mod report;
 
-pub use report::{ExperimentTable, Row};
+pub use report::{BenchRecord, ExperimentTable, Row};

@@ -1,4 +1,8 @@
-//! Small plain-text table reporting used by all experiment binaries.
+//! Reporting for the experiment binaries and benchmarks: fixed-width plain-text
+//! tables for eyeballing/diffing, and a dependency-free JSON emitter so the perf
+//! trajectory (`BENCH_joins.json`) is machine-readable across PRs.
+
+use std::io::Write as _;
 
 /// One row of an experiment table: a label plus numeric cells.
 #[derive(Debug, Clone)]
@@ -75,6 +79,93 @@ impl ExperimentTable {
     }
 }
 
+/// One benchmark measurement: a workload/engine/thread-count configuration with its
+/// wall-clock time and work-counter tallies. Serialized into `BENCH_joins.json`.
+#[derive(Debug, Clone)]
+pub struct BenchRecord {
+    /// Workload identifier (e.g. `uniform_n16384`).
+    pub workload: String,
+    /// Engine name (e.g. `GenericJoin`).
+    pub engine: String,
+    /// Worker thread count (1 = serial).
+    pub threads: usize,
+    /// Median wall-clock milliseconds across the timed iterations.
+    pub median_ms: f64,
+    /// Output tuple count.
+    pub out_tuples: u64,
+    /// AGM tuple bound for the instance.
+    pub agm_bound: f64,
+    /// Work-counter tallies: (name, value) pairs.
+    pub work: Vec<(String, u64)>,
+}
+
+/// Minimal JSON string escaping (the identifiers here are ASCII, but be safe).
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Format a float as JSON (finite; NaN/inf map to null).
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_string()
+    }
+}
+
+/// Render benchmark records as a pretty-printed JSON document.
+pub fn render_bench_json(command: &str, records: &[BenchRecord]) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str(&format!(
+        "  \"generated_by\": \"{}\",\n",
+        json_escape(command)
+    ));
+    out.push_str("  \"runs\": [\n");
+    for (i, r) in records.iter().enumerate() {
+        out.push_str("    {");
+        out.push_str(&format!("\"workload\": \"{}\", ", json_escape(&r.workload)));
+        out.push_str(&format!("\"engine\": \"{}\", ", json_escape(&r.engine)));
+        out.push_str(&format!("\"threads\": {}, ", r.threads));
+        out.push_str(&format!("\"median_ms\": {}, ", json_f64(r.median_ms)));
+        out.push_str(&format!("\"out_tuples\": {}, ", r.out_tuples));
+        out.push_str(&format!("\"agm_bound\": {}, ", json_f64(r.agm_bound)));
+        out.push_str("\"work\": {");
+        for (j, (name, value)) in r.work.iter().enumerate() {
+            out.push_str(&format!("\"{}\": {}", json_escape(name), value));
+            if j + 1 < r.work.len() {
+                out.push_str(", ");
+            }
+        }
+        out.push_str("}}");
+        out.push_str(if i + 1 < records.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Write benchmark records to `path` as JSON.
+pub fn write_bench_json(
+    path: &std::path::Path,
+    command: &str,
+    records: &[BenchRecord],
+) -> std::io::Result<()> {
+    let mut f = std::fs::File::create(path)?;
+    f.write_all(render_bench_json(command, records).as_bytes())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -95,5 +186,32 @@ mod tests {
         let mut t = ExperimentTable::new("demo", &["big"]);
         t.push("row", vec![1.0e9]);
         assert!(t.render().contains('e'));
+    }
+
+    #[test]
+    fn bench_json_is_well_formed() {
+        let records = vec![BenchRecord {
+            workload: "uniform_n1024".into(),
+            engine: "GenericJoin".into(),
+            threads: 4,
+            median_ms: 1.25,
+            out_tuples: 2783,
+            agm_bound: 27616.56,
+            work: vec![("probes".into(), 123), ("output_tuples".into(), 2783)],
+        }];
+        let s = render_bench_json("cargo bench -p wcoj-bench", &records);
+        assert!(s.contains("\"workload\": \"uniform_n1024\""));
+        assert!(s.contains("\"threads\": 4"));
+        assert!(s.contains("\"probes\": 123"));
+        // balanced braces/brackets (crude well-formedness check without a parser)
+        assert_eq!(s.matches('{').count(), s.matches('}').count());
+        assert_eq!(s.matches('[').count(), s.matches(']').count());
+    }
+
+    #[test]
+    fn json_escaping_handles_specials() {
+        assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(json_f64(f64::NAN), "null");
+        assert_eq!(json_f64(2.5), "2.5");
     }
 }

@@ -1,7 +1,14 @@
-//! Generic Join (Algorithm 2 of the paper), written against [`TrieAccess`].
+//! Generic Join (Algorithm 2 of the paper), written generically against
+//! [`TrieAccess`] so the hot loop monomorphizes per cursor backend.
 //!
-//! Variables are bound in the fixed global order. At each level the cursors of the
-//! atoms containing the current variable are opened one level deeper, and their
+//! Variables are bound in the fixed global order. The **first** variable's extension
+//! set is computed up front by one multi-way sorted intersection of the root sibling
+//! groups ([`wcoj_storage::intersect_sorted`]) — that set is the natural
+//! parallelization seam: its values can be processed independently, so the morsel
+//! scheduler in [`crate::exec::parallel`] partitions exactly this set, and serial
+//! execution is simply the one-morsel special case (which is what makes serial and
+//! merged parallel work counters *identical*). At each deeper level the cursors of
+//! the atoms containing the current variable are opened one level deeper, and their
 //! sorted candidate sets are intersected *smallest-first*: the cursor with the least
 //! fan-out is enumerated, the others are probed with galloping `seek`. That is the
 //! "intersection in time proportional to the smallest set" discipline whose per-level
@@ -12,7 +19,8 @@
 //! rather than stepping by one — a strict improvement that keeps the enumeration
 //! within the same bound.
 
-use wcoj_storage::{TrieAccess, Tuple, WorkCounter};
+use super::{first_extension_set, flush_cursor_work};
+use wcoj_storage::{TrieAccess, Tuple, Value, WorkCounter};
 
 /// Run Generic Join over one cursor per atom.
 ///
@@ -20,19 +28,47 @@ use wcoj_storage::{TrieAccess, Tuple, WorkCounter};
 /// bound at level `l` of the global order; every cursor's own attribute order must be
 /// sorted by global position (see `wcoj_query::plan::atom_attr_order`). Returns the
 /// result tuples in global-order layout; output tuples are tallied in `counter`.
-pub fn generic_join(
-    cursors: &mut [Box<dyn TrieAccess + '_>],
+pub fn generic_join<C: TrieAccess>(
+    cursors: &mut [C],
     participants: &[Vec<usize>],
     counter: &WorkCounter,
 ) -> Vec<Tuple> {
     let mut out = Vec::new();
-    let mut binding = Vec::with_capacity(participants.len());
-    descend(cursors, participants, 0, &mut binding, &mut out, counter);
+    let e0 = first_extension_set(cursors, &participants[0], counter);
+    join_extensions(cursors, participants, &e0, counter, &mut out);
+    for &ci in &participants[0] {
+        cursors[ci].up();
+    }
     out
 }
 
-fn descend(
-    cursors: &mut [Box<dyn TrieAccess + '_>],
+/// Process a slice of the first variable's extension set: for each value, re-position
+/// the level-0 participant cursors (uncounted — the intersection already paid for the
+/// discovery) and recurse over the remaining levels. The level-0 participant cursors
+/// must already be open at their root group. This is the serial engine body that
+/// morsel workers run on their private cursor sets.
+pub(crate) fn join_extensions<C: TrieAccess>(
+    cursors: &mut [C],
+    participants: &[Vec<usize>],
+    values: &[Value],
+    counter: &WorkCounter,
+    out: &mut Vec<Tuple>,
+) {
+    let mut binding: Tuple = Vec::with_capacity(participants.len());
+    for &v in values {
+        for &ci in &participants[0] {
+            let found = cursors[ci].reposition(v);
+            debug_assert!(found, "extension-set values occur in every participant");
+        }
+        binding.push(v);
+        descend(cursors, participants, 1, &mut binding, out, counter);
+        binding.pop();
+    }
+    flush_cursor_work(cursors, counter);
+}
+
+fn descend<C: TrieAccess>(
+    cursors: &mut [C],
     participants: &[Vec<usize>],
     level: usize,
     binding: &mut Tuple,
@@ -103,7 +139,7 @@ fn descend(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use wcoj_storage::{PrefixIndex, Relation, Trie};
+    use wcoj_storage::{CursorKind, PrefixIndex, Relation, Trie};
 
     /// Triangle query over tries and prefix indexes must agree.
     #[test]
@@ -120,10 +156,7 @@ mod tests {
             Trie::build(&t, &["A", "C"]).unwrap(),
         ];
         let w = WorkCounter::new();
-        let mut cursors: Vec<Box<dyn TrieAccess>> = tries
-            .iter()
-            .map(|t| Box::new(t.cursor()) as Box<dyn TrieAccess>)
-            .collect();
+        let mut cursors: Vec<_> = tries.iter().map(|t| t.cursor()).collect();
         let from_tries = generic_join(&mut cursors, &participants, &w);
 
         let indexes = [
@@ -131,16 +164,34 @@ mod tests {
             PrefixIndex::build(&s, &["B", "C"]).unwrap(),
             PrefixIndex::build(&t, &["A", "C"]).unwrap(),
         ];
-        let mut cursors: Vec<Box<dyn TrieAccess>> = indexes
-            .iter()
-            .map(|ix| Box::new(ix.cursor()) as Box<dyn TrieAccess>)
-            .collect();
+        let mut cursors: Vec<_> = indexes.iter().map(|ix| ix.cursor()).collect();
         let from_indexes = generic_join(&mut cursors, &participants, &w);
 
         let expected = vec![vec![1, 2, 3], vec![1, 3, 4], vec![2, 3, 1]];
         assert_eq!(from_tries, expected);
         assert_eq!(from_indexes, expected);
         assert_eq!(w.output_tuples(), 6); // both runs tallied
+    }
+
+    /// Mixed trie/index backends compose through [`CursorKind`] without `dyn`.
+    #[test]
+    fn triangle_over_mixed_backends() {
+        let r = Relation::from_pairs("A", "B", vec![(1, 2), (2, 3), (1, 3)]);
+        let s = Relation::from_pairs("B", "C", vec![(2, 3), (3, 1), (3, 4)]);
+        let t = Relation::from_pairs("A", "C", vec![(1, 3), (2, 1), (1, 4)]);
+        let trie_r = Trie::build(&r, &["A", "B"]).unwrap();
+        let index_s = PrefixIndex::build(&s, &["B", "C"]).unwrap();
+        let trie_t = Trie::build(&t, &["A", "C"]).unwrap();
+        let w = WorkCounter::new();
+        let mut cursors: Vec<CursorKind> = vec![
+            trie_r.cursor().into(),
+            index_s.cursor().into(),
+            trie_t.cursor().into(),
+        ];
+        let participants = vec![vec![0, 2], vec![0, 1], vec![1, 2]];
+        let out = generic_join(&mut cursors, &participants, &w);
+        assert_eq!(out, vec![vec![1, 2, 3], vec![1, 3, 4], vec![2, 3, 1]]);
+        assert!(w.probes() > 0);
     }
 
     #[test]
@@ -152,10 +203,7 @@ mod tests {
             Trie::build(&s, &["B", "C"]).unwrap(),
         ];
         let w = WorkCounter::new();
-        let mut cursors: Vec<Box<dyn TrieAccess>> = tries
-            .iter()
-            .map(|t| Box::new(t.cursor()) as Box<dyn TrieAccess>)
-            .collect();
+        let mut cursors: Vec<_> = tries.iter().map(|t| t.cursor()).collect();
         let out = generic_join(&mut cursors, &[vec![0], vec![0, 1], vec![1]], &w);
         assert!(out.is_empty());
     }

@@ -1,35 +1,66 @@
 //! Leapfrog Triejoin (Veldhuizen 2014) — the k-way leapfrog intersection over sorted
-//! trie cursors, written against [`TrieAccess`].
+//! trie cursors, written generically against [`TrieAccess`].
 //!
-//! At each level of the global variable order the participating cursors are kept
-//! sorted in a circular array; the cursor with the least key repeatedly `seek`s to
-//! the current maximum until all keys coincide (a match) or one cursor is exhausted.
-//! Each seek gallops, so a level's intersection costs
+//! The first variable's extension set is computed up front by one multi-way sorted
+//! intersection of the root sibling groups — the shared level-0 discipline of this
+//! execution layer (see [`crate::exec::generic`] for why: it is the morsel
+//! parallelization seam, and it makes serial and merged parallel work counters
+//! identical). At every deeper level of the global variable order the participating
+//! cursors are kept sorted in a circular array; the cursor with the least key
+//! repeatedly `seek`s to the current maximum until all keys coincide (a match) or one
+//! cursor is exhausted. Each seek gallops, so a level's intersection costs
 //! `O(k · m · log(M/m))` for smallest set `m` / largest `M` — the same primitive
 //! Generic Join relies on, arranged as mutual leapfrogging instead of
 //! smallest-enumerates. Leapfrog Triejoin is worst-case optimal (up to a log factor)
 //! by the same fractional-cover argument (Section 1.2 of the paper).
 
-use wcoj_storage::{TrieAccess, Tuple, WorkCounter};
+use super::{first_extension_set, flush_cursor_work};
+use wcoj_storage::{TrieAccess, Tuple, Value, WorkCounter};
 
 /// Run Leapfrog Triejoin over one cursor per atom.
 ///
 /// Contracts are identical to [`crate::exec::generic::generic_join`]: cursors are
 /// positioned at the root, their attribute orders are sorted by global position, and
 /// `participants[l]` lists the cursors containing the level-`l` variable.
-pub fn leapfrog_triejoin(
-    cursors: &mut [Box<dyn TrieAccess + '_>],
+pub fn leapfrog_triejoin<C: TrieAccess>(
+    cursors: &mut [C],
     participants: &[Vec<usize>],
     counter: &WorkCounter,
 ) -> Vec<Tuple> {
     let mut out = Vec::new();
-    let mut binding = Vec::with_capacity(participants.len());
-    descend(cursors, participants, 0, &mut binding, &mut out, counter);
+    let e0 = first_extension_set(cursors, &participants[0], counter);
+    join_extensions(cursors, participants, &e0, counter, &mut out);
+    for &ci in &participants[0] {
+        cursors[ci].up();
+    }
     out
 }
 
-fn descend(
-    cursors: &mut [Box<dyn TrieAccess + '_>],
+/// The morsel body: process a slice of the first variable's extension set with
+/// leapfrogging below level 0. See [`crate::exec::generic::join_extensions`] for the
+/// shared contract.
+pub(crate) fn join_extensions<C: TrieAccess>(
+    cursors: &mut [C],
+    participants: &[Vec<usize>],
+    values: &[Value],
+    counter: &WorkCounter,
+    out: &mut Vec<Tuple>,
+) {
+    let mut binding: Tuple = Vec::with_capacity(participants.len());
+    for &v in values {
+        for &ci in &participants[0] {
+            let found = cursors[ci].reposition(v);
+            debug_assert!(found, "extension-set values occur in every participant");
+        }
+        binding.push(v);
+        descend(cursors, participants, 1, &mut binding, out, counter);
+        binding.pop();
+    }
+    flush_cursor_work(cursors, counter);
+}
+
+fn descend<C: TrieAccess>(
+    cursors: &mut [C],
     participants: &[Vec<usize>],
     level: usize,
     binding: &mut Tuple,
@@ -106,16 +137,10 @@ mod tests {
             Trie::build(&t, &["A", "C"]).unwrap(),
         ];
         let w = WorkCounter::new();
-        let mut cursors: Vec<Box<dyn TrieAccess>> = tries
-            .iter()
-            .map(|t| Box::new(t.cursor()) as Box<dyn TrieAccess>)
-            .collect();
+        let mut cursors: Vec<_> = tries.iter().map(|t| t.cursor()).collect();
         let lf = leapfrog_triejoin(&mut cursors, &participants, &w);
 
-        let mut cursors: Vec<Box<dyn TrieAccess>> = tries
-            .iter()
-            .map(|t| Box::new(t.cursor()) as Box<dyn TrieAccess>)
-            .collect();
+        let mut cursors: Vec<_> = tries.iter().map(|t| t.cursor()).collect();
         let gj = generic_join(&mut cursors, &participants, &w);
         assert_eq!(lf, gj);
         assert_eq!(
@@ -136,10 +161,7 @@ mod tests {
             PrefixIndex::build(&t, &["A", "C"]).unwrap(),
         ];
         let w = WorkCounter::new();
-        let mut cursors: Vec<Box<dyn TrieAccess>> = indexes
-            .iter()
-            .map(|ix| Box::new(ix.cursor_with_counter(&w)) as Box<dyn TrieAccess>)
-            .collect();
+        let mut cursors: Vec<_> = indexes.iter().map(|ix| ix.cursor()).collect();
         let out = leapfrog_triejoin(&mut cursors, &[vec![0, 2], vec![0, 1], vec![1, 2]], &w);
         assert_eq!(out, vec![vec![1, 2, 3], vec![2, 3, 1]]);
         assert!(w.probes() > 0);
@@ -150,10 +172,7 @@ mod tests {
         let r = Relation::from_pairs("A", "B", vec![(3, 4), (1, 2)]);
         let tries = [Trie::build(&r, &["A", "B"]).unwrap()];
         let w = WorkCounter::new();
-        let mut cursors: Vec<Box<dyn TrieAccess>> = tries
-            .iter()
-            .map(|t| Box::new(t.cursor()) as Box<dyn TrieAccess>)
-            .collect();
+        let mut cursors: Vec<_> = tries.iter().map(|t| t.cursor()).collect();
         let out = leapfrog_triejoin(&mut cursors, &[vec![0], vec![0]], &w);
         assert_eq!(out, vec![vec![1, 2], vec![3, 4]]);
     }

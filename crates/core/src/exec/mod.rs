@@ -1,39 +1,133 @@
 //! The unified join-execution layer.
 //!
-//! Three engines share one entry point, [`execute_with_order`]:
+//! Three engines share one entry point, [`execute_opts_with_order`] (with
+//! [`execute`] / [`execute_opts`] conveniences on top):
 //!
 //! * [`Engine::BinaryHash`] — the classical left-deep binary hash-join baseline
 //!   ([`binary`]);
-//! * [`Engine::GenericJoin`] — Algorithm 2 of the paper over [`PrefixIndex`]
-//!   cursors ([`generic`]);
-//! * [`Engine::Leapfrog`] — Leapfrog Triejoin over [`Trie`] cursors
-//!   ([`leapfrog`]).
+//! * [`Engine::GenericJoin`] — Algorithm 2 of the paper ([`generic`]);
+//! * [`Engine::Leapfrog`] — Leapfrog Triejoin ([`leapfrog`]).
 //!
-//! The WCOJ engines are written once against `wcoj_storage::TrieAccess`, so each can
-//! also run on the other's backend; the defaults here match each algorithm's native
-//! access path. All engines produce the same [`Relation`] (columns in the query's
-//! variable order) and thread a [`WorkCounter`] through execution so tests and
-//! benchmarks can compare *work* against the AGM bound, not just wall-clock time.
+//! The WCOJ engines are written **generically** over `C: TrieAccess`, so each hot
+//! loop monomorphizes per storage backend — CSR [`Trie`] cursors or [`PrefixIndex`]
+//! hash cursors, selected by [`Backend`] ([`Backend::Auto`] picks each algorithm's
+//! native access path). Mixed backends within one query compose through
+//! [`wcoj_storage::CursorKind`] with branch (not vtable) dispatch.
+//!
+//! [`ExecOptions`] carries the full execution configuration — engine, backend, and
+//! worker **thread count** — through the public API and the planner, so callers
+//! (benchmarks, experiment binaries, tests) select serial vs morsel-parallel
+//! execution uniformly. With `threads > 1` the WCOJ engines run under the
+//! morsel-driven scheduler of [`parallel`], which partitions the first join
+//! variable's extension set across `std::thread::scope` workers holding private
+//! cursors and private [`WorkCounter`]s; results and counters merge
+//! deterministically, bit-identical to serial execution.
+//!
+//! All engines produce the same [`Relation`] (columns in the query's variable order)
+//! and thread a [`WorkCounter`] through execution so tests and benchmarks can
+//! compare *work* against the AGM bound, not just wall-clock time.
 
 pub mod binary;
 pub mod generic;
 pub mod leapfrog;
+pub mod parallel;
 
 use crate::error::ExecError;
-use crate::planner::agm_variable_order;
+use crate::planner::plan_order;
 use wcoj_query::plan::{atom_attr_order, atom_levels, is_valid_order};
 use wcoj_query::{ConjunctiveQuery, Database, VarId};
-use wcoj_storage::{PrefixIndex, Relation, Schema, Trie, TrieAccess, Tuple, WorkCounter};
+use wcoj_storage::{
+    intersect_sorted, PrefixIndex, Relation, Schema, Trie, TrieAccess, Tuple, Value, WorkCounter,
+};
 
 /// Which join engine to run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Engine {
     /// Left-deep binary hash-join plan (the one-pair-at-a-time baseline).
     BinaryHash,
-    /// Generic Join over prefix-index cursors.
+    /// Generic Join (smallest-first set intersection).
     GenericJoin,
-    /// Leapfrog Triejoin over trie cursors.
+    /// Leapfrog Triejoin (mutual leapfrogging).
     Leapfrog,
+}
+
+/// Which storage access path to build for the WCOJ engines.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Backend {
+    /// Each engine's native access path: prefix indexes for Generic Join, CSR tries
+    /// for Leapfrog Triejoin.
+    Auto,
+    /// CSR tries for every atom.
+    Trie,
+    /// Prefix hash indexes for every atom.
+    Hash,
+}
+
+/// Execution configuration threaded through the public API and the planner.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExecOptions {
+    /// The join engine.
+    pub engine: Engine,
+    /// The storage access path for the WCOJ engines (ignored by the binary
+    /// baseline).
+    pub backend: Backend,
+    /// Worker threads for the WCOJ engines: `1` runs serially, `n > 1` runs the
+    /// morsel-driven scheduler with `n` workers, and `0` asks the OS for the
+    /// available parallelism. The binary baseline always runs serially.
+    pub threads: usize,
+}
+
+impl Default for ExecOptions {
+    fn default() -> Self {
+        ExecOptions {
+            engine: Engine::GenericJoin,
+            backend: Backend::Auto,
+            threads: 1,
+        }
+    }
+}
+
+impl ExecOptions {
+    /// Options for `engine` with the native backend, single-threaded.
+    pub fn new(engine: Engine) -> Self {
+        ExecOptions {
+            engine,
+            ..Default::default()
+        }
+    }
+
+    /// Builder-style backend override.
+    pub fn with_backend(mut self, backend: Backend) -> Self {
+        self.backend = backend;
+        self
+    }
+
+    /// Builder-style thread-count override (see [`ExecOptions::threads`]).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// The concrete worker count: `threads`, with `0` resolved to the OS-reported
+    /// available parallelism.
+    pub fn resolved_threads(&self) -> usize {
+        if self.threads == 0 {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        } else {
+            self.threads
+        }
+    }
+
+    /// The concrete backend for `self.engine` after resolving [`Backend::Auto`].
+    pub fn resolved_backend(&self) -> Backend {
+        match (self.backend, self.engine) {
+            (Backend::Auto, Engine::Leapfrog) => Backend::Trie,
+            (Backend::Auto, _) => Backend::Hash,
+            (b, _) => b,
+        }
+    }
 }
 
 /// The result of executing a query: the output relation (columns in the query's
@@ -42,25 +136,22 @@ pub enum Engine {
 pub struct ExecOutput {
     /// The query output.
     pub result: Relation,
-    /// Elementary-operation tallies recorded during execution.
+    /// Elementary-operation tallies recorded during execution (for parallel runs:
+    /// the deterministic merge of every worker's tallies).
     pub work: WorkCounter,
     /// The global variable order the engine ran with (identity for the binary
     /// baseline, which is order-insensitive).
     pub order: Vec<VarId>,
 }
 
-/// Execute `query` over `db` with the given engine, letting the AGM-guided planner
-/// pick the variable order for the WCOJ engines.
+/// Execute `query` over `db` with the given engine (native backend, serial),
+/// letting the AGM-guided planner pick the variable order for the WCOJ engines.
 pub fn execute(
     query: &ConjunctiveQuery,
     db: &Database,
     engine: Engine,
 ) -> Result<ExecOutput, ExecError> {
-    let order = match engine {
-        Engine::BinaryHash => (0..query.num_vars()).collect(),
-        _ => agm_variable_order(query, db)?,
-    };
-    execute_with_order(query, db, engine, &order)
+    execute_opts(query, db, &ExecOptions::new(engine))
 }
 
 /// Execute `query` over `db` with the given engine and an explicit global variable
@@ -71,42 +162,43 @@ pub fn execute_with_order(
     engine: Engine,
     order: &[VarId],
 ) -> Result<ExecOutput, ExecError> {
+    execute_opts_with_order(query, db, &ExecOptions::new(engine), order)
+}
+
+/// Execute `query` over `db` with full [`ExecOptions`], letting the planner pick
+/// the variable order.
+pub fn execute_opts(
+    query: &ConjunctiveQuery,
+    db: &Database,
+    opts: &ExecOptions,
+) -> Result<ExecOutput, ExecError> {
+    let order = plan_order(query, db, opts)?;
+    execute_opts_with_order(query, db, opts, &order)
+}
+
+/// Execute `query` over `db` with full [`ExecOptions`] and an explicit global
+/// variable order (ignored by the binary baseline).
+pub fn execute_opts_with_order(
+    query: &ConjunctiveQuery,
+    db: &Database,
+    opts: &ExecOptions,
+    order: &[VarId],
+) -> Result<ExecOutput, ExecError> {
     if !is_valid_order(query, order) {
         return Err(ExecError::InvalidOrder(order.to_vec()));
     }
     let counter = WorkCounter::new();
-    let result = match engine {
+    let result = match opts.engine {
         Engine::BinaryHash => binary::binary_hash_plan(query, db, &counter)?,
-        Engine::GenericJoin => {
+        engine => {
             let relations = db.atom_relations(query)?;
-            let mut indexes = Vec::with_capacity(relations.len());
-            for (i, rel) in relations.iter().enumerate() {
-                let attrs = atom_attr_order(query, i, order)?;
-                indexes.push(PrefixIndex::build(rel, &attrs)?);
+            let mut attr_orders = Vec::with_capacity(relations.len());
+            for i in 0..relations.len() {
+                attr_orders.push(atom_attr_order(query, i, order)?);
             }
-            let rows = {
-                let mut cursors: Vec<Box<dyn TrieAccess + '_>> = indexes
-                    .iter()
-                    .map(|ix| Box::new(ix.cursor_with_counter(&counter)) as Box<dyn TrieAccess>)
-                    .collect();
-                generic::generic_join(&mut cursors, &participants(query, order), &counter)
-            };
-            rows_to_relation(query, order, rows)?
-        }
-        Engine::Leapfrog => {
-            let relations = db.atom_relations(query)?;
-            let mut tries = Vec::with_capacity(relations.len());
-            for (i, rel) in relations.iter().enumerate() {
-                let attrs = atom_attr_order(query, i, order)?;
-                tries.push(Trie::build(rel, &attrs)?);
-            }
-            let rows = {
-                let mut cursors: Vec<Box<dyn TrieAccess + '_>> = tries
-                    .iter()
-                    .map(|t| Box::new(t.cursor_with_counter(&counter)) as Box<dyn TrieAccess>)
-                    .collect();
-                leapfrog::leapfrog_triejoin(&mut cursors, &participants(query, order), &counter)
-            };
+            let built = BuiltAccess::build(&relations, &attr_orders, opts.resolved_backend())?;
+            let parts = participants(query, order);
+            let rows = built.run(engine, &parts, opts.resolved_threads(), &counter);
             rows_to_relation(query, order, rows)?
         }
     };
@@ -115,6 +207,132 @@ pub fn execute_with_order(
         work: counter,
         order: order.to_vec(),
     })
+}
+
+/// The access structures built for one execution: one trie or one prefix index per
+/// atom, shared immutably by all workers.
+enum BuiltAccess {
+    Tries(Vec<Trie>),
+    Indexes(Vec<PrefixIndex>),
+}
+
+impl BuiltAccess {
+    fn build(
+        relations: &[Relation],
+        attr_orders: &[Vec<&str>],
+        backend: Backend,
+    ) -> Result<Self, ExecError> {
+        Ok(match backend {
+            Backend::Trie => BuiltAccess::Tries(
+                relations
+                    .iter()
+                    .zip(attr_orders)
+                    .map(|(rel, attrs)| Trie::build(rel, attrs))
+                    .collect::<Result<_, _>>()?,
+            ),
+            Backend::Hash | Backend::Auto => BuiltAccess::Indexes(
+                relations
+                    .iter()
+                    .zip(attr_orders)
+                    .map(|(rel, attrs)| PrefixIndex::build(rel, attrs))
+                    .collect::<Result<_, _>>()?,
+            ),
+        })
+    }
+
+    /// Run the engine over fresh cursor sets — serial for `threads == 1`, morsel
+    /// workers otherwise. Monomorphizes per backend.
+    fn run(
+        &self,
+        engine: Engine,
+        participants: &[Vec<usize>],
+        threads: usize,
+        counter: &WorkCounter,
+    ) -> Vec<Tuple> {
+        match self {
+            BuiltAccess::Tries(tries) => run_cursors(
+                engine,
+                || tries.iter().map(|t| t.cursor()).collect(),
+                participants,
+                threads,
+                counter,
+            ),
+            BuiltAccess::Indexes(indexes) => run_cursors(
+                engine,
+                || indexes.iter().map(|ix| ix.cursor()).collect(),
+                participants,
+                threads,
+                counter,
+            ),
+        }
+    }
+}
+
+fn run_cursors<C, F>(
+    engine: Engine,
+    make_cursors: F,
+    participants: &[Vec<usize>],
+    threads: usize,
+    counter: &WorkCounter,
+) -> Vec<Tuple>
+where
+    C: TrieAccess,
+    F: Fn() -> Vec<C> + Sync,
+{
+    if threads <= 1 {
+        let mut cursors = make_cursors();
+        match engine {
+            Engine::GenericJoin => generic::generic_join(&mut cursors, participants, counter),
+            Engine::Leapfrog => leapfrog::leapfrog_triejoin(&mut cursors, participants, counter),
+            Engine::BinaryHash => unreachable!("the binary baseline has no cursor path"),
+        }
+    } else {
+        parallel::morsel_join(engine, make_cursors, participants, threads, counter)
+    }
+}
+
+/// Open the level-0 participant cursors and intersect their root sibling groups —
+/// the first join variable's extension set, charged to `counter` exactly once per
+/// execution (the driver's charge; workers re-position without re-counting). Leaves
+/// the participant cursors open. Returns empty if any participant has no values.
+pub(crate) fn first_extension_set<C: TrieAccess>(
+    cursors: &mut [C],
+    parts0: &[usize],
+    counter: &WorkCounter,
+) -> Vec<Value> {
+    for &ci in parts0 {
+        if !cursors[ci].open() {
+            return Vec::new();
+        }
+    }
+    let shared: &[C] = cursors;
+    let slices: Vec<&[Value]> = parts0.iter().map(|&ci| shared[ci].remaining()).collect();
+    intersect_sorted(&slices, counter)
+}
+
+/// Drain every cursor's private work tallies into `counter`.
+pub(crate) fn flush_cursor_work<C: TrieAccess>(cursors: &mut [C], counter: &WorkCounter) {
+    for c in cursors.iter_mut() {
+        counter.absorb(c.take_work());
+    }
+}
+
+/// Dispatch the per-morsel serial engine body by engine kind.
+pub(crate) fn engine_join_extensions<C: TrieAccess>(
+    engine: Engine,
+    cursors: &mut [C],
+    participants: &[Vec<usize>],
+    values: &[Value],
+    counter: &WorkCounter,
+    out: &mut Vec<Tuple>,
+) {
+    match engine {
+        Engine::GenericJoin => {
+            generic::join_extensions(cursors, participants, values, counter, out)
+        }
+        Engine::Leapfrog => leapfrog::join_extensions(cursors, participants, values, counter, out),
+        Engine::BinaryHash => unreachable!("the binary baseline has no cursor path"),
+    }
 }
 
 /// `participants[l]` = indices of the atoms containing the variable at level `l`.
@@ -205,6 +423,43 @@ mod tests {
     }
 
     #[test]
+    fn explicit_backends_agree_with_auto() {
+        let q = examples::triangle();
+        let db = triangle_db();
+        for engine in [Engine::GenericJoin, Engine::Leapfrog] {
+            let auto = execute_opts(&q, &db, &ExecOptions::new(engine)).unwrap();
+            for backend in [Backend::Trie, Backend::Hash] {
+                let opts = ExecOptions::new(engine).with_backend(backend);
+                let out = execute_opts(&q, &db, &opts).unwrap();
+                assert_eq!(out.result, auto.result, "{engine:?} over {backend:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn options_resolve_sensibly() {
+        let opts = ExecOptions::default();
+        assert_eq!(opts.engine, Engine::GenericJoin);
+        assert_eq!(opts.resolved_backend(), Backend::Hash);
+        assert_eq!(opts.resolved_threads(), 1);
+        let lf = ExecOptions::new(Engine::Leapfrog).with_threads(4);
+        assert_eq!(lf.resolved_backend(), Backend::Trie);
+        assert_eq!(lf.resolved_threads(), 4);
+        assert!(
+            ExecOptions::new(Engine::GenericJoin)
+                .with_threads(0)
+                .resolved_threads()
+                >= 1
+        );
+        assert_eq!(
+            ExecOptions::new(Engine::GenericJoin)
+                .with_backend(Backend::Trie)
+                .resolved_backend(),
+            Backend::Trie
+        );
+    }
+
+    #[test]
     fn self_join_clique_query() {
         // clique(3) over one edge relation: triangles in a single graph
         let q = examples::clique(3);
@@ -247,6 +502,21 @@ mod tests {
         for engine in [Engine::BinaryHash, Engine::GenericJoin, Engine::Leapfrog] {
             let out = execute(&q, &db, engine).unwrap();
             assert!(out.result.is_empty(), "{engine:?}");
+        }
+    }
+
+    #[test]
+    fn parallel_triangle_matches_serial() {
+        let q = examples::triangle();
+        let db = triangle_db();
+        for engine in [Engine::GenericJoin, Engine::Leapfrog] {
+            let serial = execute(&q, &db, engine).unwrap();
+            for threads in [2, 4] {
+                let opts = ExecOptions::new(engine).with_threads(threads);
+                let out = execute_opts(&q, &db, &opts).unwrap();
+                assert_eq!(out.result, serial.result, "{engine:?} x{threads}");
+                assert_eq!(out.work, serial.work, "{engine:?} x{threads} counters");
+            }
         }
     }
 }

@@ -10,16 +10,22 @@
 //!   k-way leapfrog intersection over sorted trie cursors — [`exec::leapfrog`];
 //! * the classical **binary hash-join baseline** the paper compares against —
 //!   [`exec::binary`];
+//! * **morsel-driven parallel execution** of both WCOJ engines — [`exec::parallel`]
+//!   partitions the first join variable's extension set across `std::thread::scope`
+//!   workers holding private cursors and counters, merging results and work tallies
+//!   deterministically (bit-identical to serial execution);
 //! * an **AGM-guided planner** that picks variable orders from the optimal
 //!   fractional edge cover of the `wcoj-bounds` LP — [`planner`];
-//! * one entry point, [`exec::execute`], returning the output relation plus the
+//! * one entry point, [`exec::execute_opts`] (with [`exec::execute`] as the
+//!   serial-default convenience), configured by [`exec::ExecOptions`]
+//!   `{ engine, backend, threads }` and returning the output relation plus the
 //!   [`wcoj_storage::WorkCounter`] tallies that let tests compare measured work
 //!   against the `N^{ρ*}` bound directly.
 //!
-//! Both WCOJ engines are written once against the [`wcoj_storage::TrieAccess`]
-//! trait, so they run unchanged over CSR tries and prefix hash indexes, and any
-//! future access path (compressed, distributed, cached) only has to implement the
-//! trait.
+//! Both WCOJ engines are written once, **generically**, against the
+//! [`wcoj_storage::TrieAccess`] trait, so they run monomorphized over CSR tries and
+//! prefix hash indexes (selected by [`exec::Backend`]), and any future access path
+//! (compressed, distributed, cached) only has to implement the trait.
 //!
 //! # Example: the triangle query three ways
 //!
@@ -51,5 +57,8 @@ pub mod exec;
 pub mod planner;
 
 pub use error::ExecError;
-pub use exec::{execute, execute_with_order, Engine, ExecOutput};
-pub use planner::agm_variable_order;
+pub use exec::{
+    execute, execute_opts, execute_opts_with_order, execute_with_order, Backend, Engine,
+    ExecOptions, ExecOutput,
+};
+pub use planner::{agm_variable_order, plan_order};

@@ -10,9 +10,25 @@
 //! variables by how much certificate mass covers them.
 
 use crate::error::ExecError;
+use crate::exec::{Engine, ExecOptions};
 use wcoj_bounds::agm::agm_bound;
 use wcoj_query::plan::weighted_greedy_order;
 use wcoj_query::{ConjunctiveQuery, Database, VarId};
+
+/// Choose the global variable order for an execution configured by `opts`: the
+/// identity order for the (order-insensitive) binary baseline, the AGM-guided order
+/// for the WCOJ engines. This is the planner entry the [`crate::exec`] layer routes
+/// every [`crate::exec::execute_opts`] call through.
+pub fn plan_order(
+    query: &ConjunctiveQuery,
+    db: &Database,
+    opts: &ExecOptions,
+) -> Result<Vec<VarId>, ExecError> {
+    match opts.engine {
+        Engine::BinaryHash => Ok((0..query.num_vars()).collect()),
+        Engine::GenericJoin | Engine::Leapfrog => agm_variable_order(query, db),
+    }
+}
 
 /// Choose a global variable order for `query` over `db` using the optimal fractional
 /// edge cover of the AGM LP.

@@ -12,8 +12,16 @@
 //!   sorted-slice navigation; the access path Generic Join assumes.
 //!
 //! `TrieAccess` abstracts over both so that Generic Join and Leapfrog Triejoin in
-//! `wcoj-core` are written once and run on either backend. The trait is object-safe:
-//! engines hold `Box<dyn TrieAccess>` and can mix backends within one query.
+//! `wcoj-core` are written once and run on either backend. The engines are *generic*
+//! over `C: TrieAccess`, so the hot loops monomorphize — no per-seek virtual
+//! dispatch. To mix backends within one query, wrap each cursor in [`CursorKind`]
+//! (a two-variant enum whose dispatch is a predictable branch, not a vtable call);
+//! the trait remains object-safe for callers that really want `dyn`.
+//!
+//! Every cursor is `Send + Clone`: it borrows its (immutable, `Sync`) access
+//! structure and owns its stack plus private [`CursorWork`] tallies, which the
+//! engine drains via [`TrieAccess::take_work`]. That is what lets morsel-driven
+//! parallel workers each hold a private cursor over one shared trie/index.
 //!
 //! # Contract
 //!
@@ -22,10 +30,11 @@
 //! chosen at shallower depths. `open` descends into the children of the current value,
 //! `up` pops back, `next`/`seek` move within the current group and never escape it.
 //! `seek` only moves forward (targets must be non-decreasing between `open`s — the
-//! leapfrog discipline).
+//! leapfrog discipline); `reposition` may move in either direction but only to keys
+//! whose discovery was already paid for elsewhere, so it records no work.
 
 use crate::index::PrefixIndex;
-use crate::stats::WorkCounter;
+use crate::stats::CursorWork;
 use crate::trie::TrieCursor;
 use crate::Value;
 
@@ -63,10 +72,27 @@ pub trait TrieAccess {
     /// (and leaves the cursor `at_end`) if there is none. Forward-only.
     fn seek(&mut self, target: Value) -> bool;
 
+    /// Position at the value exactly `target`, searching the whole group (may move
+    /// backward). Records no work: callers use it to re-position at keys whose
+    /// search cost was already accounted (see the module docs). Returns whether the
+    /// value is present.
+    fn reposition(&mut self, target: Value) -> bool;
+
+    /// The sorted values remaining in the current group from the cursor's position
+    /// onward (empty at the root).
+    fn remaining(&self) -> &[Value];
+
     /// Number of values remaining in the current group from the cursor's position —
     /// the fan-out estimate Generic Join uses to intersect smallest-first. Returns 0
     /// at the root.
-    fn group_size(&self) -> usize;
+    fn group_size(&self) -> usize {
+        self.remaining().len()
+    }
+
+    /// Drain the cursor's private work tallies (resetting them to zero). Engines
+    /// call this once per cursor at the end of a run and absorb the result into
+    /// their [`crate::WorkCounter`].
+    fn take_work(&mut self) -> CursorWork;
 }
 
 impl TrieAccess for TrieCursor<'_> {
@@ -102,8 +128,16 @@ impl TrieAccess for TrieCursor<'_> {
         TrieCursor::seek(self, target)
     }
 
-    fn group_size(&self) -> usize {
-        self.remaining().len()
+    fn reposition(&mut self, target: Value) -> bool {
+        TrieCursor::reposition(self, target)
+    }
+
+    fn remaining(&self) -> &[Value] {
+        TrieCursor::remaining(self)
+    }
+
+    fn take_work(&mut self) -> CursorWork {
+        TrieCursor::take_work(self)
     }
 }
 
@@ -117,15 +151,16 @@ struct PrefixFrame<'a> {
 
 /// A [`TrieAccess`] cursor over a [`PrefixIndex`].
 ///
-/// Each `open` costs one hash probe (`values_after` on the prefix assembled from the
-/// keys above); navigation within a level is galloping search over the sorted slice,
-/// identical in cost shape to [`TrieCursor`]. Obtained from
-/// [`PrefixIndex::cursor`] / [`PrefixIndex::cursor_with_counter`].
+/// Each non-root `open` costs one hash probe (`values_after` on the prefix assembled
+/// from the keys above); the root group lookup is free (it is a single static entry,
+/// amortized across the whole run). Navigation within a level is galloping search
+/// over the sorted slice, identical in cost shape to [`TrieCursor`]. Obtained from
+/// [`PrefixIndex::cursor`]. `Send + Clone` like every cursor.
 #[derive(Debug, Clone)]
 pub struct PrefixCursor<'a> {
     index: &'a PrefixIndex,
     frames: Vec<PrefixFrame<'a>>,
-    counter: Option<&'a WorkCounter>,
+    work: CursorWork,
 }
 
 impl PrefixIndex {
@@ -134,16 +169,7 @@ impl PrefixIndex {
         PrefixCursor {
             index: self,
             frames: Vec::new(),
-            counter: None,
-        }
-    }
-
-    /// A cursor that records its probe/step work into `counter`.
-    pub fn cursor_with_counter<'a>(&'a self, counter: &'a WorkCounter) -> PrefixCursor<'a> {
-        PrefixCursor {
-            index: self,
-            frames: Vec::new(),
-            counter: Some(counter),
+            work: CursorWork::default(),
         }
     }
 }
@@ -169,8 +195,8 @@ impl TrieAccess for PrefixCursor<'_> {
                 f.values[f.pos]
             })
             .collect();
-        if let Some(c) = self.counter {
-            c.add_probes(1); // the hash lookup
+        if !prefix.is_empty() {
+            self.work.probes += 1; // the hash lookup; the root group is free
         }
         match self.index.values_after(&prefix) {
             Some(values) if !values.is_empty() => {
@@ -199,9 +225,7 @@ impl TrieAccess for PrefixCursor<'_> {
     }
 
     fn next(&mut self) -> bool {
-        if let Some(c) = self.counter {
-            c.add_intersect_steps(1);
-        }
+        self.work.intersect_steps += 1;
         let f = self.frames.last_mut().expect("cursor is at the root");
         if f.pos < f.values.len() {
             f.pos += 1;
@@ -210,24 +234,121 @@ impl TrieAccess for PrefixCursor<'_> {
     }
 
     fn seek(&mut self, target: Value) -> bool {
-        let counter = self.counter;
         let f = self.frames.last_mut().expect("cursor is at the root");
         if f.pos >= f.values.len() {
             return false;
         }
         let (pos, probes) = crate::ops::gallop_lub(f.values, f.pos, f.values.len(), target);
-        if let Some(c) = counter {
-            c.add_probes(probes);
-        }
+        self.work.probes += probes;
         f.pos = pos;
         f.pos < f.values.len()
     }
 
-    fn group_size(&self) -> usize {
-        match self.frames.last() {
-            None => 0,
-            Some(f) => f.values.len().saturating_sub(f.pos),
+    fn reposition(&mut self, target: Value) -> bool {
+        let f = self.frames.last_mut().expect("cursor is at the root");
+        match f.values.binary_search(&target) {
+            Ok(i) => {
+                f.pos = i;
+                true
+            }
+            Err(i) => {
+                f.pos = i;
+                false
+            }
         }
+    }
+
+    fn remaining(&self) -> &[Value] {
+        match self.frames.last() {
+            None => &[],
+            Some(f) => &f.values[f.pos..],
+        }
+    }
+
+    fn take_work(&mut self) -> CursorWork {
+        std::mem::take(&mut self.work)
+    }
+}
+
+/// A cursor over either backend, dispatching through a two-variant enum instead of a
+/// vtable — the composition point for queries that mix trie-backed and hash-backed
+/// atoms while keeping the engines' hot loops monomorphized.
+#[derive(Debug, Clone)]
+pub enum CursorKind<'a> {
+    /// A cursor over a CSR [`crate::Trie`].
+    Trie(TrieCursor<'a>),
+    /// A cursor over a [`PrefixIndex`].
+    Prefix(PrefixCursor<'a>),
+}
+
+impl<'a> From<TrieCursor<'a>> for CursorKind<'a> {
+    fn from(c: TrieCursor<'a>) -> Self {
+        CursorKind::Trie(c)
+    }
+}
+
+impl<'a> From<PrefixCursor<'a>> for CursorKind<'a> {
+    fn from(c: PrefixCursor<'a>) -> Self {
+        CursorKind::Prefix(c)
+    }
+}
+
+macro_rules! dispatch {
+    ($self:ident, $c:ident => $e:expr) => {
+        match $self {
+            CursorKind::Trie($c) => $e,
+            CursorKind::Prefix($c) => $e,
+        }
+    };
+}
+
+impl TrieAccess for CursorKind<'_> {
+    fn arity(&self) -> usize {
+        dispatch!(self, c => c.arity())
+    }
+
+    fn depth(&self) -> usize {
+        dispatch!(self, c => c.depth())
+    }
+
+    fn open(&mut self) -> bool {
+        dispatch!(self, c => c.open())
+    }
+
+    fn up(&mut self) {
+        dispatch!(self, c => c.up())
+    }
+
+    fn key(&self) -> Value {
+        dispatch!(self, c => c.key())
+    }
+
+    fn at_end(&self) -> bool {
+        dispatch!(self, c => c.at_end())
+    }
+
+    fn next(&mut self) -> bool {
+        dispatch!(self, c => c.next())
+    }
+
+    fn seek(&mut self, target: Value) -> bool {
+        dispatch!(self, c => c.seek(target))
+    }
+
+    fn reposition(&mut self, target: Value) -> bool {
+        dispatch!(self, c => c.reposition(target))
+    }
+
+    fn remaining(&self) -> &[Value] {
+        dispatch!(self, c => TrieAccess::remaining(c))
+    }
+
+    fn group_size(&self) -> usize {
+        dispatch!(self, c => c.group_size())
+    }
+
+    fn take_work(&mut self) -> CursorWork {
+        dispatch!(self, c => c.take_work())
     }
 }
 
@@ -254,15 +375,15 @@ mod tests {
 
     /// Depth-first enumeration through the trait — must reproduce the sorted tuples
     /// identically for both backends.
-    fn enumerate(c: &mut dyn TrieAccess, arity: usize) -> Vec<Vec<Value>> {
+    fn enumerate<C: TrieAccess>(c: &mut C, arity: usize) -> Vec<Vec<Value>> {
         let mut out = Vec::new();
         let mut prefix = Vec::new();
         walk(c, arity, &mut prefix, &mut out);
         out
     }
 
-    fn walk(
-        c: &mut dyn TrieAccess,
+    fn walk<C: TrieAccess>(
+        c: &mut C,
         arity: usize,
         prefix: &mut Vec<Value>,
         out: &mut Vec<Vec<Value>>,
@@ -294,17 +415,16 @@ mod tests {
         let mut pc = index.cursor();
         let from_trie = enumerate(&mut tc, 3);
         let from_index = enumerate(&mut pc, 3);
-        assert_eq!(from_trie, r.tuples());
-        assert_eq!(from_index, r.tuples());
+        assert_eq!(from_trie, r.rows());
+        assert_eq!(from_index, r.rows());
     }
 
     #[test]
-    fn prefix_cursor_matches_trie_cursor_navigation() {
+    fn cursor_kind_matches_concrete_navigation() {
         let r = rel();
         let trie = Trie::build(&r, &["A", "B", "C"]).unwrap();
         let index = PrefixIndex::build(&r, &["A", "B", "C"]).unwrap();
-        let mut cursors: Vec<Box<dyn TrieAccess>> =
-            vec![Box::new(trie.cursor()), Box::new(index.cursor())];
+        let mut cursors: Vec<CursorKind> = vec![trie.cursor().into(), index.cursor().into()];
         for c in cursors.iter_mut() {
             assert_eq!(c.arity(), 3);
             assert!(c.at_end()); // root
@@ -313,8 +433,12 @@ mod tests {
             assert_eq!(c.depth(), 1);
             assert_eq!(c.key(), 1);
             assert_eq!(c.group_size(), 3); // A in {1, 2, 4}
+            assert_eq!(TrieAccess::remaining(c), &[1, 2, 4]);
             assert!(c.seek(3));
             assert_eq!(c.key(), 4); // lub of 3
+            assert!(c.reposition(1)); // backward, uncounted
+            assert_eq!(c.key(), 1);
+            assert!(c.reposition(4));
             assert!(c.open());
             assert_eq!(c.key(), 1); // B under A=4
             assert!(c.open());
@@ -328,7 +452,17 @@ mod tests {
             assert_eq!(c.depth(), 1);
             assert!(!c.seek(5)); // nothing >= 5 at level A
             assert!(c.at_end());
+            assert!(!c.take_work().is_zero());
         }
+    }
+
+    #[test]
+    fn trait_remains_object_safe() {
+        let r = rel();
+        let trie = Trie::build(&r, &["A", "B", "C"]).unwrap();
+        let mut boxed: Box<dyn TrieAccess + '_> = Box::new(trie.cursor());
+        assert!(boxed.open());
+        assert_eq!(boxed.key(), 1);
     }
 
     #[test]
@@ -345,18 +479,30 @@ mod tests {
     }
 
     #[test]
-    fn prefix_cursor_counts_work() {
-        let rows = (0..1000).map(|i| vec![i]).collect();
-        let r = Relation::from_rows(Schema::new(&["A"]), rows);
-        let index = PrefixIndex::build(&r, &["A"]).unwrap();
-        let w = WorkCounter::new();
-        let mut c = index.cursor_with_counter(&w);
+    fn prefix_cursor_counts_work_privately() {
+        let rows = (0..1000).map(|i| vec![0, i]).collect();
+        let r = Relation::from_rows(Schema::new(&["A", "B"]), rows);
+        let index = PrefixIndex::build(&r, &["A", "B"]).unwrap();
+        let mut c = index.cursor();
         assert!(c.open());
+        assert!(c.take_work().is_zero(), "root open is free");
+        assert!(c.open()); // non-root open: one hash probe
+        assert_eq!(c.take_work().probes, 1);
         assert!(c.seek(900));
         assert_eq!(c.key(), 900);
         c.next();
-        assert!(w.probes() > 1, "open probe + galloping probes");
-        assert!(w.intersect_steps() > 0);
+        let w = c.take_work();
+        assert!(w.probes > 1, "galloping probes");
+        assert!(w.intersect_steps > 0);
+    }
+
+    #[test]
+    fn cursors_are_send_clone_and_indexes_sync() {
+        fn assert_send_clone<T: Send + Clone>() {}
+        fn assert_sync<T: Sync>() {}
+        assert_send_clone::<PrefixCursor<'_>>();
+        assert_send_clone::<CursorKind<'_>>();
+        assert_sync::<PrefixIndex>();
     }
 
     #[test]

@@ -5,9 +5,16 @@
 //! have been bound to a tuple `t`, the algorithm needs the *sorted set*
 //! `π_{A_i} σ_{prefix = t} R_F` in O(1) lookup time, so that set intersections can be
 //! computed in time proportional to the smallest set.
+//!
+//! Construction is a fused pass over the relation's columns, mirroring
+//! [`crate::Trie::build`]: one argsort of row indices (skipped when the requested
+//! order is the relation's native order), then a single scan that — at each row —
+//! touches only the hash entries of the prefixes that actually changed, rather than
+//! re-hashing every prefix of every tuple.
 
 use crate::error::StorageError;
 use crate::relation::Relation;
+use crate::trie::{fused_scan, order_positions};
 use crate::Value;
 use std::collections::HashMap;
 
@@ -27,19 +34,21 @@ impl PrefixIndex {
     /// Build the index for `rel` with its attributes reordered to `attr_order`
     /// (which must be a permutation of the relation's attributes).
     pub fn build(rel: &Relation, attr_order: &[&str]) -> Result<Self, StorageError> {
-        let reordered = rel.reorder(attr_order)?;
-        let arity = reordered.arity();
+        let positions = order_positions(rel, attr_order)?;
+        let arity = rel.arity();
+        let cols: Vec<&[Value]> = positions.iter().map(|&p| rel.column(p)).collect();
+
         let mut levels: Vec<HashMap<Vec<Value>, Vec<Value>>> = vec![HashMap::new(); arity];
-        for t in reordered.iter() {
-            for (k, level) in levels.iter_mut().enumerate() {
-                let prefix: Vec<Value> = t[..k].to_vec();
-                let entry = level.entry(prefix).or_default();
-                // tuples are sorted, so values arrive in non-decreasing order per prefix
-                if entry.last() != Some(&t[k]) {
-                    entry.push(t[k]);
-                }
+        // the current row's values in index order; prefix[..k] keys level k
+        let mut cur: Vec<Value> = vec![0; arity];
+        fused_scan(rel, &positions, |r, d| {
+            // positions >= d hold a value not yet recorded under its (possibly new)
+            // prefix; positions < d extend prefixes whose entries already exist
+            for (k, col) in cols.iter().enumerate().skip(d) {
+                cur[k] = col[r];
+                levels[k].entry(cur[..k].to_vec()).or_default().push(cur[k]);
             }
-        }
+        });
         Ok(PrefixIndex {
             attr_order: attr_order.iter().map(|s| s.to_string()).collect(),
             levels,
@@ -74,6 +83,11 @@ impl PrefixIndex {
             .get(prefix.len())
             .and_then(|lvl| lvl.get(prefix))
             .map(|v| v.as_slice())
+    }
+
+    /// The sorted distinct values of the first attribute — the root sibling group.
+    pub fn root_values(&self) -> &[Value] {
+        self.values_after(&[]).unwrap_or(&[])
     }
 
     /// Number of distinct values extending `prefix` (0 if the prefix does not occur).
@@ -114,6 +128,7 @@ mod tests {
     fn values_after_prefixes() {
         let idx = PrefixIndex::build(&rel(), &["A", "B"]).unwrap();
         assert_eq!(idx.values_after(&[]).unwrap(), &[1, 2, 4]);
+        assert_eq!(idx.root_values(), &[1, 2, 4]);
         assert_eq!(idx.values_after(&[1]).unwrap(), &[2, 3]);
         assert_eq!(idx.values_after(&[2]).unwrap(), &[3, 5]);
         assert_eq!(idx.values_after(&[4]).unwrap(), &[1]);
@@ -144,12 +159,14 @@ mod tests {
         let empty = PrefixIndex::build(&Relation::empty(Schema::new(&["A"])), &["A"]).unwrap();
         assert!(!empty.contains_prefix(&[]));
         assert!(empty.is_empty());
+        assert!(empty.root_values().is_empty());
     }
 
     #[test]
     fn bad_order_rejected() {
         assert!(PrefixIndex::build(&rel(), &["A"]).is_err());
         assert!(PrefixIndex::build(&rel(), &["A", "Z"]).is_err());
+        assert!(PrefixIndex::build(&rel(), &["A", "A"]).is_err());
     }
 
     #[test]
@@ -165,6 +182,26 @@ mod tests {
             sorted.sort_unstable();
             sorted.dedup();
             assert_eq!(vals, sorted.as_slice());
+        }
+    }
+
+    #[test]
+    fn fused_build_matches_reorder_then_build() {
+        // ternary relation, non-native order: the argsorted fused pass must agree
+        // with an index built over the materialized reordered relation
+        let r = Relation::from_rows(
+            Schema::new(&["A", "B", "C"]),
+            (0..60).map(|i| vec![i % 4, i % 3, i % 5]).collect(),
+        );
+        let fused = PrefixIndex::build(&r, &["C", "A", "B"]).unwrap();
+        let reordered = r.reorder(&["C", "A", "B"]).unwrap();
+        let direct = PrefixIndex::build(&reordered, &["C", "A", "B"]).unwrap();
+        assert_eq!(fused.values_after(&[]), direct.values_after(&[]));
+        for c in 0..5 {
+            assert_eq!(fused.values_after(&[c]), direct.values_after(&[c]));
+            for a in 0..4 {
+                assert_eq!(fused.values_after(&[c, a]), direct.values_after(&[c, a]));
+            }
         }
     }
 }

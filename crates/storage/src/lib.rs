@@ -7,20 +7,27 @@
 //! factor). This crate provides data structures that satisfy that assumption and
 //! expose it explicitly:
 //!
-//! * [`Relation`] — a sorted, deduplicated, row-major relation over dictionary-encoded
-//!   [`Value`]s with the classical unary/binary operators (selection, projection,
-//!   semijoin, union, difference, binary hash join, sort-merge join);
+//! * [`Relation`] — a sorted, deduplicated, **columnar** relation over
+//!   dictionary-encoded [`Value`]s (one contiguous array per attribute) with the
+//!   classical unary/binary operators (selection, projection, semijoin, union,
+//!   difference, binary hash join, sort-merge join), all operating
+//!   column-at-a-time;
 //! * [`trie::Trie`] — a CSR-flattened prefix trie over a chosen attribute order with a
-//!   seekable cursor, the access path required by Leapfrog Triejoin;
+//!   seekable cursor, the access path required by Leapfrog Triejoin; built by a
+//!   single fused argsort-and-scan pass over the relation's columns;
 //! * [`index::PrefixIndex`] — a hash index from bound prefixes to the sorted list of
 //!   next-attribute values, the access path used by Generic Join and by the
-//!   backtracking search of Algorithm 3;
+//!   backtracking search of Algorithm 3; built by the same fused pass;
 //! * [`access::TrieAccess`] — the common cursor trait over both access paths
 //!   (`TrieCursor` and [`access::PrefixCursor`]), so the join engines in `wcoj-core`
-//!   are written once and run on either backend;
-//! * [`stats::WorkCounter`] — instrumentation counting comparisons, probes, and
-//!   intermediate tuples so that tests and benchmarks can check the *work* bounds the
-//!   paper proves, not just wall-clock time.
+//!   are written once — generically, monomorphized per backend — and run on either;
+//!   [`access::CursorKind`] composes mixed backends without vtable dispatch. Every
+//!   cursor is `Send + Clone`, so parallel workers hold private cursors over one
+//!   shared access structure;
+//! * [`stats::WorkCounter`] / [`stats::CursorWork`] — instrumentation counting
+//!   comparisons, probes, and intermediate tuples so that tests and benchmarks can
+//!   check the *work* bounds the paper proves, not just wall-clock time. Parallel
+//!   workers' counters merge associatively.
 //!
 //! # Quick example
 //!
@@ -51,14 +58,14 @@ pub mod schema;
 pub mod stats;
 pub mod trie;
 
-pub use access::{PrefixCursor, TrieAccess};
+pub use access::{CursorKind, PrefixCursor, TrieAccess};
 pub use dictionary::Dictionary;
 pub use error::StorageError;
 pub use index::PrefixIndex;
 pub use ops::{hash_join, intersect_sorted, merge_join, nested_loop_join};
 pub use relation::{Relation, Tuple};
 pub use schema::Schema;
-pub use stats::WorkCounter;
+pub use stats::{CursorWork, WorkCounter};
 pub use trie::{Trie, TrieCursor};
 
 /// A dictionary-encoded attribute value.

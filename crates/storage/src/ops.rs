@@ -5,12 +5,15 @@
 //! The binary joins here are the building blocks of the *baselines* the paper's
 //! worst-case optimal algorithms are compared against (the "one-pair-at-a-time join
 //! paradigm" of Section 1.1); the multi-way intersection is the building block of the
-//! WCOJ engines themselves.
+//! WCOJ engines themselves. The joins operate column-at-a-time over the columnar
+//! [`Relation`] layout: keys are gathered from key columns, matches are emitted by
+//! appending to output columns, and no intermediate row objects are allocated.
 
 use crate::error::StorageError;
-use crate::relation::{Relation, Tuple};
+use crate::relation::Relation;
 use crate::stats::WorkCounter;
 use crate::Value;
+use std::cmp::Ordering;
 use std::collections::HashMap;
 
 /// Intersect any number of sorted, deduplicated value slices.
@@ -116,119 +119,147 @@ fn gallop(list: &[Value], start: usize, target: Value, counter: &WorkCounter) ->
     l
 }
 
+/// Positions of the common attributes, the output attribute sources, and the output
+/// schema for a natural join `left ⋈ right` (left attributes then right-only
+/// attributes).
+struct JoinShape {
+    left_key: Vec<usize>,
+    right_key: Vec<usize>,
+    right_only: Vec<usize>,
+    out_schema: crate::Schema,
+}
+
+fn join_shape(left: &Relation, right: &Relation) -> Result<JoinShape, StorageError> {
+    let common = left.schema().common_attrs(right.schema());
+    if common.is_empty() {
+        return Err(StorageError::NoJoinAttributes);
+    }
+    let common_refs: Vec<&str> = common.iter().map(|s| s.as_str()).collect();
+    let left_key = left.schema().positions(&common_refs)?;
+    let right_key = right.schema().positions(&common_refs)?;
+    let right_only_names: Vec<String> = right.schema().attrs_not_in(left.schema());
+    let right_only: Vec<usize> = right_only_names
+        .iter()
+        .map(|a| right.schema().require(a))
+        .collect::<Result<_, _>>()?;
+    Ok(JoinShape {
+        left_key,
+        right_key,
+        right_only,
+        out_schema: left.schema().join_schema(right.schema()),
+    })
+}
+
+/// Append the joined row `(left row li, right row ri)` to the output columns
+/// (left attributes first, then right-only attributes).
+#[inline]
+fn emit_match(
+    out_cols: &mut [Vec<Value>],
+    left: &Relation,
+    right: &Relation,
+    right_only: &[usize],
+    li: usize,
+    ri: usize,
+) {
+    let la = left.arity();
+    for (c, out) in out_cols[..la].iter_mut().enumerate() {
+        out.push(left.column(c)[li]);
+    }
+    for (&rc, out) in right_only.iter().zip(out_cols[la..].iter_mut()) {
+        out.push(right.column(rc)[ri]);
+    }
+}
+
 /// Natural binary hash join. Builds a hash table on the smaller input keyed by the
-/// shared attributes and probes with the larger input. Intermediate (= output) tuples
-/// and probes are recorded in `counter`.
+/// shared attributes and probes with the larger input, gathering keys and emitting
+/// matches column-at-a-time. Intermediate (= output) tuples and probes are recorded
+/// in `counter`.
 pub fn hash_join(
     left: &Relation,
     right: &Relation,
     counter: &WorkCounter,
 ) -> Result<Relation, StorageError> {
-    let common = left.schema().common_attrs(right.schema());
-    if common.is_empty() {
-        return Err(StorageError::NoJoinAttributes);
-    }
-    let common_refs: Vec<&str> = common.iter().map(|s| s.as_str()).collect();
+    let shape = join_shape(left, right)?;
 
     // Build on the smaller side, probe with the larger, but always produce the schema
     // `left ⋈ right` (left attrs then right-only attrs) so plans are deterministic.
-    let out_schema = left.schema().join_schema(right.schema());
-    let left_pos = left.schema().positions(&common_refs)?;
-    let right_pos = right.schema().positions(&common_refs)?;
-    let right_only: Vec<String> = right.schema().attrs_not_in(left.schema());
-    let right_only_pos: Vec<usize> = right_only
-        .iter()
-        .map(|a| right.schema().require(a))
-        .collect::<Result<_, _>>()?;
-
-    let (build_rel, probe_rel, build_key, probe_key, build_is_left) = if left.len() <= right.len() {
-        (left, right, &left_pos, &right_pos, true)
+    let build_is_left = left.len() <= right.len();
+    let (build_rel, probe_rel, build_key, probe_key) = if build_is_left {
+        (left, right, &shape.left_key, &shape.right_key)
     } else {
-        (right, left, &right_pos, &left_pos, false)
+        (right, left, &shape.right_key, &shape.left_key)
     };
 
-    let mut table: HashMap<Vec<Value>, Vec<&Tuple>> = HashMap::new();
-    for t in build_rel.iter() {
-        let key: Vec<Value> = build_key.iter().map(|&p| t[p]).collect();
-        table.entry(key).or_default().push(t);
+    let mut table: HashMap<Vec<Value>, Vec<usize>> = HashMap::new();
+    for i in 0..build_rel.len() {
+        let key: Vec<Value> = build_key.iter().map(|&p| build_rel.column(p)[i]).collect();
+        table.entry(key).or_default().push(i);
     }
 
-    let mut rows: Vec<Tuple> = Vec::new();
-    for probe_t in probe_rel.iter() {
+    let mut out_cols: Vec<Vec<Value>> = vec![Vec::new(); shape.out_schema.arity()];
+    let mut emitted = 0u64;
+    let mut key: Vec<Value> = vec![0; probe_key.len()];
+    for j in 0..probe_rel.len() {
         counter.add_probes(1);
-        let key: Vec<Value> = probe_key.iter().map(|&p| probe_t[p]).collect();
+        for (k, &p) in probe_key.iter().enumerate() {
+            key[k] = probe_rel.column(p)[j];
+        }
         if let Some(matches) = table.get(&key) {
-            for &build_t in matches {
-                let (lt, rt) = if build_is_left {
-                    (build_t, probe_t)
-                } else {
-                    (probe_t, build_t)
-                };
-                let mut row: Tuple = lt.clone();
-                row.extend(right_only_pos.iter().map(|&p| rt[p]));
-                rows.push(row);
+            for &i in matches {
+                let (li, ri) = if build_is_left { (i, j) } else { (j, i) };
+                emit_match(&mut out_cols, left, right, &shape.right_only, li, ri);
+                emitted += 1;
             }
         }
     }
-    counter.add_intermediate(rows.len() as u64);
-    Relation::try_from_rows(out_schema, rows)
+    counter.add_intermediate(emitted);
+    Relation::try_from_columns(shape.out_schema, out_cols)
 }
 
-/// Natural sort-merge join (both inputs are sorted on the shared attributes first).
-/// Produces the same output and schema as [`hash_join`]; comparisons are recorded in
-/// `counter`.
+/// Natural sort-merge join: both inputs are argsorted by the shared attributes
+/// (index permutations — no row materialization), then merged. Produces the same
+/// output and schema as [`hash_join`]; comparisons are recorded in `counter`.
 pub fn merge_join(
     left: &Relation,
     right: &Relation,
     counter: &WorkCounter,
 ) -> Result<Relation, StorageError> {
-    let common = left.schema().common_attrs(right.schema());
-    if common.is_empty() {
-        return Err(StorageError::NoJoinAttributes);
-    }
-    let common_refs: Vec<&str> = common.iter().map(|s| s.as_str()).collect();
-    let out_schema = left.schema().join_schema(right.schema());
+    let shape = join_shape(left, right)?;
+    let lperm = left.sort_perm(&shape.left_key);
+    let rperm = right.sort_perm(&shape.right_key);
 
-    // Reorder both sides so the join key is the leading prefix, then merge.
-    let left_rest: Vec<String> = left.schema().attrs_not_in(right.schema());
-    let right_rest: Vec<String> = right.schema().attrs_not_in(left.schema());
-    let mut left_order: Vec<&str> = common_refs.clone();
-    left_order.extend(left_rest.iter().map(|s| s.as_str()));
-    let mut right_order: Vec<&str> = common_refs.clone();
-    right_order.extend(right_rest.iter().map(|s| s.as_str()));
-    let l = left.reorder(&left_order)?;
-    let r = right.reorder(&right_order)?;
-    let k = common.len();
+    let key_cmp = |li: usize, ri: usize| -> Ordering {
+        for (&lp, &rp) in shape.left_key.iter().zip(&shape.right_key) {
+            match left.column(lp)[li].cmp(&right.column(rp)[ri]) {
+                Ordering::Equal => continue,
+                o => return o,
+            }
+        }
+        Ordering::Equal
+    };
 
-    let lt = l.tuples();
-    let rt = r.tuples();
-    let mut rows: Vec<Tuple> = Vec::new();
+    let mut out_cols: Vec<Vec<Value>> = vec![Vec::new(); shape.out_schema.arity()];
+    let mut emitted = 0u64;
     let (mut i, mut j) = (0usize, 0usize);
-    while i < lt.len() && j < rt.len() {
+    while i < lperm.len() && j < rperm.len() {
         counter.add_comparisons(1);
-        let lk = &lt[i][..k];
-        let rk = &rt[j][..k];
-        match lk.cmp(rk) {
-            std::cmp::Ordering::Less => i += 1,
-            std::cmp::Ordering::Greater => j += 1,
-            std::cmp::Ordering::Equal => {
+        match key_cmp(lperm[i], rperm[j]) {
+            Ordering::Less => i += 1,
+            Ordering::Greater => j += 1,
+            Ordering::Equal => {
                 // find the extent of the equal-key runs on both sides
-                let i_end = i + lt[i..].iter().take_while(|t| &t[..k] == lk).count();
-                let j_end = j + rt[j..].iter().take_while(|t| &t[..k] == rk).count();
-                for lrow in &lt[i..i_end] {
-                    for rrow in &rt[j..j_end] {
-                        // output in the left-schema-first attribute order
-                        let mut row = Vec::with_capacity(out_schema.arity());
-                        // left attributes in original left order:
-                        for attr in left.schema().attrs() {
-                            let p = l.schema().require(attr).unwrap();
-                            row.push(lrow[p]);
-                        }
-                        for attr in &right_rest {
-                            let p = r.schema().require(attr).unwrap();
-                            row.push(rrow[p]);
-                        }
-                        rows.push(row);
+                let i_end = i + lperm[i..]
+                    .iter()
+                    .take_while(|&&li| key_cmp(li, rperm[j]) == Ordering::Equal)
+                    .count();
+                let j_end = j + rperm[j..]
+                    .iter()
+                    .take_while(|&&ri| key_cmp(lperm[i], ri) == Ordering::Equal)
+                    .count();
+                for &li in &lperm[i..i_end] {
+                    for &ri in &rperm[j..j_end] {
+                        emit_match(&mut out_cols, left, right, &shape.right_only, li, ri);
+                        emitted += 1;
                     }
                 }
                 i = i_end;
@@ -236,8 +267,8 @@ pub fn merge_join(
             }
         }
     }
-    counter.add_intermediate(rows.len() as u64);
-    Relation::try_from_rows(out_schema, rows)
+    counter.add_intermediate(emitted);
+    Relation::try_from_columns(shape.out_schema, out_cols)
 }
 
 /// Naive multi-way natural join by pairwise nested loops, used as ground truth in
@@ -382,7 +413,7 @@ mod tests {
         // schemas differ in attribute order, but the tuple sets must agree after
         // reordering
         let b_reordered = b.reorder(&["A", "B", "C"]).unwrap();
-        assert_eq!(a.tuples(), b_reordered.tuples());
+        assert_eq!(a.rows(), b_reordered.rows());
     }
 
     #[test]
@@ -422,6 +453,22 @@ mod tests {
     }
 
     #[test]
+    fn merge_join_non_leading_key_columns() {
+        // the shared attribute is trailing on the left, leading on the right: the
+        // argsort path must still align the runs correctly
+        let w = WorkCounter::new();
+        let l = Relation::from_rows(
+            Schema::new(&["X", "B"]),
+            vec![vec![10, 2], vec![20, 1], vec![30, 2]],
+        );
+        let rr = Relation::from_rows(Schema::new(&["B", "Y"]), vec![vec![1, 5], vec![2, 6]]);
+        let hj = hash_join(&l, &rr, &w).unwrap();
+        let mj = merge_join(&l, &rr, &w).unwrap();
+        assert_eq!(hj, mj);
+        assert_eq!(mj.len(), 3);
+    }
+
+    #[test]
     fn nested_loop_ground_truth_triangle() {
         let w = WorkCounter::new();
         let r = Relation::from_pairs("A", "B", vec![(1, 2), (2, 3), (1, 3)]);
@@ -439,7 +486,7 @@ mod tests {
         let rs = hash_join(&r, &s, &w).unwrap();
         let rst = hash_join(&rs, &t, &w).unwrap();
         let proj = rst.project(&["A", "B", "C"]).unwrap();
-        assert_eq!(proj.tuples(), out.tuples());
+        assert_eq!(proj.rows(), out.rows());
     }
 
     #[test]

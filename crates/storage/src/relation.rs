@@ -1,30 +1,47 @@
-//! Sorted, deduplicated, row-major relations.
+//! Sorted, deduplicated, **columnar** relations.
+//!
+//! A relation stores one contiguous `Vec<Value>` per attribute; row `i` is the tuple
+//! `(columns[0][i], …, columns[k-1][i])`. Rows are kept lexicographically sorted and
+//! deduplicated, which gives set semantics, O(log n) membership and prefix range
+//! lookups, and lets [`crate::Trie::build`] / [`crate::PrefixIndex::build`] run as a
+//! single fused pass over the columns (an argsort of row indices — no row
+//! materialization).
+//!
+//! The columnar layout is the storage half of the PR's performance story: scans touch
+//! one cache-friendly array per attribute instead of chasing one heap allocation per
+//! row, and access-path construction sorts 4-byte/8-byte indices instead of moving
+//! `Vec<u64>` rows around.
 
 use crate::error::StorageError;
 use crate::schema::Schema;
 use crate::Value;
+use std::cmp::Ordering;
 
 /// A tuple is a row of dictionary-encoded values, one per schema attribute.
+///
+/// Tuples are a *materialization* format (query outputs, test fixtures); the relation
+/// itself stores columns.
 pub type Tuple = Vec<Value>;
 
 /// An in-memory relation: a [`Schema`] plus a lexicographically sorted, deduplicated
-/// set of tuples.
-///
-/// Keeping tuples sorted gives us set semantics, O(log n) membership and prefix range
-/// lookups, and makes building tries ([`crate::Trie`]) and prefix indexes
-/// ([`crate::PrefixIndex`]) a single linear pass.
+/// set of rows stored column-major.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Relation {
     schema: Schema,
-    tuples: Vec<Tuple>,
+    /// One sorted-by-row column per attribute; all columns share the same length.
+    columns: Vec<Vec<Value>>,
+    /// Number of rows (kept explicitly so 0-arity edge cases stay well-defined).
+    len: usize,
 }
 
 impl Relation {
     /// An empty relation with the given schema.
     pub fn empty(schema: Schema) -> Self {
+        let arity = schema.arity();
         Relation {
             schema,
-            tuples: Vec::new(),
+            columns: vec![Vec::new(); arity],
+            len: 0,
         }
     }
 
@@ -45,17 +62,95 @@ impl Relation {
                 });
             }
         }
-        let mut tuples = rows;
-        tuples.sort_unstable();
-        tuples.dedup();
-        Ok(Relation { schema, tuples })
+        let mut rows = rows;
+        rows.sort_unstable();
+        rows.dedup();
+        let len = rows.len();
+        let mut columns: Vec<Vec<Value>> = (0..schema.arity())
+            .map(|_| Vec::with_capacity(len))
+            .collect();
+        for row in &rows {
+            for (c, &v) in row.iter().enumerate() {
+                columns[c].push(v);
+            }
+        }
+        Ok(Relation {
+            schema,
+            columns,
+            len,
+        })
+    }
+
+    /// Build a relation directly from columns (all of equal length), sorting rows
+    /// lexicographically and deduplicating — the bulk-load path that never touches a
+    /// row representation.
+    pub fn try_from_columns(
+        schema: Schema,
+        columns: Vec<Vec<Value>>,
+    ) -> Result<Self, StorageError> {
+        if columns.len() != schema.arity() {
+            return Err(StorageError::ArityMismatch {
+                expected: schema.arity(),
+                found: columns.len(),
+            });
+        }
+        let n = columns.first().map_or(0, |c| c.len());
+        if let Some(bad) = columns.iter().find(|c| c.len() != n) {
+            return Err(StorageError::ArityMismatch {
+                expected: n,
+                found: bad.len(),
+            });
+        }
+        // argsort row indices, then gather each column through the permutation
+        let cmp = |&a: &usize, &b: &usize| -> Ordering {
+            for col in &columns {
+                match col[a].cmp(&col[b]) {
+                    Ordering::Equal => continue,
+                    o => return o,
+                }
+            }
+            Ordering::Equal
+        };
+        let mut perm: Vec<usize> = (0..n).collect();
+        perm.sort_unstable_by(cmp);
+        perm.dedup_by(|a, b| cmp(a, b) == Ordering::Equal);
+        let sorted: Vec<Vec<Value>> = columns
+            .iter()
+            .map(|col| perm.iter().map(|&i| col[i]).collect())
+            .collect();
+        Ok(Relation {
+            schema,
+            len: perm.len(),
+            columns: sorted,
+        })
+    }
+
+    /// Internal constructor for columns already in canonical (sorted, deduplicated)
+    /// row order — used by operators that filter or merge canonical inputs.
+    pub(crate) fn from_canonical_columns(schema: Schema, columns: Vec<Vec<Value>>) -> Self {
+        debug_assert_eq!(columns.len(), schema.arity());
+        let len = columns.first().map_or(0, |c| c.len());
+        debug_assert!(columns.iter().all(|c| c.len() == len));
+        Relation {
+            schema,
+            columns,
+            len,
+        }
     }
 
     /// Build a binary relation over attributes `(a, b)` from `(Value, Value)` pairs —
     /// the common case of edge relations in graph workloads.
     pub fn from_pairs(a: &str, b: &str, pairs: impl IntoIterator<Item = (Value, Value)>) -> Self {
-        let rows: Vec<Tuple> = pairs.into_iter().map(|(x, y)| vec![x, y]).collect();
-        Self::from_rows(Schema::new(&[a, b]), rows)
+        let iter = pairs.into_iter();
+        let (lo, _) = iter.size_hint();
+        let mut ca = Vec::with_capacity(lo);
+        let mut cb = Vec::with_capacity(lo);
+        for (x, y) in iter {
+            ca.push(x);
+            cb.push(y);
+        }
+        Self::try_from_columns(Schema::new(&[a, b]), vec![ca, cb])
+            .expect("two columns match binary schema")
     }
 
     /// The schema of this relation.
@@ -65,12 +160,12 @@ impl Relation {
 
     /// Number of tuples.
     pub fn len(&self) -> usize {
-        self.tuples.len()
+        self.len
     }
 
     /// Whether the relation has no tuples.
     pub fn is_empty(&self) -> bool {
-        self.tuples.is_empty()
+        self.len == 0
     }
 
     /// Arity (number of attributes).
@@ -78,14 +173,81 @@ impl Relation {
         self.schema.arity()
     }
 
-    /// The sorted tuples.
-    pub fn tuples(&self) -> &[Tuple] {
-        &self.tuples
+    /// The column of attribute position `pos` (length [`Relation::len`]).
+    pub fn column(&self, pos: usize) -> &[Value] {
+        &self.columns[pos]
     }
 
-    /// Iterator over the sorted tuples.
-    pub fn iter(&self) -> impl Iterator<Item = &Tuple> {
-        self.tuples.iter()
+    /// All columns, in schema order.
+    pub fn columns(&self) -> &[Vec<Value>] {
+        &self.columns
+    }
+
+    /// The column of the named attribute.
+    pub fn column_of(&self, attr: &str) -> Result<&[Value], StorageError> {
+        Ok(&self.columns[self.schema.require(attr)?])
+    }
+
+    /// Materialize row `i` as a tuple.
+    pub fn row(&self, i: usize) -> Tuple {
+        self.columns.iter().map(|c| c[i]).collect()
+    }
+
+    /// Materialize all rows, in sorted order.
+    pub fn rows(&self) -> Vec<Tuple> {
+        (0..self.len).map(|i| self.row(i)).collect()
+    }
+
+    /// Iterator over the sorted rows (each materialized as a [`Tuple`]).
+    pub fn iter(&self) -> impl Iterator<Item = Tuple> + '_ {
+        (0..self.len).map(|i| self.row(i))
+    }
+
+    /// Compare row `i` against `tuple` lexicographically over the leading
+    /// `tuple.len()` attributes.
+    fn cmp_row_prefix(&self, i: usize, tuple: &[Value]) -> Ordering {
+        for (c, &v) in tuple.iter().enumerate() {
+            match self.columns[c][i].cmp(&v) {
+                Ordering::Equal => continue,
+                o => return o,
+            }
+        }
+        Ordering::Equal
+    }
+
+    /// Compare row `i` of `self` against row `j` of `other` column-wise (the
+    /// schemas must have equal arity). Allocation-free cross-relation comparison.
+    fn cmp_rows_across(&self, i: usize, other: &Relation, j: usize) -> Ordering {
+        debug_assert_eq!(self.arity(), other.arity());
+        for (a, b) in self.columns.iter().zip(&other.columns) {
+            match a[i].cmp(&b[j]) {
+                Ordering::Equal => continue,
+                o => return o,
+            }
+        }
+        Ordering::Equal
+    }
+
+    /// Whether `other`'s row `j` occurs in `self` (binary search, no allocation).
+    fn contains_row_of(&self, other: &Relation, j: usize) -> bool {
+        let pos = self.partition_point(|r, i| r.cmp_rows_across(i, other, j) == Ordering::Less);
+        pos < self.len && self.cmp_rows_across(pos, other, j) == Ordering::Equal
+    }
+
+    /// Argsort of the rows by the given column positions (ties broken by row index,
+    /// i.e. by the canonical lexicographic order — deterministic).
+    pub fn sort_perm(&self, positions: &[usize]) -> Vec<usize> {
+        let mut perm: Vec<usize> = (0..self.len).collect();
+        perm.sort_unstable_by(|&a, &b| {
+            for &p in positions {
+                match self.columns[p][a].cmp(&self.columns[p][b]) {
+                    Ordering::Equal => continue,
+                    o => return o,
+                }
+            }
+            a.cmp(&b)
+        });
+        perm
     }
 
     /// Insert a single tuple, keeping the relation sorted. O(n) worst case; intended
@@ -97,76 +259,103 @@ impl Relation {
                 found: tuple.len(),
             });
         }
-        match self.tuples.binary_search(&tuple) {
-            Ok(_) => Ok(false),
-            Err(pos) => {
-                self.tuples.insert(pos, tuple);
-                Ok(true)
+        let pos = self.partition_point(|r, i| r.cmp_row_prefix(i, &tuple) == Ordering::Less);
+        if pos < self.len && self.cmp_row_prefix(pos, &tuple) == Ordering::Equal {
+            return Ok(false);
+        }
+        for (c, &v) in tuple.iter().enumerate() {
+            self.columns[c].insert(pos, v);
+        }
+        self.len += 1;
+        Ok(true)
+    }
+
+    /// First row index for which `pred(self, i)` is false (rows are assumed
+    /// partitioned: all `true` rows precede all `false` rows).
+    fn partition_point<F: Fn(&Self, usize) -> bool>(&self, pred: F) -> usize {
+        let (mut lo, mut hi) = (0usize, self.len);
+        while lo < hi {
+            let mid = (lo + hi) / 2;
+            if pred(self, mid) {
+                lo = mid + 1;
+            } else {
+                hi = mid;
             }
         }
+        lo
     }
 
     /// Membership test (binary search).
     pub fn contains(&self, tuple: &[Value]) -> bool {
-        self.tuples
-            .binary_search_by(|t| t.as_slice().cmp(tuple))
-            .is_ok()
+        if tuple.len() != self.arity() {
+            return false;
+        }
+        let lo = self.partition_point(|r, i| r.cmp_row_prefix(i, tuple) == Ordering::Less);
+        lo < self.len && self.cmp_row_prefix(lo, tuple) == Ordering::Equal
     }
 
-    /// The contiguous range of tuples whose first `prefix.len()` values equal `prefix`.
+    /// The contiguous range of row indices whose first `prefix.len()` values equal
+    /// `prefix`.
     ///
     /// This is the primitive behind `σ_{A_S = a_S}` selections on the leading
-    /// attributes and behind trie construction; it runs in O(log n) time.
-    pub fn prefix_range(&self, prefix: &[Value]) -> &[Tuple] {
-        let lo = self.tuples.partition_point(|t| t[..prefix.len()] < *prefix);
-        let hi = self
-            .tuples
-            .partition_point(|t| t[..prefix.len()] <= *prefix);
-        &self.tuples[lo..hi]
+    /// attributes; it runs in O(log n) time.
+    pub fn prefix_range(&self, prefix: &[Value]) -> std::ops::Range<usize> {
+        let lo = self.partition_point(|r, i| r.cmp_row_prefix(i, prefix) == Ordering::Less);
+        let hi = self.partition_point(|r, i| r.cmp_row_prefix(i, prefix) != Ordering::Greater);
+        lo..hi
     }
 
     /// Sorted distinct values of attribute `attr`.
     pub fn distinct_values(&self, attr: &str) -> Result<Vec<Value>, StorageError> {
         let pos = self.schema.require(attr)?;
-        let mut vals: Vec<Value> = self.tuples.iter().map(|t| t[pos]).collect();
+        let mut vals = self.columns[pos].clone();
         vals.sort_unstable();
         vals.dedup();
         Ok(vals)
     }
 
+    /// Keep the rows whose indices satisfy `keep`, preserving canonical order.
+    fn filter_rows<F: Fn(usize) -> bool>(&self, keep: F) -> Relation {
+        let mut columns: Vec<Vec<Value>> = vec![Vec::new(); self.arity()];
+        for i in 0..self.len {
+            if keep(i) {
+                for (c, col) in columns.iter_mut().enumerate() {
+                    col.push(self.columns[c][i]);
+                }
+            }
+        }
+        Relation::from_canonical_columns(self.schema.clone(), columns)
+    }
+
     /// Selection `σ_{attr = value}`.
     pub fn select_eq(&self, attr: &str, value: Value) -> Result<Relation, StorageError> {
         let pos = self.schema.require(attr)?;
-        let rows: Vec<Tuple> = self
-            .tuples
-            .iter()
-            .filter(|t| t[pos] == value)
-            .cloned()
-            .collect();
-        Ok(Relation {
-            schema: self.schema.clone(),
-            tuples: rows, // still sorted: filtering preserves order
-        })
+        Ok(self.filter_rows(|i| self.columns[pos][i] == value))
     }
 
     /// Selection by an arbitrary predicate over whole tuples.
     pub fn select_where<F: Fn(&[Value]) -> bool>(&self, pred: F) -> Relation {
-        Relation {
-            schema: self.schema.clone(),
-            tuples: self.tuples.iter().filter(|t| pred(t)).cloned().collect(),
+        let mut scratch: Tuple = vec![0; self.arity()];
+        let mut columns: Vec<Vec<Value>> = vec![Vec::new(); self.arity()];
+        for i in 0..self.len {
+            for (c, s) in scratch.iter_mut().enumerate() {
+                *s = self.columns[c][i];
+            }
+            if pred(&scratch) {
+                for (c, col) in columns.iter_mut().enumerate() {
+                    col.push(self.columns[c][i]);
+                }
+            }
         }
+        Relation::from_canonical_columns(self.schema.clone(), columns)
     }
 
     /// Projection `π_{attrs}` (deduplicating).
     pub fn project(&self, attrs: &[&str]) -> Result<Relation, StorageError> {
         let schema = self.schema.project(attrs)?;
         let positions = self.schema.positions(attrs)?;
-        let rows: Vec<Tuple> = self
-            .tuples
-            .iter()
-            .map(|t| positions.iter().map(|&p| t[p]).collect())
-            .collect();
-        Relation::try_from_rows(schema, rows)
+        let columns: Vec<Vec<Value>> = positions.iter().map(|&p| self.columns[p].clone()).collect();
+        Relation::try_from_columns(schema, columns)
     }
 
     /// Rename the attributes (positionally). The new schema must have the same arity.
@@ -180,7 +369,8 @@ impl Relation {
         }
         Ok(Relation {
             schema,
-            tuples: self.tuples.clone(),
+            columns: self.columns.clone(),
+            len: self.len,
         })
     }
 
@@ -199,24 +389,23 @@ impl Relation {
     /// Set union (schemas must match exactly).
     pub fn union(&self, other: &Relation) -> Result<Relation, StorageError> {
         self.check_same_schema(other)?;
-        let mut rows = self.tuples.clone();
-        rows.extend(other.tuples.iter().cloned());
-        Relation::try_from_rows(self.schema.clone(), rows)
+        let columns: Vec<Vec<Value>> = self
+            .columns
+            .iter()
+            .zip(&other.columns)
+            .map(|(a, b)| {
+                let mut col = a.clone();
+                col.extend_from_slice(b);
+                col
+            })
+            .collect();
+        Relation::try_from_columns(self.schema.clone(), columns)
     }
 
     /// Set difference `self \ other` (schemas must match exactly).
     pub fn difference(&self, other: &Relation) -> Result<Relation, StorageError> {
         self.check_same_schema(other)?;
-        let rows: Vec<Tuple> = self
-            .tuples
-            .iter()
-            .filter(|t| !other.contains(t))
-            .cloned()
-            .collect();
-        Ok(Relation {
-            schema: self.schema.clone(),
-            tuples: rows,
-        })
+        Ok(self.filter_rows(|i| !other.contains_row_of(self, i)))
     }
 
     /// Set intersection (schemas must match exactly).
@@ -227,16 +416,7 @@ impl Relation {
         } else {
             (other, self)
         };
-        let rows: Vec<Tuple> = small
-            .tuples
-            .iter()
-            .filter(|t| large.contains(t))
-            .cloned()
-            .collect();
-        Ok(Relation {
-            schema: self.schema.clone(),
-            tuples: rows,
-        })
+        Ok(small.filter_rows(|i| large.contains_row_of(small, i)))
     }
 
     /// Semijoin `self ⋉ other`: keep the tuples of `self` whose projection onto the
@@ -249,19 +429,10 @@ impl Relation {
         let common_refs: Vec<&str> = common.iter().map(|s| s.as_str()).collect();
         let my_pos = self.schema.positions(&common_refs)?;
         let other_proj = other.project(&common_refs)?;
-        let rows: Vec<Tuple> = self
-            .tuples
-            .iter()
-            .filter(|t| {
-                let key: Vec<Value> = my_pos.iter().map(|&p| t[p]).collect();
-                other_proj.contains(&key)
-            })
-            .cloned()
-            .collect();
-        Ok(Relation {
-            schema: self.schema.clone(),
-            tuples: rows,
-        })
+        Ok(self.filter_rows(|i| {
+            let key: Tuple = my_pos.iter().map(|&p| self.columns[p][i]).collect();
+            other_proj.contains(&key)
+        }))
     }
 
     /// Antijoin `self ▷ other`: keep the tuples of `self` whose projection onto the
@@ -278,10 +449,8 @@ impl Relation {
     pub fn max_degree(&self, x_attrs: &[&str], y_attrs: &[&str]) -> Result<u64, StorageError> {
         let y_pos = self.schema.positions(y_attrs)?;
         if x_attrs.is_empty() {
-            let mut ys: Vec<Vec<Value>> = self
-                .tuples
-                .iter()
-                .map(|t| y_pos.iter().map(|&p| t[p]).collect())
+            let mut ys: Vec<Tuple> = (0..self.len)
+                .map(|i| y_pos.iter().map(|&p| self.columns[p][i]).collect())
                 .collect();
             ys.sort_unstable();
             ys.dedup();
@@ -289,10 +458,10 @@ impl Relation {
         }
         let x_pos = self.schema.positions(x_attrs)?;
         use std::collections::HashMap;
-        let mut groups: HashMap<Vec<Value>, Vec<Vec<Value>>> = HashMap::new();
-        for t in &self.tuples {
-            let x: Vec<Value> = x_pos.iter().map(|&p| t[p]).collect();
-            let y: Vec<Value> = y_pos.iter().map(|&p| t[p]).collect();
+        let mut groups: HashMap<Tuple, Vec<Tuple>> = HashMap::new();
+        for i in 0..self.len {
+            let x: Tuple = x_pos.iter().map(|&p| self.columns[p][i]).collect();
+            let y: Tuple = y_pos.iter().map(|&p| self.columns[p][i]).collect();
             groups.entry(x).or_default().push(y);
         }
         let mut max = 0u64;
@@ -324,7 +493,7 @@ impl Relation {
 impl std::fmt::Display for Relation {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         writeln!(f, "{} [{} tuples]", self.schema, self.len())?;
-        for t in self.tuples.iter().take(20) {
+        for t in self.iter().take(20) {
             writeln!(f, "  {t:?}")?;
         }
         if self.len() > 20 {
@@ -349,9 +518,36 @@ mod tests {
     fn from_rows_sorts_and_dedups() {
         let r = r_ab();
         assert_eq!(r.len(), 3);
-        assert_eq!(r.tuples(), &[vec![1, 2], vec![1, 3], vec![2, 3]]);
+        assert_eq!(r.rows(), vec![vec![1, 2], vec![1, 3], vec![2, 3]]);
         assert_eq!(r.arity(), 2);
         assert!(!r.is_empty());
+    }
+
+    #[test]
+    fn columnar_layout_is_exposed() {
+        let r = r_ab();
+        assert_eq!(r.column(0), &[1, 1, 2]);
+        assert_eq!(r.column(1), &[2, 3, 3]);
+        assert_eq!(r.column_of("B").unwrap(), &[2, 3, 3]);
+        assert!(r.column_of("Z").is_err());
+        assert_eq!(r.columns().len(), 2);
+        assert_eq!(r.row(1), vec![1, 3]);
+    }
+
+    #[test]
+    fn from_columns_sorts_and_dedups() {
+        let r = Relation::try_from_columns(
+            Schema::new(&["A", "B"]),
+            vec![vec![2, 1, 1, 1], vec![3, 3, 2, 3]],
+        )
+        .unwrap();
+        assert_eq!(r, r_ab());
+        // mismatched column lengths rejected
+        assert!(
+            Relation::try_from_columns(Schema::new(&["A", "B"]), vec![vec![1], vec![]]).is_err()
+        );
+        // wrong column count rejected
+        assert!(Relation::try_from_columns(Schema::new(&["A", "B"]), vec![vec![1]]).is_err());
     }
 
     #[test]
@@ -379,7 +575,7 @@ mod tests {
         assert!(r.insert(vec![5]).unwrap());
         assert!(r.insert(vec![1]).unwrap());
         assert!(!r.insert(vec![5]).unwrap());
-        assert_eq!(r.tuples(), &[vec![1], vec![5]]);
+        assert_eq!(r.rows(), vec![vec![1], vec![5]]);
         assert!(r.insert(vec![1, 2]).is_err());
     }
 
@@ -388,10 +584,11 @@ mod tests {
         let r = r_ab();
         assert!(r.contains(&[1, 3]));
         assert!(!r.contains(&[3, 1]));
-        assert_eq!(r.prefix_range(&[1]), &[vec![1, 2], vec![1, 3]]);
-        assert_eq!(r.prefix_range(&[2]), &[vec![2, 3]]);
+        assert!(!r.contains(&[1])); // arity mismatch is simply absent
+        assert_eq!(r.prefix_range(&[1]), 0..2);
+        assert_eq!(r.prefix_range(&[2]), 2..3);
         assert!(r.prefix_range(&[9]).is_empty());
-        assert_eq!(r.prefix_range(&[]).len(), 3);
+        assert_eq!(r.prefix_range(&[]), 0..3);
     }
 
     #[test]
@@ -409,14 +606,14 @@ mod tests {
         assert_eq!(s.len(), 2);
         let w = r.select_where(|t| t[0] + t[1] == 5);
         assert_eq!(w.len(), 1); // only (2,3) sums to 5
-        assert_eq!(w.tuples(), &[vec![2, 3]]);
+        assert_eq!(w.rows(), vec![vec![2, 3]]);
     }
 
     #[test]
     fn project_dedups() {
         let r = r_ab();
         let p = r.project(&["A"]).unwrap();
-        assert_eq!(p.tuples(), &[vec![1], vec![2]]);
+        assert_eq!(p.rows(), vec![vec![1], vec![2]]);
         let p2 = r.project(&["B", "A"]).unwrap();
         assert_eq!(p2.schema().attrs(), &["B".to_string(), "A".to_string()]);
         assert!(p2.contains(&[2, 1]));
@@ -444,7 +641,7 @@ mod tests {
         assert_eq!(d.len(), 2);
         assert!(!d.contains(&[1, 2]));
         let i = r.intersect(&s).unwrap();
-        assert_eq!(i.tuples(), &[vec![1, 2]]);
+        assert_eq!(i.rows(), vec![vec![1, 2]]);
         let bad = Relation::empty(Schema::new(&["X"]));
         assert!(r.union(&bad).is_err());
         assert!(r.difference(&bad).is_err());
@@ -456,9 +653,9 @@ mod tests {
         let r = r_ab();
         let s = Relation::from_rows(Schema::new(&["B", "C"]), vec![vec![3, 7]]);
         let sj = r.semijoin(&s).unwrap();
-        assert_eq!(sj.tuples(), &[vec![1, 3], vec![2, 3]]);
+        assert_eq!(sj.rows(), vec![vec![1, 3], vec![2, 3]]);
         let aj = r.antijoin(&s).unwrap();
-        assert_eq!(aj.tuples(), &[vec![1, 2]]);
+        assert_eq!(aj.rows(), vec![vec![1, 2]]);
         let disjoint = Relation::empty(Schema::new(&["Z"]));
         assert_eq!(
             r.semijoin(&disjoint).unwrap_err(),
@@ -480,6 +677,18 @@ mod tests {
     }
 
     #[test]
+    fn sort_perm_orders_by_requested_columns() {
+        let r = Relation::from_rows(
+            Schema::new(&["A", "B"]),
+            vec![vec![1, 9], vec![2, 3], vec![3, 3]],
+        );
+        // sort by B then A: rows (2,3)=idx1, (3,3)=idx2, (1,9)=idx0
+        assert_eq!(r.sort_perm(&[1, 0]), vec![1, 2, 0]);
+        // identity prefix: already canonical
+        assert_eq!(r.sort_perm(&[0, 1]), vec![0, 1, 2]);
+    }
+
+    #[test]
     fn display_truncates() {
         let rows: Vec<Tuple> = (0..30).map(|i| vec![i]).collect();
         let r = Relation::from_rows(Schema::new(&["A"]), rows);
@@ -495,6 +704,6 @@ mod tests {
         assert_eq!(r.distinct_values("A").unwrap(), Vec::<Value>::new());
         assert_eq!(r.max_degree(&["A"], &["B"]).unwrap(), 0);
         assert!(r.fd_holds(&["A"], &["B"]).unwrap());
-        assert_eq!(r.prefix_range(&[1]).len(), 0);
+        assert!(r.prefix_range(&[1]).is_empty());
     }
 }

@@ -6,8 +6,47 @@
 //! execution so tests and benchmarks can verify the analyses directly (e.g. Theorem
 //! 5.1's `O(n · |DC| · log|D| · (|D| + 2^bound))` or the `Õ(N + √(|R||S||T|))` claim
 //! for the triangle algorithms of Section 2).
+//!
+//! Two kinds of counter exist:
+//!
+//! * [`WorkCounter`] — the per-query (or per-worker) accumulator, `Cell`-based so
+//!   read-only operator code can record work without plumbing `&mut` everywhere.
+//!   Parallel workers each own a private `WorkCounter`; the driver sums them with
+//!   [`WorkCounter::merge`] / `+=`, which is associative and commutative, so the
+//!   merged totals are independent of scheduling.
+//! * [`CursorWork`] — plain-integer tallies owned *by a cursor*. Cursors must be
+//!   `Send + Clone` so parallel workers can hold private stacks, which rules out a
+//!   shared `&WorkCounter` inside the cursor; instead each cursor accumulates into
+//!   its own `CursorWork` and the engine drains it into the run's `WorkCounter` via
+//!   `TrieAccess::take_work`.
 
 use std::cell::Cell;
+use std::ops::AddAssign;
+
+/// Plain-integer work tallies accumulated privately by a cursor and drained into a
+/// [`WorkCounter`] by the engine (see `TrieAccess::take_work`).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CursorWork {
+    /// Index probes: galloping-search probes and hash lookups performed by `seek`
+    /// and (for hash-backed cursors) non-root `open`.
+    pub probes: u64,
+    /// Set-intersection steps: `next` advances within a sibling group.
+    pub intersect_steps: u64,
+}
+
+impl CursorWork {
+    /// Whether no work has been recorded.
+    pub fn is_zero(&self) -> bool {
+        self.probes == 0 && self.intersect_steps == 0
+    }
+}
+
+impl AddAssign for CursorWork {
+    fn add_assign(&mut self, rhs: CursorWork) {
+        self.probes += rhs.probes;
+        self.intersect_steps += rhs.intersect_steps;
+    }
+}
 
 /// Counters of elementary work performed by an operator or a whole query plan.
 ///
@@ -33,6 +72,18 @@ impl Clone for WorkCounter {
         }
     }
 }
+
+impl PartialEq for WorkCounter {
+    fn eq(&self, other: &Self) -> bool {
+        self.intersect_steps.get() == other.intersect_steps.get()
+            && self.probes.get() == other.probes.get()
+            && self.intermediate_tuples.get() == other.intermediate_tuples.get()
+            && self.output_tuples.get() == other.output_tuples.get()
+            && self.comparisons.get() == other.comparisons.get()
+    }
+}
+
+impl Eq for WorkCounter {}
 
 impl WorkCounter {
     /// A fresh counter with all tallies at zero.
@@ -66,6 +117,12 @@ impl WorkCounter {
     /// Record `n` element comparisons (sort-merge, galloping search, ...).
     pub fn add_comparisons(&self, n: u64) {
         self.comparisons.set(self.comparisons.get() + n);
+    }
+
+    /// Drain a cursor's private tallies into this counter.
+    pub fn absorb(&self, w: CursorWork) {
+        self.add_probes(w.probes);
+        self.add_intersect_steps(w.intersect_steps);
     }
 
     /// Total set-intersection steps recorded.
@@ -112,13 +169,20 @@ impl WorkCounter {
         self.comparisons.set(0);
     }
 
-    /// Merge the tallies of `other` into `self`.
+    /// Merge the tallies of `other` into `self`. Associative and commutative, so
+    /// parallel workers' counters sum losslessly in any order.
     pub fn merge(&self, other: &WorkCounter) {
         self.add_intersect_steps(other.intersect_steps());
         self.add_probes(other.probes());
         self.add_intermediate(other.intermediate_tuples());
         self.add_output(other.output_tuples());
         self.add_comparisons(other.comparisons());
+    }
+}
+
+impl AddAssign<&WorkCounter> for WorkCounter {
+    fn add_assign(&mut self, rhs: &WorkCounter) {
+        self.merge(rhs);
     }
 }
 
@@ -159,6 +223,39 @@ mod tests {
     }
 
     #[test]
+    fn merge_is_associative_and_commutative() {
+        let mk = |i: u64, p: u64, m: u64, o: u64, c: u64| {
+            let w = WorkCounter::new();
+            w.add_intersect_steps(i);
+            w.add_probes(p);
+            w.add_intermediate(m);
+            w.add_output(o);
+            w.add_comparisons(c);
+            w
+        };
+        let a = mk(1, 2, 3, 4, 5);
+        let b = mk(10, 20, 30, 40, 50);
+        let c = mk(7, 0, 9, 0, 11);
+
+        // (a + b) + c
+        let mut left = a.clone();
+        left += &b;
+        left += &c;
+        // a + (b + c)
+        let mut bc = b.clone();
+        bc += &c;
+        let mut right = a.clone();
+        right += &bc;
+        assert_eq!(left, right);
+
+        // commutativity: c + b + a
+        let mut rev = c.clone();
+        rev += &b;
+        rev += &a;
+        assert_eq!(left, rev);
+    }
+
+    #[test]
     fn clone_snapshots_current_state() {
         let a = WorkCounter::new();
         a.add_comparisons(9);
@@ -166,5 +263,33 @@ mod tests {
         a.add_comparisons(1);
         assert_eq!(c.comparisons(), 9);
         assert_eq!(a.comparisons(), 10);
+    }
+
+    #[test]
+    fn absorb_drains_cursor_work() {
+        let w = WorkCounter::new();
+        let mut cw = CursorWork::default();
+        assert!(cw.is_zero());
+        cw.probes = 3;
+        cw.intersect_steps = 4;
+        cw += CursorWork {
+            probes: 1,
+            intersect_steps: 1,
+        };
+        assert!(!cw.is_zero());
+        w.absorb(cw);
+        assert_eq!(w.probes(), 4);
+        assert_eq!(w.intersect_steps(), 5);
+    }
+
+    #[test]
+    fn equality_compares_all_tallies() {
+        let a = WorkCounter::new();
+        let b = WorkCounter::new();
+        assert_eq!(a, b);
+        a.add_probes(1);
+        assert_ne!(a, b);
+        b.add_probes(1);
+        assert_eq!(a, b);
     }
 }

@@ -3,15 +3,23 @@
 //! in the paper's historical account (Section 1.2).
 //!
 //! A [`Trie`] stores a relation's tuples, reordered by a chosen attribute order, as
-//! one sorted value array per level plus child-range offsets. A [`TrieCursor`]
-//! implements the linear-iterator interface Leapfrog needs: `open`, `up`, `next`,
-//! `seek` (least upper bound within the current sibling group), `key`, `at_end`.
-//! `seek` uses galloping (exponential then binary) search so that a full leapfrog
-//! intersection of `k` sorted sets costs `O(k · min_size · log(max/min))`.
+//! one sorted value array per level plus child-range offsets. Construction is a
+//! **fused pass over the relation's columns**: one argsort of row indices (skipped
+//! entirely when the requested order is the relation's native order), then a single
+//! scan that emits every level's values and child offsets simultaneously — no row
+//! materialization, no per-level re-grouping.
+//!
+//! A [`TrieCursor`] implements the linear-iterator interface Leapfrog needs: `open`,
+//! `up`, `next`, `seek` (least upper bound within the current sibling group), `key`,
+//! `at_end`. `seek` uses galloping (exponential then binary) search so that a full
+//! leapfrog intersection of `k` sorted sets costs `O(k · min_size · log(max/min))`.
+//! Cursors are `Send + Clone` — they borrow the (immutable, `Sync`) trie and own
+//! their stack plus private [`CursorWork`] tallies, so independent parallel workers
+//! can each hold their own cursor over one shared trie.
 
 use crate::error::StorageError;
 use crate::relation::Relation;
-use crate::stats::WorkCounter;
+use crate::stats::CursorWork;
 use crate::Value;
 
 /// One level of the trie: all node values at this depth (grouped by parent, each group
@@ -21,8 +29,7 @@ struct TrieLevel {
     /// Node values at this depth, concatenated parent group by parent group.
     values: Vec<Value>,
     /// `child_start[i]..child_start[i+1]` is the range of node `i`'s children in the
-    /// next level's `values`. Present for every level; for the last level all ranges
-    /// are empty.
+    /// next level's `values`. Empty for the deepest level (never dereferenced there).
     child_start: Vec<usize>,
 }
 
@@ -34,100 +41,112 @@ pub struct Trie {
     num_tuples: usize,
 }
 
+/// Validate that `attr_order` is a permutation of `rel`'s attributes and return the
+/// column position of each ordered attribute. Shared with [`crate::PrefixIndex`].
+pub(crate) fn order_positions(
+    rel: &Relation,
+    attr_order: &[&str],
+) -> Result<Vec<usize>, StorageError> {
+    if attr_order.len() != rel.arity() {
+        return Err(StorageError::ArityMismatch {
+            expected: rel.arity(),
+            found: attr_order.len(),
+        });
+    }
+    let mut positions = Vec::with_capacity(attr_order.len());
+    let mut seen = vec![false; rel.arity()];
+    for attr in attr_order {
+        let p = rel.schema().require(attr)?;
+        if seen[p] {
+            return Err(StorageError::DuplicateAttribute(attr.to_string()));
+        }
+        seen[p] = true;
+        positions.push(p);
+    }
+    Ok(positions)
+}
+
+/// Argsort of `rel`'s rows by the permuted columns, or `None` when the permutation
+/// is the identity (the relation is already sorted in that order). Rows of a
+/// full-attribute permutation are distinct, so `sort_perm`'s index tie-break never
+/// fires.
+pub(crate) fn order_perm(rel: &Relation, positions: &[usize]) -> Option<Vec<usize>> {
+    if positions.iter().enumerate().all(|(i, &p)| i == p) {
+        return None;
+    }
+    Some(rel.sort_perm(positions))
+}
+
+/// The shared fused-build scan: visit `rel`'s rows in the order of the permuted
+/// columns `positions`, calling `visit(row, depth)` where `depth` is the first
+/// position (in the permuted order) at which the row differs from its predecessor
+/// (0 for the first row). Both [`Trie::build`] and [`crate::PrefixIndex::build`]
+/// drive their single-pass construction off this boundary stream.
+pub(crate) fn fused_scan(rel: &Relation, positions: &[usize], mut visit: impl FnMut(usize, usize)) {
+    let arity = positions.len();
+    let perm = order_perm(rel, positions);
+    let cols: Vec<&[Value]> = positions.iter().map(|&p| rel.column(p)).collect();
+    let mut prev: Option<usize> = None;
+    for idx in 0..rel.len() {
+        let r = perm.as_ref().map_or(idx, |p| p[idx]);
+        let d = match prev {
+            None => 0,
+            Some(pr) => {
+                let mut d = 0;
+                while d < arity && cols[d][r] == cols[d][pr] {
+                    d += 1;
+                }
+                d
+            }
+        };
+        debug_assert!(d < arity, "relations are deduplicated");
+        visit(r, d);
+        prev = Some(r);
+    }
+}
+
 impl Trie {
     /// Build a trie for `rel` with attributes reordered to `attr_order` (a permutation
     /// of the relation's attributes).
+    ///
+    /// Single fused pass: argsort the row indices by the permuted columns (skipped
+    /// when the order is native), then scan once, pushing a node at depth `d`
+    /// whenever the current row first differs from the previous row at depth `≤ d`.
     pub fn build(rel: &Relation, attr_order: &[&str]) -> Result<Self, StorageError> {
-        let reordered = rel.reorder(attr_order)?;
-        let arity = reordered.arity();
-        let tuples = reordered.tuples();
+        let positions = order_positions(rel, attr_order)?;
+        let arity = rel.arity();
+        let n = rel.len();
+        let cols: Vec<&[Value]> = positions.iter().map(|&p| rel.column(p)).collect();
 
-        let mut levels: Vec<TrieLevel> = Vec::with_capacity(arity);
-        // group_bounds[g] = (start, end) range of tuples forming sibling group g at the
-        // current level; at level 0 there is a single group spanning all tuples.
-        let mut group_bounds: Vec<(usize, usize)> = vec![(0, tuples.len())];
-
-        for depth in 0..arity {
-            let mut values = Vec::new();
-            let mut next_groups = Vec::new();
-            for &(start, end) in &group_bounds {
-                let mut i = start;
-                while i < end {
-                    let v = tuples[i][depth];
-                    let mut j = i + 1;
-                    while j < end && tuples[j][depth] == v {
-                        j += 1;
-                    }
-                    values.push(v);
-                    next_groups.push((i, j));
-                    i = j;
+        let mut values: Vec<Vec<Value>> = vec![Vec::new(); arity];
+        let mut child_start: Vec<Vec<usize>> = vec![Vec::new(); arity];
+        fused_scan(rel, &positions, |r, d| {
+            // the row starts a new node at every depth >= d
+            for (depth, col) in cols.iter().enumerate().skip(d) {
+                if depth + 1 < arity {
+                    child_start[depth].push(values[depth + 1].len());
                 }
+                values[depth].push(col[r]);
             }
-            // child_start for this level is derived from next_groups sizes once we know
-            // how many distinct children each node has at depth+1 — we fill it in the
-            // next iteration. Store the tuple ranges for now and convert below.
-            levels.push(TrieLevel {
-                values,
-                child_start: Vec::new(),
-            });
-            group_bounds = next_groups;
-            // After the last level the per-node tuple ranges are singleton leaves.
-            if depth + 1 == arity {
-                let n = levels[depth].values.len();
-                levels[depth].child_start = vec![0; n + 1];
-            }
-        }
-
-        // Second pass: compute child_start offsets. Node i at level d has as children
-        // the distinct values at level d+1 whose parent group is i; since both levels
-        // were produced by the same in-order traversal, children appear consecutively.
+        });
+        // closing sentinels: node i's children end where node i+1's begin
         for depth in 0..arity.saturating_sub(1) {
-            let parent_count = levels[depth].values.len();
-            let mut child_start = Vec::with_capacity(parent_count + 1);
-            child_start.push(0usize);
-            // Recompute grouping: walk the reordered tuples once per level pair.
-            // Children of parent node i are the distinct (depth+1)-values within the
-            // parent's tuple range. We re-derive the ranges the same way as above.
-            // To avoid storing ranges across passes, rebuild them here.
-            let ranges = Self::node_ranges(tuples, depth + 1);
-            debug_assert_eq!(ranges.len(), levels[depth + 1].values.len());
-            // Count how many children each parent has by matching parent ranges.
-            let parent_ranges = Self::node_ranges(tuples, depth);
-            debug_assert_eq!(parent_ranges.len(), parent_count);
-            let mut ci = 0usize;
-            for &(pstart, pend) in &parent_ranges {
-                let mut count = 0usize;
-                while ci < ranges.len() && ranges[ci].0 >= pstart && ranges[ci].1 <= pend {
-                    count += 1;
-                    ci += 1;
-                }
-                child_start.push(child_start.last().unwrap() + count);
-            }
-            debug_assert_eq!(*child_start.last().unwrap(), levels[depth + 1].values.len());
-            levels[depth].child_start = child_start;
+            child_start[depth].push(values[depth + 1].len());
         }
 
+        let levels = values
+            .into_iter()
+            .zip(child_start)
+            .map(|(values, child_start)| TrieLevel {
+                values,
+                child_start,
+            })
+            .collect();
         Ok(Trie {
             attr_order: attr_order.iter().map(|s| s.to_string()).collect(),
             levels,
-            num_tuples: tuples.len(),
+            num_tuples: n,
         })
-    }
-
-    /// Tuple ranges of the distinct-prefix nodes at `depth` (prefix length `depth+1`),
-    /// in order.
-    fn node_ranges(tuples: &[Vec<Value>], depth: usize) -> Vec<(usize, usize)> {
-        let mut ranges = Vec::new();
-        let mut i = 0;
-        while i < tuples.len() {
-            let mut j = i + 1;
-            while j < tuples.len() && tuples[j][..=depth] == tuples[i][..=depth] {
-                j += 1;
-            }
-            ranges.push((i, j));
-            i = j;
-        }
-        ranges
     }
 
     /// The attribute order of the trie.
@@ -150,40 +169,40 @@ impl Trie {
         self.levels.get(depth).map_or(0, |l| l.values.len())
     }
 
+    /// The sorted distinct values of the first attribute (the root sibling group) —
+    /// what a cursor enumerates after its first `open`. Used by the execution layer
+    /// to compute the first join variable's extension set up front.
+    pub fn root_values(&self) -> &[Value] {
+        self.levels.first().map_or(&[], |l| l.values.as_slice())
+    }
+
     /// A cursor positioned at the root.
     pub fn cursor(&self) -> TrieCursor<'_> {
         TrieCursor {
             trie: self,
             stack: Vec::new(),
-            counter: None,
-        }
-    }
-
-    /// A cursor that records its seek/next work into `counter`.
-    pub fn cursor_with_counter<'a>(&'a self, counter: &'a WorkCounter) -> TrieCursor<'a> {
-        TrieCursor {
-            trie: self,
-            stack: Vec::new(),
-            counter: Some(counter),
+            work: CursorWork::default(),
         }
     }
 }
 
-/// A cursor frame: position within the sibling group, whose exclusive upper bound is
-/// `end` (the group's start is wherever the frame was opened).
+/// A cursor frame: the sibling group `[start, end)` at this level and the position
+/// within it.
 #[derive(Debug, Clone, Copy)]
 struct Frame {
+    start: usize,
     pos: usize,
     end: usize,
 }
 
 /// A seekable cursor over a [`Trie`], implementing the Leapfrog Triejoin iterator
-/// interface.
+/// interface. `Send + Clone`: it borrows the shared trie and owns its stack and
+/// work tallies.
 #[derive(Debug, Clone)]
 pub struct TrieCursor<'a> {
     trie: &'a Trie,
     stack: Vec<Frame>,
-    counter: Option<&'a WorkCounter>,
+    work: CursorWork,
 }
 
 impl<'a> TrieCursor<'a> {
@@ -215,7 +234,11 @@ impl<'a> TrieCursor<'a> {
         if begin == end {
             return false;
         }
-        self.stack.push(Frame { pos: begin, end });
+        self.stack.push(Frame {
+            start: begin,
+            pos: begin,
+            end,
+        });
         true
     }
 
@@ -243,9 +266,7 @@ impl<'a> TrieCursor<'a> {
     /// Advance to the next sibling. Returns `false` if that moves past the end.
     #[allow(clippy::should_implement_trait)]
     pub fn next(&mut self) -> bool {
-        if let Some(c) = self.counter {
-            c.add_intersect_steps(1);
-        }
+        self.work.intersect_steps += 1;
         let frame = self.stack.last_mut().expect("cursor is at the root");
         if frame.pos < frame.end {
             frame.pos += 1;
@@ -263,20 +284,43 @@ impl<'a> TrieCursor<'a> {
             return false;
         }
         let (pos, probes) = crate::ops::gallop_lub(values, frame.pos, frame.end, target);
-        if let Some(c) = self.counter {
-            c.add_probes(probes);
-        }
+        self.work.probes += probes;
         frame.pos = pos;
         frame.pos < frame.end
     }
 
+    /// Position at the sibling with value exactly `target`, searching the *whole*
+    /// group (may move backward). Uncounted: used by the execution layer to
+    /// re-position at keys whose discovery cost was already accounted elsewhere
+    /// (e.g. the first-variable extension set shared across parallel workers).
+    pub fn reposition(&mut self, target: Value) -> bool {
+        let depth = self.stack.len();
+        let frame = self.stack.last_mut().expect("cursor is at the root");
+        let values = &self.trie.levels[depth - 1].values[frame.start..frame.end];
+        match values.binary_search(&target) {
+            Ok(i) => {
+                frame.pos = frame.start + i;
+                true
+            }
+            Err(i) => {
+                frame.pos = frame.start + i;
+                false
+            }
+        }
+    }
+
     /// Convenience: the values remaining in the current sibling group, from the
-    /// cursor's position onward (used in tests and by simple engines).
+    /// cursor's position onward.
     pub fn remaining(&self) -> &'a [Value] {
         match self.stack.last() {
             None => &[],
             Some(f) => &self.trie.levels[self.stack.len() - 1].values[f.pos..f.end],
         }
+    }
+
+    /// Drain the cursor's private work tallies (resetting them to zero).
+    pub fn take_work(&mut self) -> CursorWork {
+        std::mem::take(&mut self.work)
     }
 }
 
@@ -307,6 +351,7 @@ mod tests {
         assert_eq!(t.nodes_at(0), 3); // A in {1, 2, 4}
         assert_eq!(t.nodes_at(1), 4); // (1,2) (1,3) (2,2) (4,1)
         assert_eq!(t.nodes_at(2), 6); // all tuples distinct
+        assert_eq!(t.root_values(), &[1, 2, 4]);
         assert_eq!(
             t.attr_order(),
             &["A".to_string(), "B".to_string(), "C".to_string()]
@@ -376,6 +421,25 @@ mod tests {
     }
 
     #[test]
+    fn reposition_is_bidirectional_within_group() {
+        let t = Trie::build(&rel(), &["A", "B", "C"]).unwrap();
+        let mut c = t.cursor();
+        c.open();
+        assert!(c.seek(4));
+        assert_eq!(c.key(), 4);
+        // reposition can move backward, unlike seek
+        assert!(c.reposition(1));
+        assert_eq!(c.key(), 1);
+        assert!(c.reposition(4));
+        assert_eq!(c.key(), 4);
+        assert!(!c.reposition(3)); // absent
+                                   // and it is uncounted work
+        assert!(c.take_work().probes > 0); // from the earlier seek only
+        assert!(c.reposition(2));
+        assert_eq!(c.take_work(), CursorWork::default());
+    }
+
+    #[test]
     fn reordered_trie() {
         let t = Trie::build(&rel(), &["C", "B", "A"]).unwrap();
         let mut c = t.cursor();
@@ -388,12 +452,34 @@ mod tests {
     }
 
     #[test]
+    fn reordered_trie_enumerates_reordered_tuples() {
+        // the fused argsort build must agree with reorder-then-build
+        let r = rel();
+        for order in [
+            ["A", "B", "C"],
+            ["A", "C", "B"],
+            ["B", "A", "C"],
+            ["B", "C", "A"],
+            ["C", "A", "B"],
+            ["C", "B", "A"],
+        ] {
+            let t = Trie::build(&r, &order).unwrap();
+            let reordered = r.reorder(&order).unwrap();
+            let mut out = Vec::new();
+            let mut c = t.cursor();
+            walk(&mut c, 3, &mut Vec::new(), &mut out);
+            assert_eq!(out, reordered.rows(), "order {order:?}");
+        }
+    }
+
+    #[test]
     fn empty_relation_trie() {
         let t = Trie::build(&Relation::empty(Schema::new(&["A", "B"])), &["A", "B"]).unwrap();
         let mut c = t.cursor();
         assert!(!c.open());
         assert_eq!(t.nodes_at(0), 0);
         assert_eq!(t.num_tuples(), 0);
+        assert!(t.root_values().is_empty());
     }
 
     #[test]
@@ -409,22 +495,70 @@ mod tests {
     }
 
     #[test]
-    fn counter_records_probe_work() {
+    fn cursor_records_work_privately() {
         let r = Relation::from_rows(Schema::new(&["A"]), (0..1000).map(|i| vec![i]).collect());
         let t = Trie::build(&r, &["A"]).unwrap();
-        let w = WorkCounter::new();
-        let mut c = t.cursor_with_counter(&w);
+        let mut c = t.cursor();
         c.open();
         c.seek(900);
         c.next();
-        assert!(w.probes() > 0);
-        assert!(w.intersect_steps() > 0);
+        let w = c.take_work();
+        assert!(w.probes > 0);
+        assert!(w.intersect_steps > 0);
+        // take_work drains
+        assert!(c.take_work().is_zero());
+    }
+
+    #[test]
+    fn cursors_are_send_and_clone() {
+        fn assert_send_clone<T: Send + Clone>() {}
+        fn assert_sync<T: Sync>() {}
+        assert_send_clone::<TrieCursor<'_>>();
+        assert_sync::<Trie>();
+        // a clone is an independent cursor with its own stack
+        let r = rel();
+        let t = Trie::build(&r, &["A", "B", "C"]).unwrap();
+        let mut a = t.cursor();
+        a.open();
+        a.seek(2);
+        let mut b = a.clone();
+        b.next();
+        assert_eq!(a.key(), 2);
+        assert_eq!(b.key(), 4);
     }
 
     #[test]
     fn bad_attr_order_rejected() {
         assert!(Trie::build(&rel(), &["A", "B"]).is_err());
         assert!(Trie::build(&rel(), &["A", "B", "Z"]).is_err());
+        assert!(Trie::build(&rel(), &["A", "B", "B"]).is_err());
+    }
+
+    fn walk(
+        c: &mut TrieCursor<'_>,
+        arity: usize,
+        prefix: &mut Vec<Value>,
+        out: &mut Vec<Vec<Value>>,
+    ) {
+        if !c.open() {
+            return;
+        }
+        loop {
+            if c.at_end() {
+                break;
+            }
+            prefix.push(c.key());
+            if prefix.len() == arity {
+                out.push(prefix.clone());
+            } else {
+                walk(c, arity, prefix, out);
+            }
+            prefix.pop();
+            if !c.next() {
+                break;
+            }
+        }
+        c.up();
     }
 
     #[test]
@@ -434,33 +568,7 @@ mod tests {
         let t = Trie::build(&r, &["A", "B", "C"]).unwrap();
         let mut out = Vec::new();
         let mut c = t.cursor();
-        fn walk(
-            c: &mut TrieCursor<'_>,
-            arity: usize,
-            prefix: &mut Vec<Value>,
-            out: &mut Vec<Vec<Value>>,
-        ) {
-            if !c.open() {
-                return;
-            }
-            loop {
-                if c.at_end() {
-                    break;
-                }
-                prefix.push(c.key());
-                if prefix.len() == arity {
-                    out.push(prefix.clone());
-                } else {
-                    walk(c, arity, prefix, out);
-                }
-                prefix.pop();
-                if !c.next() {
-                    break;
-                }
-            }
-            c.up();
-        }
         walk(&mut c, 3, &mut Vec::new(), &mut out);
-        assert_eq!(out, r.tuples());
+        assert_eq!(out, r.rows());
     }
 }

@@ -85,6 +85,15 @@ pub fn random_pairs(n: usize, domain: u64, seed: u64) -> Vec<(Value, Value)> {
         .collect()
 }
 
+/// `n` uniform random `arity`-tuples over `[0, domain)^arity` (duplicates collapse
+/// when the relation is built).
+pub fn random_tuples(n: usize, arity: usize, domain: u64, seed: u64) -> Vec<Vec<Value>> {
+    let mut rng = SplitMix64::new(seed);
+    (0..n)
+        .map(|_| (0..arity).map(|_| rng.below(domain)).collect())
+        .collect()
+}
+
 /// `n` pairs whose endpoints follow a (truncated) Zipf distribution with exponent
 /// `theta` over `[0, domain)` — value `k` has probability ∝ `1/(k+1)^theta`. Skewed
 /// heavy hitters are what break one-pair-at-a-time plans.
@@ -282,6 +291,110 @@ pub fn clique3(n: usize, seed: u64) -> Workload {
     }
 }
 
+/// The Loomis–Whitney query `LW(k)` — `k` variables, `k` atoms of arity `k − 1`,
+/// each omitting exactly one variable — over uniform random relations of (up to)
+/// `n` tuples each. The fractional edge cover number is `k/(k−1)`, so the AGM bound
+/// is `N^{k/(k-1)}`: the canonical query family where *every* binary plan is
+/// asymptotically suboptimal (Section 4 of the paper), and a shape with wide atoms
+/// that exercises the engines beyond binary edge relations.
+pub fn loomis_whitney(k: usize, n: usize, seed: u64) -> Workload {
+    assert!(k >= 2);
+    let query = examples::loomis_whitney(k);
+    // domain ~ n^{1/(k-1)} keeps the expected output near the AGM bound's shape
+    // without exploding: each atom has n tuples over a (k-1)-dimensional cube.
+    let domain = ((n as f64).powf(1.0 / (k as f64 - 1.0)).ceil() as u64 + 1).max(2);
+    let mut db = Database::new();
+    for (i, atom) in query.atoms().iter().enumerate() {
+        let names = query.atom_var_names(i);
+        let schema = wcoj_storage::Schema::try_new(names.iter().map(|s| s.to_string()).collect())
+            .expect("atom variables are distinct");
+        let rows = random_tuples(n, k - 1, domain, seed ^ (0x4444 * (i as u64 + 1)));
+        db.insert(atom.name.clone(), Relation::from_rows(schema, rows));
+    }
+    Workload {
+        name: format!("lw{k}_n{n}"),
+        query,
+        db,
+    }
+}
+
+/// Loomis–Whitney `LW(3)` (three binary atoms, the "triangle with rotated roles"):
+/// see [`loomis_whitney`].
+pub fn lw3(n: usize, seed: u64) -> Workload {
+    loomis_whitney(3, n, seed)
+}
+
+/// Loomis–Whitney `LW(4)` (four ternary atoms): see [`loomis_whitney`].
+pub fn lw4(n: usize, seed: u64) -> Workload {
+    loomis_whitney(4, n, seed)
+}
+
+/// A seeded random sparse hypergraph query: `num_atoms` atoms over `num_vars`
+/// variables, each atom of arity 2..=`max_arity` with its variables drawn at
+/// random (every variable is covered by at least one atom), bound to independent
+/// uniform random relations of (up to) `n` tuples. Sparse — `n` is small relative
+/// to the `~2√n` domain — so outputs stay tractable for the nested-loop reference.
+/// Exercises arbitrary join shapes (including disconnected ones, which fall back to
+/// Cartesian products in the binary baseline) beyond the hand-curated families.
+pub fn random_hypergraph(
+    num_vars: usize,
+    num_atoms: usize,
+    max_arity: usize,
+    n: usize,
+    seed: u64,
+) -> Workload {
+    assert!(num_vars >= 2 && num_atoms >= 1);
+    let max_arity = max_arity.clamp(2, num_vars);
+    // coverage anchoring puts ceil(num_vars / num_atoms) variables in an atom, so
+    // the arity contract is only satisfiable when the atoms can absorb every var
+    assert!(
+        num_vars <= num_atoms * max_arity,
+        "need num_vars <= num_atoms * max_arity to cover all variables within the arity bound"
+    );
+    let mut rng = SplitMix64::new(seed);
+    let names: Vec<String> = (0..num_vars).map(|i| format!("X{i}")).collect();
+
+    // choose each atom's variable set: a seed member guaranteeing coverage
+    // (variable i anchors atom i % num_atoms), then random distinct extras
+    let mut atom_vars: Vec<Vec<usize>> = vec![Vec::new(); num_atoms];
+    for v in 0..num_vars {
+        let a = v % num_atoms;
+        if !atom_vars[a].contains(&v) {
+            atom_vars[a].push(v);
+        }
+    }
+    for vars in atom_vars.iter_mut() {
+        let arity = 2 + rng.below((max_arity - 1) as u64) as usize;
+        while vars.len() < arity {
+            let v = rng.below(num_vars as u64) as usize;
+            if !vars.contains(&v) {
+                vars.push(v);
+            }
+        }
+    }
+
+    let mut builder = ConjunctiveQuery::builder();
+    for (a, vars) in atom_vars.iter().enumerate() {
+        let refs: Vec<&str> = vars.iter().map(|&v| names[v].as_str()).collect();
+        builder = builder.atom(&format!("H{a}"), &refs);
+    }
+    let query = builder.build().expect("random hypergraph query is valid");
+
+    let domain = default_domain(n);
+    let mut db = Database::new();
+    for (a, vars) in atom_vars.iter().enumerate() {
+        let attrs: Vec<String> = vars.iter().map(|&v| names[v].clone()).collect();
+        let schema = wcoj_storage::Schema::try_new(attrs).expect("atom variables are distinct");
+        let rows = random_tuples(n, vars.len(), domain, seed ^ (0x5555 * (a as u64 + 1)));
+        db.insert(format!("H{a}"), Relation::from_rows(schema, rows));
+    }
+    Workload {
+        name: format!("hyper_v{num_vars}a{num_atoms}m{max_arity}_n{n}_s{seed}"),
+        query,
+        db,
+    }
+}
+
 /// A small scenario-diverse suite sized for differential tests: every generator at
 /// sizes where the nested-loop reference is still tractable.
 pub fn differential_suite(seed: u64) -> Vec<Workload> {
@@ -294,6 +407,10 @@ pub fn differential_suite(seed: u64) -> Vec<Workload> {
         k_path(3, 96, seed ^ 4),
         star(3, 96, seed ^ 5),
         clique3(96, seed ^ 6),
+        lw3(96, seed ^ 7),
+        lw4(64, seed ^ 8),
+        random_hypergraph(5, 4, 3, 48, seed ^ 9),
+        random_hypergraph(6, 4, 4, 32, seed ^ 10),
     ]
 }
 
@@ -360,5 +477,54 @@ mod tests {
         let s = star(4, 32, 5);
         assert_eq!(s.query.num_vars(), 5);
         assert_eq!(s.query.atoms().len(), 4);
+    }
+
+    #[test]
+    fn loomis_whitney_shapes() {
+        let w3 = lw3(64, 9);
+        assert_eq!(w3.query.num_vars(), 3);
+        assert_eq!(w3.query.atoms().len(), 3);
+        assert!(w3.query.atoms().iter().all(|a| a.vars.len() == 2));
+        let w4 = lw4(64, 9);
+        assert_eq!(w4.query.num_vars(), 4);
+        assert_eq!(w4.query.atoms().len(), 4);
+        assert!(w4.query.atoms().iter().all(|a| a.vars.len() == 3));
+        // every atom bound, deterministic per seed
+        for (a, b) in lw4(64, 9)
+            .db
+            .atom_relations(&w4.query)
+            .unwrap()
+            .iter()
+            .zip(w4.db.atom_relations(&w4.query).unwrap().iter())
+        {
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn random_hypergraph_covers_all_vars_and_is_deterministic() {
+        let w = random_hypergraph(6, 4, 4, 32, 123);
+        assert_eq!(w.query.num_vars(), 6);
+        assert_eq!(w.query.atoms().len(), 4);
+        for v in 0..6 {
+            assert!(
+                !w.query.atoms_containing(v).is_empty(),
+                "variable {v} uncovered"
+            );
+        }
+        for atom in w.query.atoms() {
+            assert!(atom.vars.len() >= 2 && atom.vars.len() <= 4);
+        }
+        let w2 = random_hypergraph(6, 4, 4, 32, 123);
+        assert_eq!(w.name, w2.name);
+        for i in 0..w.query.atoms().len() {
+            assert_eq!(
+                w.db.relation_for_atom(&w.query, i).unwrap(),
+                w2.db.relation_for_atom(&w2.query, i).unwrap()
+            );
+        }
+        // different seed, different data
+        let w3 = random_hypergraph(6, 4, 4, 32, 124);
+        assert_ne!(w.name, w3.name);
     }
 }
