@@ -1,6 +1,7 @@
-//! Triangle-query benchmark: binary hash-join plan vs. Generic Join vs. Leapfrog
-//! Triejoin — serial and morsel-parallel — over uniform and Zipf-skewed edge
-//! relations.
+//! Join benchmark: binary hash-join plan vs. Generic Join vs. Leapfrog Triejoin —
+//! serial and morsel-parallel — over uniform and Zipf-skewed triangle instances,
+//! high-skew small-domain hub-and-spoke triangles (the bitmap-kernel regime), and
+//! 4-clique self-joins (deep multi-way intersections).
 //!
 //! Dependency-free harness (no criterion in this environment): each configuration is
 //! warmed up once, then timed over several iterations with `std::time::Instant`; the
@@ -17,11 +18,10 @@
 //! panics and gross regressions.
 
 use std::time::Instant;
-use wcoj_bench::{BenchRecord, ExperimentTable};
+use wcoj_bench::{bench_matrix, BenchRecord, ExperimentTable};
 use wcoj_bounds::agm::agm_bound;
 use wcoj_core::exec::{execute_opts_with_order, Engine, ExecOptions};
 use wcoj_core::planner::agm_variable_order;
-use wcoj_workloads::{triangle, triangle_skewed};
 
 fn median_time_ms<F: FnMut()>(mut f: F, iters: usize) -> f64 {
     let mut samples: Vec<f64> = Vec::with_capacity(iters);
@@ -84,6 +84,9 @@ fn bench_workload(
                     ("output_tuples".into(), out.work.output_tuples()),
                     ("comparisons".into(), out.work.comparisons()),
                     ("total_work".into(), out.work.total_work()),
+                    ("kernel_merge".into(), out.work.kernel_merge()),
+                    ("kernel_gallop".into(), out.work.kernel_gallop()),
+                    ("kernel_bitmap".into(), out.work.kernel_bitmap()),
                 ],
             });
         }
@@ -103,19 +106,10 @@ fn main() {
         &["median_ms", "work", "out_tuples", "agm_bound"],
     );
     let mut records: Vec<BenchRecord> = Vec::new();
-    for &n in sizes {
-        let w = triangle(n, 0xC0FFEE);
-        bench_workload(
-            &mut table,
-            &mut records,
-            &format!("uniform_n{n}"),
-            &w,
-            iters,
-        );
-    }
-    for &n in sizes {
-        let w = triangle_skewed(n, (n as u64 / 4).max(4), 1.1, 0xBEEF);
-        bench_workload(&mut table, &mut records, &format!("zipf_n{n}"), &w, iters);
+    // clique4 output grows ~quadratically in n: cap the sizes below the triangles'
+    let clique_sizes: &[usize] = if smoke { &[256] } else { &[1_024, 4_096] };
+    for (label, w) in bench_matrix(sizes, clique_sizes) {
+        bench_workload(&mut table, &mut records, &label, &w, iters);
     }
     table.print();
 

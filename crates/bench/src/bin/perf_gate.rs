@@ -1,0 +1,169 @@
+//! CI perf-regression gate (the ROADMAP's perf-trajectory item).
+//!
+//! Re-measures the serial benchmark matrix at smoke-scale sizes and diffs every
+//! row against the committed `BENCH_joins.json` baseline (matched on
+//! workload/engine, `threads == 1`). Two checks per row:
+//!
+//! * **work** — the deterministic `total_work` tally must not exceed the
+//!   baseline by more than the threshold (default 10%). Work counters are exactly
+//!   reproducible, so this catches algorithmic regressions on any machine.
+//! * **wall-clock** — the fresh time must not exceed the baseline median by more
+//!   than `--time-factor` (default 1.10). The fresh measurement is the **minimum**
+//!   of the timed iterations: scheduler noise and co-tenant interference only ever
+//!   *add* time, so the minimum is the robust estimator for "did the code get
+//!   slower". Wall-clock comparisons are only meaningful against a baseline
+//!   recorded on comparable hardware, so CI runs with a looser
+//!   `--time-factor 1.5` and relies on the work gate for precision.
+//!
+//! Exits non-zero if any row regresses — wire as a CI step:
+//! `cargo run --release -p wcoj-bench --bin perf_gate -- --time-factor 1.5`.
+//!
+//! Options: `--baseline <path>` (default `BENCH_joins.json` at the workspace
+//! root), `--time-factor <f>`, `--work-factor <f>`, `--full` (measure the full
+//! non-smoke size matrix; slower).
+
+use std::time::Instant;
+use wcoj_bench::report::parse_bench_json;
+use wcoj_bench::{bench_matrix, ExperimentTable};
+use wcoj_core::exec::{execute_opts_with_order, Engine, ExecOptions};
+use wcoj_core::planner::agm_variable_order;
+
+fn min_time_ms<F: FnMut()>(mut f: F, iters: usize) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..iters {
+        let start = Instant::now();
+        f();
+        best = best.min(start.elapsed().as_secs_f64() * 1e3);
+    }
+    best
+}
+
+fn arg_value(args: &[String], name: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let time_factor: f64 = arg_value(&args, "--time-factor")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1.10);
+    let work_factor: f64 = arg_value(&args, "--work-factor")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1.10);
+    let full = args.iter().any(|a| a == "--full");
+    let baseline_path = arg_value(&args, "--baseline")
+        .map(std::path::PathBuf::from)
+        .unwrap_or_else(|| {
+            std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+                .join("../..")
+                .join("BENCH_joins.json")
+        });
+
+    let doc = match std::fs::read_to_string(&baseline_path) {
+        Ok(doc) => doc,
+        Err(e) => {
+            eprintln!("perf_gate: cannot read {}: {e}", baseline_path.display());
+            std::process::exit(2);
+        }
+    };
+    let Some(baseline) = parse_bench_json(&doc) else {
+        eprintln!(
+            "perf_gate: {} is not a bench document",
+            baseline_path.display()
+        );
+        std::process::exit(2);
+    };
+
+    let (sizes, clique_sizes): (&[usize], &[usize]) = if full {
+        (&[1_024, 4_096, 16_384], &[1_024, 4_096])
+    } else {
+        (&[1_024, 4_096], &[1_024])
+    };
+    let iters = 5;
+
+    let mut table = ExperimentTable::new(
+        format!(
+            "perf gate: fresh serial medians vs {} (work x{work_factor:.2}, time x{time_factor:.2})",
+            baseline_path.display()
+        ),
+        &["base_ms", "fresh_ms", "time_ratio", "base_work", "fresh_work", "work_ratio"],
+    );
+    let mut failures = Vec::new();
+    let mut compared = 0usize;
+
+    for (label, w) in bench_matrix(sizes, clique_sizes) {
+        let order = agm_variable_order(&w.query, &w.db).expect("planner");
+        for engine in [Engine::BinaryHash, Engine::GenericJoin, Engine::Leapfrog] {
+            let engine_name = format!("{engine:?}");
+            let Some(base) = baseline
+                .iter()
+                .find(|r| r.workload == label && r.engine == engine_name && r.threads == 1)
+            else {
+                continue; // workload/engine not in the committed baseline yet
+            };
+            let opts = ExecOptions::new(engine);
+            let out = execute_opts_with_order(&w.query, &w.db, &opts, &order).expect("execute");
+            let fresh_ms = min_time_ms(
+                || {
+                    let _ = execute_opts_with_order(&w.query, &w.db, &opts, &order).unwrap();
+                },
+                iters,
+            );
+            let fresh_work = out.work.total_work();
+            let base_work = base.work_value("total_work").unwrap_or(0);
+            let time_ratio = fresh_ms / base.median_ms;
+            let work_ratio = if base_work == 0 {
+                // a zero/missing baseline tally must not silently disable the
+                // deterministic gate: any fresh work over a zero base fails below
+                if fresh_work == 0 {
+                    1.0
+                } else {
+                    f64::INFINITY
+                }
+            } else {
+                fresh_work as f64 / base_work as f64
+            };
+            compared += 1;
+            table.push(
+                format!("{label}/{engine_name}"),
+                vec![
+                    base.median_ms,
+                    fresh_ms,
+                    time_ratio,
+                    base_work as f64,
+                    fresh_work as f64,
+                    work_ratio,
+                ],
+            );
+            if work_ratio > work_factor {
+                failures.push(format!(
+                    "{label}/{engine_name}: total_work {base_work} -> {fresh_work} (x{work_ratio:.3} > x{work_factor:.2})"
+                ));
+            }
+            if time_ratio > time_factor {
+                failures.push(format!(
+                    "{label}/{engine_name}: baseline median {:.3}ms -> fresh min {fresh_ms:.3}ms (x{time_ratio:.3} > x{time_factor:.2})",
+                    base.median_ms
+                ));
+            }
+        }
+    }
+
+    table.print();
+    if compared == 0 {
+        eprintln!("perf_gate: no overlapping rows between the fresh matrix and the baseline");
+        std::process::exit(2);
+    }
+    if failures.is_empty() {
+        println!("perf gate PASSED: {compared} rows within budget");
+    } else {
+        eprintln!("perf gate FAILED ({} of {compared} rows):", failures.len());
+        for f in &failures {
+            eprintln!("  {f}");
+        }
+        std::process::exit(1);
+    }
+}

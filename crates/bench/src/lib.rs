@@ -8,5 +8,7 @@
 //! perf trajectory is tracked across PRs.
 
 pub mod report;
+pub mod suite;
 
 pub use report::{BenchRecord, ExperimentTable, Row};
+pub use suite::bench_matrix;

@@ -81,7 +81,7 @@ impl ExperimentTable {
 
 /// One benchmark measurement: a workload/engine/thread-count configuration with its
 /// wall-clock time and work-counter tallies. Serialized into `BENCH_joins.json`.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct BenchRecord {
     /// Workload identifier (e.g. `uniform_n16384`).
     pub workload: String,
@@ -97,6 +97,13 @@ pub struct BenchRecord {
     pub agm_bound: f64,
     /// Work-counter tallies: (name, value) pairs.
     pub work: Vec<(String, u64)>,
+}
+
+impl BenchRecord {
+    /// Look up one work tally by name.
+    pub fn work_value(&self, name: &str) -> Option<u64> {
+        self.work.iter().find(|(n, _)| n == name).map(|&(_, v)| v)
+    }
 }
 
 /// Minimal JSON string escaping (the identifiers here are ASCII, but be safe).
@@ -166,6 +173,66 @@ pub fn write_bench_json(
     f.write_all(render_bench_json(command, records).as_bytes())
 }
 
+/// Parse a `BENCH_joins.json` document produced by [`render_bench_json`] back
+/// into records — the dependency-free reader behind the CI perf-regression gate.
+/// One record per `{"workload": …}` line; `parse(render(r)) == r` is
+/// property-tested below. Returns `None` for documents this emitter did not
+/// produce.
+pub fn parse_bench_json(doc: &str) -> Option<Vec<BenchRecord>> {
+    fn str_field(line: &str, name: &str) -> Option<String> {
+        let pat = format!("\"{name}\": \"");
+        let start = line.find(&pat)? + pat.len();
+        let end = start + line[start..].find('"')?;
+        Some(line[start..end].to_string())
+    }
+    fn raw_field(line: &str, name: &str) -> Option<String> {
+        let pat = format!("\"{name}\": ");
+        let start = line.find(&pat)? + pat.len();
+        let end = start + line[start..].find([',', '}']).unwrap_or(line.len() - start);
+        Some(line[start..end].trim().to_string())
+    }
+    let mut records = Vec::new();
+    for line in doc.lines() {
+        let line = line.trim();
+        if !line.starts_with("{\"workload\"") {
+            continue;
+        }
+        let workload = str_field(line, "workload")?;
+        let engine = str_field(line, "engine")?;
+        let threads: usize = raw_field(line, "threads")?.parse().ok()?;
+        let median_ms: f64 = raw_field(line, "median_ms")?.parse().unwrap_or(f64::NAN);
+        let out_tuples: u64 = raw_field(line, "out_tuples")?.parse().ok()?;
+        let agm_bound: f64 = raw_field(line, "agm_bound")?.parse().unwrap_or(f64::NAN);
+        // the work object is the last braced group on the line
+        let work_start = line.find("\"work\": {")? + "\"work\": {".len();
+        let work_end = work_start + line[work_start..].find('}')?;
+        let mut work = Vec::new();
+        let body = &line[work_start..work_end];
+        for entry in body.split(", ") {
+            if entry.is_empty() {
+                continue;
+            }
+            let (name, value) = entry.split_once(": ")?;
+            let name = name.trim().trim_matches('"').to_string();
+            work.push((name, value.trim().parse().ok()?));
+        }
+        records.push(BenchRecord {
+            workload,
+            engine,
+            threads,
+            median_ms,
+            out_tuples,
+            agm_bound,
+            work,
+        });
+    }
+    if records.is_empty() {
+        None
+    } else {
+        Some(records)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -213,5 +280,38 @@ mod tests {
         assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
         assert_eq!(json_f64(f64::NAN), "null");
         assert_eq!(json_f64(2.5), "2.5");
+    }
+
+    #[test]
+    fn parse_round_trips_render() {
+        let records = vec![
+            BenchRecord {
+                workload: "uniform_n1024".into(),
+                engine: "GenericJoin".into(),
+                threads: 1,
+                median_ms: 1.25,
+                out_tuples: 2783,
+                agm_bound: 27616.5,
+                work: vec![
+                    ("probes".into(), 123),
+                    ("total_work".into(), 456),
+                    ("kernel_bitmap".into(), 7),
+                ],
+            },
+            BenchRecord {
+                workload: "zipf_n4096".into(),
+                engine: "Leapfrog".into(),
+                threads: 4,
+                median_ms: 0.5,
+                out_tuples: 0,
+                agm_bound: 1.0,
+                work: vec![],
+            },
+        ];
+        let parsed = parse_bench_json(&render_bench_json("cmd", &records)).expect("parses");
+        assert_eq!(parsed, records);
+        assert_eq!(parsed[0].work_value("total_work"), Some(456));
+        assert_eq!(parsed[0].work_value("missing"), None);
+        assert!(parse_bench_json("not json").is_none());
     }
 }

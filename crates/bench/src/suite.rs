@@ -1,0 +1,57 @@
+//! The shared benchmark workload matrix.
+//!
+//! One definition used by both the E2 benchmark (`benches/triangle.rs`, which
+//! records `BENCH_joins.json`) and the CI perf-regression gate
+//! (`src/bin/perf_gate.rs`, which re-measures a subset and diffs it against the
+//! committed baseline) — so the gate always measures exactly what the baseline
+//! recorded.
+
+use wcoj_workloads::{hub_spoke, kclique, triangle, triangle_skewed, Workload};
+
+/// The benchmark workload matrix at the given triangle sizes: uniform and
+/// Zipf-skewed triangles and small-domain hub-and-spoke instances at each `n` in
+/// `sizes`, plus 4-clique self-joins at each `n` in `clique_sizes` (cliques'
+/// output grows faster, so their sizes are capped separately). Labels match the
+/// `workload` field of `BENCH_joins.json` records.
+pub fn bench_matrix(sizes: &[usize], clique_sizes: &[usize]) -> Vec<(String, Workload)> {
+    let mut out = Vec::new();
+    for &n in sizes {
+        out.push((format!("uniform_n{n}"), triangle(n, 0xC0FFEE)));
+    }
+    for &n in sizes {
+        out.push((
+            format!("zipf_n{n}"),
+            triangle_skewed(n, (n as u64 / 4).max(4), 1.1, 0xBEEF),
+        ));
+    }
+    for &n in sizes {
+        out.push((format!("hub_n{n}"), hub_spoke(n, 0xCAB)));
+    }
+    for &n in clique_sizes {
+        out.push((format!("clique4_n{n}"), kclique(4, n, 0xCAB)));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matrix_labels_are_distinct_and_bound() {
+        let m = bench_matrix(&[256, 1024], &[256]);
+        assert_eq!(m.len(), 7);
+        let mut labels: Vec<&str> = m.iter().map(|(l, _)| l.as_str()).collect();
+        labels.sort();
+        labels.dedup();
+        assert_eq!(labels.len(), 7);
+        for (label, w) in &m {
+            for i in 0..w.query.atoms().len() {
+                assert!(
+                    w.db.relation_for_atom(&w.query, i).is_ok(),
+                    "{label}: atom {i} unbound"
+                );
+            }
+        }
+    }
+}

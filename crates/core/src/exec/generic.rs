@@ -3,39 +3,44 @@
 //!
 //! Variables are bound in the fixed global order. The **first** variable's extension
 //! set is computed up front by one multi-way sorted intersection of the root sibling
-//! groups ([`wcoj_storage::intersect_sorted`]) — that set is the natural
-//! parallelization seam: its values can be processed independently, so the morsel
-//! scheduler in [`crate::exec::parallel`] partitions exactly this set, and serial
-//! execution is simply the one-morsel special case (which is what makes serial and
-//! merged parallel work counters *identical*). At each deeper level the cursors of
-//! the atoms containing the current variable are opened one level deeper, and their
-//! sorted candidate sets are intersected *smallest-first*: the cursor with the least
-//! fan-out is enumerated, the others are probed with galloping `seek`. That is the
-//! "intersection in time proportional to the smallest set" discipline whose per-level
-//! cost telescopes into the AGM bound `O(N^{ρ*})` (Theorem 4.3 / the analysis of
-//! Section 4.2).
+//! groups — that set is the natural parallelization seam: its values can be processed
+//! independently, so the morsel scheduler in [`crate::exec::parallel`] partitions
+//! exactly this set, and serial execution is simply the one-morsel special case
+//! (which is what makes serial and merged parallel work counters *identical*).
 //!
-//! On a mismatch the enumerated cursor leapfrogs forward to the probed cursor's key
-//! rather than stepping by one — a strict improvement that keeps the enumeration
-//! within the same bound.
+//! At each deeper level the cursors of the atoms containing the current variable are
+//! opened one level deeper and their sorted candidate groups are intersected through
+//! the **adaptive kernel layer** ([`wcoj_storage::kernels`], via
+//! [`crate::exec::level_extension_into`]): branchless merge, smallest-driven
+//! galloping, or a small-domain bitmap kernel, chosen per intersection by the
+//! [`wcoj_storage::KernelPolicy`] in force. Every kernel honors the "intersection in
+//! time proportional to the smallest set" discipline whose per-level cost telescopes
+//! into the AGM bound `O(N^{ρ*})` (Theorem 4.3 / the analysis of Section 4.2).
+//! Matched values re-position the participant cursors (uncounted — the kernel
+//! already paid for their discovery) before the engine recurses; at the **deepest**
+//! level the extension set *is* the tuple tail, so results are emitted straight from
+//! the kernel output with no per-value cursor movement at all.
 
-use super::{first_extension_set, flush_cursor_work};
-use wcoj_storage::{TrieAccess, Tuple, Value, WorkCounter};
+use super::{first_extension_set, flush_cursor_work, level_extension_into};
+use wcoj_storage::{KernelPolicy, TrieAccess, Tuple, Value, WorkCounter};
 
 /// Run Generic Join over one cursor per atom.
 ///
 /// `participants[l]` lists the cursor indices whose relations contain the variable
 /// bound at level `l` of the global order; every cursor's own attribute order must be
 /// sorted by global position (see `wcoj_query::plan::atom_attr_order`). Returns the
-/// result tuples in global-order layout; output tuples are tallied in `counter`.
+/// result tuples in global-order layout as one row-major **flat buffer** (arity =
+/// `participants.len()`, no per-row allocation); output tuples are tallied in
+/// `counter`.
 pub fn generic_join<C: TrieAccess>(
     cursors: &mut [C],
     participants: &[Vec<usize>],
+    policy: KernelPolicy,
     counter: &WorkCounter,
-) -> Vec<Tuple> {
+) -> Vec<Value> {
     let mut out = Vec::new();
-    let e0 = first_extension_set(cursors, &participants[0], counter);
-    join_extensions(cursors, participants, &e0, counter, &mut out);
+    let e0 = first_extension_set(cursors, &participants[0], policy, counter);
+    join_extensions(cursors, participants, &e0, policy, counter, &mut out);
     for &ci in &participants[0] {
         cursors[ci].up();
     }
@@ -51,33 +56,54 @@ pub(crate) fn join_extensions<C: TrieAccess>(
     cursors: &mut [C],
     participants: &[Vec<usize>],
     values: &[Value],
+    policy: KernelPolicy,
     counter: &WorkCounter,
-    out: &mut Vec<Tuple>,
+    out: &mut Vec<Value>,
 ) {
     let mut binding: Tuple = Vec::with_capacity(participants.len());
-    for &v in values {
+    let mut scratch: Vec<Vec<Value>> = vec![Vec::new(); participants.len()];
+    for (i, &v) in values.iter().enumerate() {
         for &ci in &participants[0] {
-            let found = cursors[ci].reposition(v);
+            // the slice ascends, so after the first (bidirectional) reposition —
+            // morsels arrive in arbitrary order — forward advances suffice
+            let found = if i == 0 {
+                cursors[ci].reposition(v)
+            } else {
+                cursors[ci].advance_to(v)
+            };
             debug_assert!(found, "extension-set values occur in every participant");
         }
         binding.push(v);
-        descend(cursors, participants, 1, &mut binding, out, counter);
+        descend(
+            cursors,
+            participants,
+            1,
+            &mut binding,
+            out,
+            policy,
+            &mut scratch,
+            counter,
+        );
         binding.pop();
     }
     flush_cursor_work(cursors, counter);
 }
 
+#[allow(clippy::too_many_arguments)]
 fn descend<C: TrieAccess>(
     cursors: &mut [C],
     participants: &[Vec<usize>],
     level: usize,
     binding: &mut Tuple,
-    out: &mut Vec<Tuple>,
+    out: &mut Vec<Value>,
+    policy: KernelPolicy,
+    scratch: &mut [Vec<Value>],
     counter: &WorkCounter,
 ) {
     if level == participants.len() {
+        // only reachable for single-variable queries (deeper levels emit below)
         counter.add_output(1);
-        out.push(binding.clone());
+        out.extend_from_slice(binding);
         return;
     }
     let parts = &participants[level];
@@ -94,42 +120,42 @@ fn descend<C: TrieAccess>(
         return;
     }
 
-    // smallest-first: enumerate the cursor with the least fan-out
-    let small_pos = (0..parts.len())
-        .min_by_key(|&j| cursors[parts[j]].group_size())
-        .expect("every variable occurs in some atom");
-    let small = parts[small_pos];
+    // this level's extension set, through the adaptive kernel layer (the scratch
+    // buffer is reused across all visits of this level)
+    let mut ext = std::mem::take(&mut scratch[level]);
+    level_extension_into(&mut ext, cursors, parts, policy, counter);
 
-    'enumerate: while !cursors[small].at_end() {
-        let v = cursors[small].key();
-        let mut accept = true;
-        for (j, &ci) in parts.iter().enumerate() {
-            if j == small_pos {
-                continue;
-            }
-            if !cursors[ci].seek(v) {
-                // this atom has no candidate >= v: the intersection is exhausted
-                break 'enumerate;
-            }
-            let w = cursors[ci].key();
-            if w != v {
-                // leapfrog the enumerated cursor forward to the blocking key
-                accept = false;
-                if !cursors[small].seek(w) {
-                    break 'enumerate;
-                }
-                break;
-            }
+    if level + 1 == participants.len() {
+        // deepest variable: the extension set is the tuple tail — emit directly,
+        // no per-value cursor repositioning
+        counter.add_output(ext.len() as u64);
+        out.reserve(ext.len() * (binding.len() + 1));
+        for &v in &ext {
+            out.extend_from_slice(binding);
+            out.push(v);
         }
-        if accept {
-            binding.push(v);
-            descend(cursors, participants, level + 1, binding, out, counter);
-            binding.pop();
-            if !cursors[small].next() {
-                break;
+    } else {
+        for &v in &ext {
+            // ext is ascending, so the forward-only uncounted advance suffices
+            for &ci in parts.iter() {
+                let found = cursors[ci].advance_to(v);
+                debug_assert!(found, "extension values occur in every participant");
             }
+            binding.push(v);
+            descend(
+                cursors,
+                participants,
+                level + 1,
+                binding,
+                out,
+                policy,
+                scratch,
+                counter,
+            );
+            binding.pop();
         }
     }
+    scratch[level] = ext;
 
     for &ci in parts.iter() {
         cursors[ci].up();
@@ -157,7 +183,7 @@ mod tests {
         ];
         let w = WorkCounter::new();
         let mut cursors: Vec<_> = tries.iter().map(|t| t.cursor()).collect();
-        let from_tries = generic_join(&mut cursors, &participants, &w);
+        let from_tries = generic_join(&mut cursors, &participants, KernelPolicy::Adaptive, &w);
 
         let indexes = [
             PrefixIndex::build(&r, &["A", "B"]).unwrap(),
@@ -165,9 +191,10 @@ mod tests {
             PrefixIndex::build(&t, &["A", "C"]).unwrap(),
         ];
         let mut cursors: Vec<_> = indexes.iter().map(|ix| ix.cursor()).collect();
-        let from_indexes = generic_join(&mut cursors, &participants, &w);
+        let from_indexes = generic_join(&mut cursors, &participants, KernelPolicy::Adaptive, &w);
 
-        let expected = vec![vec![1, 2, 3], vec![1, 3, 4], vec![2, 3, 1]];
+        // row-major flat output: (1,2,3), (1,3,4), (2,3,1)
+        let expected = vec![1, 2, 3, 1, 3, 4, 2, 3, 1];
         assert_eq!(from_tries, expected);
         assert_eq!(from_indexes, expected);
         assert_eq!(w.output_tuples(), 6); // both runs tallied
@@ -189,8 +216,8 @@ mod tests {
             trie_t.cursor().into(),
         ];
         let participants = vec![vec![0, 2], vec![0, 1], vec![1, 2]];
-        let out = generic_join(&mut cursors, &participants, &w);
-        assert_eq!(out, vec![vec![1, 2, 3], vec![1, 3, 4], vec![2, 3, 1]]);
+        let out = generic_join(&mut cursors, &participants, KernelPolicy::Adaptive, &w);
+        assert_eq!(out, vec![1, 2, 3, 1, 3, 4, 2, 3, 1]);
         assert!(w.probes() > 0);
     }
 
@@ -204,7 +231,12 @@ mod tests {
         ];
         let w = WorkCounter::new();
         let mut cursors: Vec<_> = tries.iter().map(|t| t.cursor()).collect();
-        let out = generic_join(&mut cursors, &[vec![0], vec![0, 1], vec![1]], &w);
+        let out = generic_join(
+            &mut cursors,
+            &[vec![0], vec![0, 1], vec![1]],
+            KernelPolicy::Adaptive,
+            &w,
+        );
         assert!(out.is_empty());
     }
 }

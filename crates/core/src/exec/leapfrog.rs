@@ -2,20 +2,25 @@
 //! trie cursors, written generically against [`TrieAccess`].
 //!
 //! The first variable's extension set is computed up front by one multi-way sorted
-//! intersection of the root sibling groups — the shared level-0 discipline of this
-//! execution layer (see [`crate::exec::generic`] for why: it is the morsel
+//! intersection through the adaptive kernel layer — the shared level-0 discipline of
+//! this execution layer (see [`crate::exec::generic`] for why: it is the morsel
 //! parallelization seam, and it makes serial and merged parallel work counters
-//! identical). At every deeper level of the global variable order the participating
-//! cursors are kept sorted in a circular array; the cursor with the least key
-//! repeatedly `seek`s to the current maximum until all keys coincide (a match) or one
-//! cursor is exhausted. Each seek gallops, so a level's intersection costs
+//! identical). At every *interior* level of the global variable order the
+//! participating cursors are kept sorted in a circular array; the cursor with the
+//! least key repeatedly `seek`s to the current maximum until all keys coincide (a
+//! match) or one cursor is exhausted. Each seek is adaptive (linear scan for short
+//! groups, galloping otherwise), so a level's intersection costs
 //! `O(k · m · log(M/m))` for smallest set `m` / largest `M` — the same primitive
 //! Generic Join relies on, arranged as mutual leapfrogging instead of
-//! smallest-enumerates. Leapfrog Triejoin is worst-case optimal (up to a log factor)
-//! by the same fractional-cover argument (Section 1.2 of the paper).
+//! smallest-enumerates. At the **deepest** level, where nothing remains to bind
+//! below, the mutual leapfrog degenerates into a pure intersection: that level runs
+//! through the adaptive kernel layer ([`crate::exec::level_extension_into`]) and
+//! emits result tuples straight from the kernel output. Leapfrog Triejoin is
+//! worst-case optimal (up to a log factor) by the same fractional-cover argument
+//! (Section 1.2 of the paper).
 
-use super::{first_extension_set, flush_cursor_work};
-use wcoj_storage::{TrieAccess, Tuple, Value, WorkCounter};
+use super::{first_extension_set, flush_cursor_work, level_extension_into};
+use wcoj_storage::{KernelPolicy, TrieAccess, Tuple, Value, WorkCounter};
 
 /// Run Leapfrog Triejoin over one cursor per atom.
 ///
@@ -25,11 +30,12 @@ use wcoj_storage::{TrieAccess, Tuple, Value, WorkCounter};
 pub fn leapfrog_triejoin<C: TrieAccess>(
     cursors: &mut [C],
     participants: &[Vec<usize>],
+    policy: KernelPolicy,
     counter: &WorkCounter,
-) -> Vec<Tuple> {
+) -> Vec<Value> {
     let mut out = Vec::new();
-    let e0 = first_extension_set(cursors, &participants[0], counter);
-    join_extensions(cursors, participants, &e0, counter, &mut out);
+    let e0 = first_extension_set(cursors, &participants[0], policy, counter);
+    join_extensions(cursors, participants, &e0, policy, counter, &mut out);
     for &ci in &participants[0] {
         cursors[ci].up();
     }
@@ -43,33 +49,54 @@ pub(crate) fn join_extensions<C: TrieAccess>(
     cursors: &mut [C],
     participants: &[Vec<usize>],
     values: &[Value],
+    policy: KernelPolicy,
     counter: &WorkCounter,
-    out: &mut Vec<Tuple>,
+    out: &mut Vec<Value>,
 ) {
     let mut binding: Tuple = Vec::with_capacity(participants.len());
-    for &v in values {
+    let mut scratch: Vec<Value> = Vec::new();
+    for (i, &v) in values.iter().enumerate() {
         for &ci in &participants[0] {
-            let found = cursors[ci].reposition(v);
+            // the slice ascends, so after the first (bidirectional) reposition —
+            // morsels arrive in arbitrary order — forward advances suffice
+            let found = if i == 0 {
+                cursors[ci].reposition(v)
+            } else {
+                cursors[ci].advance_to(v)
+            };
             debug_assert!(found, "extension-set values occur in every participant");
         }
         binding.push(v);
-        descend(cursors, participants, 1, &mut binding, out, counter);
+        descend(
+            cursors,
+            participants,
+            1,
+            &mut binding,
+            out,
+            policy,
+            &mut scratch,
+            counter,
+        );
         binding.pop();
     }
     flush_cursor_work(cursors, counter);
 }
 
+#[allow(clippy::too_many_arguments)]
 fn descend<C: TrieAccess>(
     cursors: &mut [C],
     participants: &[Vec<usize>],
     level: usize,
     binding: &mut Tuple,
-    out: &mut Vec<Tuple>,
+    out: &mut Vec<Value>,
+    policy: KernelPolicy,
+    scratch: &mut Vec<Value>,
     counter: &WorkCounter,
 ) {
     if level == participants.len() {
+        // only reachable for single-variable queries (the deepest level emits below)
         counter.add_output(1);
-        out.push(binding.clone());
+        out.extend_from_slice(binding);
         return;
     }
     let parts = &participants[level];
@@ -81,6 +108,25 @@ fn descend<C: TrieAccess>(
     }
     if opened < parts.len() {
         for &ci in &parts[..opened] {
+            cursors[ci].up();
+        }
+        return;
+    }
+
+    if level + 1 == participants.len() {
+        // deepest variable: the leapfrog degenerates into a pure intersection —
+        // run it through the kernel layer and emit tuples straight from its output
+        // (only this level needs the scratch buffer, so one Vec suffices)
+        let mut ext = std::mem::take(scratch);
+        level_extension_into(&mut ext, cursors, parts, policy, counter);
+        counter.add_output(ext.len() as u64);
+        out.reserve(ext.len() * (binding.len() + 1));
+        for &v in &ext {
+            out.extend_from_slice(binding);
+            out.push(v);
+        }
+        *scratch = ext;
+        for &ci in parts.iter() {
             cursors[ci].up();
         }
         return;
@@ -100,7 +146,16 @@ fn descend<C: TrieAccess>(
         if key == max_key {
             // all k cursors agree
             binding.push(key);
-            descend(cursors, participants, level + 1, binding, out, counter);
+            descend(
+                cursors,
+                participants,
+                level + 1,
+                binding,
+                out,
+                policy,
+                scratch,
+                counter,
+            );
             binding.pop();
             if !cursors[cur].next() {
                 break;
@@ -138,15 +193,13 @@ mod tests {
         ];
         let w = WorkCounter::new();
         let mut cursors: Vec<_> = tries.iter().map(|t| t.cursor()).collect();
-        let lf = leapfrog_triejoin(&mut cursors, &participants, &w);
+        let lf = leapfrog_triejoin(&mut cursors, &participants, KernelPolicy::Adaptive, &w);
 
         let mut cursors: Vec<_> = tries.iter().map(|t| t.cursor()).collect();
-        let gj = generic_join(&mut cursors, &participants, &w);
+        let gj = generic_join(&mut cursors, &participants, KernelPolicy::Adaptive, &w);
         assert_eq!(lf, gj);
-        assert_eq!(
-            lf,
-            vec![vec![1, 2, 3], vec![1, 3, 4], vec![2, 3, 1], vec![4, 5, 6]]
-        );
+        // row-major flat output: (1,2,3), (1,3,4), (2,3,1), (4,5,6)
+        assert_eq!(lf, vec![1, 2, 3, 1, 3, 4, 2, 3, 1, 4, 5, 6]);
     }
 
     #[test]
@@ -162,8 +215,13 @@ mod tests {
         ];
         let w = WorkCounter::new();
         let mut cursors: Vec<_> = indexes.iter().map(|ix| ix.cursor()).collect();
-        let out = leapfrog_triejoin(&mut cursors, &[vec![0, 2], vec![0, 1], vec![1, 2]], &w);
-        assert_eq!(out, vec![vec![1, 2, 3], vec![2, 3, 1]]);
+        let out = leapfrog_triejoin(
+            &mut cursors,
+            &[vec![0, 2], vec![0, 1], vec![1, 2]],
+            KernelPolicy::Adaptive,
+            &w,
+        );
+        assert_eq!(out, vec![1, 2, 3, 2, 3, 1]);
         assert!(w.probes() > 0);
     }
 
@@ -173,7 +231,12 @@ mod tests {
         let tries = [Trie::build(&r, &["A", "B"]).unwrap()];
         let w = WorkCounter::new();
         let mut cursors: Vec<_> = tries.iter().map(|t| t.cursor()).collect();
-        let out = leapfrog_triejoin(&mut cursors, &[vec![0], vec![0]], &w);
-        assert_eq!(out, vec![vec![1, 2], vec![3, 4]]);
+        let out = leapfrog_triejoin(
+            &mut cursors,
+            &[vec![0], vec![0]],
+            KernelPolicy::Adaptive,
+            &w,
+        );
+        assert_eq!(out, vec![1, 2, 3, 4]);
     }
 }

@@ -14,14 +14,26 @@
 //! native access path). Mixed backends within one query compose through
 //! [`wcoj_storage::CursorKind`] with branch (not vtable) dispatch.
 //!
-//! [`ExecOptions`] carries the full execution configuration — engine, backend, and
-//! worker **thread count** — through the public API and the planner, so callers
-//! (benchmarks, experiment binaries, tests) select serial vs morsel-parallel
-//! execution uniformly. With `threads > 1` the WCOJ engines run under the
-//! morsel-driven scheduler of [`parallel`], which partitions the first join
-//! variable's extension set across `std::thread::scope` workers holding private
-//! cursors and private [`WorkCounter`]s; results and counters merge
-//! deterministically, bit-identical to serial execution.
+//! Every extension set — level 0 and every deeper variable — is computed through
+//! the **adaptive intersection kernel layer** ([`wcoj_storage::kernels`], via
+//! [`level_extension_into`]): branchless merge, galloping, or small-domain
+//! bitmap, chosen per intersection by the [`KernelPolicy`] carried in
+//! [`ExecOptions`] (forceable for differential testing) and recorded in the
+//! [`WorkCounter`] kernel breakdown. Engines emit result tuples into row-major
+//! flat buffers — no per-row allocation — and at the deepest variable emit
+//! straight from the kernel output.
+//!
+//! [`ExecOptions`] carries the full execution configuration — engine, backend,
+//! worker **thread count**, and kernel policy — through the public API and the
+//! planner, so callers (benchmarks, experiment binaries, tests) select serial vs
+//! morsel-parallel execution uniformly. With `threads > 1` the WCOJ engines run
+//! under the morsel-driven scheduler of [`parallel`], which partitions the first
+//! join variable's extension set across `std::thread::scope` workers holding
+//! private cursors and private [`WorkCounter`]s — and the access-structure
+//! *builds* are partitioned across the same number of scoped workers
+//! ([`Trie::build_parallel`] / [`PrefixIndex::build_parallel`]); results,
+//! counters, and built structures are deterministic, bit-identical to serial
+//! execution.
 //!
 //! All engines produce the same [`Relation`] (columns in the query's variable order)
 //! and thread a [`WorkCounter`] through execution so tests and benchmarks can
@@ -37,7 +49,7 @@ use crate::planner::plan_order;
 use wcoj_query::plan::{atom_attr_order, atom_levels, is_valid_order};
 use wcoj_query::{ConjunctiveQuery, Database, VarId};
 use wcoj_storage::{
-    intersect_sorted, PrefixIndex, Relation, Schema, Trie, TrieAccess, Tuple, Value, WorkCounter,
+    kernels, KernelPolicy, PrefixIndex, Relation, Schema, Trie, TrieAccess, Value, WorkCounter,
 };
 
 /// Which join engine to run.
@@ -73,8 +85,15 @@ pub struct ExecOptions {
     pub backend: Backend,
     /// Worker threads for the WCOJ engines: `1` runs serially, `n > 1` runs the
     /// morsel-driven scheduler with `n` workers, and `0` asks the OS for the
-    /// available parallelism. The binary baseline always runs serially.
+    /// available parallelism. With `n > 1` the access-structure *builds* are also
+    /// partitioned across `n` scoped workers. The binary baseline always runs
+    /// serially.
     pub threads: usize,
+    /// Intersection-kernel policy for the WCOJ engines' extension sets:
+    /// [`KernelPolicy::Adaptive`] (the default) picks merge / gallop / bitmap per
+    /// intersection; the other values force one kernel (used by differential
+    /// tests and experiments). Ignored by the binary baseline.
+    pub kernel: KernelPolicy,
 }
 
 impl Default for ExecOptions {
@@ -83,6 +102,7 @@ impl Default for ExecOptions {
             engine: Engine::GenericJoin,
             backend: Backend::Auto,
             threads: 1,
+            kernel: KernelPolicy::Adaptive,
         }
     }
 }
@@ -105,6 +125,12 @@ impl ExecOptions {
     /// Builder-style thread-count override (see [`ExecOptions::threads`]).
     pub fn with_threads(mut self, threads: usize) -> Self {
         self.threads = threads;
+        self
+    }
+
+    /// Builder-style kernel-policy override (see [`ExecOptions::kernel`]).
+    pub fn with_kernel(mut self, kernel: KernelPolicy) -> Self {
+        self.kernel = kernel;
         self
     }
 
@@ -196,9 +222,11 @@ pub fn execute_opts_with_order(
             for i in 0..relations.len() {
                 attr_orders.push(atom_attr_order(query, i, order)?);
             }
-            let built = BuiltAccess::build(&relations, &attr_orders, opts.resolved_backend())?;
+            let threads = opts.resolved_threads();
+            let built =
+                BuiltAccess::build(&relations, &attr_orders, opts.resolved_backend(), threads)?;
             let parts = participants(query, order);
-            let rows = built.run(engine, &parts, opts.resolved_threads(), &counter);
+            let rows = built.run(engine, &parts, threads, opts.kernel, &counter);
             rows_to_relation(query, order, rows)?
         }
     };
@@ -217,24 +245,29 @@ enum BuiltAccess {
 }
 
 impl BuiltAccess {
+    /// Build one access structure per atom; with `threads > 1` each build's
+    /// argsort-and-scan pass is partitioned across scoped workers
+    /// ([`Trie::build_parallel`] / [`PrefixIndex::build_parallel`]), producing
+    /// bit-identical structures to the serial builds.
     fn build(
         relations: &[Relation],
         attr_orders: &[Vec<&str>],
         backend: Backend,
+        threads: usize,
     ) -> Result<Self, ExecError> {
         Ok(match backend {
             Backend::Trie => BuiltAccess::Tries(
                 relations
                     .iter()
                     .zip(attr_orders)
-                    .map(|(rel, attrs)| Trie::build(rel, attrs))
+                    .map(|(rel, attrs)| Trie::build_parallel(rel, attrs, threads))
                     .collect::<Result<_, _>>()?,
             ),
             Backend::Hash | Backend::Auto => BuiltAccess::Indexes(
                 relations
                     .iter()
                     .zip(attr_orders)
-                    .map(|(rel, attrs)| PrefixIndex::build(rel, attrs))
+                    .map(|(rel, attrs)| PrefixIndex::build_parallel(rel, attrs, threads))
                     .collect::<Result<_, _>>()?,
             ),
         })
@@ -247,14 +280,16 @@ impl BuiltAccess {
         engine: Engine,
         participants: &[Vec<usize>],
         threads: usize,
+        policy: KernelPolicy,
         counter: &WorkCounter,
-    ) -> Vec<Tuple> {
+    ) -> Vec<Value> {
         match self {
             BuiltAccess::Tries(tries) => run_cursors(
                 engine,
                 || tries.iter().map(|t| t.cursor()).collect(),
                 participants,
                 threads,
+                policy,
                 counter,
             ),
             BuiltAccess::Indexes(indexes) => run_cursors(
@@ -262,6 +297,7 @@ impl BuiltAccess {
                 || indexes.iter().map(|ix| ix.cursor()).collect(),
                 participants,
                 threads,
+                policy,
                 counter,
             ),
         }
@@ -273,8 +309,9 @@ fn run_cursors<C, F>(
     make_cursors: F,
     participants: &[Vec<usize>],
     threads: usize,
+    policy: KernelPolicy,
     counter: &WorkCounter,
-) -> Vec<Tuple>
+) -> Vec<Value>
 where
     C: TrieAccess,
     F: Fn() -> Vec<C> + Sync,
@@ -282,12 +319,16 @@ where
     if threads <= 1 {
         let mut cursors = make_cursors();
         match engine {
-            Engine::GenericJoin => generic::generic_join(&mut cursors, participants, counter),
-            Engine::Leapfrog => leapfrog::leapfrog_triejoin(&mut cursors, participants, counter),
+            Engine::GenericJoin => {
+                generic::generic_join(&mut cursors, participants, policy, counter)
+            }
+            Engine::Leapfrog => {
+                leapfrog::leapfrog_triejoin(&mut cursors, participants, policy, counter)
+            }
             Engine::BinaryHash => unreachable!("the binary baseline has no cursor path"),
         }
     } else {
-        parallel::morsel_join(engine, make_cursors, participants, threads, counter)
+        parallel::morsel_join(engine, make_cursors, participants, threads, policy, counter)
     }
 }
 
@@ -298,6 +339,7 @@ where
 pub(crate) fn first_extension_set<C: TrieAccess>(
     cursors: &mut [C],
     parts0: &[usize],
+    policy: KernelPolicy,
     counter: &WorkCounter,
 ) -> Vec<Value> {
     for &ci in parts0 {
@@ -305,9 +347,35 @@ pub(crate) fn first_extension_set<C: TrieAccess>(
             return Vec::new();
         }
     }
-    let shared: &[C] = cursors;
-    let slices: Vec<&[Value]> = parts0.iter().map(|&ci| shared[ci].remaining()).collect();
-    intersect_sorted(&slices, counter)
+    let mut out = Vec::new();
+    level_extension_into(&mut out, cursors, parts0, policy, counter);
+    out
+}
+
+/// Compute the extension set of one join variable — the kernel-layer intersection
+/// of the open participant cursors' remaining sibling groups — into `ext`. This is
+/// the single intersection seam of both WCOJ engines: every level's candidate set
+/// flows through [`wcoj_storage::kernels::intersect_into`], so the policy (and the
+/// per-kernel work/choice tallies) apply uniformly.
+pub(crate) fn level_extension_into<C: TrieAccess>(
+    ext: &mut Vec<Value>,
+    cursors: &[C],
+    parts: &[usize],
+    policy: KernelPolicy,
+    counter: &WorkCounter,
+) {
+    // sized against the kernel layer's own inline-bookkeeping capacity
+    const MAX_INLINE: usize = kernels::MAX_INLINE_LISTS;
+    if parts.len() <= MAX_INLINE {
+        let mut buf: [&[Value]; MAX_INLINE] = [&[]; MAX_INLINE];
+        for (slot, &ci) in buf.iter_mut().zip(parts) {
+            *slot = cursors[ci].remaining();
+        }
+        kernels::intersect_into(ext, &buf[..parts.len()], policy, counter);
+    } else {
+        let slices: Vec<&[Value]> = parts.iter().map(|&ci| cursors[ci].remaining()).collect();
+        kernels::intersect_into(ext, &slices, policy, counter);
+    }
 }
 
 /// Drain every cursor's private work tallies into `counter`.
@@ -323,14 +391,17 @@ pub(crate) fn engine_join_extensions<C: TrieAccess>(
     cursors: &mut [C],
     participants: &[Vec<usize>],
     values: &[Value],
+    policy: KernelPolicy,
     counter: &WorkCounter,
-    out: &mut Vec<Tuple>,
+    out: &mut Vec<Value>,
 ) {
     match engine {
         Engine::GenericJoin => {
-            generic::join_extensions(cursors, participants, values, counter, out)
+            generic::join_extensions(cursors, participants, values, policy, counter, out)
         }
-        Engine::Leapfrog => leapfrog::join_extensions(cursors, participants, values, counter, out),
+        Engine::Leapfrog => {
+            leapfrog::join_extensions(cursors, participants, values, policy, counter, out)
+        }
         Engine::BinaryHash => unreachable!("the binary baseline has no cursor path"),
     }
 }
@@ -346,18 +417,21 @@ fn participants(query: &ConjunctiveQuery, order: &[VarId]) -> Vec<Vec<usize>> {
     parts
 }
 
-/// Package global-order rows as a relation with columns back in variable-id order.
+/// Package global-order rows (a row-major flat buffer — the engines'
+/// allocation-free output format) as a relation with columns back in
+/// variable-id order. Engine output is already canonically ordered, so the
+/// flat constructor skips the argsort-and-dedup pass.
 fn rows_to_relation(
     query: &ConjunctiveQuery,
     order: &[VarId],
-    rows: Vec<Tuple>,
+    rows: Vec<Value>,
 ) -> Result<Relation, ExecError> {
     let ordered_names: Vec<String> = order
         .iter()
         .map(|&v| query.var_name(v).to_string())
         .collect();
     let schema = Schema::try_new(ordered_names)?;
-    let rel = Relation::try_from_rows(schema, rows)?;
+    let rel = Relation::try_from_flat_rows(schema, rows)?;
     let var_refs: Vec<&str> = query.var_names().iter().map(|s| s.as_str()).collect();
     Ok(rel.project(&var_refs)?)
 }
@@ -395,10 +469,12 @@ mod tests {
         assert_eq!(outs[0].result, outs[1].result);
         assert_eq!(outs[1].result, outs[2].result);
         assert_eq!(outs[0].result.len(), 3);
-        // WCOJ engines record cursor work, the baseline records intermediates
+        // WCOJ engines record kernel work, the baseline records intermediates
         assert!(outs[0].work.intermediate_tuples() > 0);
-        assert!(outs[1].work.probes() > 0);
-        assert!(outs[2].work.probes() > 0);
+        assert!(outs[1].work.kernel_calls() > 0);
+        assert!(outs[1].work.total_work() > 0);
+        assert!(outs[2].work.kernel_calls() > 0);
+        assert!(outs[2].work.total_work() > 0);
     }
 
     #[test]

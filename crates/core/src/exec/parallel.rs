@@ -33,7 +33,7 @@
 use super::{engine_join_extensions, first_extension_set, Engine};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
-use wcoj_storage::{TrieAccess, Tuple, Value, WorkCounter};
+use wcoj_storage::{KernelPolicy, TrieAccess, Value, WorkCounter};
 
 /// Morsels handed out per worker thread: small enough that a skewed heavy-hitter
 /// value cannot leave threads idle, large enough that the scheduling atomics are
@@ -49,8 +49,9 @@ pub(crate) fn morsel_join<C, F>(
     make_cursors: F,
     participants: &[Vec<usize>],
     threads: usize,
+    policy: KernelPolicy,
     counter: &WorkCounter,
-) -> Vec<Tuple>
+) -> Vec<Value>
 where
     C: TrieAccess,
     F: Fn() -> Vec<C> + Sync,
@@ -60,7 +61,7 @@ where
     // the main counter — the same charge serial execution makes.
     let extensions = {
         let mut driver_cursors = make_cursors();
-        first_extension_set(&mut driver_cursors, &participants[0], counter)
+        first_extension_set(&mut driver_cursors, &participants[0], policy, counter)
     };
     if extensions.is_empty() {
         return Vec::new();
@@ -72,8 +73,9 @@ where
         .max(1);
     let morsels: Vec<&[Value]> = extensions.chunks(morsel_len).collect();
     let next_morsel = AtomicUsize::new(0);
-    // (morsel id, rows) pairs plus one counter per worker, deposited at shutdown
-    let results: Mutex<Vec<(usize, Vec<Tuple>)>> = Mutex::new(Vec::with_capacity(morsels.len()));
+    // (morsel id, flat rows) pairs plus one counter per worker, deposited at
+    // shutdown
+    let results: Mutex<Vec<(usize, Vec<Value>)>> = Mutex::new(Vec::with_capacity(morsels.len()));
     let worker_counters: Mutex<Vec<WorkCounter>> = Mutex::new(Vec::with_capacity(threads));
 
     std::thread::scope(|scope| {
@@ -82,7 +84,7 @@ where
                 let local = WorkCounter::new();
                 let mut cursors = make_cursors();
                 let mut opened = false;
-                let mut produced: Vec<(usize, Vec<Tuple>)> = Vec::new();
+                let mut produced: Vec<(usize, Vec<Value>)> = Vec::new();
                 loop {
                     let m = next_morsel.fetch_add(1, Ordering::Relaxed);
                     if m >= morsels.len() {
@@ -103,6 +105,7 @@ where
                         &mut cursors,
                         participants,
                         morsels[m],
+                        policy,
                         &local,
                         &mut rows,
                     );
@@ -150,7 +153,12 @@ mod tests {
 
         let serial_counter = WorkCounter::new();
         let mut cursors: Vec<_> = tries.iter().map(|t| t.cursor()).collect();
-        let serial = generic_join(&mut cursors, &participants, &serial_counter);
+        let serial = generic_join(
+            &mut cursors,
+            &participants,
+            KernelPolicy::Adaptive,
+            &serial_counter,
+        );
         assert!(!serial.is_empty(), "fixture should produce triangles");
 
         for threads in [1, 2, 4, 8] {
@@ -160,6 +168,7 @@ mod tests {
                 || tries.iter().map(|t| t.cursor()).collect(),
                 &participants,
                 threads,
+                KernelPolicy::Adaptive,
                 &parallel_counter,
             );
             assert_eq!(out, serial, "rows with {threads} threads");
@@ -184,6 +193,7 @@ mod tests {
             || tries.iter().map(|t| t.cursor()).collect(),
             &[vec![0, 1], vec![0], vec![1]],
             4,
+            KernelPolicy::Adaptive,
             &w,
         );
         assert!(out.is_empty());

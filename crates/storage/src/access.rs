@@ -78,6 +78,15 @@ pub trait TrieAccess {
     /// value is present.
     fn reposition(&mut self, target: Value) -> bool;
 
+    /// Forward-only [`TrieAccess::reposition`]: `target` must be `>=` the current
+    /// key. Uncounted like `reposition`, but monotone, so implementations can
+    /// search from the cursor's position instead of the whole group — the fast
+    /// path for visiting kernel-discovered keys in ascending order. Returns
+    /// whether the value is present.
+    fn advance_to(&mut self, target: Value) -> bool {
+        self.reposition(target)
+    }
+
     /// The sorted values remaining in the current group from the cursor's position
     /// onward (empty at the root).
     fn remaining(&self) -> &[Value];
@@ -132,6 +141,10 @@ impl TrieAccess for TrieCursor<'_> {
         TrieCursor::reposition(self, target)
     }
 
+    fn advance_to(&mut self, target: Value) -> bool {
+        TrieCursor::advance_to(self, target)
+    }
+
     fn remaining(&self) -> &[Value] {
         TrieCursor::remaining(self)
     }
@@ -152,14 +165,25 @@ struct PrefixFrame<'a> {
 /// A [`TrieAccess`] cursor over a [`PrefixIndex`].
 ///
 /// Each non-root `open` costs one hash probe (`values_after` on the prefix assembled
-/// from the keys above); the root group lookup is free (it is a single static entry,
-/// amortized across the whole run). Navigation within a level is galloping search
-/// over the sorted slice, identical in cost shape to [`TrieCursor`]. Obtained from
-/// [`PrefixIndex::cursor`]. `Send + Clone` like every cursor.
+/// from the keys above — gathered into a reused buffer, so `open` never allocates
+/// after the first descent); the root group lookup is free (it is a single static
+/// entry, amortized across the whole run). Navigation within a level is adaptive
+/// linear/galloping search over the sorted slice, identical in cost shape to
+/// [`TrieCursor`]. Obtained from [`PrefixIndex::cursor`]. `Send + Clone` like every
+/// cursor.
 #[derive(Debug, Clone)]
 pub struct PrefixCursor<'a> {
     index: &'a PrefixIndex,
     frames: Vec<PrefixFrame<'a>>,
+    prefix_buf: Vec<Value>,
+    /// One-entry memo per depth: the last prefix opened there and its group.
+    /// Join engines re-open the same prefix many times in a row (everything
+    /// *below* it in the variable order iterates in between), so this turns the
+    /// common case into a short `Vec` comparison instead of a hash lookup. Memo
+    /// hits still record the probe, keeping the work counters a pure function of
+    /// the visited values — scheduling-independent, as the parallel determinism
+    /// property requires.
+    memo: Vec<Option<(Vec<Value>, &'a [Value])>>,
     work: CursorWork,
 }
 
@@ -169,6 +193,8 @@ impl PrefixIndex {
         PrefixCursor {
             index: self,
             frames: Vec::new(),
+            prefix_buf: Vec::with_capacity(self.arity()),
+            memo: vec![None; self.arity()],
             work: CursorWork::default(),
         }
     }
@@ -187,19 +213,27 @@ impl TrieAccess for PrefixCursor<'_> {
         if self.frames.len() >= self.index.arity() {
             return false;
         }
-        let prefix: Vec<Value> = self
-            .frames
-            .iter()
-            .map(|f| {
-                debug_assert!(f.pos < f.values.len(), "open below an exhausted level");
-                f.values[f.pos]
-            })
-            .collect();
-        if !prefix.is_empty() {
-            self.work.probes += 1; // the hash lookup; the root group is free
+        self.prefix_buf.clear();
+        for f in &self.frames {
+            debug_assert!(f.pos < f.values.len(), "open below an exhausted level");
+            self.prefix_buf.push(f.values[f.pos]);
         }
-        match self.index.values_after(&prefix) {
+        if !self.prefix_buf.is_empty() {
+            // the (logical) hash lookup; the root group is free. Memo hits below
+            // count identically so tallies stay scheduling-independent.
+            self.work.probes += 1;
+        }
+        let depth = self.frames.len();
+        if let Some((prefix, values)) = &self.memo[depth] {
+            if *prefix == self.prefix_buf {
+                let values = *values;
+                self.frames.push(PrefixFrame { values, pos: 0 });
+                return true;
+            }
+        }
+        match self.index.values_after(&self.prefix_buf) {
             Some(values) if !values.is_empty() => {
+                self.memo[depth] = Some((self.prefix_buf.clone(), values));
                 self.frames.push(PrefixFrame { values, pos: 0 });
                 true
             }
@@ -238,8 +272,9 @@ impl TrieAccess for PrefixCursor<'_> {
         if f.pos >= f.values.len() {
             return false;
         }
-        let (pos, probes) = crate::ops::gallop_lub(f.values, f.pos, f.values.len(), target);
+        let (pos, probes, cmps) = crate::ops::seek_lub(f.values, f.pos, f.values.len(), target);
         self.work.probes += probes;
+        self.work.comparisons += cmps;
         f.pos = pos;
         f.pos < f.values.len()
     }
@@ -256,6 +291,19 @@ impl TrieAccess for PrefixCursor<'_> {
                 false
             }
         }
+    }
+
+    fn advance_to(&mut self, target: Value) -> bool {
+        let f = self.frames.last_mut().expect("cursor is at the root");
+        if f.pos >= f.values.len() {
+            return false;
+        }
+        if f.values[f.pos] >= target {
+            return f.values[f.pos] == target;
+        }
+        let (pos, _) = crate::ops::gallop_lub(f.values, f.pos, f.values.len(), target);
+        f.pos = pos;
+        pos < f.values.len() && f.values[pos] == target
     }
 
     fn remaining(&self) -> &[Value] {
@@ -337,6 +385,10 @@ impl TrieAccess for CursorKind<'_> {
 
     fn reposition(&mut self, target: Value) -> bool {
         dispatch!(self, c => c.reposition(target))
+    }
+
+    fn advance_to(&mut self, target: Value) -> bool {
+        dispatch!(self, c => TrieAccess::advance_to(c, target))
     }
 
     fn remaining(&self) -> &[Value] {

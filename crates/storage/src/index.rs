@@ -14,19 +14,72 @@
 
 use crate::error::StorageError;
 use crate::relation::Relation;
-use crate::trie::{fused_scan, order_positions};
+use crate::trie::{
+    boundary_depths, fused_scan, order_perm_threads, order_positions, PAR_BUILD_MIN,
+};
 use crate::Value;
 use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// The multiply-rotate "FxHash" scheme (as in rustc's `FxHasher`): prefix lookups
+/// sit on the hot path of every hash-backed `open`, and the keys are internal
+/// dense dictionary codes — SipHash's DoS resistance buys nothing there, while
+/// its per-word cost dominates short-prefix probes.
+#[derive(Debug, Default, Clone)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+    #[inline]
+    fn add(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(Self::SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.add(b as u64);
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, n: u8) {
+        self.add(n as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, n: u64) {
+        self.add(n);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, n: usize) {
+        self.add(n as u64);
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+}
+
+/// A prefix-to-extensions map hashed with [`FxHasher`].
+type PrefixMap = HashMap<Vec<Value>, Vec<Value>, BuildHasherDefault<FxHasher>>;
 
 /// A multi-level hash index over a relation reordered by a chosen attribute order.
 ///
 /// `levels[k]` maps each length-`k` prefix (over the first `k` attributes of the
 /// order) that occurs in the relation to the sorted distinct values of attribute
 /// `k` extending it.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct PrefixIndex {
     attr_order: Vec<String>,
-    levels: Vec<HashMap<Vec<Value>, Vec<Value>>>,
+    levels: Vec<PrefixMap>,
     len: usize,
 }
 
@@ -38,7 +91,7 @@ impl PrefixIndex {
         let arity = rel.arity();
         let cols: Vec<&[Value]> = positions.iter().map(|&p| rel.column(p)).collect();
 
-        let mut levels: Vec<HashMap<Vec<Value>, Vec<Value>>> = vec![HashMap::new(); arity];
+        let mut levels: Vec<PrefixMap> = vec![PrefixMap::default(); arity];
         // the current row's values in index order; prefix[..k] keys level k
         let mut cur: Vec<Value> = vec![0; arity];
         fused_scan(rel, &positions, |r, d| {
@@ -53,6 +106,93 @@ impl PrefixIndex {
             attr_order: attr_order.iter().map(|s| s.to_string()).collect(),
             levels,
             len: rel.len(),
+        })
+    }
+
+    /// [`PrefixIndex::build`] with the fused argsort-and-scan pass partitioned
+    /// across `threads` scoped workers.
+    ///
+    /// The sorted row sequence is chunked at **root boundaries** (rows whose
+    /// level-boundary depth is 0), so every prefix of length ≥ 1 — whose key
+    /// starts with one root value — is built entirely by one worker and the
+    /// partial per-level maps merge by disjoint-key union; the root level's
+    /// single entry concatenates the chunks' value runs in order. The result is
+    /// guaranteed equal to [`PrefixIndex::build`] for every thread count
+    /// (property-tested for threads ∈ {1, 2, 4, 8}). Small relations and
+    /// `threads <= 1` fall back to the serial build.
+    pub fn build_parallel(
+        rel: &Relation,
+        attr_order: &[&str],
+        threads: usize,
+    ) -> Result<Self, StorageError> {
+        if threads <= 1 || rel.len() < PAR_BUILD_MIN {
+            return Self::build(rel, attr_order);
+        }
+        let positions = order_positions(rel, attr_order)?;
+        let arity = rel.arity();
+        let n = rel.len();
+        let perm = order_perm_threads(rel, &positions, threads);
+        let bounds = boundary_depths(rel, &positions, perm.as_deref(), threads);
+        let cols: Vec<&[Value]> = positions.iter().map(|&p| rel.column(p)).collect();
+
+        // chunk ranges aligned to root boundaries (bounds == 0), one per worker
+        let roots: Vec<usize> = (0..n).filter(|&i| bounds[i] == 0).collect();
+        let per = roots.len().div_ceil(threads).max(1);
+        let ranges: Vec<std::ops::Range<usize>> = (0..roots.len())
+            .step_by(per)
+            .map(|s| roots[s]..roots.get(s + per).copied().unwrap_or(n))
+            .collect();
+
+        let partials: Vec<Vec<PrefixMap>> = std::thread::scope(|scope| {
+            let bounds = &bounds;
+            let cols = &cols;
+            let perm = perm.as_deref();
+            let handles: Vec<_> = ranges
+                .iter()
+                .map(|range| {
+                    let range = range.clone();
+                    scope.spawn(move || {
+                        let mut levels: Vec<PrefixMap> = vec![PrefixMap::default(); arity];
+                        let mut cur: Vec<Value> = vec![0; arity];
+                        for idx in range {
+                            let r = perm.map_or(idx, |p| p[idx]);
+                            // the chunk starts at a root boundary, so `cur` is
+                            // always fully initialized before any prefix read
+                            for (k, col) in cols.iter().enumerate().skip(bounds[idx]) {
+                                cur[k] = col[r];
+                                levels[k].entry(cur[..k].to_vec()).or_default().push(cur[k]);
+                            }
+                        }
+                        levels
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("index build worker"))
+                .collect()
+        });
+
+        let mut levels: Vec<PrefixMap> = vec![PrefixMap::default(); arity];
+        for partial in partials {
+            for (k, map) in partial.into_iter().enumerate() {
+                if k == 0 {
+                    // single root entry: concatenate the chunks' runs in order
+                    for (key, mut vals) in map {
+                        levels[0].entry(key).or_default().append(&mut vals);
+                    }
+                } else {
+                    for (key, vals) in map {
+                        let old = levels[k].insert(key, vals);
+                        debug_assert!(old.is_none(), "prefix keys must not span chunks");
+                    }
+                }
+            }
+        }
+        Ok(PrefixIndex {
+            attr_order: attr_order.iter().map(|s| s.to_string()).collect(),
+            levels,
+            len: n,
         })
     }
 

@@ -12,12 +12,19 @@
 //!   classical unary/binary operators (selection, projection, semijoin, union,
 //!   difference, binary hash join, sort-merge join), all operating
 //!   column-at-a-time;
+//! * [`kernels`] — the adaptive multi-way intersection layer: branchless merge,
+//!   smallest-driven galloping, and a small-domain bitmap kernel, selected per
+//!   intersection by a span/size-ratio heuristic ([`kernels::KernelPolicy`]) and
+//!   recorded in the [`stats::WorkCounter`] breakdown;
 //! * [`trie::Trie`] — a CSR-flattened prefix trie over a chosen attribute order with a
 //!   seekable cursor, the access path required by Leapfrog Triejoin; built by a
-//!   single fused argsort-and-scan pass over the relation's columns;
+//!   single fused argsort-and-scan pass over the relation's columns — or, with
+//!   [`trie::Trie::build_parallel`], by the same pass partitioned across scoped
+//!   workers with bit-identical results;
 //! * [`index::PrefixIndex`] — a hash index from bound prefixes to the sorted list of
 //!   next-attribute values, the access path used by Generic Join and by the
-//!   backtracking search of Algorithm 3; built by the same fused pass;
+//!   backtracking search of Algorithm 3; built by the same fused pass (serial or
+//!   parallel via [`index::PrefixIndex::build_parallel`]);
 //! * [`access::TrieAccess`] — the common cursor trait over both access paths
 //!   (`TrieCursor` and [`access::PrefixCursor`]), so the join engines in `wcoj-core`
 //!   are written once — generically, monomorphized per backend — and run on either;
@@ -52,6 +59,7 @@ pub mod access;
 pub mod dictionary;
 pub mod error;
 pub mod index;
+pub mod kernels;
 pub mod ops;
 pub mod relation;
 pub mod schema;
@@ -62,6 +70,7 @@ pub use access::{CursorKind, PrefixCursor, TrieAccess};
 pub use dictionary::Dictionary;
 pub use error::StorageError;
 pub use index::PrefixIndex;
+pub use kernels::{KernelKind, KernelPolicy};
 pub use ops::{hash_join, intersect_sorted, merge_join, nested_loop_join};
 pub use relation::{Relation, Tuple};
 pub use schema::Schema;

@@ -18,41 +18,14 @@ use std::collections::HashMap;
 
 /// Intersect any number of sorted, deduplicated value slices.
 ///
-/// The cost is `O(k · m · log(M/m))` where `m` is the size of the smallest list and
-/// `M` of the largest: we iterate the smallest list and gallop in the others — the
-/// "intersection in time proportional to the smaller set" primitive that every runtime
-/// analysis in the paper relies on. Work is recorded into `counter`.
+/// Delegates to the adaptive kernel layer ([`crate::kernels`]): the common-span
+/// and size-ratio heuristic picks branchless merge, galloping search
+/// (`O(k · m · log(M/m))` for smallest list `m`, largest `M` — the "intersection
+/// in time proportional to the smaller set" primitive every runtime analysis in
+/// the paper relies on), or a small-domain bitmap kernel. Work and the kernel
+/// choice are recorded into `counter`.
 pub fn intersect_sorted(lists: &[&[Value]], counter: &WorkCounter) -> Vec<Value> {
-    if lists.is_empty() {
-        return Vec::new();
-    }
-    if lists.iter().any(|l| l.is_empty()) {
-        return Vec::new();
-    }
-    let smallest = lists
-        .iter()
-        .enumerate()
-        .min_by_key(|(_, l)| l.len())
-        .map(|(i, _)| i)
-        .unwrap();
-    let mut out = Vec::new();
-    // positions[i] is the frontier in list i (monotone — amortizes the galloping)
-    let mut positions = vec![0usize; lists.len()];
-    'outer: for &v in lists[smallest] {
-        counter.add_intersect_steps(1);
-        for (i, list) in lists.iter().enumerate() {
-            if i == smallest {
-                continue;
-            }
-            let pos = gallop(list, positions[i], v, counter);
-            positions[i] = pos;
-            if pos >= list.len() || list[pos] != v {
-                continue 'outer;
-            }
-        }
-        out.push(v);
-    }
-    out
+    crate::kernels::intersect(lists, crate::kernels::KernelPolicy::Adaptive, counter)
 }
 
 /// Least-upper-bound galloping search within `values[start..end]`: the first index
@@ -90,8 +63,39 @@ pub(crate) fn gallop_lub(
     (l, probes)
 }
 
+/// Sibling groups at or below this length are sought by a branch-predictable
+/// linear scan instead of galloping: for tiny groups the scan's sequential loads
+/// beat the galloping search's data-dependent branches.
+pub(crate) const LINEAR_SEEK_MAX: usize = 16;
+
+/// Adaptive least-upper-bound seek within `values[start..end]`: linear scan for
+/// short windows (recorded as comparisons), galloping search otherwise (recorded
+/// as probes). Returns `(position, probes, comparisons)` — the seek path shared
+/// by every cursor, mirroring the kernel layer's adaptivity at the single-seek
+/// grain.
+pub(crate) fn seek_lub(
+    values: &[Value],
+    start: usize,
+    end: usize,
+    target: Value,
+) -> (usize, u64, u64) {
+    debug_assert!(end <= values.len());
+    if end - start <= LINEAR_SEEK_MAX {
+        let mut i = start;
+        let mut cmps = 1u64;
+        while i < end && values[i] < target {
+            i += 1;
+            cmps += 1;
+        }
+        (i, 0, cmps)
+    } else {
+        let (pos, probes) = gallop_lub(values, start, end, target);
+        (pos, probes, 0)
+    }
+}
+
 /// Find the first index `>= start` with `list[index] >= target` using galloping search.
-fn gallop(list: &[Value], start: usize, target: Value, counter: &WorkCounter) -> usize {
+pub(crate) fn gallop(list: &[Value], start: usize, target: Value, counter: &WorkCounter) -> usize {
     let mut lo = start;
     if lo >= list.len() || list[lo] >= target {
         counter.add_probes(1);
@@ -338,8 +342,9 @@ mod tests {
         let c = vec![1, 3, 9];
         let out = intersect_sorted(&[&a, &b, &c], &w);
         assert_eq!(out, vec![3, 9]);
-        assert!(w.intersect_steps() > 0);
-        assert!(w.probes() > 0);
+        // comparable tiny lists: the adaptive layer runs the merge kernel
+        assert_eq!(w.kernel_calls(), 1);
+        assert!(w.total_work() > 0);
     }
 
     #[test]

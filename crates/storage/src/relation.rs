@@ -81,6 +81,43 @@ impl Relation {
         })
     }
 
+    /// Build a relation from a row-major flat value buffer (`values.len()` must be
+    /// a multiple of the schema arity) — the zero-allocation-per-row result path
+    /// of the join engines. When the rows are already in canonical order (sorted,
+    /// distinct — which the engines' depth-first enumeration guarantees), the
+    /// argsort-and-dedup pass is skipped entirely.
+    pub fn try_from_flat_rows(schema: Schema, values: Vec<Value>) -> Result<Self, StorageError> {
+        let arity = schema.arity();
+        if arity == 0 {
+            return Ok(Relation::empty(schema));
+        }
+        if !values.len().is_multiple_of(arity) {
+            return Err(StorageError::ArityMismatch {
+                expected: arity,
+                found: values.len() % arity,
+            });
+        }
+        let n = values.len() / arity;
+        let columns: Vec<Vec<Value>> = (0..arity)
+            .map(|c| values.iter().skip(c).step_by(arity).copied().collect())
+            .collect();
+        let row_cmp = |a: usize, b: usize| -> Ordering {
+            for col in &columns {
+                match col[a].cmp(&col[b]) {
+                    Ordering::Equal => continue,
+                    o => return o,
+                }
+            }
+            Ordering::Equal
+        };
+        let canonical = (1..n).all(|i| row_cmp(i - 1, i) == Ordering::Less);
+        if canonical {
+            Ok(Self::from_canonical_columns(schema, columns))
+        } else {
+            Self::try_from_columns(schema, columns)
+        }
+    }
+
     /// Build a relation directly from columns (all of equal length), sorting rows
     /// lexicographically and deduplicating — the bulk-load path that never touches a
     /// row representation.
@@ -238,16 +275,83 @@ impl Relation {
     /// i.e. by the canonical lexicographic order — deterministic).
     pub fn sort_perm(&self, positions: &[usize]) -> Vec<usize> {
         let mut perm: Vec<usize> = (0..self.len).collect();
-        perm.sort_unstable_by(|&a, &b| {
-            for &p in positions {
-                match self.columns[p][a].cmp(&self.columns[p][b]) {
-                    Ordering::Equal => continue,
-                    o => return o,
-                }
-            }
-            a.cmp(&b)
-        });
+        perm.sort_unstable_by(|&a, &b| self.cmp_perm(positions, a, b));
         perm
+    }
+
+    /// The strict total row order behind [`Relation::sort_perm`]: lexicographic on
+    /// the permuted columns, ties broken by row index.
+    #[inline]
+    fn cmp_perm(&self, positions: &[usize], a: usize, b: usize) -> Ordering {
+        for &p in positions {
+            match self.columns[p][a].cmp(&self.columns[p][b]) {
+                Ordering::Equal => continue,
+                o => return o,
+            }
+        }
+        a.cmp(&b)
+    }
+
+    /// [`Relation::sort_perm`] across `threads` scoped workers: each sorts one run
+    /// of row indices, then runs are pairwise-merged (also in parallel). The
+    /// comparator is a strict total order, so the result is **bit-identical** to
+    /// the serial argsort for every thread count. Small relations (or
+    /// `threads <= 1`) fall back to the serial sort.
+    pub fn sort_perm_threads(&self, positions: &[usize], threads: usize) -> Vec<usize> {
+        const PAR_SORT_MIN: usize = 4096;
+        if threads <= 1 || self.len < PAR_SORT_MIN {
+            return self.sort_perm(positions);
+        }
+        let chunk = self.len.div_ceil(threads);
+        let mut runs: Vec<Vec<usize>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..self.len)
+                .step_by(chunk)
+                .map(|start| {
+                    let end = (start + chunk).min(self.len);
+                    scope.spawn(move || {
+                        let mut run: Vec<usize> = (start..end).collect();
+                        run.sort_unstable_by(|&a, &b| self.cmp_perm(positions, a, b));
+                        run
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("argsort worker"))
+                .collect()
+        });
+        while runs.len() > 1 {
+            runs = std::thread::scope(|scope| {
+                let mut handles = Vec::new();
+                let mut iter = runs.into_iter();
+                while let Some(a) = iter.next() {
+                    match iter.next() {
+                        Some(b) => handles.push(scope.spawn(move || {
+                            let mut out = Vec::with_capacity(a.len() + b.len());
+                            let (mut i, mut j) = (0usize, 0usize);
+                            while i < a.len() && j < b.len() {
+                                if self.cmp_perm(positions, a[i], b[j]) == Ordering::Less {
+                                    out.push(a[i]);
+                                    i += 1;
+                                } else {
+                                    out.push(b[j]);
+                                    j += 1;
+                                }
+                            }
+                            out.extend_from_slice(&a[i..]);
+                            out.extend_from_slice(&b[j..]);
+                            out
+                        })),
+                        None => handles.push(scope.spawn(move || a)),
+                    }
+                }
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("merge worker"))
+                    .collect()
+            });
+        }
+        runs.pop().unwrap_or_default()
     }
 
     /// Insert a single tuple, keeping the relation sorted. O(n) worst case; intended
@@ -686,6 +790,24 @@ mod tests {
         assert_eq!(r.sort_perm(&[1, 0]), vec![1, 2, 0]);
         // identity prefix: already canonical
         assert_eq!(r.sort_perm(&[0, 1]), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn flat_rows_build_canonical_and_noncanonical() {
+        // already canonical: the fast path must not reorder anything
+        let canon =
+            Relation::try_from_flat_rows(Schema::new(&["A", "B"]), vec![1, 2, 1, 3, 2, 1]).unwrap();
+        assert_eq!(canon.rows(), vec![vec![1, 2], vec![1, 3], vec![2, 1]]);
+        // unsorted + duplicated input takes the canonicalizing path
+        let messy =
+            Relation::try_from_flat_rows(Schema::new(&["A", "B"]), vec![2, 1, 1, 2, 2, 1, 1, 2])
+                .unwrap();
+        assert_eq!(messy.rows(), vec![vec![1, 2], vec![2, 1]]);
+        // arity mismatch is rejected; empty input and 0-arity degenerate cleanly
+        assert!(Relation::try_from_flat_rows(Schema::new(&["A", "B"]), vec![1, 2, 3]).is_err());
+        assert!(Relation::try_from_flat_rows(Schema::new(&["A"]), vec![])
+            .unwrap()
+            .is_empty());
     }
 
     #[test]

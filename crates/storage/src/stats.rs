@@ -20,6 +20,7 @@
 //!   its own `CursorWork` and the engine drains it into the run's `WorkCounter` via
 //!   `TrieAccess::take_work`.
 
+use crate::kernels::KernelKind;
 use std::cell::Cell;
 use std::ops::AddAssign;
 
@@ -32,12 +33,15 @@ pub struct CursorWork {
     pub probes: u64,
     /// Set-intersection steps: `next` advances within a sibling group.
     pub intersect_steps: u64,
+    /// Element comparisons performed by the adaptive linear-scan `seek` path on
+    /// short sibling groups (the galloping path records `probes` instead).
+    pub comparisons: u64,
 }
 
 impl CursorWork {
     /// Whether no work has been recorded.
     pub fn is_zero(&self) -> bool {
-        self.probes == 0 && self.intersect_steps == 0
+        self.probes == 0 && self.intersect_steps == 0 && self.comparisons == 0
     }
 }
 
@@ -45,6 +49,7 @@ impl AddAssign for CursorWork {
     fn add_assign(&mut self, rhs: CursorWork) {
         self.probes += rhs.probes;
         self.intersect_steps += rhs.intersect_steps;
+        self.comparisons += rhs.comparisons;
     }
 }
 
@@ -59,6 +64,9 @@ pub struct WorkCounter {
     intermediate_tuples: Cell<u64>,
     output_tuples: Cell<u64>,
     comparisons: Cell<u64>,
+    kernel_merge: Cell<u64>,
+    kernel_gallop: Cell<u64>,
+    kernel_bitmap: Cell<u64>,
 }
 
 impl Clone for WorkCounter {
@@ -69,6 +77,9 @@ impl Clone for WorkCounter {
             intermediate_tuples: Cell::new(self.intermediate_tuples.get()),
             output_tuples: Cell::new(self.output_tuples.get()),
             comparisons: Cell::new(self.comparisons.get()),
+            kernel_merge: Cell::new(self.kernel_merge.get()),
+            kernel_gallop: Cell::new(self.kernel_gallop.get()),
+            kernel_bitmap: Cell::new(self.kernel_bitmap.get()),
         }
     }
 }
@@ -80,6 +91,9 @@ impl PartialEq for WorkCounter {
             && self.intermediate_tuples.get() == other.intermediate_tuples.get()
             && self.output_tuples.get() == other.output_tuples.get()
             && self.comparisons.get() == other.comparisons.get()
+            && self.kernel_merge.get() == other.kernel_merge.get()
+            && self.kernel_gallop.get() == other.kernel_gallop.get()
+            && self.kernel_bitmap.get() == other.kernel_bitmap.get()
     }
 }
 
@@ -114,15 +128,30 @@ impl WorkCounter {
         self.output_tuples.set(self.output_tuples.get() + n);
     }
 
-    /// Record `n` element comparisons (sort-merge, galloping search, ...).
+    /// Record `n` element comparisons (sort-merge, the merge/bitmap intersection
+    /// kernels, linear-scan seeks, ...).
     pub fn add_comparisons(&self, n: u64) {
         self.comparisons.set(self.comparisons.get() + n);
+    }
+
+    /// Record one intersection-kernel invocation of the given kind — the
+    /// observability hook that makes the adaptive policy's choices auditable.
+    /// Kernel invocation counts are a *breakdown*, not work: they are excluded
+    /// from [`WorkCounter::total_work`].
+    pub fn add_kernel(&self, kind: KernelKind) {
+        let cell = match kind {
+            KernelKind::Merge => &self.kernel_merge,
+            KernelKind::Gallop => &self.kernel_gallop,
+            KernelKind::Bitmap => &self.kernel_bitmap,
+        };
+        cell.set(cell.get() + 1);
     }
 
     /// Drain a cursor's private tallies into this counter.
     pub fn absorb(&self, w: CursorWork) {
         self.add_probes(w.probes);
         self.add_intersect_steps(w.intersect_steps);
+        self.add_comparisons(w.comparisons);
     }
 
     /// Total set-intersection steps recorded.
@@ -150,6 +179,26 @@ impl WorkCounter {
         self.comparisons.get()
     }
 
+    /// Merge-kernel invocations recorded.
+    pub fn kernel_merge(&self) -> u64 {
+        self.kernel_merge.get()
+    }
+
+    /// Gallop-kernel invocations recorded.
+    pub fn kernel_gallop(&self) -> u64 {
+        self.kernel_gallop.get()
+    }
+
+    /// Bitmap-kernel invocations recorded.
+    pub fn kernel_bitmap(&self) -> u64 {
+        self.kernel_bitmap.get()
+    }
+
+    /// Total intersection-kernel invocations of any kind.
+    pub fn kernel_calls(&self) -> u64 {
+        self.kernel_merge.get() + self.kernel_gallop.get() + self.kernel_bitmap.get()
+    }
+
     /// Grand total of all recorded work, used as the "total work" measure in
     /// experiments comparing engines.
     pub fn total_work(&self) -> u64 {
@@ -167,6 +216,9 @@ impl WorkCounter {
         self.intermediate_tuples.set(0);
         self.output_tuples.set(0);
         self.comparisons.set(0);
+        self.kernel_merge.set(0);
+        self.kernel_gallop.set(0);
+        self.kernel_bitmap.set(0);
     }
 
     /// Merge the tallies of `other` into `self`. Associative and commutative, so
@@ -177,6 +229,12 @@ impl WorkCounter {
         self.add_intermediate(other.intermediate_tuples());
         self.add_output(other.output_tuples());
         self.add_comparisons(other.comparisons());
+        self.kernel_merge
+            .set(self.kernel_merge.get() + other.kernel_merge.get());
+        self.kernel_gallop
+            .set(self.kernel_gallop.get() + other.kernel_gallop.get());
+        self.kernel_bitmap
+            .set(self.kernel_bitmap.get() + other.kernel_bitmap.get());
     }
 }
 
@@ -275,11 +333,36 @@ mod tests {
         cw += CursorWork {
             probes: 1,
             intersect_steps: 1,
+            comparisons: 2,
         };
         assert!(!cw.is_zero());
         w.absorb(cw);
         assert_eq!(w.probes(), 4);
         assert_eq!(w.intersect_steps(), 5);
+        assert_eq!(w.comparisons(), 2);
+    }
+
+    #[test]
+    fn kernel_breakdown_counts_and_merges() {
+        let w = WorkCounter::new();
+        w.add_kernel(KernelKind::Merge);
+        w.add_kernel(KernelKind::Gallop);
+        w.add_kernel(KernelKind::Gallop);
+        w.add_kernel(KernelKind::Bitmap);
+        assert_eq!(w.kernel_merge(), 1);
+        assert_eq!(w.kernel_gallop(), 2);
+        assert_eq!(w.kernel_bitmap(), 1);
+        assert_eq!(w.kernel_calls(), 4);
+        // the breakdown is a selection histogram, not work
+        assert_eq!(w.total_work(), 0);
+        let other = WorkCounter::new();
+        other.add_kernel(KernelKind::Merge);
+        w.merge(&other);
+        assert_eq!(w.kernel_merge(), 2);
+        // equality discriminates on the breakdown, and reset clears it
+        assert_ne!(w, other);
+        w.reset();
+        assert_eq!(w.kernel_calls(), 0);
     }
 
     #[test]

@@ -291,6 +291,61 @@ pub fn clique3(n: usize, seed: u64) -> Workload {
     }
 }
 
+/// `k`-clique self-join: `clique(k)` — `C(k, 2)` atoms over one uniform random
+/// edge relation of (up to) `n` tuples. Deep variable orders with many
+/// participating atoms per level: the stress case for repeated multi-way
+/// intersections (each level below the first intersects up to `k − 1` candidate
+/// sets), which is exactly what the adaptive kernel layer optimizes.
+pub fn kclique(k: usize, n: usize, seed: u64) -> Workload {
+    assert!(k >= 2);
+    let d = default_domain(n);
+    let mut db = Database::new();
+    db.insert(
+        "E",
+        Relation::from_pairs("src", "dst", random_pairs(n, d, seed)),
+    );
+    Workload {
+        name: format!("clique{k}_n{n}"),
+        query: examples::clique(k),
+        db,
+    }
+}
+
+/// A high-skew "hub-and-spoke" triangle workload over a **small dense domain**:
+/// every edge has at least one endpoint among `~sqrt(n)/8` hub values, the other
+/// endpoint uniform over a domain of `16×` the hub count. The candidate sets under
+/// hot prefixes are large, dense, and span only a few thousand values — the regime
+/// where the bitmap kernel's word-parallel AND wins, and where one-pair-at-a-time
+/// plans drown in heavy-hitter intermediates.
+pub fn hub_spoke(n: usize, seed: u64) -> Workload {
+    let hubs = (((n as f64).sqrt() / 8.0).ceil() as u64).max(2);
+    let domain = hubs * 16;
+    let gen_edges = |salt: u64| -> Vec<(Value, Value)> {
+        let mut rng = SplitMix64::new(seed ^ salt);
+        (0..n)
+            .map(|_| {
+                let hub = rng.below(hubs);
+                let other = rng.below(domain);
+                // half the edges lead out of a hub, half into one
+                if rng.next_u64() & 1 == 0 {
+                    (hub, other)
+                } else {
+                    (other, hub)
+                }
+            })
+            .collect()
+    };
+    let mut db = Database::new();
+    db.insert("R", Relation::from_pairs("A", "B", gen_edges(0x1)));
+    db.insert("S", Relation::from_pairs("B", "C", gen_edges(0x2)));
+    db.insert("T", Relation::from_pairs("A", "C", gen_edges(0x3)));
+    Workload {
+        name: format!("hub_spoke_n{n}"),
+        query: examples::triangle(),
+        db,
+    }
+}
+
 /// The Loomis–Whitney query `LW(k)` — `k` variables, `k` atoms of arity `k − 1`,
 /// each omitting exactly one variable — over uniform random relations of (up to)
 /// `n` tuples each. The fractional edge cover number is `k/(k−1)`, so the AGM bound
@@ -411,6 +466,8 @@ pub fn differential_suite(seed: u64) -> Vec<Workload> {
         lw4(64, seed ^ 8),
         random_hypergraph(5, 4, 3, 48, seed ^ 9),
         random_hypergraph(6, 4, 4, 32, seed ^ 10),
+        kclique(4, 48, seed ^ 11),
+        hub_spoke(96, seed ^ 12),
     ]
 }
 
