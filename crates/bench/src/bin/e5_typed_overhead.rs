@@ -1,0 +1,104 @@
+//! E5: what the typed-value catalog costs — string encode (intern) at load time
+//! and dictionary decode at result time — against the pre-encoded pure-`u64` path.
+//!
+//! Builds the same Zipf-skewed triangle-self-join instance twice: once as the
+//! string-keyed `social_graph` workload (ids interned through the shared `user`
+//! dictionary) and once pre-encoded (the raw `u64` pairs loaded directly). Joins
+//! both with both WCOJ engines and reports, per `n`:
+//!
+//! * `load_str_ms` / `load_u64_ms` — database construction including (for the
+//!   string path) formatting + interning every id;
+//! * `join_ms` — engine wall-clock on the encoded columns (must be the same
+//!   regime for both paths: the engines never see types);
+//! * `decode_ms` — decoding the full result through `ExecOutput::typed_rows`
+//!   vs `mat_ms`, materializing the same rows as raw `u64` tuples;
+//!
+//! and asserts the two paths' output sizes agree. Run with
+//! `cargo run --release -p wcoj-bench --bin e5_typed_overhead [-- --smoke]`.
+
+use std::time::Instant;
+use wcoj_bench::ExperimentTable;
+use wcoj_core::exec::{execute, Engine};
+use wcoj_query::query::examples;
+use wcoj_query::Database;
+use wcoj_storage::Relation;
+use wcoj_workloads::{social_graph, social_graph_pairs};
+
+fn ms(start: Instant) -> f64 {
+    start.elapsed().as_secs_f64() * 1e3
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let sizes: &[usize] = if smoke {
+        &[1_024]
+    } else {
+        &[1_024, 4_096, 16_384]
+    };
+    let seed = 0xFACE;
+
+    let mut table = ExperimentTable::new(
+        "E5: typed-catalog overhead — string-keyed vs pre-encoded social graph",
+        &[
+            "load_str_ms",
+            "load_u64_ms",
+            "join_ms",
+            "decode_ms",
+            "mat_ms",
+            "out_tuples",
+        ],
+    );
+
+    for &n in sizes {
+        // string path: format + intern every id through the shared dictionary
+        let t = Instant::now();
+        let w = social_graph(n, seed);
+        let load_str_ms = ms(t);
+
+        // pre-encoded path: the exact same pairs, loaded as raw u64 columns
+        let t = Instant::now();
+        let pairs = social_graph_pairs(n, seed);
+        let mut u64_db = Database::new();
+        u64_db.insert("E", Relation::from_pairs("src", "dst", pairs));
+        let load_u64_ms = ms(t);
+
+        let query = examples::clique(3);
+        for engine in [Engine::GenericJoin, Engine::Leapfrog] {
+            let t = Instant::now();
+            let typed_out = execute(&query, &w.db, engine).expect("typed join");
+            let join_ms = ms(t);
+            let u64_out = execute(&query, &u64_db, engine).expect("u64 join");
+            assert_eq!(
+                typed_out.result.len(),
+                u64_out.result.len(),
+                "n={n} {engine:?}: typed and pre-encoded paths must agree on |Q|"
+            );
+
+            let t = Instant::now();
+            let decoded = typed_out
+                .typed_rows(&query, &w.db)
+                .expect("typed view")
+                .to_rows()
+                .expect("all codes decode");
+            let decode_ms = ms(t);
+            let t = Instant::now();
+            let materialized = u64_out.result.rows();
+            let mat_ms = ms(t);
+            assert_eq!(decoded.len(), materialized.len());
+
+            table.push(
+                format!("social_n{n}/{engine:?}"),
+                vec![
+                    load_str_ms,
+                    load_u64_ms,
+                    join_ms,
+                    decode_ms,
+                    mat_ms,
+                    decoded.len() as f64,
+                ],
+            );
+        }
+    }
+    table.print();
+    println!("all typed/pre-encoded output sizes agree");
+}

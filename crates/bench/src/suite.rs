@@ -6,13 +6,17 @@
 //! committed baseline) — so the gate always measures exactly what the baseline
 //! recorded.
 
-use wcoj_workloads::{hub_spoke, kclique, triangle, triangle_skewed, Workload};
+use wcoj_workloads::{hub_spoke, kclique, social_graph, triangle, triangle_skewed, Workload};
 
 /// The benchmark workload matrix at the given triangle sizes: uniform and
 /// Zipf-skewed triangles and small-domain hub-and-spoke instances at each `n` in
-/// `sizes`, plus 4-clique self-joins at each `n` in `clique_sizes` (cliques'
-/// output grows faster, so their sizes are capped separately). Labels match the
-/// `workload` field of `BENCH_joins.json` records.
+/// `sizes`, plus 4-clique self-joins and string-keyed social-graph
+/// triangle-self-joins at each `n` in `clique_sizes` (both are self-joins whose
+/// output grows faster than the 3-relation triangles', so their sizes are capped
+/// separately).
+/// The social rows exercise the typed catalog — dictionary-encoded string ids —
+/// and are directly comparable to the `clique4`/`hub` pure-`u64` rows. Labels
+/// match the `workload` field of `BENCH_joins.json` records.
 pub fn bench_matrix(sizes: &[usize], clique_sizes: &[usize]) -> Vec<(String, Workload)> {
     let mut out = Vec::new();
     for &n in sizes {
@@ -30,6 +34,9 @@ pub fn bench_matrix(sizes: &[usize], clique_sizes: &[usize]) -> Vec<(String, Wor
     for &n in clique_sizes {
         out.push((format!("clique4_n{n}"), kclique(4, n, 0xCAB)));
     }
+    for &n in clique_sizes {
+        out.push((format!("social_n{n}"), social_graph(n, 0xFACE)));
+    }
     out
 }
 
@@ -40,11 +47,11 @@ mod tests {
     #[test]
     fn matrix_labels_are_distinct_and_bound() {
         let m = bench_matrix(&[256, 1024], &[256]);
-        assert_eq!(m.len(), 7);
+        assert_eq!(m.len(), 8);
         let mut labels: Vec<&str> = m.iter().map(|(l, _)| l.as_str()).collect();
         labels.sort();
         labels.dedup();
-        assert_eq!(labels.len(), 7);
+        assert_eq!(labels.len(), 8);
         for (label, w) in &m {
             for i in 0..w.query.atoms().len() {
                 assert!(

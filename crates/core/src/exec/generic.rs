@@ -11,7 +11,7 @@
 //! At each deeper level the cursors of the atoms containing the current variable are
 //! opened one level deeper and their sorted candidate groups are intersected through
 //! the **adaptive kernel layer** ([`wcoj_storage::kernels`], via
-//! [`crate::exec::level_extension_into`]): branchless merge, smallest-driven
+//! `crate::exec::level_extension_into`): branchless merge, smallest-driven
 //! galloping, or a small-domain bitmap kernel, chosen per intersection by the
 //! [`wcoj_storage::KernelPolicy`] in force. Every kernel honors the "intersection in
 //! time proportional to the smallest set" discipline whose per-level cost telescopes

@@ -14,7 +14,7 @@
 //! Generic Join relies on, arranged as mutual leapfrogging instead of
 //! smallest-enumerates. At the **deepest** level, where nothing remains to bind
 //! below, the mutual leapfrog degenerates into a pure intersection: that level runs
-//! through the adaptive kernel layer ([`crate::exec::level_extension_into`]) and
+//! through the adaptive kernel layer (`crate::exec::level_extension_into`) and
 //! emits result tuples straight from the kernel output. Leapfrog Triejoin is
 //! worst-case optimal (up to a log factor) by the same fractional-cover argument
 //! (Section 1.2 of the paper).

@@ -16,7 +16,7 @@
 //!
 //! Every extension set — level 0 and every deeper variable — is computed through
 //! the **adaptive intersection kernel layer** ([`wcoj_storage::kernels`], via
-//! [`level_extension_into`]): branchless merge, galloping, or small-domain
+//! `level_extension_into`): branchless merge, galloping, or small-domain
 //! bitmap, chosen per intersection by the [`KernelPolicy`] carried in
 //! [`ExecOptions`] (forceable for differential testing) and recorded in the
 //! [`WorkCounter`] kernel breakdown. Engines emit result tuples into row-major
@@ -38,6 +38,14 @@
 //! All engines produce the same [`Relation`] (columns in the query's variable order)
 //! and thread a [`WorkCounter`] through execution so tests and benchmarks can
 //! compare *work* against the AGM bound, not just wall-clock time.
+//!
+//! **Typed data** never reaches the engines: string columns are dictionary-encoded
+//! at load time (`wcoj_query::Database`'s typed loaders), execution runs pure
+//! `u64`, and [`ExecOutput::typed_rows`] decodes results back through the shared
+//! per-domain dictionaries. [`execute_opts_with_order`] validates up front that
+//! every atom binding a variable agrees on its type and dictionary domain
+//! ([`Database::var_bindings`]), and threads the variable types into the result
+//! schema untouched.
 
 pub mod binary;
 pub mod generic;
@@ -46,10 +54,13 @@ pub mod parallel;
 
 use crate::error::ExecError;
 use crate::planner::plan_order;
+use wcoj_query::database::VarBinding;
 use wcoj_query::plan::{atom_attr_order, atom_levels, is_valid_order};
 use wcoj_query::{ConjunctiveQuery, Database, VarId};
+use wcoj_storage::typed::TypedRows;
 use wcoj_storage::{
-    kernels, KernelPolicy, PrefixIndex, Relation, Schema, Trie, TrieAccess, Value, WorkCounter,
+    kernels, AttrType, KernelPolicy, PrefixIndex, Relation, Schema, Trie, TrieAccess, Value,
+    WorkCounter,
 };
 
 /// Which join engine to run.
@@ -170,6 +181,27 @@ pub struct ExecOutput {
     pub order: Vec<VarId>,
 }
 
+impl ExecOutput {
+    /// A typed decode view over [`ExecOutput::result`]: each dictionary-encoded
+    /// column decodes back to strings through the shared per-domain dictionary of
+    /// `db` that its values were interned into at load time. The engines' inner
+    /// loops never touch this — decoding is a lazy view over the already-built
+    /// flat-row output, and unknown codes fail loudly
+    /// ([`wcoj_storage::StorageError::UnknownCode`]) instead of guessing.
+    pub fn typed_rows<'a>(
+        &'a self,
+        query: &ConjunctiveQuery,
+        db: &'a Database,
+    ) -> Result<TypedRows<'a>, ExecError> {
+        let bindings = db.var_bindings(query)?;
+        let dicts = bindings
+            .iter()
+            .map(|b| b.domain.as_deref().and_then(|d| db.dictionary(d)))
+            .collect();
+        Ok(TypedRows::new(&self.result, dicts)?)
+    }
+}
+
 /// Execute `query` over `db` with the given engine (native backend, serial),
 /// letting the AGM-guided planner pick the variable order for the WCOJ engines.
 pub fn execute(
@@ -213,6 +245,10 @@ pub fn execute_opts_with_order(
     if !is_valid_order(query, order) {
         return Err(ExecError::InvalidOrder(order.to_vec()));
     }
+    // Validate the typed-catalog contract up front: every atom binding a variable
+    // must agree on its type and dictionary domain, else the engines would compare
+    // codes from different value spaces. Also yields the result schema's types.
+    let bindings = db.var_bindings(query)?;
     let counter = WorkCounter::new();
     let result = match opts.engine {
         Engine::BinaryHash => binary::binary_hash_plan(query, db, &counter)?,
@@ -227,7 +263,7 @@ pub fn execute_opts_with_order(
                 BuiltAccess::build(&relations, &attr_orders, opts.resolved_backend(), threads)?;
             let parts = participants(query, order);
             let rows = built.run(engine, &parts, threads, opts.kernel, &counter);
-            rows_to_relation(query, order, rows)?
+            rows_to_relation(query, order, rows, &bindings)?
         }
     };
     Ok(ExecOutput {
@@ -420,17 +456,22 @@ fn participants(query: &ConjunctiveQuery, order: &[VarId]) -> Vec<Vec<usize>> {
 /// Package global-order rows (a row-major flat buffer — the engines'
 /// allocation-free output format) as a relation with columns back in
 /// variable-id order. Engine output is already canonically ordered, so the
-/// flat constructor skips the argsort-and-dedup pass.
+/// flat constructor skips the argsort-and-dedup pass. Each output column carries
+/// the [`AttrType`] of its variable's binding, so dictionary-encoded results stay
+/// decodable (and bit-compatible with the binary baseline, whose schemas flow
+/// through the storage operators).
 fn rows_to_relation(
     query: &ConjunctiveQuery,
     order: &[VarId],
     rows: Vec<Value>,
+    bindings: &[VarBinding],
 ) -> Result<Relation, ExecError> {
     let ordered_names: Vec<String> = order
         .iter()
         .map(|&v| query.var_name(v).to_string())
         .collect();
-    let schema = Schema::try_new(ordered_names)?;
+    let ordered_types: Vec<AttrType> = order.iter().map(|&v| bindings[v].ty).collect();
+    let schema = Schema::try_new_typed(ordered_names, ordered_types)?;
     let rel = Relation::try_from_flat_rows(schema, rows)?;
     let var_refs: Vec<&str> = query.var_names().iter().map(|s| s.as_str()).collect();
     Ok(rel.project(&var_refs)?)
@@ -578,6 +619,84 @@ mod tests {
         for engine in [Engine::BinaryHash, Engine::GenericJoin, Engine::Leapfrog] {
             let out = execute(&q, &db, engine).unwrap();
             assert!(out.result.is_empty(), "{engine:?}");
+        }
+    }
+
+    #[test]
+    fn typed_pipeline_encodes_joins_and_decodes() {
+        use wcoj_storage::TypedValue;
+        // string-keyed triangle: intern once per database, join on codes, decode back
+        let q = examples::triangle();
+        let mut db = Database::new();
+        let pair_schema =
+            |a: &str, b: &str| Schema::with_types(&[a, b], &[AttrType::Str, AttrType::Str]);
+        let rows = |pairs: &[(&str, &str)]| -> Vec<Vec<TypedValue>> {
+            pairs
+                .iter()
+                .map(|&(x, y)| vec![TypedValue::from(x), TypedValue::from(y)])
+                .collect()
+        };
+        db.insert_typed_rows(
+            "R",
+            pair_schema("A", "B"),
+            &rows(&[("ann", "bob"), ("bob", "cat"), ("ann", "cat")]),
+        )
+        .unwrap();
+        db.insert_typed_rows(
+            "S",
+            pair_schema("B", "C"),
+            &rows(&[("bob", "cat"), ("cat", "ann"), ("cat", "dan")]),
+        )
+        .unwrap();
+        db.insert_typed_rows(
+            "T",
+            pair_schema("A", "C"),
+            &rows(&[("ann", "cat"), ("bob", "ann"), ("ann", "dan")]),
+        )
+        .unwrap();
+
+        let mut decoded_by_engine = Vec::new();
+        for engine in [Engine::BinaryHash, Engine::GenericJoin, Engine::Leapfrog] {
+            let out = execute(&q, &db, engine).unwrap();
+            assert_eq!(out.result.len(), 3);
+            assert!(out.result.schema().has_strings());
+            let typed = out.typed_rows(&q, &db).unwrap();
+            let mut strs: Vec<Vec<String>> = typed
+                .to_rows()
+                .unwrap()
+                .into_iter()
+                .map(|r| r.into_iter().map(|v| v.to_string()).collect())
+                .collect();
+            strs.sort();
+            decoded_by_engine.push(strs);
+        }
+        assert_eq!(decoded_by_engine[0], decoded_by_engine[1]);
+        assert_eq!(decoded_by_engine[1], decoded_by_engine[2]);
+        assert_eq!(
+            decoded_by_engine[0],
+            vec![
+                vec!["ann".to_string(), "bob".into(), "cat".into()],
+                vec!["ann".to_string(), "cat".into(), "dan".into()],
+                vec!["bob".to_string(), "cat".into(), "ann".into()],
+            ]
+        );
+    }
+
+    #[test]
+    fn mismatched_var_types_are_rejected_up_front() {
+        use wcoj_storage::TypedValue;
+        let q = examples::triangle();
+        let mut db = triangle_db();
+        // rebind S's columns as strings: variable B is Int in R but Str in S
+        db.insert_typed_rows(
+            "S",
+            Schema::with_types(&["x", "y"], &[AttrType::Str, AttrType::Str]),
+            &[vec![TypedValue::from("u"), TypedValue::from("v")]],
+        )
+        .unwrap();
+        for engine in [Engine::BinaryHash, Engine::GenericJoin, Engine::Leapfrog] {
+            let err = execute(&q, &db, engine).unwrap_err();
+            assert!(err.to_string().contains("bound to"), "{engine:?}: {err}");
         }
     }
 

@@ -1,11 +1,13 @@
-//! Databases: named relations bound to the atoms of a query, plus verification that a
+//! Databases: a catalog of named relations bound to the atoms of a query, shared
+//! per-domain string dictionaries with typed loaders, plus verification that a
 //! database satisfies a set of degree constraints (`D ⊨ DC`).
 
 use crate::constraints::{ConstraintSet, DegreeConstraint};
 use crate::query::{ConjunctiveQuery, QueryError};
 use std::collections::HashMap;
 use std::fmt;
-use wcoj_storage::{Relation, StorageError};
+use wcoj_storage::typed::{encode_column, TypedRow};
+use wcoj_storage::{AttrType, Dictionary, Relation, Schema, StorageError, TypedValue};
 
 /// Errors raised when binding a database to a query or verifying constraints.
 #[derive(Debug, Clone, PartialEq)]
@@ -25,6 +27,24 @@ pub enum DatabaseError {
     NoGuard {
         /// Index of the constraint within its [`ConstraintSet`].
         constraint: usize,
+    },
+    /// Two atoms bind the same query variable to attributes whose types (or, for
+    /// string attributes, dictionary domains) disagree — the join would compare
+    /// codes from different value spaces.
+    VarTypeMismatch {
+        /// The query variable's name.
+        var: String,
+        /// How the variable is typed where it was first bound (e.g. `Str[user]`).
+        first: String,
+        /// The conflicting typing, with the atom that introduced it.
+        conflict: String,
+    },
+    /// A cell of a CSV/TSV load could not be parsed.
+    Parse {
+        /// 1-based line number within the input text.
+        line: usize,
+        /// What went wrong.
+        message: String,
     },
     /// A storage-level error.
     Storage(StorageError),
@@ -47,6 +67,17 @@ impl fmt::Display for DatabaseError {
             DatabaseError::NoGuard { constraint } => {
                 write!(f, "degree constraint #{constraint} has no guard atom")
             }
+            DatabaseError::VarTypeMismatch {
+                var,
+                first,
+                conflict,
+            } => write!(
+                f,
+                "variable `{var}` is bound to {first} in one atom and {conflict} in another"
+            ),
+            DatabaseError::Parse { line, message } => {
+                write!(f, "parse error on line {line}: {message}")
+            }
             DatabaseError::Storage(e) => write!(f, "storage error: {e}"),
             DatabaseError::Query(e) => write!(f, "query error: {e}"),
         }
@@ -67,16 +98,57 @@ impl From<QueryError> for DatabaseError {
     }
 }
 
-/// A database instance: a map from relation names to [`Relation`]s.
+/// How one query variable is typed by the stored relations bound to it: its
+/// [`AttrType`] and, for string variables, the dictionary domain its codes live in.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VarBinding {
+    /// The variable's value type.
+    pub ty: AttrType,
+    /// The shared-dictionary domain (`Some` exactly when `ty == AttrType::Str`).
+    pub domain: Option<String>,
+}
+
+impl VarBinding {
+    fn describe(&self) -> String {
+        match &self.domain {
+            Some(d) => format!("{}[{d}]", self.ty),
+            None => self.ty.to_string(),
+        }
+    }
+}
+
+/// A database instance: a catalog of named [`Relation`]s plus one shared string
+/// [`Dictionary`] per attribute *domain*.
 ///
 /// Relations are matched to query atoms *by name and positionally*: the atom
 /// `R(A, C)` binds the first column of the stored relation `R` to variable `A` and the
 /// second to `C`, regardless of the stored attribute names. This is what allows
 /// self-joins such as the clique query `E(X0,X1), E(X0,X2), E(X1,X2)` over a single
 /// stored edge relation.
+///
+/// # Domains and dictionaries
+///
+/// String attributes are interned **once per database** into per-domain
+/// dictionaries. By default an attribute's domain is its own name, so relations
+/// sharing attribute names (the natural-join convention used throughout the
+/// workspace) automatically share a dictionary — `R(A,B)` and `S(B,C)` intern `B`
+/// values into the same table, which is what makes their codes joinable. When
+/// differently-named attributes hold the same kind of value (e.g. the `src` and
+/// `dst` endpoints of a graph's edge relation, self-joined by clique queries), map
+/// them onto one domain with [`Database::set_domain`] **before** loading.
 #[derive(Debug, Clone, Default)]
 pub struct Database {
     relations: HashMap<String, Relation>,
+    /// One shared dictionary per domain name.
+    dicts: HashMap<String, Dictionary>,
+    /// Attribute-name → domain-name overrides (attributes default to themselves).
+    domains: HashMap<String, String>,
+    /// For relations loaded through the typed loaders: the domain each column's
+    /// codes were **actually interned into** (per column; `None` for Int columns).
+    /// [`Database::var_bindings`] validates against these, so remapping an
+    /// attribute's domain *after* loading cannot misrepresent where existing codes
+    /// live. Relations stored via the raw [`Database::insert`] have no record.
+    loaded_domains: HashMap<String, Vec<Option<String>>>,
 }
 
 impl Database {
@@ -85,9 +157,308 @@ impl Database {
         Self::default()
     }
 
-    /// Insert (or replace) the relation stored under `name`.
+    /// Insert (or replace) the relation stored under `name`, already encoded.
+    /// Any intern-time domain record of a previously loaded `name` is dropped: the
+    /// caller owns the encoding of raw inserts.
     pub fn insert(&mut self, name: impl Into<String>, relation: Relation) {
-        self.relations.insert(name.into(), relation);
+        let name = name.into();
+        self.loaded_domains.remove(&name);
+        self.relations.insert(name, relation);
+    }
+
+    /// Map attribute `attr` onto dictionary domain `domain` for all **subsequent**
+    /// typed loads. Attributes not remapped use their own name as the domain.
+    /// Relations already loaded keep the domains their codes were interned into
+    /// (recorded per column at load time), so a late remap cannot silently change
+    /// what existing codes mean.
+    pub fn set_domain(&mut self, attr: impl Into<String>, domain: impl Into<String>) {
+        self.domains.insert(attr.into(), domain.into());
+    }
+
+    /// The dictionary domain of attribute `attr`.
+    pub fn domain_of<'a>(&'a self, attr: &'a str) -> &'a str {
+        self.domains.get(attr).map(|s| s.as_str()).unwrap_or(attr)
+    }
+
+    /// The shared dictionary of `domain`, if any strings were interned into it.
+    pub fn dictionary(&self, domain: &str) -> Option<&Dictionary> {
+        self.dicts.get(domain)
+    }
+
+    /// The shared dictionary that attribute `attr` interns into, if any.
+    pub fn dictionary_of_attr(&self, attr: &str) -> Option<&Dictionary> {
+        self.dicts.get(self.domain_of(attr))
+    }
+
+    /// Load external typed rows as relation `name`, interning every string value
+    /// through the shared per-domain dictionaries (strings are interned once per
+    /// database: values already seen by this attribute's domain reuse their code).
+    /// Encoding is columnar — one dictionary stream per attribute. Returns the
+    /// number of stored tuples (after sort + dedup).
+    ///
+    /// The load is all-or-nothing: every row is validated against the schema
+    /// (arity and value kinds) **before** any string reaches a shared dictionary,
+    /// so a rejected load leaves the catalog untouched.
+    pub fn insert_typed_rows(
+        &mut self,
+        name: impl Into<String>,
+        schema: Schema,
+        rows: &[TypedRow],
+    ) -> Result<usize, DatabaseError> {
+        // validate everything up front: the mutation phase below must not fail
+        for row in rows {
+            if row.len() != schema.arity() {
+                return Err(StorageError::ArityMismatch {
+                    expected: schema.arity(),
+                    found: row.len(),
+                }
+                .into());
+            }
+            for (pos, value) in row.iter().enumerate() {
+                if value.kind() != schema.attr_type(pos) {
+                    return Err(StorageError::TypeMismatch {
+                        attr: schema.attrs()[pos].clone(),
+                        expected: schema.attr_type(pos),
+                        found: value.kind(),
+                    }
+                    .into());
+                }
+            }
+        }
+        let mut columns = Vec::with_capacity(schema.arity());
+        let mut col_domains = Vec::with_capacity(schema.arity());
+        for (pos, attr) in schema.attrs().iter().enumerate() {
+            let ty = schema.attr_type(pos);
+            let (dict, domain) = match ty {
+                AttrType::Int => (None, None),
+                AttrType::Str => {
+                    let domain = self.domain_of(attr).to_string();
+                    (
+                        Some(self.dicts.entry(domain.clone()).or_default()),
+                        Some(domain),
+                    )
+                }
+            };
+            let col = encode_column(attr, ty, rows.iter().map(|r| &r[pos]), dict)
+                .expect("value kinds were validated above");
+            columns.push(col);
+            col_domains.push(domain);
+        }
+        let rel = Relation::try_from_columns(schema, columns)
+            .expect("columns built from arity-checked rows");
+        let stored = rel.len();
+        let name = name.into();
+        self.insert(name.clone(), rel);
+        self.loaded_domains.insert(name, col_domains);
+        Ok(stored)
+    }
+
+    /// Load delimiter-separated text (CSV with `delim = ','`, TSV with `'\t'`) as
+    /// relation `name`. Each non-empty line is one tuple; cells are trimmed;
+    /// [`AttrType::Int`] attributes parse as `u64`, [`AttrType::Str`] attributes
+    /// intern through the shared per-domain dictionaries. If the **first non-empty
+    /// line** matches the schema's attribute names exactly, it is skipped as a
+    /// header (note the corollary: for an all-`Str` schema, a headerless file whose
+    /// first tuple happens to spell the attribute names is indistinguishable from a
+    /// header and is skipped). Returns the number of stored tuples.
+    pub fn insert_csv(
+        &mut self,
+        name: impl Into<String>,
+        schema: Schema,
+        text: &str,
+        delim: char,
+    ) -> Result<usize, DatabaseError> {
+        let mut rows: Vec<TypedRow> = Vec::new();
+        let mut first_nonempty = true;
+        for (lineno, line) in text.lines().enumerate() {
+            let line = line.trim();
+            if line.is_empty() {
+                continue;
+            }
+            let cells: Vec<&str> = line.split(delim).map(str::trim).collect();
+            let is_first = std::mem::replace(&mut first_nonempty, false);
+            if is_first
+                && cells
+                    == schema
+                        .attrs()
+                        .iter()
+                        .map(|s| s.as_str())
+                        .collect::<Vec<_>>()
+            {
+                continue; // header row
+            }
+            if cells.len() != schema.arity() {
+                return Err(DatabaseError::Parse {
+                    line: lineno + 1,
+                    message: format!("expected {} fields, got {}", schema.arity(), cells.len()),
+                });
+            }
+            let row: TypedRow =
+                cells
+                    .iter()
+                    .enumerate()
+                    .map(|(pos, cell)| match schema.attr_type(pos) {
+                        AttrType::Str => Ok(TypedValue::Str(cell.to_string())),
+                        AttrType::Int => cell.parse::<u64>().map(TypedValue::Int).map_err(|e| {
+                            DatabaseError::Parse {
+                                line: lineno + 1,
+                                message: format!(
+                                    "attribute `{}`: `{cell}` is not a u64 ({e})",
+                                    schema.attrs()[pos]
+                                ),
+                            }
+                        }),
+                    })
+                    .collect::<Result<_, _>>()?;
+            rows.push(row);
+        }
+        self.insert_typed_rows(name, schema, &rows)
+    }
+
+    /// [`Database::insert_csv`] with a tab delimiter.
+    pub fn insert_tsv(
+        &mut self,
+        name: impl Into<String>,
+        schema: Schema,
+        text: &str,
+    ) -> Result<usize, DatabaseError> {
+        self.insert_csv(name, schema, text, '\t')
+    }
+
+    /// Absorb a relation that was encoded against its **own** per-attribute
+    /// dictionaries: each local dictionary is merged into the attribute's shared
+    /// per-domain dictionary ([`Dictionary::merge`]) and the column is rewritten
+    /// through the resulting code remap ([`Relation::remap_columns`]). `attr_dicts`
+    /// holds one entry per attribute, `Some` exactly for the [`AttrType::Str`]
+    /// attributes. This is how independently-loaded data (one dictionary per file,
+    /// per shard, per ingest worker) is unified into the catalog's shared domains.
+    ///
+    /// All-or-nothing: the dictionary pairing and every column's code range are
+    /// validated **before** any merge, so a rejected load leaves the shared
+    /// dictionaries untouched.
+    pub fn insert_interned(
+        &mut self,
+        name: impl Into<String>,
+        relation: Relation,
+        attr_dicts: &[Option<Dictionary>],
+    ) -> Result<usize, DatabaseError> {
+        if attr_dicts.len() != relation.arity() {
+            return Err(StorageError::ArityMismatch {
+                expected: relation.arity(),
+                found: attr_dicts.len(),
+            }
+            .into());
+        }
+        // validation pass: no shared state is touched until everything checks out
+        for (pos, attr) in relation.schema().attrs().iter().enumerate() {
+            match (relation.schema().attr_type(pos), &attr_dicts[pos]) {
+                (AttrType::Int, None) => {}
+                (AttrType::Str, Some(local)) => {
+                    // every code of the column must be assigned by its local dict
+                    if let Some(&max) = relation.column(pos).iter().max() {
+                        if max as usize >= local.len() {
+                            return Err(StorageError::UnknownCode(max).into());
+                        }
+                    }
+                }
+                (AttrType::Str, None) => {
+                    return Err(StorageError::MissingDictionary(attr.clone()).into())
+                }
+                (AttrType::Int, Some(_)) => {
+                    return Err(StorageError::TypeMismatch {
+                        attr: attr.clone(),
+                        expected: AttrType::Int,
+                        found: AttrType::Str,
+                    }
+                    .into())
+                }
+            }
+        }
+        // mutation pass: merge local dictionaries into the shared domains
+        let mut maps: Vec<Option<Vec<u64>>> = Vec::with_capacity(relation.arity());
+        let mut col_domains = Vec::with_capacity(relation.arity());
+        for (pos, attr) in relation.schema().attrs().iter().enumerate() {
+            match &attr_dicts[pos] {
+                None => {
+                    maps.push(None);
+                    col_domains.push(None);
+                }
+                Some(local) => {
+                    let domain = self.domain_of(attr).to_string();
+                    let shared = self.dicts.entry(domain.clone()).or_default();
+                    maps.push(Some(shared.merge(local)));
+                    col_domains.push(Some(domain));
+                }
+            }
+        }
+        let map_refs: Vec<Option<&[u64]>> = maps.iter().map(|m| m.as_deref()).collect();
+        let remapped = relation
+            .remap_columns(&map_refs)
+            .expect("code ranges were validated above");
+        let stored = remapped.len();
+        let name = name.into();
+        self.insert(name.clone(), remapped);
+        self.loaded_domains.insert(name, col_domains);
+        Ok(stored)
+    }
+
+    /// Derive (and validate) each query variable's typing from the stored relations
+    /// bound to the query's atoms: every atom binding a variable must agree on the
+    /// attribute type **and**, for string attributes, the dictionary domain —
+    /// otherwise the join would compare codes from different value spaces. Returns
+    /// one [`VarBinding`] per variable, in variable-id order.
+    ///
+    /// For relations loaded through the typed loaders, the domain compared is the
+    /// one each column's codes were **interned into at load time** — not the
+    /// current [`Database::set_domain`] mapping — so remapping a domain after
+    /// loading cannot smuggle two unrelated dictionaries past this check.
+    pub fn var_bindings(&self, query: &ConjunctiveQuery) -> Result<Vec<VarBinding>, DatabaseError> {
+        let mut out: Vec<Option<VarBinding>> = vec![None; query.num_vars()];
+        for (ai, atom) in query.atoms().iter().enumerate() {
+            let stored = self
+                .relations
+                .get(&atom.name)
+                .ok_or_else(|| DatabaseError::MissingRelation(atom.name.clone()))?;
+            if stored.arity() != atom.vars.len() {
+                return Err(DatabaseError::ArityMismatch {
+                    atom: atom.name.clone(),
+                    expected: atom.vars.len(),
+                    found: stored.arity(),
+                });
+            }
+            let load_record = self.loaded_domains.get(&atom.name);
+            for (pos, &v) in atom.vars.iter().enumerate() {
+                let ty = stored.schema().attr_type(pos);
+                let attr = &stored.schema().attrs()[pos];
+                let binding = VarBinding {
+                    ty,
+                    domain: (ty == AttrType::Str).then(|| {
+                        load_record
+                            .and_then(|cols| cols[pos].clone())
+                            .unwrap_or_else(|| self.domain_of(attr).to_string())
+                    }),
+                };
+                match &out[v] {
+                    None => out[v] = Some(binding),
+                    Some(first) if *first != binding => {
+                        return Err(DatabaseError::VarTypeMismatch {
+                            var: query.var_name(v).to_string(),
+                            first: first.describe(),
+                            conflict: format!(
+                                "{} (atom #{ai} `{}`)",
+                                binding.describe(),
+                                atom.name
+                            ),
+                        });
+                    }
+                    Some(_) => {}
+                }
+            }
+        }
+        Ok(out
+            .into_iter()
+            .map(|b| b.expect("every query variable appears in some atom"))
+            .collect())
     }
 
     /// The relation stored under `name`, if any.
@@ -344,5 +715,287 @@ mod tests {
             found: 3,
         };
         assert!(e.to_string().contains("arity 3"));
+        let e = DatabaseError::VarTypeMismatch {
+            var: "B".into(),
+            first: "Str[user]".into(),
+            conflict: "Int (atom #1 `S`)".into(),
+        };
+        assert!(e.to_string().contains("Str[user]") && e.to_string().contains('B'));
+        let e = DatabaseError::Parse {
+            line: 3,
+            message: "bad".into(),
+        };
+        assert!(e.to_string().contains("line 3"));
+    }
+
+    fn str_pair_schema(a: &str, b: &str) -> Schema {
+        Schema::with_types(&[a, b], &[AttrType::Str, AttrType::Str])
+    }
+
+    fn typed_pairs(pairs: &[(&str, &str)]) -> Vec<Vec<TypedValue>> {
+        pairs
+            .iter()
+            .map(|&(a, b)| vec![TypedValue::from(a), TypedValue::from(b)])
+            .collect()
+    }
+
+    #[test]
+    fn typed_rows_share_domain_dictionaries_across_relations() {
+        let mut db = Database::new();
+        let r = typed_pairs(&[("ann", "bob"), ("bob", "cat")]);
+        let s = typed_pairs(&[("bob", "dan"), ("cat", "ann")]);
+        db.insert_typed_rows("R", str_pair_schema("A", "B"), &r)
+            .unwrap();
+        db.insert_typed_rows("S", str_pair_schema("B", "C"), &s)
+            .unwrap();
+        // A, B, C are separate domains by default, but B is shared across R and S:
+        // "bob"/"cat" must have interned once into domain B
+        let b = db.dictionary("B").unwrap();
+        assert_eq!(b.len(), 2); // bob, cat — interned once, shared by R and S
+        assert_eq!(
+            b.code("bob"),
+            db.dictionary_of_attr("B").unwrap().code("bob")
+        );
+        // codes in R's B-column and S's B-column agree, so the join is meaningful
+        let r_b = db.get("R").unwrap().column_of("B").unwrap().to_vec();
+        let s_b = db.get("S").unwrap().column_of("B").unwrap().to_vec();
+        assert!(r_b.contains(&b.code("bob").unwrap()));
+        assert!(s_b.contains(&b.code("bob").unwrap()));
+        // arity-checked
+        assert!(db
+            .insert_typed_rows("T", str_pair_schema("A", "C"), &[vec!["x".into()]])
+            .is_err());
+    }
+
+    #[test]
+    fn domain_override_unifies_attribute_names() {
+        let mut db = Database::new();
+        db.set_domain("src", "user");
+        db.set_domain("dst", "user");
+        assert_eq!(db.domain_of("src"), "user");
+        assert_eq!(db.domain_of("other"), "other");
+        let e = typed_pairs(&[("ann", "bob"), ("bob", "ann")]);
+        db.insert_typed_rows("E", str_pair_schema("src", "dst"), &e)
+            .unwrap();
+        let user = db.dictionary("user").unwrap();
+        assert_eq!(user.len(), 2);
+        assert!(db.dictionary("src").is_none());
+        // both columns carry the same code space
+        let rel = db.get("E").unwrap();
+        let ann = user.code("ann").unwrap();
+        assert!(rel.column_of("src").unwrap().contains(&ann));
+        assert!(rel.column_of("dst").unwrap().contains(&ann));
+    }
+
+    #[test]
+    fn csv_and_tsv_loads() {
+        let mut db = Database::new();
+        let schema = Schema::with_types(&["name", "age"], &[AttrType::Str, AttrType::Int]);
+        let n = db
+            .insert_csv(
+                "P",
+                schema.clone(),
+                "name,age\nann, 31\nbob,44\n\nann,31\n",
+                ',',
+            )
+            .unwrap();
+        assert_eq!(n, 2); // header skipped, blank skipped, duplicate deduped
+        assert_eq!(db.dictionary("name").unwrap().len(), 2);
+
+        let mut db2 = Database::new();
+        assert_eq!(
+            db2.insert_tsv("P", schema.clone(), "ann\t31\nbob\t44")
+                .unwrap(),
+            2
+        );
+        // bad arity and bad integers are reported with line numbers
+        assert!(matches!(
+            db2.insert_csv("Q", schema.clone(), "ann,31\nbob", ',')
+                .unwrap_err(),
+            DatabaseError::Parse { line: 2, .. }
+        ));
+        assert!(matches!(
+            db2.insert_csv("Q", schema, "ann,notanumber", ',')
+                .unwrap_err(),
+            DatabaseError::Parse { line: 1, .. }
+        ));
+    }
+
+    #[test]
+    fn insert_interned_merges_into_shared_domains() {
+        // encode R and S against independent local dictionaries, then unify
+        let mut local_b_r = Dictionary::new();
+        let r_rows: Vec<Vec<u64>> = vec![
+            vec![0, local_b_r.intern("bob")],
+            vec![1, local_b_r.intern("ann")],
+        ];
+        let r = Relation::from_rows(
+            Schema::with_types(&["A", "B"], &[AttrType::Int, AttrType::Str]),
+            r_rows,
+        );
+        let mut local_b_s = Dictionary::new();
+        let s_rows: Vec<Vec<u64>> = vec![
+            vec![local_b_s.intern("ann"), 7],
+            vec![local_b_s.intern("cat"), 8],
+        ];
+        let s = Relation::from_rows(
+            Schema::with_types(&["B", "C"], &[AttrType::Str, AttrType::Int]),
+            s_rows,
+        );
+
+        let mut db = Database::new();
+        db.insert_interned("R", r, &[None, Some(local_b_r)])
+            .unwrap();
+        db.insert_interned("S", s, &[Some(local_b_s), None])
+            .unwrap();
+        let b = db.dictionary("B").unwrap();
+        assert_eq!(b.len(), 3); // bob, ann, cat — interned once
+                                // after the rewrite, "ann" has ONE code across both relations
+        let ann = b.code("ann").unwrap();
+        assert!(db.get("R").unwrap().column_of("B").unwrap().contains(&ann));
+        assert!(db.get("S").unwrap().column_of("B").unwrap().contains(&ann));
+
+        // contract violations
+        let t = Relation::empty(Schema::with_types(&["X"], &[AttrType::Str]));
+        assert!(db.insert_interned("T", t.clone(), &[]).is_err()); // wrong dict count
+        assert!(db.insert_interned("T", t, &[None]).is_err()); // Str without dict
+        let u = Relation::empty(Schema::new(&["Y"]));
+        assert!(db
+            .insert_interned("U", u, &[Some(Dictionary::new())])
+            .is_err()); // Int with dict
+    }
+
+    #[test]
+    fn var_bindings_validate_types_and_domains() {
+        let q = examples::triangle(); // R(A,B), S(B,C), T(A,C)
+        let mut db = Database::new();
+        db.insert_typed_rows("R", str_pair_schema("A", "B"), &typed_pairs(&[("x", "y")]))
+            .unwrap();
+        db.insert_typed_rows("S", str_pair_schema("B", "C"), &typed_pairs(&[("y", "z")]))
+            .unwrap();
+        db.insert_typed_rows("T", str_pair_schema("A", "C"), &typed_pairs(&[("x", "z")]))
+            .unwrap();
+        let bindings = db.var_bindings(&q).unwrap();
+        assert_eq!(bindings.len(), 3);
+        assert!(bindings
+            .iter()
+            .all(|b| b.ty == AttrType::Str && b.domain.is_some()));
+        assert_eq!(bindings[1].domain.as_deref(), Some("B"));
+
+        // rebind S with an Int B-column: variable B now disagrees across atoms
+        db.insert("S", Relation::from_pairs("B", "C", vec![(1, 2)]));
+        assert!(matches!(
+            db.var_bindings(&q).unwrap_err(),
+            DatabaseError::VarTypeMismatch { .. }
+        ));
+    }
+
+    #[test]
+    fn late_domain_remap_cannot_fool_var_bindings() {
+        // load E(src,dst) WITHOUT a domain override: src and dst intern into
+        // separate dictionaries; remapping the domains afterwards must not make
+        // the already-loaded codes look unified
+        let q = examples::clique(3);
+        let mut db = Database::new();
+        db.insert_typed_rows(
+            "E",
+            str_pair_schema("src", "dst"),
+            &typed_pairs(&[("a", "b"), ("b", "a")]),
+        )
+        .unwrap();
+        db.set_domain("src", "user");
+        db.set_domain("dst", "user");
+        // the load-time record (src / dst) wins over the current mapping
+        assert!(matches!(
+            db.var_bindings(&q).unwrap_err(),
+            DatabaseError::VarTypeMismatch { .. }
+        ));
+        // a RELOAD under the new mapping is unified (and re-validated)
+        db.insert_typed_rows(
+            "E",
+            str_pair_schema("src", "dst"),
+            &typed_pairs(&[("a", "b"), ("b", "a")]),
+        )
+        .unwrap();
+        assert!(db.var_bindings(&q).is_ok());
+        // a raw insert drops the load record: bind-time domains apply again
+        db.insert("E", Relation::from_pairs("src", "dst", vec![(0, 1)]));
+        assert!(db.var_bindings(&q).is_ok()); // Int columns, no domains involved
+    }
+
+    #[test]
+    fn failed_loads_leave_shared_dictionaries_untouched() {
+        let mut db = Database::new();
+        let schema = Schema::with_types(&["name", "age"], &[AttrType::Str, AttrType::Int]);
+        // second column's kind is wrong: nothing may reach the `name` dictionary
+        let bad = vec![vec![TypedValue::from("ann"), TypedValue::from("oops")]];
+        assert!(matches!(
+            db.insert_typed_rows("P", schema.clone(), &bad).unwrap_err(),
+            DatabaseError::Storage(StorageError::TypeMismatch { .. })
+        ));
+        assert!(db.dictionary("name").is_none());
+        assert!(db.get("P").is_none());
+
+        // insert_interned: a column carrying a code its local dict never assigned
+        // is rejected before any merge touches the shared tables
+        let mut local = Dictionary::new();
+        local.intern("only"); // codes: {0}
+        let rel = Relation::from_rows(
+            Schema::with_types(&["A"], &[AttrType::Str]),
+            vec![vec![0], vec![7]],
+        );
+        assert!(matches!(
+            db.insert_interned("R", rel, &[Some(local)]).unwrap_err(),
+            DatabaseError::Storage(StorageError::UnknownCode(7))
+        ));
+        assert!(db.dictionary("A").is_none());
+    }
+
+    #[test]
+    fn csv_header_skipped_after_leading_blank_lines() {
+        let mut db = Database::new();
+        let schema = Schema::with_types(&["name", "age"], &[AttrType::Str, AttrType::Int]);
+        let n = db
+            .insert_csv("P", schema, "\n\nname,age\nann,31\n", ',')
+            .unwrap();
+        assert_eq!(n, 1);
+        assert_eq!(db.dictionary("name").unwrap().len(), 1);
+    }
+
+    #[test]
+    fn var_bindings_catch_domain_splits_on_self_joins() {
+        // clique(3) over E(src,dst): without a domain override, src and dst are
+        // different dictionaries and the self-join is rejected
+        let q = examples::clique(3);
+        let mut db = Database::new();
+        db.insert_typed_rows(
+            "E",
+            str_pair_schema("src", "dst"),
+            &typed_pairs(&[("a", "b")]),
+        )
+        .unwrap();
+        assert!(matches!(
+            db.var_bindings(&q).unwrap_err(),
+            DatabaseError::VarTypeMismatch { .. }
+        ));
+
+        // with src/dst mapped onto one domain, the same data binds cleanly
+        let mut db2 = Database::new();
+        db2.set_domain("src", "node");
+        db2.set_domain("dst", "node");
+        db2.insert_typed_rows(
+            "E",
+            str_pair_schema("src", "dst"),
+            &typed_pairs(&[("a", "b")]),
+        )
+        .unwrap();
+        let bindings = db2.var_bindings(&q).unwrap();
+        assert!(bindings.iter().all(|b| b.domain.as_deref() == Some("node")));
+        // pre-encoded u64 databases bind as Int with no domain
+        let db3 = triangle_db();
+        let bindings = db3.var_bindings(&examples::triangle()).unwrap();
+        assert!(bindings
+            .iter()
+            .all(|b| b.ty == AttrType::Int && b.domain.is_none()));
     }
 }

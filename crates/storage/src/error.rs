@@ -1,5 +1,6 @@
 //! Error type for the storage layer.
 
+use crate::schema::AttrType;
 use std::fmt;
 
 /// Errors produced by relation construction and relational operators.
@@ -28,6 +29,19 @@ pub enum StorageError {
     EmptyAttributeList,
     /// A duplicate attribute name appeared where attribute names must be unique.
     DuplicateAttribute(String),
+    /// A code had no entry in the dictionary it was decoded through.
+    UnknownCode(crate::Value),
+    /// A typed value did not match the attribute's declared type.
+    TypeMismatch {
+        /// The attribute whose type was violated.
+        attr: String,
+        /// The type declared by the schema.
+        expected: AttrType,
+        /// The type of the offending value.
+        found: AttrType,
+    },
+    /// A dictionary-encoded attribute was decoded without a dictionary.
+    MissingDictionary(String),
 }
 
 impl fmt::Display for StorageError {
@@ -46,6 +60,18 @@ impl fmt::Display for StorageError {
             StorageError::NoJoinAttributes => write!(f, "relations share no join attributes"),
             StorageError::EmptyAttributeList => write!(f, "attribute list must be non-empty"),
             StorageError::DuplicateAttribute(a) => write!(f, "duplicate attribute `{a}`"),
+            StorageError::UnknownCode(c) => write!(f, "code {c} is not in the dictionary"),
+            StorageError::TypeMismatch {
+                attr,
+                expected,
+                found,
+            } => write!(
+                f,
+                "attribute `{attr}` expects {expected} values, got {found}"
+            ),
+            StorageError::MissingDictionary(a) => {
+                write!(f, "no dictionary for string attribute `{a}`")
+            }
         }
     }
 }
@@ -77,5 +103,16 @@ mod tests {
             right: vec!["B".into()],
         };
         assert!(e.to_string().contains('A') && e.to_string().contains('B'));
+        assert!(StorageError::UnknownCode(42).to_string().contains("42"));
+        let e = StorageError::TypeMismatch {
+            attr: "name".into(),
+            expected: AttrType::Str,
+            found: AttrType::Int,
+        };
+        assert!(e.to_string().contains("name"));
+        assert!(e.to_string().contains("Str") && e.to_string().contains("Int"));
+        assert!(StorageError::MissingDictionary("name".into())
+            .to_string()
+            .contains("name"));
     }
 }

@@ -31,6 +31,12 @@
 //!   [`access::CursorKind`] composes mixed backends without vtable dispatch. Every
 //!   cursor is `Send + Clone`, so parallel workers hold private cursors over one
 //!   shared access structure;
+//! * [`typed`] / [`dictionary`] — the typed-value layer over the `u64` columns:
+//!   [`Schema`]s carry per-attribute [`AttrType`]s, [`typed::TypedValue`] rows
+//!   encode through per-domain [`Dictionary`]s (batch interning, single-storage
+//!   `Arc<str>` tables, [`Dictionary::merge`] + [`Relation::remap_columns`] for
+//!   unifying per-relation dictionaries), and [`typed::TypedRows`] decodes result
+//!   relations back to typed rows — the join engines themselves never leave `u64`;
 //! * [`stats::WorkCounter`] / [`stats::CursorWork`] — instrumentation counting
 //!   comparisons, probes, and intermediate tuples so that tests and benchmarks can
 //!   check the *work* bounds the paper proves, not just wall-clock time. Parallel
@@ -65,17 +71,19 @@ pub mod relation;
 pub mod schema;
 pub mod stats;
 pub mod trie;
+pub mod typed;
 
 pub use access::{CursorKind, PrefixCursor, TrieAccess};
-pub use dictionary::Dictionary;
+pub use dictionary::{DictReader, Dictionary};
 pub use error::StorageError;
 pub use index::PrefixIndex;
 pub use kernels::{KernelKind, KernelPolicy};
 pub use ops::{hash_join, intersect_sorted, merge_join, nested_loop_join};
 pub use relation::{Relation, Tuple};
-pub use schema::Schema;
+pub use schema::{AttrType, Schema};
 pub use stats::{CursorWork, WorkCounter};
 pub use trie::{Trie, TrieCursor};
+pub use typed::{encode_column, TypedRow, TypedRows, TypedValue};
 
 /// A dictionary-encoded attribute value.
 ///

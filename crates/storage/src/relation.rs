@@ -462,20 +462,50 @@ impl Relation {
         Relation::try_from_columns(schema, columns)
     }
 
-    /// Rename the attributes (positionally). The new schema must have the same arity.
+    /// Rename the attributes (positionally), keeping each attribute's type. The new
+    /// schema must have the same arity.
     pub fn rename(&self, new_attrs: &[&str]) -> Result<Relation, StorageError> {
-        let schema = Schema::try_new(new_attrs.iter().map(|s| s.to_string()).collect())?;
-        if schema.arity() != self.schema.arity() {
-            return Err(StorageError::ArityMismatch {
-                expected: self.schema.arity(),
-                found: schema.arity(),
-            });
-        }
+        let schema = self.schema.renamed(new_attrs)?;
         Ok(Relation {
             schema,
             columns: self.columns.clone(),
             len: self.len,
         })
+    }
+
+    /// Rewrite each column through a per-attribute code remap table and
+    /// re-canonicalize: `maps[p]`, when present, maps every old code `c` of column
+    /// `p` to `maps[p][c]`; `None` leaves the column untouched. Codes outside a
+    /// map's range fail with [`StorageError::UnknownCode`].
+    ///
+    /// This is the column-rewrite half of dictionary unification: after
+    /// [`crate::Dictionary::merge`] produces the remap for a per-relation
+    /// dictionary, this rewrites the relation onto the shared dictionary's codes.
+    /// Remapping permutes values, so rows are re-sorted and re-deduplicated.
+    pub fn remap_columns(&self, maps: &[Option<&[Value]>]) -> Result<Relation, StorageError> {
+        if maps.len() != self.arity() {
+            return Err(StorageError::ArityMismatch {
+                expected: self.arity(),
+                found: maps.len(),
+            });
+        }
+        let columns: Vec<Vec<Value>> = self
+            .columns
+            .iter()
+            .zip(maps)
+            .map(|(col, map)| match map {
+                None => Ok(col.clone()),
+                Some(m) => col
+                    .iter()
+                    .map(|&c| {
+                        m.get(c as usize)
+                            .copied()
+                            .ok_or(StorageError::UnknownCode(c))
+                    })
+                    .collect(),
+            })
+            .collect::<Result<_, _>>()?;
+        Relation::try_from_columns(self.schema.clone(), columns)
     }
 
     /// Reorder columns to the order given by `attrs` (which must be a permutation of
@@ -808,6 +838,38 @@ mod tests {
         assert!(Relation::try_from_flat_rows(Schema::new(&["A"]), vec![])
             .unwrap()
             .is_empty());
+    }
+
+    #[test]
+    fn rename_preserves_types() {
+        use crate::schema::AttrType;
+        let schema = Schema::with_types(&["name", "n"], &[AttrType::Str, AttrType::Int]);
+        let r = Relation::from_rows(schema, vec![vec![0, 10], vec![1, 20]]);
+        let rn = r.rename(&["X", "Y"]).unwrap();
+        assert_eq!(rn.schema().types(), &[AttrType::Str, AttrType::Int]);
+    }
+
+    #[test]
+    fn remap_columns_rewrites_and_recanonicalizes() {
+        let r = Relation::from_rows(
+            Schema::new(&["A", "B"]),
+            vec![vec![0, 1], vec![1, 0], vec![2, 2]],
+        );
+        // remap column A through [2, 0, 1] (0->2, 1->0, 2->1), leave B untouched
+        let map: Vec<Value> = vec![2, 0, 1];
+        let out = r.remap_columns(&[Some(&map), None]).unwrap();
+        assert_eq!(out.rows(), vec![vec![0, 0], vec![1, 2], vec![2, 1]]);
+        // out-of-range codes fail loudly
+        let short: Vec<Value> = vec![0];
+        assert_eq!(
+            r.remap_columns(&[Some(&short), None]).unwrap_err(),
+            StorageError::UnknownCode(1)
+        );
+        // map count must match arity
+        assert!(matches!(
+            r.remap_columns(&[None]).unwrap_err(),
+            StorageError::ArityMismatch { .. }
+        ));
     }
 
     #[test]

@@ -227,7 +227,7 @@ impl Trie {
     /// Three parallel stages, each bit-identical to its serial counterpart:
     /// the argsort runs as sorted runs + parallel merges
     /// ([`Relation::sort_perm_threads`]), the level-boundary stream is chunked
-    /// ([`boundary_depths`]), and the level arrays are filled through
+    /// (`boundary_depths`), and the level arrays are filled through
     /// exclusive per-chunk output slices whose offsets come from a prefix sum of
     /// per-chunk node counts — so the result is guaranteed equal to
     /// [`Trie::build`] for every thread count (property-tested for

@@ -28,7 +28,7 @@
 
 use wcoj_query::query::examples;
 use wcoj_query::{ConjunctiveQuery, Database};
-use wcoj_storage::{Relation, Value};
+use wcoj_storage::{AttrType, Relation, Schema, TypedValue, Value};
 
 /// A named query plus a database binding every atom — one unit of experimental work.
 #[derive(Debug, Clone)]
@@ -346,6 +346,51 @@ pub fn hub_spoke(n: usize, seed: u64) -> Workload {
     }
 }
 
+/// The raw edge pairs behind [`social_graph`], **before** the ids are formatted as
+/// strings: Zipf-skewed (`theta = 1.1`) endpoints over the default `~2√n` domain.
+/// Public so experiments (e.g. the typed-overhead bench E5) can build the exact
+/// pre-encoded `u64` twin of the string-keyed workload without duplicating the
+/// distribution parameters.
+pub fn social_graph_pairs(n: usize, seed: u64) -> Vec<(Value, Value)> {
+    zipf_pairs(n, default_domain(n), 1.1, seed)
+}
+
+/// A **string-keyed** social graph: one follows-relation `E(src, dst)` whose
+/// endpoints are Zipf-skewed string user ids (`"user<k>"` — note the lexicographic
+/// order of the ids disagrees with their numeric popularity order, so dictionary
+/// codes are genuinely scrambled relative to the id text). The query is
+/// `clique(3)` — mutual-follow triangles — so the same relation's `src` and `dst`
+/// columns join against each other, which requires mapping both attributes onto
+/// one shared `"user"` dictionary domain ([`Database::set_domain`]).
+///
+/// This is the end-to-end exercise of the typed-value catalog: strings are
+/// interned once per database at load, the engines join pure `u64` codes, and
+/// results decode back through the shared dictionary
+/// (`wcoj_core::exec::ExecOutput::typed_rows`).
+pub fn social_graph(n: usize, seed: u64) -> Workload {
+    let pairs = social_graph_pairs(n, seed);
+    let mut db = Database::new();
+    db.set_domain("src", "user");
+    db.set_domain("dst", "user");
+    let schema = Schema::with_types(&["src", "dst"], &[AttrType::Str, AttrType::Str]);
+    let rows: Vec<Vec<TypedValue>> = pairs
+        .into_iter()
+        .map(|(a, b)| {
+            vec![
+                TypedValue::Str(format!("user{a}")),
+                TypedValue::Str(format!("user{b}")),
+            ]
+        })
+        .collect();
+    db.insert_typed_rows("E", schema, &rows)
+        .expect("social graph rows match their schema");
+    Workload {
+        name: format!("social_n{n}"),
+        query: examples::clique(3),
+        db,
+    }
+}
+
 /// The Loomis–Whitney query `LW(k)` — `k` variables, `k` atoms of arity `k − 1`,
 /// each omitting exactly one variable — over uniform random relations of (up to)
 /// `n` tuples each. The fractional edge cover number is `k/(k−1)`, so the AGM bound
@@ -468,6 +513,7 @@ pub fn differential_suite(seed: u64) -> Vec<Workload> {
         random_hypergraph(6, 4, 4, 32, seed ^ 10),
         kclique(4, 48, seed ^ 11),
         hub_spoke(96, seed ^ 12),
+        social_graph(96, seed ^ 13),
     ]
 }
 
@@ -556,6 +602,25 @@ mod tests {
         {
             assert_eq!(a, b);
         }
+    }
+
+    #[test]
+    fn social_graph_is_string_keyed_and_deterministic() {
+        let w = social_graph(64, 7);
+        assert_eq!(w.name, "social_n64");
+        let e = w.db.get("E").unwrap();
+        assert!(e.schema().has_strings());
+        assert!(!e.is_empty());
+        // one shared dictionary for both endpoint columns
+        let user = w.db.dictionary("user").expect("shared user domain");
+        assert!(user.len() > 1);
+        assert!(user.string(0).unwrap().starts_with("user"));
+        // typed bindings validate for the self-join
+        assert!(w.db.var_bindings(&w.query).is_ok());
+        // deterministic per seed
+        let w2 = social_graph(64, 7);
+        assert_eq!(e, w2.db.get("E").unwrap());
+        assert_ne!(e, social_graph(64, 8).db.get("E").unwrap());
     }
 
     #[test]
