@@ -83,6 +83,7 @@ fn bench_workload(
                     ("intermediate_tuples".into(), out.work.intermediate_tuples()),
                     ("output_tuples".into(), out.work.output_tuples()),
                     ("comparisons".into(), out.work.comparisons()),
+                    ("delta_merge".into(), out.work.delta_merge()),
                     ("total_work".into(), out.work.total_work()),
                     ("kernel_merge".into(), out.work.kernel_merge()),
                     ("kernel_gallop".into(), out.work.kernel_gallop()),

@@ -6,7 +6,9 @@
 //! committed baseline) — so the gate always measures exactly what the baseline
 //! recorded.
 
-use wcoj_workloads::{hub_spoke, kclique, social_graph, triangle, triangle_skewed, Workload};
+use wcoj_workloads::{
+    edge_stream, hub_spoke, kclique, social_graph, triangle, triangle_skewed, Workload,
+};
 
 /// The benchmark workload matrix at the given triangle sizes: uniform and
 /// Zipf-skewed triangles and small-domain hub-and-spoke instances at each `n` in
@@ -15,7 +17,10 @@ use wcoj_workloads::{hub_spoke, kclique, social_graph, triangle, triangle_skewed
 /// output grows faster than the 3-relation triangles', so their sizes are capped
 /// separately).
 /// The social rows exercise the typed catalog — dictionary-encoded string ids —
-/// and are directly comparable to the `clique4`/`hub` pure-`u64` rows. Labels
+/// and are directly comparable to the `clique4`/`hub` pure-`u64` rows; the
+/// `stream` rows run the same triangle self-join over a **delta-backed**
+/// sliding-window edge stream (base + delta runs + tombstones under the union
+/// cursor), so the static-vs-live overhead is visible in the same table. Labels
 /// match the `workload` field of `BENCH_joins.json` records.
 pub fn bench_matrix(sizes: &[usize], clique_sizes: &[usize]) -> Vec<(String, Workload)> {
     let mut out = Vec::new();
@@ -37,6 +42,9 @@ pub fn bench_matrix(sizes: &[usize], clique_sizes: &[usize]) -> Vec<(String, Wor
     for &n in clique_sizes {
         out.push((format!("social_n{n}"), social_graph(n, 0xFACE)));
     }
+    for &n in clique_sizes {
+        out.push((format!("stream_n{n}"), edge_stream(n, 0xD17A)));
+    }
     out
 }
 
@@ -47,11 +55,11 @@ mod tests {
     #[test]
     fn matrix_labels_are_distinct_and_bound() {
         let m = bench_matrix(&[256, 1024], &[256]);
-        assert_eq!(m.len(), 8);
+        assert_eq!(m.len(), 9);
         let mut labels: Vec<&str> = m.iter().map(|(l, _)| l.as_str()).collect();
         labels.sort();
         labels.dedup();
-        assert_eq!(labels.len(), 8);
+        assert_eq!(labels.len(), 9);
         for (label, w) in &m {
             for i in 0..w.query.atoms().len() {
                 assert!(

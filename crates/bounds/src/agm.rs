@@ -113,8 +113,9 @@ pub fn agm_bound_from_sizes(
 pub fn agm_bound(query: &ConjunctiveQuery, db: &Database) -> Result<AgmBound, BoundError> {
     let sizes: Result<Vec<u64>, _> = (0..query.atoms().len())
         .map(|i| {
-            db.relation_for_atom(query, i)
-                .map(|r| r.len() as u64)
+            // atom_size avoids materializing delta-backed (live) relations
+            db.atom_size(query, i)
+                .map(|n| n as u64)
                 .map_err(|e| BoundError::Database(e.to_string()))
         })
         .collect();

@@ -56,11 +56,11 @@ use crate::error::ExecError;
 use crate::planner::plan_order;
 use wcoj_query::database::VarBinding;
 use wcoj_query::plan::{atom_attr_order, atom_levels, is_valid_order};
-use wcoj_query::{ConjunctiveQuery, Database, VarId};
+use wcoj_query::{AtomSource, ConjunctiveQuery, Database, VarId};
 use wcoj_storage::typed::TypedRows;
 use wcoj_storage::{
-    kernels, AttrType, KernelPolicy, PrefixIndex, Relation, Schema, Trie, TrieAccess, Value,
-    WorkCounter,
+    kernels, AttrType, CursorKind, DeltaAccess, KernelPolicy, PrefixIndex, Relation, Schema, Trie,
+    TrieAccess, Value, WorkCounter,
 };
 
 /// Which join engine to run.
@@ -253,14 +253,19 @@ pub fn execute_opts_with_order(
     let result = match opts.engine {
         Engine::BinaryHash => binary::binary_hash_plan(query, db, &counter)?,
         engine => {
-            let relations = db.atom_relations(query)?;
-            let mut attr_orders = Vec::with_capacity(relations.len());
-            for i in 0..relations.len() {
+            let sources = db.atom_sources(query)?;
+            let mut attr_orders = Vec::with_capacity(sources.len());
+            for i in 0..sources.len() {
                 attr_orders.push(atom_attr_order(query, i, order)?);
             }
             let threads = opts.resolved_threads();
-            let built =
-                BuiltAccess::build(&relations, &attr_orders, opts.resolved_backend(), threads)?;
+            let built = BuiltAccess::build(
+                query,
+                &sources,
+                &attr_orders,
+                opts.resolved_backend(),
+                threads,
+            )?;
             let parts = participants(query, order);
             let rows = built.run(engine, &parts, threads, opts.kernel, &counter);
             rows_to_relation(query, order, rows, &bindings)?
@@ -273,34 +278,99 @@ pub fn execute_opts_with_order(
     })
 }
 
-/// The access structures built for one execution: one trie or one prefix index per
-/// atom, shared immutably by all workers.
-enum BuiltAccess {
-    Tries(Vec<Trie>),
-    Indexes(Vec<PrefixIndex>),
+/// One atom's built access structure when the query mixes storage kinds (any
+/// delta-backed atom forces this composition path): cursors dispatch through
+/// [`CursorKind`]'s branch, not a vtable.
+enum AtomAccess<'d> {
+    Trie(Trie),
+    Index(PrefixIndex),
+    Delta(DeltaAccess<'d>),
 }
 
-impl BuiltAccess {
+impl AtomAccess<'_> {
+    fn cursor(&self) -> CursorKind<'_> {
+        match self {
+            AtomAccess::Trie(t) => t.cursor().into(),
+            AtomAccess::Index(ix) => ix.cursor().into(),
+            AtomAccess::Delta(d) => d.cursor().into(),
+        }
+    }
+}
+
+/// The access structures built for one execution: one trie or one prefix index
+/// per atom (the monomorphized all-static fast paths), or — as soon as any atom
+/// is delta-backed — one [`AtomAccess`] per atom, composing live
+/// [`DeltaAccess`] union cursors with static structures through [`CursorKind`].
+/// Shared immutably by all workers.
+enum BuiltAccess<'d> {
+    Tries(Vec<Trie>),
+    Indexes(Vec<PrefixIndex>),
+    Mixed(Vec<AtomAccess<'d>>),
+}
+
+impl<'d> BuiltAccess<'d> {
     /// Build one access structure per atom; with `threads > 1` each build's
     /// argsort-and-scan pass is partitioned across scoped workers
-    /// ([`Trie::build_parallel`] / [`PrefixIndex::build_parallel`]), producing
-    /// bit-identical structures to the serial builds.
+    /// ([`Trie::build_parallel`] / [`PrefixIndex::build_parallel`] /
+    /// [`wcoj_storage::Relation::sort_perm_threads`] for delta runs), producing
+    /// bit-identical structures to the serial builds. Delta-backed atoms build a
+    /// [`DeltaAccess`] over the live runs — no snapshot materialization.
     fn build(
-        relations: &[Relation],
+        query: &ConjunctiveQuery,
+        sources: &'d [AtomSource<'d>],
         attr_orders: &[Vec<&str>],
         backend: Backend,
         threads: usize,
     ) -> Result<Self, ExecError> {
+        let any_delta = sources.iter().any(|s| matches!(s, AtomSource::Delta(_)));
+        if any_delta {
+            let mut accesses = Vec::with_capacity(sources.len());
+            for (i, (source, attrs)) in sources.iter().zip(attr_orders).enumerate() {
+                accesses.push(match source {
+                    AtomSource::Static(rel) => match backend {
+                        Backend::Trie => {
+                            AtomAccess::Trie(Trie::build_parallel(rel, attrs, threads)?)
+                        }
+                        Backend::Hash | Backend::Auto => {
+                            AtomAccess::Index(PrefixIndex::build_parallel(rel, attrs, threads)?)
+                        }
+                    },
+                    AtomSource::Delta(delta) => {
+                        // the attr order names query variables; the delta's
+                        // columns bind to the atom's variables positionally
+                        let atom_vars = query.atom_var_names(i);
+                        let positions: Vec<usize> = attrs
+                            .iter()
+                            .map(|a| {
+                                atom_vars
+                                    .iter()
+                                    .position(|v| v == a)
+                                    .expect("order names come from the atom's variables")
+                            })
+                            .collect();
+                        AtomAccess::Delta(DeltaAccess::build_positions(delta, &positions, threads)?)
+                    }
+                });
+            }
+            return Ok(BuiltAccess::Mixed(accesses));
+        }
+        let statics: Vec<&Relation> = sources
+            .iter()
+            .map(|s| match s {
+                AtomSource::Static(rel) => rel,
+                AtomSource::Delta(_) => unreachable!("any_delta checked above"),
+            })
+            .collect();
         Ok(match backend {
             Backend::Trie => BuiltAccess::Tries(
-                relations
+                statics
                     .iter()
                     .zip(attr_orders)
                     .map(|(rel, attrs)| Trie::build_parallel(rel, attrs, threads))
                     .collect::<Result<_, _>>()?,
             ),
             Backend::Hash | Backend::Auto => BuiltAccess::Indexes(
-                relations
+                statics
                     .iter()
                     .zip(attr_orders)
                     .map(|(rel, attrs)| PrefixIndex::build_parallel(rel, attrs, threads))
@@ -331,6 +401,14 @@ impl BuiltAccess {
             BuiltAccess::Indexes(indexes) => run_cursors(
                 engine,
                 || indexes.iter().map(|ix| ix.cursor()).collect(),
+                participants,
+                threads,
+                policy,
+                counter,
+            ),
+            BuiltAccess::Mixed(accesses) => run_cursors(
+                engine,
+                || accesses.iter().map(|a| a.cursor()).collect(),
                 participants,
                 threads,
                 policy,
@@ -698,6 +776,41 @@ mod tests {
             let err = execute(&q, &db, engine).unwrap_err();
             assert!(err.to_string().contains("bound to"), "{engine:?}: {err}");
         }
+    }
+
+    #[test]
+    fn delta_backed_atoms_run_live_and_match_static() {
+        let q = examples::triangle();
+        let mut db = triangle_db();
+        let expected = execute(&q, &db, Engine::GenericJoin).unwrap();
+        // make R delta-backed and mutate it: delete one edge, add another that
+        // completes a triangle with the existing S and T tuples
+        db.insert_delta("R", vec![2, 3]).unwrap(); // already present: no-op
+        db.delete("R", &[1, 2]).unwrap(); // kills triangle (1,2,3)... via R
+        db.insert_delta("R", vec![1, 2]).unwrap(); // re-add it
+        assert!(db.delta("R").is_some());
+        for engine in [Engine::BinaryHash, Engine::GenericJoin, Engine::Leapfrog] {
+            for backend in [Backend::Auto, Backend::Trie, Backend::Hash] {
+                for threads in [1, 4] {
+                    let opts = ExecOptions::new(engine)
+                        .with_backend(backend)
+                        .with_threads(threads);
+                    let out = execute_opts(&q, &db, &opts).unwrap();
+                    assert_eq!(
+                        out.result, expected.result,
+                        "{engine:?}/{backend:?}/t{threads} over the delta path"
+                    );
+                }
+            }
+        }
+        // delta work appears in the counters once data actually lives in runs
+        db.seal("R").unwrap();
+        let out = execute(&q, &db, Engine::GenericJoin).unwrap();
+        assert_eq!(out.result, expected.result);
+        assert!(
+            out.work.delta_merge() > 0,
+            "union-cursor work is attributed"
+        );
     }
 
     #[test]

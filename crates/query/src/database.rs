@@ -7,7 +7,9 @@ use crate::query::{ConjunctiveQuery, QueryError};
 use std::collections::HashMap;
 use std::fmt;
 use wcoj_storage::typed::{encode_column, TypedRow};
-use wcoj_storage::{AttrType, Dictionary, Relation, Schema, StorageError, TypedValue};
+use wcoj_storage::{
+    AttrType, DeltaRelation, Dictionary, Relation, Schema, StorageError, Tuple, TypedValue,
+};
 
 /// Errors raised when binding a database to a query or verifying constraints.
 #[derive(Debug, Clone, PartialEq)]
@@ -38,6 +40,19 @@ pub enum DatabaseError {
         first: String,
         /// The conflicting typing, with the atom that introduced it.
         conflict: String,
+    },
+    /// A delta-path typed load targets a relation whose columns were interned
+    /// into different dictionary domains than the incoming batch would use —
+    /// appending would mix codes from two value spaces.
+    DomainMismatch {
+        /// The target relation.
+        relation: String,
+        /// The attribute whose domains disagree.
+        attr: String,
+        /// The domain the stored column's codes were interned into.
+        loaded: String,
+        /// The domain the incoming batch would intern into.
+        current: String,
     },
     /// A cell of a CSV/TSV load could not be parsed.
     Parse {
@@ -74,6 +89,16 @@ impl fmt::Display for DatabaseError {
             } => write!(
                 f,
                 "variable `{var}` is bound to {first} in one atom and {conflict} in another"
+            ),
+            DatabaseError::DomainMismatch {
+                relation,
+                attr,
+                loaded,
+                current,
+            } => write!(
+                f,
+                "relation `{relation}` attribute `{attr}` was interned into domain `{loaded}`, \
+                 the incoming batch would use `{current}`"
             ),
             DatabaseError::Parse { line, message } => {
                 write!(f, "parse error on line {line}: {message}")
@@ -117,6 +142,21 @@ impl VarBinding {
     }
 }
 
+/// Encoded columns plus the per-column intern domains — what the typed loaders'
+/// shared validation/encode front half produces.
+type EncodedColumns = (Vec<Vec<u64>>, Vec<Option<String>>);
+
+/// How one query atom's data is accessed by the execution layer: a materialized
+/// static relation (renamed to the atom's variables), or a live delta log whose
+/// columns bind to the atom's variables positionally.
+#[derive(Debug)]
+pub enum AtomSource<'a> {
+    /// A static relation, renamed to the atom's variable names.
+    Static(Relation),
+    /// A delta-backed relation, queried live through its union cursor.
+    Delta(&'a DeltaRelation),
+}
+
 /// A database instance: a catalog of named [`Relation`]s plus one shared string
 /// [`Dictionary`] per attribute *domain*.
 ///
@@ -139,6 +179,9 @@ impl VarBinding {
 #[derive(Debug, Clone, Default)]
 pub struct Database {
     relations: HashMap<String, Relation>,
+    /// Delta-backed (live) relations; a name lives in exactly one of
+    /// `relations` / `deltas`. See [`wcoj_storage::delta`].
+    deltas: HashMap<String, DeltaRelation>,
     /// One shared dictionary per domain name.
     dicts: HashMap<String, Dictionary>,
     /// Attribute-name → domain-name overrides (attributes default to themselves).
@@ -159,11 +202,104 @@ impl Database {
 
     /// Insert (or replace) the relation stored under `name`, already encoded.
     /// Any intern-time domain record of a previously loaded `name` is dropped: the
-    /// caller owns the encoding of raw inserts.
+    /// caller owns the encoding of raw inserts. Replaces a delta-backed relation
+    /// of the same name.
     pub fn insert(&mut self, name: impl Into<String>, relation: Relation) {
         let name = name.into();
         self.loaded_domains.remove(&name);
+        self.deltas.remove(&name);
         self.relations.insert(name, relation);
+    }
+
+    /// Insert (or replace) a delta-backed relation under `name` (already
+    /// encoded, like [`Database::insert`]).
+    pub fn insert_delta_relation(&mut self, name: impl Into<String>, delta: DeltaRelation) {
+        let name = name.into();
+        self.loaded_domains.remove(&name);
+        self.relations.remove(&name);
+        self.deltas.insert(name, delta);
+    }
+
+    /// Convert the static relation stored under `name` into a delta-backed one
+    /// (the existing rows become the base run). No-op if already delta-backed.
+    /// Typed-load domain records are preserved — the encoding is unchanged.
+    pub fn to_delta(&mut self, name: &str) -> Result<(), DatabaseError> {
+        if self.deltas.contains_key(name) {
+            return Ok(());
+        }
+        let rel = self
+            .relations
+            .remove(name)
+            .ok_or_else(|| DatabaseError::MissingRelation(name.to_string()))?;
+        self.deltas
+            .insert(name.to_string(), DeltaRelation::from_relation(rel));
+        Ok(())
+    }
+
+    /// The delta log stored under `name`, if the relation is delta-backed.
+    pub fn delta(&self, name: &str) -> Option<&DeltaRelation> {
+        self.deltas.get(name)
+    }
+
+    /// Mutable access to the delta log stored under `name`.
+    pub fn delta_mut(&mut self, name: &str) -> Option<&mut DeltaRelation> {
+        self.deltas.get_mut(name)
+    }
+
+    fn require_delta(&mut self, name: &str) -> Result<&mut DeltaRelation, DatabaseError> {
+        if !self.deltas.contains_key(name) {
+            self.to_delta(name)?; // converts a static relation (or errors)
+        }
+        Ok(self.deltas.get_mut(name).expect("just ensured"))
+    }
+
+    /// Insert one (already-encoded) tuple into relation `name` through the
+    /// delta-log path — amortized O(arity + runs · log n), versus the O(n) of
+    /// rebuilding a sorted [`Relation`]. A static relation stored under `name`
+    /// is converted to delta-backed (its rows become the base run) on first use.
+    /// Returns whether the tuple was newly inserted.
+    pub fn insert_delta(&mut self, name: &str, tuple: Tuple) -> Result<bool, DatabaseError> {
+        Ok(self.require_delta(name)?.insert(tuple)?)
+    }
+
+    /// Delete one (already-encoded) tuple from relation `name` through the
+    /// delta-log path (a tombstone append; same cost shape as
+    /// [`Database::insert_delta`], converting a static relation on first use).
+    /// Returns whether the tuple was live.
+    pub fn delete(&mut self, name: &str, tuple: &[u64]) -> Result<bool, DatabaseError> {
+        Ok(self.require_delta(name)?.delete(tuple)?)
+    }
+
+    /// Seal relation `name`'s append buffer into a sorted delta run (plus
+    /// size-tiered compaction). Queries work without sealing — the buffer is
+    /// collapsed into an ephemeral run at access-build time — but a sealed run
+    /// is collapsed once instead of per query. A no-op on a static relation
+    /// (maintenance calls never convert storage kinds); errors only if `name`
+    /// is unknown.
+    pub fn seal(&mut self, name: &str) -> Result<(), DatabaseError> {
+        if let Some(delta) = self.deltas.get_mut(name) {
+            delta.seal();
+            Ok(())
+        } else if self.relations.contains_key(name) {
+            Ok(()) // static: nothing buffered, nothing to seal
+        } else {
+            Err(DatabaseError::MissingRelation(name.to_string()))
+        }
+    }
+
+    /// Fully compact relation `name`: merge every delta run (and the buffer)
+    /// back into a single tombstone-free base run, using `threads` scoped
+    /// workers for the merge passes. A no-op on a static relation (maintenance
+    /// calls never convert storage kinds); errors only if `name` is unknown.
+    pub fn compact(&mut self, name: &str, threads: usize) -> Result<(), DatabaseError> {
+        if let Some(delta) = self.deltas.get_mut(name) {
+            delta.compact(threads);
+            Ok(())
+        } else if self.relations.contains_key(name) {
+            Ok(()) // static: already a single canonical "run"
+        } else {
+            Err(DatabaseError::MissingRelation(name.to_string()))
+        }
     }
 
     /// Map attribute `attr` onto dictionary domain `domain` for all **subsequent**
@@ -205,7 +341,26 @@ impl Database {
         schema: Schema,
         rows: &[TypedRow],
     ) -> Result<usize, DatabaseError> {
-        // validate everything up front: the mutation phase below must not fail
+        let (columns, col_domains) = self.encode_typed_columns(&schema, rows)?;
+        let rel = Relation::try_from_columns(schema, columns)
+            .expect("columns built from arity-checked rows");
+        let stored = rel.len();
+        let name = name.into();
+        self.insert(name.clone(), rel);
+        self.loaded_domains.insert(name, col_domains);
+        Ok(stored)
+    }
+
+    /// Validate `rows` against `schema` and encode them columnarly through the
+    /// shared per-domain dictionaries — the common front half of the typed
+    /// loaders. Validation happens **before** any string reaches a shared
+    /// dictionary, so a rejected load leaves the catalog untouched. Returns the
+    /// encoded columns plus the per-column intern domains.
+    fn encode_typed_columns(
+        &mut self,
+        schema: &Schema,
+        rows: &[TypedRow],
+    ) -> Result<EncodedColumns, DatabaseError> {
         for row in rows {
             if row.len() != schema.arity() {
                 return Err(StorageError::ArityMismatch {
@@ -244,13 +399,98 @@ impl Database {
             columns.push(col);
             col_domains.push(domain);
         }
-        let rel = Relation::try_from_columns(schema, columns)
-            .expect("columns built from arity-checked rows");
-        let stored = rel.len();
-        let name = name.into();
-        self.insert(name.clone(), rel);
-        self.loaded_domains.insert(name, col_domains);
-        Ok(stored)
+        Ok((columns, col_domains))
+    }
+
+    /// Typed ingest through the **delta path**: validate and dictionary-encode
+    /// `rows` exactly like [`Database::insert_typed_rows`], but *append* them to
+    /// the delta log stored under `name` (converting a static relation on first
+    /// use, creating an empty delta log if `name` is new) instead of replacing
+    /// the relation — so a batch costs O(batch · (arity + runs · log n))
+    /// amortized, not a full re-sort of everything loaded so far. The target's
+    /// schema (and, for string columns, the intern-time domain record) must
+    /// match the incoming batch. Returns the number of newly live tuples.
+    pub fn insert_typed_rows_delta(
+        &mut self,
+        name: &str,
+        schema: Schema,
+        rows: &[TypedRow],
+    ) -> Result<usize, DatabaseError> {
+        // ── validation phase: a rejected batch leaves the catalog untouched ──
+        // the batch's intern domains, derived without touching any dictionary
+        let col_domains: Vec<Option<String>> = schema
+            .attrs()
+            .iter()
+            .enumerate()
+            .map(|(pos, attr)| {
+                (schema.attr_type(pos) == AttrType::Str).then(|| self.domain_of(attr).to_string())
+            })
+            .collect();
+        let stored_schema = self
+            .deltas
+            .get(name)
+            .map(|d| d.schema())
+            .or_else(|| self.relations.get(name).map(|r| r.schema()));
+        if let Some(stored) = stored_schema {
+            if stored.attrs() != schema.attrs() {
+                return Err(StorageError::SchemaMismatch {
+                    left: stored.attrs().to_vec(),
+                    right: schema.attrs().to_vec(),
+                }
+                .into());
+            }
+            if stored != &schema {
+                // same names, differing types: report the first offending column
+                let pos = (0..schema.arity())
+                    .find(|&p| stored.attr_type(p) != schema.attr_type(p))
+                    .expect("schemas differ beyond their attribute names");
+                return Err(StorageError::TypeMismatch {
+                    attr: schema.attrs()[pos].clone(),
+                    expected: stored.attr_type(pos),
+                    found: schema.attr_type(pos),
+                }
+                .into());
+            }
+            // intern-time domain record must agree with the incoming batch (a
+            // raw-inserted base has no record: the caller owns its encoding, so
+            // bind-time domains apply, as for `insert`)
+            if let Some(loaded) = self.loaded_domains.get(name) {
+                for (pos, (was, now)) in loaded.iter().zip(&col_domains).enumerate() {
+                    if was != now {
+                        return Err(DatabaseError::DomainMismatch {
+                            relation: name.to_string(),
+                            attr: schema.attrs()[pos].clone(),
+                            loaded: was.clone().unwrap_or_else(|| "<none>".into()),
+                            current: now.clone().unwrap_or_else(|| "<none>".into()),
+                        });
+                    }
+                }
+            }
+        }
+        // row arity/kind validation happens inside encode_typed_columns before
+        // any string reaches a shared dictionary
+        let (columns, encoded_domains) = self.encode_typed_columns(&schema, rows)?;
+        debug_assert_eq!(encoded_domains, col_domains);
+
+        // ── mutation phase ──
+        if !self.deltas.contains_key(name) {
+            if self.relations.contains_key(name) {
+                self.to_delta(name)?;
+            } else {
+                self.deltas
+                    .insert(name.to_string(), DeltaRelation::new(schema.clone()));
+                self.loaded_domains.insert(name.to_string(), col_domains);
+            }
+        }
+        let delta = self.deltas.get_mut(name).expect("just ensured");
+        let mut fresh = 0usize;
+        for i in 0..rows.len() {
+            let tuple: Tuple = columns.iter().map(|c| c[i]).collect();
+            if delta.insert(tuple).expect("arity matches checked schema") {
+                fresh += 1;
+            }
+        }
+        Ok(fresh)
     }
 
     /// Load delimiter-separated text (CSV with `delim = ','`, TSV with `'\t'`) as
@@ -268,6 +508,31 @@ impl Database {
         text: &str,
         delim: char,
     ) -> Result<usize, DatabaseError> {
+        let rows = Self::parse_csv_rows(&schema, text, delim)?;
+        self.insert_typed_rows(name, schema, &rows)
+    }
+
+    /// [`Database::insert_csv`] routed through the **delta path**
+    /// ([`Database::insert_typed_rows_delta`]): the parsed batch appends to the
+    /// delta log under `name` instead of replacing the relation.
+    pub fn insert_csv_delta(
+        &mut self,
+        name: &str,
+        schema: Schema,
+        text: &str,
+        delim: char,
+    ) -> Result<usize, DatabaseError> {
+        let rows = Self::parse_csv_rows(&schema, text, delim)?;
+        self.insert_typed_rows_delta(name, schema, &rows)
+    }
+
+    /// Parse delimiter-separated text into typed rows (shared by the replace-
+    /// and delta-path CSV loaders; see [`Database::insert_csv`] for the format).
+    fn parse_csv_rows(
+        schema: &Schema,
+        text: &str,
+        delim: char,
+    ) -> Result<Vec<TypedRow>, DatabaseError> {
         let mut rows: Vec<TypedRow> = Vec::new();
         let mut first_nonempty = true;
         for (lineno, line) in text.lines().enumerate() {
@@ -312,7 +577,7 @@ impl Database {
                     .collect::<Result<_, _>>()?;
             rows.push(row);
         }
-        self.insert_typed_rows(name, schema, &rows)
+        Ok(rows)
     }
 
     /// [`Database::insert_csv`] with a tab delimiter.
@@ -416,8 +681,7 @@ impl Database {
         let mut out: Vec<Option<VarBinding>> = vec![None; query.num_vars()];
         for (ai, atom) in query.atoms().iter().enumerate() {
             let stored = self
-                .relations
-                .get(&atom.name)
+                .stored_schema(&atom.name)
                 .ok_or_else(|| DatabaseError::MissingRelation(atom.name.clone()))?;
             if stored.arity() != atom.vars.len() {
                 return Err(DatabaseError::ArityMismatch {
@@ -428,8 +692,8 @@ impl Database {
             }
             let load_record = self.loaded_domains.get(&atom.name);
             for (pos, &v) in atom.vars.iter().enumerate() {
-                let ty = stored.schema().attr_type(pos);
-                let attr = &stored.schema().attrs()[pos];
+                let ty = stored.attr_type(pos);
+                let attr = &stored.attrs()[pos];
                 let binding = VarBinding {
                     ty,
                     domain: (ty == AttrType::Str).then(|| {
@@ -461,52 +725,149 @@ impl Database {
             .collect())
     }
 
-    /// The relation stored under `name`, if any.
+    /// The **static** relation stored under `name`, if any (delta-backed
+    /// relations are reached via [`Database::delta`] or materialized through
+    /// [`Database::relation_for_atom`]).
     pub fn get(&self, name: &str) -> Option<&Relation> {
         self.relations.get(name)
     }
 
-    /// Names of the stored relations (unsorted).
+    /// The schema of the relation stored under `name` (static or delta-backed).
+    fn stored_schema(&self, name: &str) -> Option<&Schema> {
+        self.relations
+            .get(name)
+            .map(|r| r.schema())
+            .or_else(|| self.deltas.get(name).map(|d| d.schema()))
+    }
+
+    /// Names of the stored relations, static and delta-backed (unsorted).
     pub fn relation_names(&self) -> Vec<&str> {
-        self.relations.keys().map(|s| s.as_str()).collect()
+        self.relations
+            .keys()
+            .chain(self.deltas.keys())
+            .map(|s| s.as_str())
+            .collect()
     }
 
-    /// Number of stored relations.
+    /// Number of stored relations (static plus delta-backed).
     pub fn num_relations(&self) -> usize {
-        self.relations.len()
+        self.relations.len() + self.deltas.len()
     }
 
-    /// Total number of tuples across all stored relations (`|D|`).
+    /// Total number of (live) tuples across all stored relations (`|D|`).
     pub fn total_tuples(&self) -> usize {
-        self.relations.values().map(|r| r.len()).sum()
+        self.relations.values().map(|r| r.len()).sum::<usize>()
+            + self.deltas.values().map(|d| d.len()).sum::<usize>()
     }
 
     /// Size of the largest stored relation (the `N` of the AGM bound `N^{ρ*}`).
     pub fn max_relation_size(&self) -> usize {
-        self.relations.values().map(|r| r.len()).max().unwrap_or(0)
+        self.relations
+            .values()
+            .map(|r| r.len())
+            .chain(self.deltas.values().map(|d| d.len()))
+            .max()
+            .unwrap_or(0)
     }
 
     /// The relation for atom `i` of `query`, with its columns renamed (positionally)
-    /// to the atom's variable names.
+    /// to the atom's variable names. Delta-backed relations are **materialized**
+    /// ([`DeltaRelation::snapshot`]) — the path of the binary baseline and the
+    /// test references; the WCOJ engines instead run live over
+    /// [`Database::atom_source`] without rebuilding.
     pub fn relation_for_atom(
         &self,
         query: &ConjunctiveQuery,
         atom_index: usize,
     ) -> Result<Relation, DatabaseError> {
         let atom = query.atom(atom_index);
-        let stored = self
-            .relations
+        let var_names = query.atom_var_names(atom_index);
+        if let Some(stored) = self.relations.get(&atom.name) {
+            if stored.arity() != atom.vars.len() {
+                return Err(DatabaseError::ArityMismatch {
+                    atom: atom.name.clone(),
+                    expected: atom.vars.len(),
+                    found: stored.arity(),
+                });
+            }
+            return Ok(stored.rename(&var_names)?);
+        }
+        let delta = self
+            .deltas
             .get(&atom.name)
             .ok_or_else(|| DatabaseError::MissingRelation(atom.name.clone()))?;
-        if stored.arity() != atom.vars.len() {
+        if delta.arity() != atom.vars.len() {
             return Err(DatabaseError::ArityMismatch {
                 atom: atom.name.clone(),
                 expected: atom.vars.len(),
-                found: stored.arity(),
+                found: delta.arity(),
             });
         }
-        let var_names = query.atom_var_names(atom_index);
-        Ok(stored.rename(&var_names)?)
+        Ok(delta.snapshot().rename(&var_names)?)
+    }
+
+    /// The (live) tuple count of the relation bound to atom `i` — the
+    /// cardinality the AGM planner needs, without materializing delta-backed
+    /// relations. Validates the binding (relation exists, arity matches) like
+    /// [`Database::relation_for_atom`], so standalone bound computations reject
+    /// invalid bindings instead of producing a meaningless bound.
+    pub fn atom_size(
+        &self,
+        query: &ConjunctiveQuery,
+        atom_index: usize,
+    ) -> Result<usize, DatabaseError> {
+        let atom = query.atom(atom_index);
+        let (arity, len) = if let Some(stored) = self.relations.get(&atom.name) {
+            (stored.arity(), stored.len())
+        } else if let Some(delta) = self.deltas.get(&atom.name) {
+            (delta.arity(), delta.len())
+        } else {
+            return Err(DatabaseError::MissingRelation(atom.name.clone()));
+        };
+        if arity != atom.vars.len() {
+            return Err(DatabaseError::ArityMismatch {
+                atom: atom.name.clone(),
+                expected: atom.vars.len(),
+                found: arity,
+            });
+        }
+        Ok(len)
+    }
+
+    /// The access-structure source for atom `i` of `query`: the renamed static
+    /// relation, or a borrowed handle to the live delta log (whose columns map
+    /// to the atom's variables positionally). This is what lets the execution
+    /// layer build a [`wcoj_storage::DeltaAccess`] over live data instead of
+    /// rebuilding from a snapshot.
+    pub fn atom_source(
+        &self,
+        query: &ConjunctiveQuery,
+        atom_index: usize,
+    ) -> Result<AtomSource<'_>, DatabaseError> {
+        let atom = query.atom(atom_index);
+        if let Some(delta) = self.deltas.get(&atom.name) {
+            if delta.arity() != atom.vars.len() {
+                return Err(DatabaseError::ArityMismatch {
+                    atom: atom.name.clone(),
+                    expected: atom.vars.len(),
+                    found: delta.arity(),
+                });
+            }
+            return Ok(AtomSource::Delta(delta));
+        }
+        self.relation_for_atom(query, atom_index)
+            .map(AtomSource::Static)
+    }
+
+    /// All atom sources of `query`, in atom order (see
+    /// [`Database::atom_source`]).
+    pub fn atom_sources(
+        &self,
+        query: &ConjunctiveQuery,
+    ) -> Result<Vec<AtomSource<'_>>, DatabaseError> {
+        (0..query.atoms().len())
+            .map(|i| self.atom_source(query, i))
+            .collect()
     }
 
     /// All atom relations of `query`, in atom order, renamed to atom variables.
@@ -949,6 +1310,146 @@ mod tests {
             DatabaseError::Storage(StorageError::UnknownCode(7))
         ));
         assert!(db.dictionary("A").is_none());
+    }
+
+    #[test]
+    fn delta_routing_converts_and_applies_ops() {
+        let q = examples::triangle();
+        let mut db = triangle_db();
+        // unknown names fail cleanly
+        assert!(matches!(
+            db.insert_delta("Z", vec![1, 2]).unwrap_err(),
+            DatabaseError::MissingRelation(_)
+        ));
+        // first delta op converts the static relation (rows become the base run)
+        assert!(db.insert_delta("R", vec![9, 9]).unwrap());
+        assert!(!db.insert_delta("R", vec![1, 2]).unwrap()); // base row is live
+        assert!(db.delete("R", &[1, 2]).unwrap());
+        assert!(db.get("R").is_none(), "R moved to the delta map");
+        assert_eq!(db.delta("R").unwrap().len(), 3);
+        assert_eq!(db.num_relations(), 3);
+        assert_eq!(db.total_tuples(), 9);
+        assert!(db.relation_names().contains(&"R"));
+        // sizes and schemas flow without materializing
+        assert_eq!(db.atom_size(&q, 0).unwrap(), 3);
+        assert!(db.var_bindings(&q).is_ok());
+        // the materialized view applies the ops
+        let r = db.relation_for_atom(&q, 0).unwrap();
+        assert_eq!(r.rows(), vec![vec![1, 3], vec![2, 3], vec![9, 9]]);
+        assert_eq!(r.schema().attrs(), &["A".to_string(), "B".to_string()]);
+        // atom sources expose the live handle
+        assert!(matches!(
+            db.atom_source(&q, 0).unwrap(),
+            AtomSource::Delta(_)
+        ));
+        assert!(matches!(
+            db.atom_source(&q, 1).unwrap(),
+            AtomSource::Static(_)
+        ));
+        // seal + compact round-trip
+        db.seal("R").unwrap();
+        db.compact("R", 2).unwrap();
+        assert_eq!(db.delta("R").unwrap().num_runs(), 1);
+        // raw insert replaces the delta-backed relation
+        db.insert("R", Relation::from_pairs("A", "B", vec![(7, 7)]));
+        assert!(db.delta("R").is_none());
+        assert_eq!(db.get("R").unwrap().len(), 1);
+    }
+
+    #[test]
+    fn typed_delta_ingest_appends_through_shared_dictionaries() {
+        let mut db = Database::new();
+        let schema = str_pair_schema("A", "B");
+        let n = db
+            .insert_typed_rows_delta("R", schema.clone(), &typed_pairs(&[("ann", "bob")]))
+            .unwrap();
+        assert_eq!(n, 1);
+        // a second batch APPENDS (the replace path would drop the first batch)
+        let n = db
+            .insert_typed_rows_delta(
+                "R",
+                schema.clone(),
+                &typed_pairs(&[("ann", "bob"), ("bob", "cat")]),
+            )
+            .unwrap();
+        assert_eq!(n, 1, "duplicate row is not re-inserted");
+        assert_eq!(db.delta("R").unwrap().len(), 2);
+        assert_eq!(db.dictionary("A").unwrap().len(), 2); // ann, bob
+        let q = examples::triangle();
+        let bindings = db.var_bindings(&q);
+        // R alone doesn't bind the triangle, but its schema is visible
+        assert!(bindings.is_err()); // S, T missing
+                                    // same attribute names with different types report the offending column
+        assert!(matches!(
+            db.insert_typed_rows_delta(
+                "R",
+                Schema::with_types(&["A", "B"], &[AttrType::Int, AttrType::Int]),
+                &[vec![TypedValue::Int(1), TypedValue::Int(2)]],
+            )
+            .unwrap_err(),
+            DatabaseError::Storage(StorageError::TypeMismatch { .. })
+        ));
+        // a late domain remap cannot mix code spaces in an append — and the
+        // rejected batch must leave the catalog untouched (no "user" dictionary,
+        // no new strings, no new tuples)
+        db.set_domain("A", "user");
+        let before_len = db.delta("R").unwrap().len();
+        let err = db
+            .insert_typed_rows_delta("R", schema, &typed_pairs(&[("dan", "eve")]))
+            .unwrap_err();
+        assert!(matches!(err, DatabaseError::DomainMismatch { .. }));
+        assert!(err.to_string().contains("user"));
+        assert!(db.dictionary("user").is_none(), "rejected batch interned");
+        assert_eq!(db.dictionary("A").unwrap().len(), 2);
+        assert_eq!(db.delta("R").unwrap().len(), before_len);
+    }
+
+    #[test]
+    fn rejected_delta_batch_does_not_convert_static_relations() {
+        let mut db = Database::new();
+        db.insert_typed_rows("R", str_pair_schema("A", "B"), &typed_pairs(&[("x", "y")]))
+            .unwrap();
+        // wrong schema against a static target: error, and R stays static
+        assert!(db
+            .insert_typed_rows_delta(
+                "R",
+                Schema::with_types(&["A", "B"], &[AttrType::Int, AttrType::Int]),
+                &[vec![TypedValue::Int(1), TypedValue::Int(2)]],
+            )
+            .is_err());
+        assert!(db.get("R").is_some(), "rejected batch converted R to delta");
+        assert!(db.delta("R").is_none());
+        // maintenance calls never convert either (no-ops on static relations)
+        db.seal("R").unwrap();
+        db.compact("R", 1).unwrap();
+        assert!(db.get("R").is_some());
+        assert!(db.delta("R").is_none());
+        assert!(matches!(
+            db.seal("Z").unwrap_err(),
+            DatabaseError::MissingRelation(_)
+        ));
+        assert!(matches!(
+            db.compact("Z", 1).unwrap_err(),
+            DatabaseError::MissingRelation(_)
+        ));
+    }
+
+    #[test]
+    fn csv_delta_ingest_appends() {
+        let mut db = Database::new();
+        let schema = Schema::with_types(&["name", "age"], &[AttrType::Str, AttrType::Int]);
+        assert_eq!(
+            db.insert_csv_delta("P", schema.clone(), "name,age\nann,31\n", ',')
+                .unwrap(),
+            1
+        );
+        assert_eq!(
+            db.insert_csv_delta("P", schema, "bob,44\nann,31\n", ',')
+                .unwrap(),
+            1
+        );
+        assert_eq!(db.delta("P").unwrap().len(), 2);
+        assert_eq!(db.dictionary("name").unwrap().len(), 2);
     }
 
     #[test]

@@ -52,7 +52,7 @@ pub mod query;
 pub mod repair;
 
 pub use constraints::{constraint_graph, ConstraintSet, DegreeConstraint};
-pub use database::{Database, VarBinding};
+pub use database::{AtomSource, Database, VarBinding};
 pub use hypergraph::Hypergraph;
 pub use parser::{parse_constraints, parse_query, ParseError};
 pub use plan::{atom_attr_order, default_order, is_valid_order, weighted_greedy_order};

@@ -33,6 +33,7 @@
 //! leapfrog discipline); `reposition` may move in either direction but only to keys
 //! whose discovery was already paid for elsewhere, so it records no work.
 
+use crate::delta::DeltaCursor;
 use crate::index::PrefixIndex;
 use crate::stats::CursorWork;
 use crate::trie::TrieCursor;
@@ -327,6 +328,10 @@ pub enum CursorKind<'a> {
     Trie(TrieCursor<'a>),
     /// A cursor over a [`PrefixIndex`].
     Prefix(PrefixCursor<'a>),
+    /// A delta-log union cursor over a [`crate::delta::DeltaAccess`] — the live
+    /// (base + delta runs + tombstones) view of a
+    /// [`crate::delta::DeltaRelation`].
+    Delta(DeltaCursor<'a>),
 }
 
 impl<'a> From<TrieCursor<'a>> for CursorKind<'a> {
@@ -341,11 +346,18 @@ impl<'a> From<PrefixCursor<'a>> for CursorKind<'a> {
     }
 }
 
+impl<'a> From<DeltaCursor<'a>> for CursorKind<'a> {
+    fn from(c: DeltaCursor<'a>) -> Self {
+        CursorKind::Delta(c)
+    }
+}
+
 macro_rules! dispatch {
     ($self:ident, $c:ident => $e:expr) => {
         match $self {
             CursorKind::Trie($c) => $e,
             CursorKind::Prefix($c) => $e,
+            CursorKind::Delta($c) => $e,
         }
     };
 }

@@ -58,6 +58,14 @@ impl Hasher for FxHasher {
     }
 
     #[inline]
+    fn write_u128(&mut self, n: u128) {
+        // two word-adds, not the default 16 byte-adds — the delta layer's
+        // packed-tuple live set hashes u128 keys on its hot ingest path
+        self.add(n as u64);
+        self.add((n >> 64) as u64);
+    }
+
+    #[inline]
     fn write_usize(&mut self, n: usize) {
         self.add(n as u64);
     }

@@ -31,6 +31,13 @@
 //!   [`access::CursorKind`] composes mixed backends without vtable dispatch. Every
 //!   cursor is `Send + Clone`, so parallel workers hold private cursors over one
 //!   shared access structure;
+//! * [`delta`] — incremental maintenance: [`delta::DeltaRelation`] stores a live
+//!   relation as a base run + ordered delta runs (sorted ± mini-relations with
+//!   sign prefix-sums, tombstones for deletes) + an append buffer, with
+//!   size-tiered compaction; [`delta::DeltaAccess`] / [`delta::DeltaCursor`] is
+//!   the **union cursor** — a [`access::TrieAccess`] implementation that n-way
+//!   merges the runs and suppresses tombstoned subtrees, so both engines run
+//!   unmodified (and bit-identically to a full rebuild) over live data;
 //! * [`typed`] / [`dictionary`] — the typed-value layer over the `u64` columns:
 //!   [`Schema`]s carry per-attribute [`AttrType`]s, [`typed::TypedValue`] rows
 //!   encode through per-domain [`Dictionary`]s (batch interning, single-storage
@@ -62,6 +69,7 @@
 #![warn(missing_docs)]
 
 pub mod access;
+pub mod delta;
 pub mod dictionary;
 pub mod error;
 pub mod index;
@@ -74,6 +82,7 @@ pub mod trie;
 pub mod typed;
 
 pub use access::{CursorKind, PrefixCursor, TrieAccess};
+pub use delta::{DeltaAccess, DeltaCursor, DeltaRelation};
 pub use dictionary::{DictReader, Dictionary};
 pub use error::StorageError;
 pub use index::PrefixIndex;

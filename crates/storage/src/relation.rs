@@ -274,22 +274,7 @@ impl Relation {
     /// Argsort of the rows by the given column positions (ties broken by row index,
     /// i.e. by the canonical lexicographic order — deterministic).
     pub fn sort_perm(&self, positions: &[usize]) -> Vec<usize> {
-        let mut perm: Vec<usize> = (0..self.len).collect();
-        perm.sort_unstable_by(|&a, &b| self.cmp_perm(positions, a, b));
-        perm
-    }
-
-    /// The strict total row order behind [`Relation::sort_perm`]: lexicographic on
-    /// the permuted columns, ties broken by row index.
-    #[inline]
-    fn cmp_perm(&self, positions: &[usize], a: usize, b: usize) -> Ordering {
-        for &p in positions {
-            match self.columns[p][a].cmp(&self.columns[p][b]) {
-                Ordering::Equal => continue,
-                o => return o,
-            }
-        }
-        a.cmp(&b)
+        argsort_columns(&self.columns, positions, self.len)
     }
 
     /// [`Relation::sort_perm`] across `threads` scoped workers: each sorts one run
@@ -298,64 +283,22 @@ impl Relation {
     /// the serial argsort for every thread count. Small relations (or
     /// `threads <= 1`) fall back to the serial sort.
     pub fn sort_perm_threads(&self, positions: &[usize], threads: usize) -> Vec<usize> {
-        const PAR_SORT_MIN: usize = 4096;
-        if threads <= 1 || self.len < PAR_SORT_MIN {
-            return self.sort_perm(positions);
-        }
-        let chunk = self.len.div_ceil(threads);
-        let mut runs: Vec<Vec<usize>> = std::thread::scope(|scope| {
-            let handles: Vec<_> = (0..self.len)
-                .step_by(chunk)
-                .map(|start| {
-                    let end = (start + chunk).min(self.len);
-                    scope.spawn(move || {
-                        let mut run: Vec<usize> = (start..end).collect();
-                        run.sort_unstable_by(|&a, &b| self.cmp_perm(positions, a, b));
-                        run
-                    })
-                })
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("argsort worker"))
-                .collect()
-        });
-        while runs.len() > 1 {
-            runs = std::thread::scope(|scope| {
-                let mut handles = Vec::new();
-                let mut iter = runs.into_iter();
-                while let Some(a) = iter.next() {
-                    match iter.next() {
-                        Some(b) => handles.push(scope.spawn(move || {
-                            let mut out = Vec::with_capacity(a.len() + b.len());
-                            let (mut i, mut j) = (0usize, 0usize);
-                            while i < a.len() && j < b.len() {
-                                if self.cmp_perm(positions, a[i], b[j]) == Ordering::Less {
-                                    out.push(a[i]);
-                                    i += 1;
-                                } else {
-                                    out.push(b[j]);
-                                    j += 1;
-                                }
-                            }
-                            out.extend_from_slice(&a[i..]);
-                            out.extend_from_slice(&b[j..]);
-                            out
-                        })),
-                        None => handles.push(scope.spawn(move || a)),
-                    }
-                }
-                handles
-                    .into_iter()
-                    .map(|h| h.join().expect("merge worker"))
-                    .collect()
-            });
-        }
-        runs.pop().unwrap_or_default()
+        argsort_columns_threads(&self.columns, positions, self.len, threads)
     }
 
-    /// Insert a single tuple, keeping the relation sorted. O(n) worst case; intended
-    /// for small incremental updates — bulk loads should use [`Relation::from_rows`].
+    /// Insert a single tuple, keeping the relation sorted.
+    ///
+    /// # Cost model
+    ///
+    /// **O(n) per call** (every column shifts its tail to make room), i.e.
+    /// O(n log n)-per-tuple workloads when access structures are rebuilt per
+    /// change — fine for test fixtures and occasional patches, quadratic for
+    /// sustained ingest. Live, continuously-mutating relations should go through
+    /// the delta-log path instead: [`crate::delta::DeltaRelation::insert`] appends
+    /// to an unsorted buffer in O(arity + runs · log n) amortized (membership
+    /// check plus its share of seal/compaction merges), and queries run over the
+    /// runs directly via the union cursor — see the [`crate::delta`] module docs
+    /// for the full cost table. Bulk loads should use [`Relation::from_rows`].
     pub fn insert(&mut self, tuple: Tuple) -> Result<bool, StorageError> {
         if tuple.len() != self.schema.arity() {
             return Err(StorageError::ArityMismatch {
@@ -371,6 +314,28 @@ impl Relation {
             self.columns[c].insert(pos, v);
         }
         self.len += 1;
+        Ok(true)
+    }
+
+    /// Remove a single tuple, keeping the relation sorted. Returns whether the
+    /// tuple was present. O(n) per call, like [`Relation::insert`] — the
+    /// full-rebuild baseline for deletes; sustained delete streams should use
+    /// [`crate::delta::DeltaRelation::delete`] (tombstones) instead.
+    pub fn remove(&mut self, tuple: &[Value]) -> Result<bool, StorageError> {
+        if tuple.len() != self.schema.arity() {
+            return Err(StorageError::ArityMismatch {
+                expected: self.schema.arity(),
+                found: tuple.len(),
+            });
+        }
+        let pos = self.partition_point(|r, i| r.cmp_row_prefix(i, tuple) == Ordering::Less);
+        if pos >= self.len || self.cmp_row_prefix(pos, tuple) != Ordering::Equal {
+            return Ok(false);
+        }
+        for col in self.columns.iter_mut() {
+            col.remove(pos);
+        }
+        self.len -= 1;
         Ok(true)
     }
 
@@ -624,6 +589,107 @@ impl Relation {
     }
 }
 
+/// The strict total row order behind [`Relation::sort_perm`] and the delta-log
+/// merges: lexicographic on the permuted columns, ties broken by row index (so
+/// rows duplicated across concatenated runs keep their run order).
+#[inline]
+pub(crate) fn cmp_columns_at(
+    columns: &[Vec<Value>],
+    positions: &[usize],
+    a: usize,
+    b: usize,
+) -> Ordering {
+    for &p in positions {
+        match columns[p][a].cmp(&columns[p][b]) {
+            Ordering::Equal => continue,
+            o => return o,
+        }
+    }
+    a.cmp(&b)
+}
+
+/// Argsort of `len` rows of column-major `columns` by `positions` — the serial
+/// core of [`Relation::sort_perm`], shared with the delta-log subsystem (whose
+/// run concatenations are *not* canonical relations, so this works on raw
+/// columns).
+pub(crate) fn argsort_columns(
+    columns: &[Vec<Value>],
+    positions: &[usize],
+    len: usize,
+) -> Vec<usize> {
+    let mut perm: Vec<usize> = (0..len).collect();
+    perm.sort_unstable_by(|&a, &b| cmp_columns_at(columns, positions, a, b));
+    perm
+}
+
+/// [`argsort_columns`] across `threads` scoped workers: sorted runs plus pairwise
+/// parallel merges. The comparator is a strict total order, so the result is
+/// bit-identical to the serial argsort for every thread count; small inputs (or
+/// `threads <= 1`) fall back to the serial sort. This is the parallel merge
+/// machinery behind both [`Relation::sort_perm_threads`] and delta-run
+/// compaction.
+pub(crate) fn argsort_columns_threads(
+    columns: &[Vec<Value>],
+    positions: &[usize],
+    len: usize,
+    threads: usize,
+) -> Vec<usize> {
+    const PAR_SORT_MIN: usize = 4096;
+    if threads <= 1 || len < PAR_SORT_MIN {
+        return argsort_columns(columns, positions, len);
+    }
+    let chunk = len.div_ceil(threads);
+    let mut runs: Vec<Vec<usize>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..len)
+            .step_by(chunk)
+            .map(|start| {
+                let end = (start + chunk).min(len);
+                scope.spawn(move || {
+                    let mut run: Vec<usize> = (start..end).collect();
+                    run.sort_unstable_by(|&a, &b| cmp_columns_at(columns, positions, a, b));
+                    run
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("argsort worker"))
+            .collect()
+    });
+    while runs.len() > 1 {
+        runs = std::thread::scope(|scope| {
+            let mut handles = Vec::new();
+            let mut iter = runs.into_iter();
+            while let Some(a) = iter.next() {
+                match iter.next() {
+                    Some(b) => handles.push(scope.spawn(move || {
+                        let mut out = Vec::with_capacity(a.len() + b.len());
+                        let (mut i, mut j) = (0usize, 0usize);
+                        while i < a.len() && j < b.len() {
+                            if cmp_columns_at(columns, positions, a[i], b[j]) == Ordering::Less {
+                                out.push(a[i]);
+                                i += 1;
+                            } else {
+                                out.push(b[j]);
+                                j += 1;
+                            }
+                        }
+                        out.extend_from_slice(&a[i..]);
+                        out.extend_from_slice(&b[j..]);
+                        out
+                    })),
+                    None => handles.push(scope.spawn(move || a)),
+                }
+            }
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("merge worker"))
+                .collect()
+        });
+    }
+    runs.pop().unwrap_or_default()
+}
+
 impl std::fmt::Display for Relation {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         writeln!(f, "{} [{} tuples]", self.schema, self.len())?;
@@ -711,6 +777,15 @@ mod tests {
         assert!(!r.insert(vec![5]).unwrap());
         assert_eq!(r.rows(), vec![vec![1], vec![5]]);
         assert!(r.insert(vec![1, 2]).is_err());
+    }
+
+    #[test]
+    fn remove_deletes_and_reports_presence() {
+        let mut r = r_ab();
+        assert!(r.remove(&[1, 3]).unwrap());
+        assert!(!r.remove(&[1, 3]).unwrap());
+        assert_eq!(r.rows(), vec![vec![1, 2], vec![2, 3]]);
+        assert!(r.remove(&[1]).is_err());
     }
 
     #[test]

@@ -36,12 +36,20 @@ pub struct CursorWork {
     /// Element comparisons performed by the adaptive linear-scan `seek` path on
     /// short sibling groups (the galloping path records `probes` instead).
     pub comparisons: u64,
+    /// Delta-log merge steps: run-range narrowing probes and n-way sorted-merge
+    /// advances performed by `DeltaCursor::open` when materializing the merged
+    /// (tombstone-suppressed) sibling group of a prefix over a
+    /// [`crate::delta::DeltaRelation`]'s runs.
+    pub delta_merge: u64,
 }
 
 impl CursorWork {
     /// Whether no work has been recorded.
     pub fn is_zero(&self) -> bool {
-        self.probes == 0 && self.intersect_steps == 0 && self.comparisons == 0
+        self.probes == 0
+            && self.intersect_steps == 0
+            && self.comparisons == 0
+            && self.delta_merge == 0
     }
 }
 
@@ -50,6 +58,7 @@ impl AddAssign for CursorWork {
         self.probes += rhs.probes;
         self.intersect_steps += rhs.intersect_steps;
         self.comparisons += rhs.comparisons;
+        self.delta_merge += rhs.delta_merge;
     }
 }
 
@@ -64,6 +73,7 @@ pub struct WorkCounter {
     intermediate_tuples: Cell<u64>,
     output_tuples: Cell<u64>,
     comparisons: Cell<u64>,
+    delta_merge: Cell<u64>,
     kernel_merge: Cell<u64>,
     kernel_gallop: Cell<u64>,
     kernel_bitmap: Cell<u64>,
@@ -77,6 +87,7 @@ impl Clone for WorkCounter {
             intermediate_tuples: Cell::new(self.intermediate_tuples.get()),
             output_tuples: Cell::new(self.output_tuples.get()),
             comparisons: Cell::new(self.comparisons.get()),
+            delta_merge: Cell::new(self.delta_merge.get()),
             kernel_merge: Cell::new(self.kernel_merge.get()),
             kernel_gallop: Cell::new(self.kernel_gallop.get()),
             kernel_bitmap: Cell::new(self.kernel_bitmap.get()),
@@ -91,6 +102,7 @@ impl PartialEq for WorkCounter {
             && self.intermediate_tuples.get() == other.intermediate_tuples.get()
             && self.output_tuples.get() == other.output_tuples.get()
             && self.comparisons.get() == other.comparisons.get()
+            && self.delta_merge.get() == other.delta_merge.get()
             && self.kernel_merge.get() == other.kernel_merge.get()
             && self.kernel_gallop.get() == other.kernel_gallop.get()
             && self.kernel_bitmap.get() == other.kernel_bitmap.get()
@@ -134,6 +146,13 @@ impl WorkCounter {
         self.comparisons.set(self.comparisons.get() + n);
     }
 
+    /// Record `n` delta-log merge steps (run-range narrowing probes plus n-way
+    /// sorted-merge advances of the delta union cursor) — the work the
+    /// incremental-maintenance path adds on top of a fully-compacted relation.
+    pub fn add_delta_merge(&self, n: u64) {
+        self.delta_merge.set(self.delta_merge.get() + n);
+    }
+
     /// Record one intersection-kernel invocation of the given kind — the
     /// observability hook that makes the adaptive policy's choices auditable.
     /// Kernel invocation counts are a *breakdown*, not work: they are excluded
@@ -152,6 +171,7 @@ impl WorkCounter {
         self.add_probes(w.probes);
         self.add_intersect_steps(w.intersect_steps);
         self.add_comparisons(w.comparisons);
+        self.add_delta_merge(w.delta_merge);
     }
 
     /// Total set-intersection steps recorded.
@@ -177,6 +197,11 @@ impl WorkCounter {
     /// Total comparisons recorded.
     pub fn comparisons(&self) -> u64 {
         self.comparisons.get()
+    }
+
+    /// Total delta-log merge steps recorded.
+    pub fn delta_merge(&self) -> u64 {
+        self.delta_merge.get()
     }
 
     /// Merge-kernel invocations recorded.
@@ -207,6 +232,7 @@ impl WorkCounter {
             + self.intermediate_tuples.get()
             + self.output_tuples.get()
             + self.comparisons.get()
+            + self.delta_merge.get()
     }
 
     /// Reset every tally to zero.
@@ -216,6 +242,7 @@ impl WorkCounter {
         self.intermediate_tuples.set(0);
         self.output_tuples.set(0);
         self.comparisons.set(0);
+        self.delta_merge.set(0);
         self.kernel_merge.set(0);
         self.kernel_gallop.set(0);
         self.kernel_bitmap.set(0);
@@ -229,6 +256,7 @@ impl WorkCounter {
         self.add_intermediate(other.intermediate_tuples());
         self.add_output(other.output_tuples());
         self.add_comparisons(other.comparisons());
+        self.add_delta_merge(other.delta_merge());
         self.kernel_merge
             .set(self.kernel_merge.get() + other.kernel_merge.get());
         self.kernel_gallop
@@ -334,12 +362,29 @@ mod tests {
             probes: 1,
             intersect_steps: 1,
             comparisons: 2,
+            delta_merge: 6,
         };
         assert!(!cw.is_zero());
         w.absorb(cw);
         assert_eq!(w.probes(), 4);
         assert_eq!(w.intersect_steps(), 5);
         assert_eq!(w.comparisons(), 2);
+        assert_eq!(w.delta_merge(), 6);
+    }
+
+    #[test]
+    fn delta_merge_is_work_and_merges() {
+        let w = WorkCounter::new();
+        w.add_delta_merge(5);
+        assert_eq!(w.delta_merge(), 5);
+        assert_eq!(w.total_work(), 5);
+        let other = WorkCounter::new();
+        other.add_delta_merge(2);
+        assert_ne!(w, other);
+        w.merge(&other);
+        assert_eq!(w.delta_merge(), 7);
+        w.reset();
+        assert_eq!(w.delta_merge(), 0);
     }
 
     #[test]

@@ -391,6 +391,62 @@ pub fn social_graph(n: usize, seed: u64) -> Workload {
     }
 }
 
+/// One operation of a graph stream: `true` inserts the edge, `false` deletes it.
+pub type StreamOp = (bool, (Value, Value));
+
+/// A sliding-window graph stream: `n` uniform random edge insertions over the
+/// default `~2√n` domain, interleaved with deletions of the oldest still-live
+/// edge once more than `window` edges are live — the classic streaming-motif
+/// regime (count triangles over the most recent edges). Deterministic per seed;
+/// duplicate insertions and deletions of dead edges are emitted as-is (the
+/// delta layer treats them as no-ops, which the differential tests rely on).
+pub fn edge_stream_ops(n: usize, window: usize, seed: u64) -> Vec<StreamOp> {
+    let domain = default_domain(n);
+    let mut rng = SplitMix64::new(seed);
+    let mut ops = Vec::with_capacity(2 * n);
+    let mut live: std::collections::VecDeque<(Value, Value)> = std::collections::VecDeque::new();
+    for _ in 0..n {
+        let e = (rng.below(domain), rng.below(domain));
+        ops.push((true, e));
+        live.push_back(e);
+        if live.len() > window {
+            let old = live.pop_front().expect("window exceeded");
+            ops.push((false, old));
+        }
+    }
+    ops
+}
+
+/// The sliding-window graph stream as a workload: [`edge_stream_ops`] with a
+/// `n/2` window applied to a **delta-backed** edge relation `E` through
+/// [`Database::insert_delta`] / [`Database::delete`], queried with `clique(3)`
+/// (triangles among the live edges). The log is sealed but **not** compacted, so
+/// the workload genuinely exercises the union cursor over base + delta runs +
+/// tombstones — this is the streaming-ingest scenario of experiment E6.
+pub fn edge_stream(n: usize, seed: u64) -> Workload {
+    let mut db = Database::new();
+    let schema = Schema::new(&["src", "dst"]);
+    db.insert_delta_relation("E", wcoj_storage::DeltaRelation::new(schema));
+    // seal often enough that even small instances stack several runs — the
+    // whole point of the workload is a non-trivial delta depth
+    db.delta_mut("E")
+        .expect("just inserted")
+        .set_seal_threshold((n / 8).max(16));
+    for (insert, (a, b)) in edge_stream_ops(n, n / 2, seed) {
+        if insert {
+            db.insert_delta("E", vec![a, b]).expect("stream insert");
+        } else {
+            db.delete("E", &[a, b]).expect("stream delete");
+        }
+    }
+    db.seal("E").expect("seal stream");
+    Workload {
+        name: format!("edge_stream_n{n}"),
+        query: examples::clique(3),
+        db,
+    }
+}
+
 /// The Loomis–Whitney query `LW(k)` — `k` variables, `k` atoms of arity `k − 1`,
 /// each omitting exactly one variable — over uniform random relations of (up to)
 /// `n` tuples each. The fractional edge cover number is `k/(k−1)`, so the AGM bound
@@ -514,6 +570,7 @@ pub fn differential_suite(seed: u64) -> Vec<Workload> {
         kclique(4, 48, seed ^ 11),
         hub_spoke(96, seed ^ 12),
         social_graph(96, seed ^ 13),
+        edge_stream(96, seed ^ 14),
     ]
 }
 
@@ -621,6 +678,35 @@ mod tests {
         let w2 = social_graph(64, 7);
         assert_eq!(e, w2.db.get("E").unwrap());
         assert_ne!(e, social_graph(64, 8).db.get("E").unwrap());
+    }
+
+    #[test]
+    fn edge_stream_is_windowed_live_and_deterministic() {
+        let ops = edge_stream_ops(200, 50, 9);
+        assert_eq!(ops, edge_stream_ops(200, 50, 9));
+        assert_ne!(ops, edge_stream_ops(200, 50, 10));
+        let inserts = ops.iter().filter(|(i, _)| *i).count();
+        assert_eq!(inserts, 200);
+        assert_eq!(ops.len() - inserts, 150, "deletes lag by the window");
+
+        let w = edge_stream(96, 7);
+        assert_eq!(w.name, "edge_stream_n96");
+        let delta = w.db.delta("E").expect("delta-backed edge relation");
+        // the window keeps at most n/2 edges live (duplicates shrink it further)
+        assert!(delta.len() <= 48);
+        assert!(delta.len() > 8);
+        assert_eq!(delta.buffered(), 0, "workload returns sealed");
+        assert!(delta.num_runs() >= 1);
+        assert!(
+            delta.tombstones() > 0,
+            "the stream leaves tombstones behind"
+        );
+        // deterministic
+        assert_eq!(
+            delta.snapshot(),
+            edge_stream(96, 7).db.delta("E").unwrap().snapshot()
+        );
+        assert!(w.db.var_bindings(&w.query).is_ok());
     }
 
     #[test]
