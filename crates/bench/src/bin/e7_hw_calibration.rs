@@ -1,0 +1,253 @@
+//! E7: hardware-calibrated kernels — the measurements behind the
+//! `EXPERIMENTS.md` E7 writeup.
+//!
+//! Four sections:
+//!
+//! 1. **Probe** — run the startup auto-tune micro-benchmark
+//!    ([`wcoj_storage::tune::probe`]) and report the calibrated thresholds and
+//!    the probe's wall-clock (budget: 50ms).
+//! 2. **Kernel microbench** — the merge/gallop/bitmap kernels at every
+//!    runnable SIMD level on dense and short/skewed list shapes, so the
+//!    SIMD-vs-scalar ratio of each inner loop is visible in isolation.
+//! 3. **End-to-end SIMD A/B** — serial triangle joins (uniform and Zipf) with
+//!    process-wide dispatch flipped between `Scalar` and the native level via
+//!    [`wcoj_storage::simd::force_active_level`]; asserts bit-identical output
+//!    and work counters, reports the wall-clock ratio.
+//! 4. **Calibrated-vs-fixed** — the same joins under the probe's calibration
+//!    vs [`KernelCalibration::fixed`], showing what host tuning buys (or
+//!    honestly, when the host agrees with the fixed constants, that it buys
+//!    nothing).
+//! 5. **Morsel scaling** — threads 1/2/4 with topology-aware placement
+//!    (pinning state reported; disable with `WCOJ_NO_PIN=1` to A/B across
+//!    runs).
+//!
+//! `--smoke` shrinks sizes/iterations for CI; the full run backs the numbers
+//! quoted in `EXPERIMENTS.md`.
+
+use std::time::Instant;
+use wcoj_bench::report::{parse_bench_json, write_bench_json, BenchRecord};
+use wcoj_bounds::agm::agm_bound;
+use wcoj_core::exec::{execute_opts_with_order, Engine, ExecOptions, KernelCalibration};
+use wcoj_core::planner::agm_variable_order;
+use wcoj_storage::simd::{self, SimdLevel};
+use wcoj_storage::topology::{pinning_enabled, CpuTopology};
+use wcoj_storage::{kernels, tune, KernelPolicy, Value, WorkCounter};
+use wcoj_workloads::{triangle, triangle_skewed, Workload};
+
+fn min_time_ms<F: FnMut()>(mut f: F, iters: usize) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..iters {
+        let t = Instant::now();
+        f();
+        best = best.min(t.elapsed().as_secs_f64() * 1e3);
+    }
+    best
+}
+
+fn sorted_unique(seed: &mut u64, len: usize, span: u64) -> Vec<Value> {
+    let mut v: Vec<Value> = (0..len * 2)
+        .map(|_| {
+            *seed ^= *seed << 13;
+            *seed ^= *seed >> 7;
+            *seed ^= *seed << 17;
+            *seed % span
+        })
+        .collect();
+    v.sort_unstable();
+    v.dedup();
+    v.truncate(len);
+    v
+}
+
+fn run_serial(
+    w: &Workload,
+    opts: &ExecOptions,
+    iters: usize,
+) -> (f64, wcoj_core::exec::ExecOutput) {
+    let order = agm_variable_order(&w.query, &w.db).expect("planner");
+    let out = execute_opts_with_order(&w.query, &w.db, opts, &order).expect("execute");
+    let ms = min_time_ms(
+        || {
+            let _ = execute_opts_with_order(&w.query, &w.db, opts, &order).unwrap();
+        },
+        iters,
+    );
+    (ms, out)
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let (n, iters) = if smoke { (2_048, 3) } else { (16_384, 15) };
+    let native = simd::detect_level();
+
+    // ---- 1. probe --------------------------------------------------------
+    let (cal, probe_ms) = tune::probe(native);
+    println!("E7.1 auto-tune probe at {native:?}: {probe_ms:.2}ms (budget 50ms)");
+    println!(
+        "  calibrated: merge_max_ratio={} bitmap_max_span={} bitmap_span_per_element={} linear_seek_max={}",
+        cal.merge_max_ratio, cal.bitmap_max_span, cal.bitmap_span_per_element, cal.linear_seek_max
+    );
+    let fixed = KernelCalibration::fixed();
+    println!(
+        "  fixed:      merge_max_ratio={} bitmap_max_span={} bitmap_span_per_element={} linear_seek_max={}",
+        fixed.merge_max_ratio, fixed.bitmap_max_span, fixed.bitmap_span_per_element, fixed.linear_seek_max
+    );
+    assert!(
+        probe_ms < 50.0,
+        "probe blew its 50ms budget: {probe_ms:.2}ms"
+    );
+
+    // ---- 2. kernel microbench -------------------------------------------
+    println!("\nE7.2 kernel microbench (min of {iters}, lower is better)");
+    let mut seed = 0xE7u64;
+    let dense_a: Vec<Value> = (0..4096u64).map(|i| i * 3).collect();
+    let dense_b: Vec<Value> = (0..4096u64).map(|i| i * 4).collect();
+    let small = sorted_unique(&mut seed, 64, 1 << 14);
+    let large = sorted_unique(&mut seed, 4096, 1 << 14);
+    let shapes: [(&str, [&[Value]; 2], usize); 2] = [
+        ("dense 4096x4096", [&dense_a, &dense_b], 100),
+        ("skewed 64x4096", [&small, &large], 1000),
+    ];
+    let w = WorkCounter::new();
+    for (shape, lists, reps) in shapes {
+        for policy in [
+            KernelPolicy::Merge,
+            KernelPolicy::Gallop,
+            KernelPolicy::Bitmap,
+        ] {
+            let mut line = format!("  {shape} {policy:?}:");
+            for level in simd::runnable_levels() {
+                let mut out = Vec::new();
+                let ms = min_time_ms(
+                    || {
+                        for _ in 0..reps {
+                            kernels::intersect_into_at(level, &mut out, &lists, policy, &w);
+                        }
+                    },
+                    iters,
+                );
+                line.push_str(&format!(" {level:?} {ms:.3}ms/{reps}"));
+            }
+            println!("{line}");
+        }
+    }
+
+    // ---- 3. end-to-end SIMD A/B -----------------------------------------
+    println!(
+        "\nE7.3 end-to-end serial joins, {native:?} vs Scalar (fixed calibration, min of {iters})"
+    );
+    let workloads = [
+        (format!("uniform_n{n}"), triangle(n, 0xC0FFEE)),
+        (
+            format!("zipf_n{n}"),
+            triangle_skewed(n, (n / 4) as u64, 1.1, 0xBEEF),
+        ),
+    ];
+    let mut e7_records: Vec<BenchRecord> = Vec::new();
+    for (name, w) in &workloads {
+        let agm = agm_bound(&w.query, &w.db).expect("agm").tuple_bound();
+        for engine in [Engine::GenericJoin, Engine::Leapfrog] {
+            let opts = ExecOptions::new(engine).with_calibration(fixed);
+            simd::force_active_level(SimdLevel::Scalar);
+            let (scalar_ms, scalar_out) = run_serial(w, &opts, iters);
+            simd::force_active_level(native);
+            let (simd_ms, simd_out) = run_serial(w, &opts, iters);
+            assert_eq!(
+                simd_out.result, scalar_out.result,
+                "{name}/{engine:?} output"
+            );
+            assert_eq!(simd_out.work, scalar_out.work, "{name}/{engine:?} counters");
+            println!(
+                "  {name}/{engine:?}: scalar {scalar_ms:.2}ms -> {native:?} {simd_ms:.2}ms (x{:.2}, counters identical)",
+                scalar_ms / simd_ms
+            );
+            for (level, ms, out) in [
+                (SimdLevel::Scalar, scalar_ms, &scalar_out),
+                (native, simd_ms, &simd_out),
+            ] {
+                e7_records.push(BenchRecord {
+                    workload: format!("e7_{name}"),
+                    engine: format!("{engine:?}[{level:?}]"),
+                    threads: 1,
+                    median_ms: ms,
+                    out_tuples: out.result.len() as u64,
+                    agm_bound: agm,
+                    work: vec![
+                        ("total_work".into(), out.work.total_work()),
+                        ("probes".into(), out.work.probes()),
+                        ("comparisons".into(), out.work.comparisons()),
+                        ("kernel_merge".into(), out.work.kernel_merge()),
+                        ("kernel_gallop".into(), out.work.kernel_gallop()),
+                        ("kernel_bitmap".into(), out.work.kernel_bitmap()),
+                        ("delta_merge".into(), out.work.delta_merge()),
+                    ],
+                });
+            }
+        }
+    }
+
+    // ---- 4. calibrated vs fixed -----------------------------------------
+    println!("\nE7.4 probe calibration vs fixed constants ({native:?} dispatch, min of {iters})");
+    simd::force_active_level(native);
+    for (name, w) in &workloads {
+        for engine in [Engine::GenericJoin, Engine::Leapfrog] {
+            let (fixed_ms, fixed_out) =
+                run_serial(w, &ExecOptions::new(engine).with_calibration(fixed), iters);
+            let (cal_ms, cal_out) =
+                run_serial(w, &ExecOptions::new(engine).with_calibration(cal), iters);
+            assert_eq!(cal_out.result, fixed_out.result, "{name}/{engine:?} output");
+            println!(
+                "  {name}/{engine:?}: fixed {fixed_ms:.2}ms -> calibrated {cal_ms:.2}ms (x{:.2}, work {} -> {})",
+                fixed_ms / cal_ms,
+                fixed_out.work.total_work(),
+                cal_out.work.total_work()
+            );
+        }
+    }
+
+    // ---- 5. morsel scaling ----------------------------------------------
+    let topo = CpuTopology::detect();
+    println!(
+        "\nE7.5 morsel scaling (uniform, GenericJoin; {} CPUs over {} package(s), pinning {})",
+        topo.slots().len(),
+        topo.packages(),
+        if pinning_enabled() {
+            "on"
+        } else {
+            "off (WCOJ_NO_PIN)"
+        }
+    );
+    let (name, w) = &workloads[0];
+    let serial_opts = ExecOptions::new(Engine::GenericJoin).with_calibration(fixed);
+    let (serial_ms, serial_out) = run_serial(w, &serial_opts, iters);
+    println!("  {name}/t1: {serial_ms:.2}ms (x1.00)");
+    for threads in [2usize, 4] {
+        let opts = serial_opts.with_threads(threads);
+        let (ms, out) = run_serial(w, &opts, iters);
+        assert_eq!(out.result, serial_out.result, "t{threads} output");
+        assert_eq!(out.work, serial_out.work, "t{threads} counters");
+        println!("  {name}/t{threads}: {ms:.2}ms (x{:.2})", serial_ms / ms);
+    }
+
+    // ---- record E7 rows into BENCH_joins.json (full runs only) -----------
+    if !smoke {
+        let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+            .join("../..")
+            .join("BENCH_joins.json");
+        let mut records: Vec<BenchRecord> = std::fs::read_to_string(&path)
+            .ok()
+            .and_then(|doc| parse_bench_json(&doc))
+            .unwrap_or_default();
+        // replace any previous E7 rows, keep everything else untouched
+        records.retain(|r| !r.workload.starts_with("e7_"));
+        records.extend(e7_records);
+        match write_bench_json(
+            &path,
+            "cargo bench -p wcoj-bench (+ e7_hw_calibration)",
+            &records,
+        ) {
+            Ok(()) => println!("\nwrote E7 rows into {}", path.display()),
+            Err(e) => eprintln!("could not write {}: {e}", path.display()),
+        }
+    }
+}

@@ -7,6 +7,13 @@
 //! * **work** — the deterministic `total_work` tally must not exceed the
 //!   baseline by more than the threshold (default 10%). Work counters are exactly
 //!   reproducible, so this catches algorithmic regressions on any machine.
+//! * **kernel breakdown** — the per-kernel tallies (`kernel_merge`,
+//!   `kernel_gallop`, `kernel_bitmap`) and the incremental-path `delta_merge`
+//!   tally must match the baseline **exactly**. The gate runs with
+//!   [`KernelCalibration::fixed`] pinned, so the adaptive policy's choices are a
+//!   pure function of the data: any drift means the kernel-selection logic (or
+//!   a counted kernel's accounting) changed, and the baseline must be re-recorded
+//!   deliberately rather than absorbed silently.
 //! * **wall-clock** — the fresh time must not exceed the baseline median by more
 //!   than `--time-factor` (default 1.10). The fresh measurement is the **minimum**
 //!   of the timed iterations: scheduler noise and co-tenant interference only ever
@@ -25,7 +32,7 @@
 use std::time::Instant;
 use wcoj_bench::report::parse_bench_json;
 use wcoj_bench::{bench_matrix, ExperimentTable};
-use wcoj_core::exec::{execute_opts_with_order, Engine, ExecOptions};
+use wcoj_core::exec::{execute_opts_with_order, Engine, ExecOptions, KernelCalibration};
 use wcoj_core::planner::agm_variable_order;
 
 fn min_time_ms<F: FnMut()>(mut f: F, iters: usize) -> f64 {
@@ -104,7 +111,9 @@ fn main() {
             else {
                 continue; // workload/engine not in the committed baseline yet
             };
-            let opts = ExecOptions::new(engine);
+            // pin the fixed calibration: the baseline's deterministic tallies were
+            // recorded with it, and host auto-tuning must not shift the comparison
+            let opts = ExecOptions::new(engine).with_calibration(KernelCalibration::fixed());
             let out = execute_opts_with_order(&w.query, &w.db, &opts, &order).expect("execute");
             let fresh_ms = min_time_ms(
                 || {
@@ -142,6 +151,23 @@ fn main() {
                 failures.push(format!(
                     "{label}/{engine_name}: total_work {base_work} -> {fresh_work} (x{work_ratio:.3} > x{work_factor:.2})"
                 ));
+            }
+            // deterministic per-kernel breakdown: exact match required (see module
+            // docs) — skipped per tally when the baseline predates the tally
+            for (tally, fresh_value) in [
+                ("kernel_merge", out.work.kernel_merge()),
+                ("kernel_gallop", out.work.kernel_gallop()),
+                ("kernel_bitmap", out.work.kernel_bitmap()),
+                ("delta_merge", out.work.delta_merge()),
+            ] {
+                let Some(base_value) = base.work_value(tally) else {
+                    continue;
+                };
+                if fresh_value != base_value {
+                    failures.push(format!(
+                        "{label}/{engine_name}: {tally} {base_value} -> {fresh_value} (breakdown must match exactly)"
+                    ));
+                }
             }
             if time_ratio > time_factor {
                 failures.push(format!(

@@ -22,7 +22,7 @@
 //! the kernel output with no per-value cursor movement at all.
 
 use super::{first_extension_set, flush_cursor_work, level_extension_into};
-use wcoj_storage::{KernelPolicy, TrieAccess, Tuple, Value, WorkCounter};
+use wcoj_storage::{KernelCalibration, KernelPolicy, TrieAccess, Tuple, Value, WorkCounter};
 
 /// Run Generic Join over one cursor per atom.
 ///
@@ -36,11 +36,12 @@ pub fn generic_join<C: TrieAccess>(
     cursors: &mut [C],
     participants: &[Vec<usize>],
     policy: KernelPolicy,
+    cal: &KernelCalibration,
     counter: &WorkCounter,
 ) -> Vec<Value> {
     let mut out = Vec::new();
-    let e0 = first_extension_set(cursors, &participants[0], policy, counter);
-    join_extensions(cursors, participants, &e0, policy, counter, &mut out);
+    let e0 = first_extension_set(cursors, &participants[0], policy, cal, counter);
+    join_extensions(cursors, participants, &e0, policy, cal, counter, &mut out);
     for &ci in &participants[0] {
         cursors[ci].up();
     }
@@ -57,6 +58,7 @@ pub(crate) fn join_extensions<C: TrieAccess>(
     participants: &[Vec<usize>],
     values: &[Value],
     policy: KernelPolicy,
+    cal: &KernelCalibration,
     counter: &WorkCounter,
     out: &mut Vec<Value>,
 ) {
@@ -81,6 +83,7 @@ pub(crate) fn join_extensions<C: TrieAccess>(
             &mut binding,
             out,
             policy,
+            cal,
             &mut scratch,
             counter,
         );
@@ -97,6 +100,7 @@ fn descend<C: TrieAccess>(
     binding: &mut Tuple,
     out: &mut Vec<Value>,
     policy: KernelPolicy,
+    cal: &KernelCalibration,
     scratch: &mut [Vec<Value>],
     counter: &WorkCounter,
 ) {
@@ -123,7 +127,7 @@ fn descend<C: TrieAccess>(
     // this level's extension set, through the adaptive kernel layer (the scratch
     // buffer is reused across all visits of this level)
     let mut ext = std::mem::take(&mut scratch[level]);
-    level_extension_into(&mut ext, cursors, parts, policy, counter);
+    level_extension_into(&mut ext, cursors, parts, policy, cal, counter);
 
     if level + 1 == participants.len() {
         // deepest variable: the extension set is the tuple tail — emit directly,
@@ -149,6 +153,7 @@ fn descend<C: TrieAccess>(
                 binding,
                 out,
                 policy,
+                cal,
                 scratch,
                 counter,
             );
@@ -183,7 +188,13 @@ mod tests {
         ];
         let w = WorkCounter::new();
         let mut cursors: Vec<_> = tries.iter().map(|t| t.cursor()).collect();
-        let from_tries = generic_join(&mut cursors, &participants, KernelPolicy::Adaptive, &w);
+        let from_tries = generic_join(
+            &mut cursors,
+            &participants,
+            KernelPolicy::Adaptive,
+            &KernelCalibration::fixed(),
+            &w,
+        );
 
         let indexes = [
             PrefixIndex::build(&r, &["A", "B"]).unwrap(),
@@ -191,7 +202,13 @@ mod tests {
             PrefixIndex::build(&t, &["A", "C"]).unwrap(),
         ];
         let mut cursors: Vec<_> = indexes.iter().map(|ix| ix.cursor()).collect();
-        let from_indexes = generic_join(&mut cursors, &participants, KernelPolicy::Adaptive, &w);
+        let from_indexes = generic_join(
+            &mut cursors,
+            &participants,
+            KernelPolicy::Adaptive,
+            &KernelCalibration::fixed(),
+            &w,
+        );
 
         // row-major flat output: (1,2,3), (1,3,4), (2,3,1)
         let expected = vec![1, 2, 3, 1, 3, 4, 2, 3, 1];
@@ -216,7 +233,13 @@ mod tests {
             trie_t.cursor().into(),
         ];
         let participants = vec![vec![0, 2], vec![0, 1], vec![1, 2]];
-        let out = generic_join(&mut cursors, &participants, KernelPolicy::Adaptive, &w);
+        let out = generic_join(
+            &mut cursors,
+            &participants,
+            KernelPolicy::Adaptive,
+            &KernelCalibration::fixed(),
+            &w,
+        );
         assert_eq!(out, vec![1, 2, 3, 1, 3, 4, 2, 3, 1]);
         assert!(w.probes() > 0);
     }
@@ -235,6 +258,7 @@ mod tests {
             &mut cursors,
             &[vec![0], vec![0, 1], vec![1]],
             KernelPolicy::Adaptive,
+            &KernelCalibration::fixed(),
             &w,
         );
         assert!(out.is_empty());

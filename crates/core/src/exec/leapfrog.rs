@@ -20,7 +20,7 @@
 //! (Section 1.2 of the paper).
 
 use super::{first_extension_set, flush_cursor_work, level_extension_into};
-use wcoj_storage::{KernelPolicy, TrieAccess, Tuple, Value, WorkCounter};
+use wcoj_storage::{KernelCalibration, KernelPolicy, TrieAccess, Tuple, Value, WorkCounter};
 
 /// Run Leapfrog Triejoin over one cursor per atom.
 ///
@@ -31,11 +31,12 @@ pub fn leapfrog_triejoin<C: TrieAccess>(
     cursors: &mut [C],
     participants: &[Vec<usize>],
     policy: KernelPolicy,
+    cal: &KernelCalibration,
     counter: &WorkCounter,
 ) -> Vec<Value> {
     let mut out = Vec::new();
-    let e0 = first_extension_set(cursors, &participants[0], policy, counter);
-    join_extensions(cursors, participants, &e0, policy, counter, &mut out);
+    let e0 = first_extension_set(cursors, &participants[0], policy, cal, counter);
+    join_extensions(cursors, participants, &e0, policy, cal, counter, &mut out);
     for &ci in &participants[0] {
         cursors[ci].up();
     }
@@ -50,6 +51,7 @@ pub(crate) fn join_extensions<C: TrieAccess>(
     participants: &[Vec<usize>],
     values: &[Value],
     policy: KernelPolicy,
+    cal: &KernelCalibration,
     counter: &WorkCounter,
     out: &mut Vec<Value>,
 ) {
@@ -74,6 +76,7 @@ pub(crate) fn join_extensions<C: TrieAccess>(
             &mut binding,
             out,
             policy,
+            cal,
             &mut scratch,
             counter,
         );
@@ -90,6 +93,7 @@ fn descend<C: TrieAccess>(
     binding: &mut Tuple,
     out: &mut Vec<Value>,
     policy: KernelPolicy,
+    cal: &KernelCalibration,
     scratch: &mut Vec<Value>,
     counter: &WorkCounter,
 ) {
@@ -118,7 +122,7 @@ fn descend<C: TrieAccess>(
         // run it through the kernel layer and emit tuples straight from its output
         // (only this level needs the scratch buffer, so one Vec suffices)
         let mut ext = std::mem::take(scratch);
-        level_extension_into(&mut ext, cursors, parts, policy, counter);
+        level_extension_into(&mut ext, cursors, parts, policy, cal, counter);
         counter.add_output(ext.len() as u64);
         out.reserve(ext.len() * (binding.len() + 1));
         for &v in &ext {
@@ -153,6 +157,7 @@ fn descend<C: TrieAccess>(
                 binding,
                 out,
                 policy,
+                cal,
                 scratch,
                 counter,
             );
@@ -193,10 +198,22 @@ mod tests {
         ];
         let w = WorkCounter::new();
         let mut cursors: Vec<_> = tries.iter().map(|t| t.cursor()).collect();
-        let lf = leapfrog_triejoin(&mut cursors, &participants, KernelPolicy::Adaptive, &w);
+        let lf = leapfrog_triejoin(
+            &mut cursors,
+            &participants,
+            KernelPolicy::Adaptive,
+            &KernelCalibration::fixed(),
+            &w,
+        );
 
         let mut cursors: Vec<_> = tries.iter().map(|t| t.cursor()).collect();
-        let gj = generic_join(&mut cursors, &participants, KernelPolicy::Adaptive, &w);
+        let gj = generic_join(
+            &mut cursors,
+            &participants,
+            KernelPolicy::Adaptive,
+            &KernelCalibration::fixed(),
+            &w,
+        );
         assert_eq!(lf, gj);
         // row-major flat output: (1,2,3), (1,3,4), (2,3,1), (4,5,6)
         assert_eq!(lf, vec![1, 2, 3, 1, 3, 4, 2, 3, 1, 4, 5, 6]);
@@ -219,6 +236,7 @@ mod tests {
             &mut cursors,
             &[vec![0, 2], vec![0, 1], vec![1, 2]],
             KernelPolicy::Adaptive,
+            &KernelCalibration::fixed(),
             &w,
         );
         assert_eq!(out, vec![1, 2, 3, 2, 3, 1]);
@@ -235,6 +253,7 @@ mod tests {
             &mut cursors,
             &[vec![0], vec![0]],
             KernelPolicy::Adaptive,
+            &KernelCalibration::fixed(),
             &w,
         );
         assert_eq!(out, vec![1, 2, 3, 4]);

@@ -58,6 +58,7 @@ use wcoj_query::database::VarBinding;
 use wcoj_query::plan::{atom_attr_order, atom_levels, is_valid_order};
 use wcoj_query::{AtomSource, ConjunctiveQuery, Database, VarId};
 use wcoj_storage::typed::TypedRows;
+pub use wcoj_storage::KernelCalibration;
 use wcoj_storage::{
     kernels, AttrType, CursorKind, DeltaAccess, KernelPolicy, PrefixIndex, Relation, Schema, Trie,
     TrieAccess, Value, WorkCounter,
@@ -105,6 +106,14 @@ pub struct ExecOptions {
     /// intersection; the other values force one kernel (used by differential
     /// tests and experiments). Ignored by the binary baseline.
     pub kernel: KernelPolicy,
+    /// Kernel-selection and seek thresholds. `None` (the default) uses the
+    /// host calibration ([`KernelCalibration::host`]: cached micro-benchmark
+    /// probe, overridable per-field via environment variables); `Some` pins
+    /// explicit thresholds — benchmarks and recorded baselines pin
+    /// [`KernelCalibration::fixed`] so their work counters stay
+    /// machine-independent. Thresholds change which kernel/tally a given
+    /// intersection or seek lands in, never the result.
+    pub calibration: Option<KernelCalibration>,
 }
 
 impl Default for ExecOptions {
@@ -114,6 +123,7 @@ impl Default for ExecOptions {
             backend: Backend::Auto,
             threads: 1,
             kernel: KernelPolicy::Adaptive,
+            calibration: None,
         }
     }
 }
@@ -145,6 +155,12 @@ impl ExecOptions {
         self
     }
 
+    /// Builder-style calibration pin (see [`ExecOptions::calibration`]).
+    pub fn with_calibration(mut self, cal: KernelCalibration) -> Self {
+        self.calibration = Some(cal);
+        self
+    }
+
     /// The concrete worker count: `threads`, with `0` resolved to the OS-reported
     /// available parallelism.
     pub fn resolved_threads(&self) -> usize {
@@ -155,6 +171,13 @@ impl ExecOptions {
         } else {
             self.threads
         }
+    }
+
+    /// The concrete thresholds: the pinned calibration if set, else the host
+    /// calibration (probed once per process, cached on disk).
+    pub fn resolved_calibration(&self) -> KernelCalibration {
+        self.calibration
+            .unwrap_or_else(|| *KernelCalibration::host())
     }
 
     /// The concrete backend for `self.engine` after resolving [`Backend::Auto`].
@@ -267,7 +290,8 @@ pub fn execute_opts_with_order(
                 threads,
             )?;
             let parts = participants(query, order);
-            let rows = built.run(engine, &parts, threads, opts.kernel, &counter);
+            let cal = opts.resolved_calibration();
+            let rows = built.run(engine, &parts, threads, opts.kernel, &cal, &counter);
             rows_to_relation(query, order, rows, &bindings)?
         }
     };
@@ -387,6 +411,7 @@ impl<'d> BuiltAccess<'d> {
         participants: &[Vec<usize>],
         threads: usize,
         policy: KernelPolicy,
+        cal: &KernelCalibration,
         counter: &WorkCounter,
     ) -> Vec<Value> {
         match self {
@@ -396,6 +421,7 @@ impl<'d> BuiltAccess<'d> {
                 participants,
                 threads,
                 policy,
+                cal,
                 counter,
             ),
             BuiltAccess::Indexes(indexes) => run_cursors(
@@ -404,6 +430,7 @@ impl<'d> BuiltAccess<'d> {
                 participants,
                 threads,
                 policy,
+                cal,
                 counter,
             ),
             BuiltAccess::Mixed(accesses) => run_cursors(
@@ -412,6 +439,7 @@ impl<'d> BuiltAccess<'d> {
                 participants,
                 threads,
                 policy,
+                cal,
                 counter,
             ),
         }
@@ -424,6 +452,7 @@ fn run_cursors<C, F>(
     participants: &[Vec<usize>],
     threads: usize,
     policy: KernelPolicy,
+    cal: &KernelCalibration,
     counter: &WorkCounter,
 ) -> Vec<Value>
 where
@@ -432,17 +461,28 @@ where
 {
     if threads <= 1 {
         let mut cursors = make_cursors();
+        for c in cursors.iter_mut() {
+            c.set_seek_calibration(cal.linear_seek_max);
+        }
         match engine {
             Engine::GenericJoin => {
-                generic::generic_join(&mut cursors, participants, policy, counter)
+                generic::generic_join(&mut cursors, participants, policy, cal, counter)
             }
             Engine::Leapfrog => {
-                leapfrog::leapfrog_triejoin(&mut cursors, participants, policy, counter)
+                leapfrog::leapfrog_triejoin(&mut cursors, participants, policy, cal, counter)
             }
             Engine::BinaryHash => unreachable!("the binary baseline has no cursor path"),
         }
     } else {
-        parallel::morsel_join(engine, make_cursors, participants, threads, policy, counter)
+        parallel::morsel_join(
+            engine,
+            make_cursors,
+            participants,
+            threads,
+            policy,
+            cal,
+            counter,
+        )
     }
 }
 
@@ -454,6 +494,7 @@ pub(crate) fn first_extension_set<C: TrieAccess>(
     cursors: &mut [C],
     parts0: &[usize],
     policy: KernelPolicy,
+    cal: &KernelCalibration,
     counter: &WorkCounter,
 ) -> Vec<Value> {
     for &ci in parts0 {
@@ -462,22 +503,26 @@ pub(crate) fn first_extension_set<C: TrieAccess>(
         }
     }
     let mut out = Vec::new();
-    level_extension_into(&mut out, cursors, parts0, policy, counter);
+    level_extension_into(&mut out, cursors, parts0, policy, cal, counter);
     out
 }
 
 /// Compute the extension set of one join variable — the kernel-layer intersection
 /// of the open participant cursors' remaining sibling groups — into `ext`. This is
 /// the single intersection seam of both WCOJ engines: every level's candidate set
-/// flows through [`wcoj_storage::kernels::intersect_into`], so the policy (and the
-/// per-kernel work/choice tallies) apply uniformly.
+/// flows through [`wcoj_storage::kernels::intersect_into_cal`], so the policy, the
+/// calibrated thresholds, and the per-kernel work/choice tallies apply uniformly.
+/// The SIMD level is the process-wide detected one — it never changes output or
+/// counters, only the instruction mix.
 pub(crate) fn level_extension_into<C: TrieAccess>(
     ext: &mut Vec<Value>,
     cursors: &[C],
     parts: &[usize],
     policy: KernelPolicy,
+    cal: &KernelCalibration,
     counter: &WorkCounter,
 ) {
+    let level = wcoj_storage::simd::active_level();
     // sized against the kernel layer's own inline-bookkeeping capacity
     const MAX_INLINE: usize = kernels::MAX_INLINE_LISTS;
     if parts.len() <= MAX_INLINE {
@@ -485,10 +530,10 @@ pub(crate) fn level_extension_into<C: TrieAccess>(
         for (slot, &ci) in buf.iter_mut().zip(parts) {
             *slot = cursors[ci].remaining();
         }
-        kernels::intersect_into(ext, &buf[..parts.len()], policy, counter);
+        kernels::intersect_into_cal(level, ext, &buf[..parts.len()], policy, cal, counter);
     } else {
         let slices: Vec<&[Value]> = parts.iter().map(|&ci| cursors[ci].remaining()).collect();
-        kernels::intersect_into(ext, &slices, policy, counter);
+        kernels::intersect_into_cal(level, ext, &slices, policy, cal, counter);
     }
 }
 
@@ -500,21 +545,23 @@ pub(crate) fn flush_cursor_work<C: TrieAccess>(cursors: &mut [C], counter: &Work
 }
 
 /// Dispatch the per-morsel serial engine body by engine kind.
+#[allow(clippy::too_many_arguments)] // mirrors the engines' join_extensions signature
 pub(crate) fn engine_join_extensions<C: TrieAccess>(
     engine: Engine,
     cursors: &mut [C],
     participants: &[Vec<usize>],
     values: &[Value],
     policy: KernelPolicy,
+    cal: &KernelCalibration,
     counter: &WorkCounter,
     out: &mut Vec<Value>,
 ) {
     match engine {
         Engine::GenericJoin => {
-            generic::join_extensions(cursors, participants, values, policy, counter, out)
+            generic::join_extensions(cursors, participants, values, policy, cal, counter, out)
         }
         Engine::Leapfrog => {
-            leapfrog::join_extensions(cursors, participants, values, policy, counter, out)
+            leapfrog::join_extensions(cursors, participants, values, policy, cal, counter, out)
         }
         Engine::BinaryHash => unreachable!("the binary baseline has no cursor path"),
     }
@@ -544,15 +591,17 @@ fn rows_to_relation(
     rows: Vec<Value>,
     bindings: &[VarBinding],
 ) -> Result<Relation, ExecError> {
-    let ordered_names: Vec<String> = order
-        .iter()
-        .map(|&v| query.var_name(v).to_string())
-        .collect();
-    let ordered_types: Vec<AttrType> = order.iter().map(|&v| bindings[v].ty).collect();
-    let schema = Schema::try_new_typed(ordered_names, ordered_types)?;
-    let rel = Relation::try_from_flat_rows(schema, rows)?;
-    let var_refs: Vec<&str> = query.var_names().iter().map(|s| s.as_str()).collect();
-    Ok(rel.project(&var_refs)?)
+    // Rows arrive row-major in join-variable order; the output schema lists
+    // variables in declaration order. `perm[c]` is the row field holding output
+    // column `c`, so packaging is one fused permute-sort-dedup pass.
+    let names: Vec<String> = query.var_names().to_vec();
+    let types: Vec<AttrType> = (0..names.len() as VarId).map(|v| bindings[v].ty).collect();
+    let schema = Schema::try_new_typed(names, types)?;
+    let mut perm = vec![0usize; order.len()];
+    for (field, &v) in order.iter().enumerate() {
+        perm[v] = field;
+    }
+    Ok(Relation::try_from_flat_rows_permuted(schema, &rows, &perm)?)
 }
 
 #[cfg(test)]

@@ -103,6 +103,14 @@ pub trait TrieAccess {
     /// call this once per cursor at the end of a run and absorb the result into
     /// their [`crate::WorkCounter`].
     fn take_work(&mut self) -> CursorWork;
+
+    /// Set the linear-scan-vs-gallop cutoff used by `seek` and `advance_to`
+    /// (see [`crate::tune::KernelCalibration::linear_seek_max`]). Engines call
+    /// this once after construction; the default implementation ignores it, so
+    /// cursors without an adaptive seek need not care. Changing the cutoff
+    /// changes which tally (comparisons vs probes) a seek records — recorded
+    /// baselines pin the fixed calibration for machine-independent counters.
+    fn set_seek_calibration(&mut self, _linear_max: usize) {}
 }
 
 impl TrieAccess for TrieCursor<'_> {
@@ -153,6 +161,10 @@ impl TrieAccess for TrieCursor<'_> {
     fn take_work(&mut self) -> CursorWork {
         TrieCursor::take_work(self)
     }
+
+    fn set_seek_calibration(&mut self, linear_max: usize) {
+        TrieCursor::set_seek_calibration(self, linear_max)
+    }
 }
 
 /// One open level of a [`PrefixCursor`]: the sorted distinct values extending the
@@ -186,6 +198,8 @@ pub struct PrefixCursor<'a> {
     /// property requires.
     memo: Vec<Option<(Vec<Value>, &'a [Value])>>,
     work: CursorWork,
+    simd: crate::simd::SimdLevel,
+    seek_linear_max: usize,
 }
 
 impl PrefixIndex {
@@ -197,6 +211,8 @@ impl PrefixIndex {
             prefix_buf: Vec::with_capacity(self.arity()),
             memo: vec![None; self.arity()],
             work: CursorWork::default(),
+            simd: crate::simd::active_level(),
+            seek_linear_max: crate::ops::LINEAR_SEEK_MAX,
         }
     }
 }
@@ -273,11 +289,22 @@ impl TrieAccess for PrefixCursor<'_> {
         if f.pos >= f.values.len() {
             return false;
         }
-        let (pos, probes, cmps) = crate::ops::seek_lub(f.values, f.pos, f.values.len(), target);
+        let (pos, probes, cmps) = crate::ops::seek_lub_cal(
+            self.simd,
+            f.values,
+            f.pos,
+            f.values.len(),
+            target,
+            self.seek_linear_max,
+        );
         self.work.probes += probes;
         self.work.comparisons += cmps;
         f.pos = pos;
         f.pos < f.values.len()
+    }
+
+    fn set_seek_calibration(&mut self, linear_max: usize) {
+        self.seek_linear_max = linear_max;
     }
 
     fn reposition(&mut self, target: Value) -> bool {
@@ -302,7 +329,14 @@ impl TrieAccess for PrefixCursor<'_> {
         if f.values[f.pos] >= target {
             return f.values[f.pos] == target;
         }
-        let (pos, _) = crate::ops::gallop_lub(f.values, f.pos, f.values.len(), target);
+        let pos = crate::ops::advance_lub(
+            self.simd,
+            f.values,
+            f.pos,
+            f.values.len(),
+            target,
+            self.seek_linear_max,
+        );
         f.pos = pos;
         pos < f.values.len() && f.values[pos] == target
     }
@@ -413,6 +447,10 @@ impl TrieAccess for CursorKind<'_> {
 
     fn take_work(&mut self) -> CursorWork {
         dispatch!(self, c => c.take_work())
+    }
+
+    fn set_seek_calibration(&mut self, linear_max: usize) {
+        dispatch!(self, c => TrieAccess::set_seek_calibration(c, linear_max))
     }
 }
 

@@ -41,7 +41,9 @@
 //! stays `O(m)` up to the same log/constant factors the paper's analyses absorb —
 //! adaptivity never gives up worst-case optimality.
 
+use crate::simd::{self, SimdLevel};
 use crate::stats::WorkCounter;
+use crate::tune::KernelCalibration;
 use crate::Value;
 
 /// Which intersection kernel the execution layer should run. Carried through
@@ -107,21 +109,32 @@ const TINY_LIST: usize = 4;
 pub const MAX_INLINE_LISTS: usize = 16;
 
 /// Pick the kernel for `lists` (all non-empty) whose common span is `[lo, hi]`.
-/// Exposed so tests and experiments can audit the heuristic directly.
+/// Exposed so tests and experiments can audit the heuristic directly. Uses the
+/// fixed thresholds; [`choose_kernel_with`] takes a [`KernelCalibration`].
 pub fn choose_kernel(lists: &[&[Value]], lo: Value, hi: Value) -> KernelKind {
+    choose_kernel_with(&KernelCalibration::fixed(), lists, lo, hi)
+}
+
+/// [`choose_kernel`] with explicit (host-calibrated or pinned) thresholds.
+pub fn choose_kernel_with(
+    cal: &KernelCalibration,
+    lists: &[&[Value]],
+    lo: Value,
+    hi: Value,
+) -> KernelKind {
     let m = lists.iter().map(|l| l.len()).min().unwrap_or(0);
     let max_len = lists.iter().map(|l| l.len()).max().unwrap_or(0);
     if m <= TINY_LIST {
-        return if max_len <= MERGE_MAX_RATIO * m.max(1) {
+        return if max_len <= cal.merge_max_ratio * m.max(1) {
             KernelKind::Merge
         } else {
             KernelKind::Gallop
         };
     }
     let span = hi - lo + 1;
-    if span <= BITMAP_MAX_SPAN && span <= BITMAP_SPAN_PER_ELEMENT * m as u64 {
+    if span <= cal.bitmap_max_span && span <= cal.bitmap_span_per_element * m as u64 {
         KernelKind::Bitmap
-    } else if max_len <= MERGE_MAX_RATIO * m {
+    } else if max_len <= cal.merge_max_ratio * m {
         KernelKind::Merge
     } else {
         KernelKind::Gallop
@@ -139,11 +152,52 @@ pub fn intersect(lists: &[&[Value]], policy: KernelPolicy, counter: &WorkCounter
 
 /// Intersect `lists` into `out` (cleared first) under `policy`, recording work
 /// and the kernel choice into `counter`. All kernels produce identical output:
-/// the ascending sorted intersection.
+/// the ascending sorted intersection. Runs at the detected SIMD level with the
+/// fixed thresholds; the SIMD level never changes output or counters.
 pub fn intersect_into(
     out: &mut Vec<Value>,
     lists: &[&[Value]],
     policy: KernelPolicy,
+    counter: &WorkCounter,
+) {
+    intersect_into_cal(
+        simd::active_level(),
+        out,
+        lists,
+        policy,
+        &KernelCalibration::fixed(),
+        counter,
+    )
+}
+
+/// [`intersect_into`] at an explicit SIMD level (fixed thresholds) — the entry
+/// point differential tests and the tuning probe use to pin the code path.
+pub fn intersect_into_at(
+    level: SimdLevel,
+    out: &mut Vec<Value>,
+    lists: &[&[Value]],
+    policy: KernelPolicy,
+    counter: &WorkCounter,
+) {
+    intersect_into_cal(
+        level,
+        out,
+        lists,
+        policy,
+        &KernelCalibration::fixed(),
+        counter,
+    )
+}
+
+/// The full-control intersection entry point: explicit SIMD level and policy
+/// thresholds. The execution layer resolves both once per query (from
+/// `ExecOptions` / the host calibration) and calls this in its hot loop.
+pub fn intersect_into_cal(
+    level: SimdLevel,
+    out: &mut Vec<Value>,
+    lists: &[&[Value]],
+    policy: KernelPolicy,
+    cal: &KernelCalibration,
     counter: &WorkCounter,
 ) {
     out.clear();
@@ -168,7 +222,7 @@ pub fn intersect_into(
         return;
     }
     let kind = match policy {
-        KernelPolicy::Adaptive => choose_kernel(lists, lo, hi),
+        KernelPolicy::Adaptive => choose_kernel_with(cal, lists, lo, hi),
         KernelPolicy::Merge => KernelKind::Merge,
         KernelPolicy::Gallop => KernelKind::Gallop,
         KernelPolicy::Bitmap => {
@@ -185,8 +239,8 @@ pub fn intersect_into(
     };
     counter.add_kernel(kind);
     match kind {
-        KernelKind::Merge => merge_intersect(out, lists, counter),
-        KernelKind::Gallop => gallop_intersect(out, lists, counter),
+        KernelKind::Merge => merge_intersect(level, out, lists, counter),
+        KernelKind::Gallop => gallop_intersect(level, out, lists, counter),
         KernelKind::Bitmap => bitmap_intersect(out, lists, lo, hi, counter),
     }
 }
@@ -211,9 +265,60 @@ fn merge2(out: &mut Vec<Value>, a: &[Value], b: &[Value]) -> u64 {
     cmps
 }
 
+/// The comparison count the scalar [`merge2`] loop performs on `(a, b)`, in
+/// closed form, given the number of matches `m`.
+///
+/// Every scalar iteration advances `i + j` by 1 (strict inequality) or 2
+/// (match), so with terminal positions `(fi, fj)` the iteration count is
+/// `fi + fj - m`. The terminal positions follow from the last elements: if
+/// `a_last < b_last` the loop ends by exhausting `a` with `j` at the number of
+/// `b` values `<= a_last` (symmetrically for `>`); equal last elements exhaust
+/// both. This lets the SIMD block kernel — which takes a different path through
+/// the data — charge *exactly* the scalar comparison tally.
+fn merge2_cost(a: &[Value], b: &[Value], m: u64) -> u64 {
+    if a.is_empty() || b.is_empty() {
+        return 0;
+    }
+    let a_last = a[a.len() - 1];
+    let b_last = b[b.len() - 1];
+    let (fi, fj) = match a_last.cmp(&b_last) {
+        std::cmp::Ordering::Equal => (a.len(), b.len()),
+        std::cmp::Ordering::Less => (a.len(), b.partition_point(|&y| y <= a_last)),
+        std::cmp::Ordering::Greater => (a.partition_point(|&x| x <= b_last), b.len()),
+    };
+    (fi + fj) as u64 - m
+}
+
+/// Two-way merge intersection at `level`, appending to `out` and returning the
+/// scalar-equivalent comparison count (direct for scalar, closed-form for SIMD).
+fn merge2_counted(level: SimdLevel, out: &mut Vec<Value>, a: &[Value], b: &[Value]) -> u64 {
+    match level {
+        SimdLevel::Scalar => merge2(out, a, b),
+        _ => {
+            let before = out.len();
+            simd::merge2_into(level, out, a, b);
+            let m = (out.len() - before) as u64;
+            debug_assert_eq!(
+                merge2_cost(a, b, m),
+                {
+                    let mut chk = Vec::new();
+                    merge2(&mut chk, a, b)
+                },
+                "closed-form merge cost diverged from the scalar loop"
+            );
+            merge2_cost(a, b, m)
+        }
+    }
+}
+
 /// Pairwise merge intersection, smallest lists first so the accumulator shrinks
 /// as early as possible.
-fn merge_intersect(out: &mut Vec<Value>, lists: &[&[Value]], counter: &WorkCounter) {
+fn merge_intersect(
+    level: SimdLevel,
+    out: &mut Vec<Value>,
+    lists: &[&[Value]],
+    counter: &WorkCounter,
+) {
     debug_assert!(lists.len() >= 2);
     let mut order_buf = [0usize; MAX_INLINE_LISTS];
     let mut order_vec;
@@ -229,12 +334,31 @@ fn merge_intersect(out: &mut Vec<Value>, lists: &[&[Value]], counter: &WorkCount
     };
     order.sort_unstable_by_key(|&i| lists[i].len());
 
-    let mut cmps = merge2(out, lists[order[0]], lists[order[1]]);
-    for &i in &order[2..] {
-        if out.is_empty() {
-            break;
+    let mut cmps = merge2_counted(level, out, lists[order[0]], lists[order[1]]);
+    match level {
+        SimdLevel::Scalar => {
+            for &i in &order[2..] {
+                if out.is_empty() {
+                    break;
+                }
+                cmps += retain_common(out, lists[i]);
+            }
         }
-        cmps += retain_common(out, lists[i]);
+        _ => {
+            // The SIMD block kernel can't retain in place (block writes may
+            // overrun the read frontier), so extra lists ping-pong between the
+            // caller's buffer and one scratch vector. retain_common is the same
+            // two-pointer loop as merge2, so the closed-form cost still applies.
+            let mut scratch: Vec<Value> = Vec::new();
+            for &i in &order[2..] {
+                if out.is_empty() {
+                    break;
+                }
+                std::mem::swap(out, &mut scratch);
+                out.clear();
+                cmps += merge2_counted(level, out, &scratch, lists[i]);
+            }
+        }
     }
     counter.add_comparisons(cmps);
 }
@@ -263,7 +387,12 @@ fn retain_common(out: &mut Vec<Value>, b: &[Value]) -> u64 {
 
 /// Smallest-driven galloping intersection: enumerate the smallest list, gallop in
 /// the others with monotone frontiers, early-exiting when any frontier runs out.
-fn gallop_intersect(out: &mut Vec<Value>, lists: &[&[Value]], counter: &WorkCounter) {
+fn gallop_intersect(
+    level: SimdLevel,
+    out: &mut Vec<Value>,
+    lists: &[&[Value]],
+    counter: &WorkCounter,
+) {
     debug_assert!(lists.len() >= 2);
     let smallest = lists
         .iter()
@@ -287,7 +416,7 @@ fn gallop_intersect(out: &mut Vec<Value>, lists: &[&[Value]], counter: &WorkCoun
             if i == smallest {
                 continue;
             }
-            let pos = crate::ops::gallop(list, positions[i], v, counter);
+            let pos = crate::ops::gallop_at(level, list, positions[i], v, counter);
             positions[i] = pos;
             if pos >= list.len() {
                 break 'outer; // this list is exhausted: nothing further matches
@@ -321,45 +450,81 @@ fn bitmap_intersect(
         .expect("non-empty list set");
 
     // the adaptive policy caps the span at BITMAP_MAX_SPAN (64 words), so the
-    // common case runs on stack buffers; only a forced wide-span Bitmap (within
+    // common case runs on a stack buffer; only a forced wide-span Bitmap (within
     // its own affordability cap) spills to the heap
     const STACK_WORDS: usize = (BITMAP_MAX_SPAN / 64) as usize;
     let mut acc_buf = [0u64; STACK_WORDS];
-    let mut cur_buf = [0u64; STACK_WORDS];
     let mut acc_vec;
-    let mut cur_vec;
-    let (acc, cur): (&mut [u64], &mut [u64]) = if words <= STACK_WORDS {
-        (&mut acc_buf[..words], &mut cur_buf[..words])
+    let acc: &mut [u64] = if words <= STACK_WORDS {
+        &mut acc_buf[..words]
     } else {
         acc_vec = vec![0u64; words];
-        cur_vec = vec![0u64; words];
-        (&mut acc_vec, &mut cur_vec)
+        &mut acc_vec
     };
 
+    // Each list's in-span window is ascending, so the values hitting one bitset
+    // word are contiguous: accumulate each word's bits in a register and touch
+    // memory once per (list, word) instead of once per element. The other lists
+    // AND straight into `acc` — words they skip are zeroed in passing — so no
+    // second bitset buffer (with its zero + AND passes) exists at all. Scanned
+    // elements and words touched are unchanged, so the counter tallies are
+    // identical to the two-buffer formulation.
     let mut scanned = 0u64;
     let in_span = |l: &[Value]| -> std::ops::Range<usize> {
         let start = l.partition_point(|&x| x < lo);
         let end = l.partition_point(|&x| x <= hi);
         start..end
     };
-    for &v in &lists[smallest][in_span(lists[smallest])] {
-        let off = (v - lo) as usize;
-        acc[off / 64] |= 1u64 << (off % 64);
-        scanned += 1;
+    {
+        let window = &lists[smallest][in_span(lists[smallest])];
+        scanned += window.len() as u64;
+        let mut run_word = usize::MAX;
+        let mut run_bits = 0u64;
+        for &v in window {
+            let off = (v - lo) as usize;
+            let w = off / 64;
+            if w != run_word {
+                if run_word != usize::MAX {
+                    acc[run_word] = run_bits;
+                }
+                run_word = w;
+                run_bits = 0;
+            }
+            run_bits |= 1u64 << (off % 64);
+        }
+        if run_word != usize::MAX {
+            acc[run_word] = run_bits;
+        }
     }
     for (i, list) in lists.iter().enumerate() {
         if i == smallest {
             continue;
         }
-        cur.iter_mut().for_each(|w| *w = 0);
-        for &v in &list[in_span(list)] {
+        let window = &list[in_span(list)];
+        scanned += window.len() as u64;
+        let mut next_unflushed = 0usize;
+        let mut run_word = usize::MAX;
+        let mut run_bits = 0u64;
+        for &v in window {
             let off = (v - lo) as usize;
-            cur[off / 64] |= 1u64 << (off % 64);
-            scanned += 1;
+            let w = off / 64;
+            if w != run_word {
+                if run_word != usize::MAX {
+                    acc[next_unflushed..run_word].fill(0);
+                    acc[run_word] &= run_bits;
+                    next_unflushed = run_word + 1;
+                }
+                run_word = w;
+                run_bits = 0;
+            }
+            run_bits |= 1u64 << (off % 64);
         }
-        for (a, c) in acc.iter_mut().zip(cur.iter()) {
-            *a &= c;
+        if run_word != usize::MAX {
+            acc[next_unflushed..run_word].fill(0);
+            acc[run_word] &= run_bits;
+            next_unflushed = run_word + 1;
         }
+        acc[next_unflushed..].fill(0);
     }
     counter.add_comparisons(scanned);
     counter.add_probes((words * lists.len()) as u64);

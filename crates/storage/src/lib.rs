@@ -47,7 +47,15 @@
 //! * [`stats::WorkCounter`] / [`stats::CursorWork`] — instrumentation counting
 //!   comparisons, probes, and intermediate tuples so that tests and benchmarks can
 //!   check the *work* bounds the paper proves, not just wall-clock time. Parallel
-//!   workers' counters merge associatively.
+//!   workers' counters merge associatively;
+//! * [`simd`] / [`tune`] / [`topology`] — the hardware-calibration layer:
+//!   runtime-dispatched SIMD intersection and seek primitives (AVX2 / NEON with a
+//!   scalar fallback, selected once at startup), a startup micro-benchmark probe
+//!   producing a [`tune::KernelCalibration`] of kernel-selection thresholds, and a
+//!   `/sys`-based CPU-topology probe for socket/SMT-aware worker placement. All
+//!   SIMD paths are bit-identical to scalar in both output **and** recorded work:
+//!   the counters replay the scalar algorithm's tally arithmetically from the
+//!   landing position, so recorded work baselines stay machine-independent.
 //!
 //! # Quick example
 //!
@@ -65,7 +73,10 @@
 //! assert_eq!(p.len(), 2); // {2, 3}
 //! ```
 
-#![forbid(unsafe_code)]
+// Unsafe is denied crate-wide and allowed back in exactly two leaf modules:
+// `simd` (target_feature intrinsics, each `unsafe fn` guarded by runtime
+// feature detection) and `topology` (one raw `sched_setaffinity` syscall).
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod access;
@@ -77,8 +88,11 @@ pub mod kernels;
 pub mod ops;
 pub mod relation;
 pub mod schema;
+pub mod simd;
 pub mod stats;
+pub mod topology;
 pub mod trie;
+pub mod tune;
 pub mod typed;
 
 pub use access::{CursorKind, PrefixCursor, TrieAccess};
@@ -90,8 +104,10 @@ pub use kernels::{KernelKind, KernelPolicy};
 pub use ops::{hash_join, intersect_sorted, merge_join, nested_loop_join};
 pub use relation::{Relation, Tuple};
 pub use schema::{AttrType, Schema};
+pub use simd::SimdLevel;
 pub use stats::{CursorWork, WorkCounter};
 pub use trie::{Trie, TrieCursor};
+pub use tune::KernelCalibration;
 pub use typed::{encode_column, TypedRow, TypedRows, TypedValue};
 
 /// A dictionary-encoded attribute value.

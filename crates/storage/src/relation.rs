@@ -118,6 +118,160 @@ impl Relation {
         }
     }
 
+    /// Build a relation from a row-major flat value buffer whose fields are then
+    /// *permuted* per row: output column `c` is field `perm[c]` of each input row.
+    /// This fuses the engines' result-packaging pipeline (flat rows in join-variable
+    /// order → reorder columns to schema order → canonical sort + dedup) into a
+    /// single pack-sort-split pass over contiguous rows, instead of materializing an
+    /// intermediate relation and re-sorting it through an index argsort.
+    pub fn try_from_flat_rows_permuted(
+        schema: Schema,
+        values: &[Value],
+        perm: &[usize],
+    ) -> Result<Self, StorageError> {
+        let arity = schema.arity();
+        if perm.len() != arity || perm.iter().any(|&p| p >= arity) {
+            return Err(StorageError::ArityMismatch {
+                expected: arity,
+                found: perm.len(),
+            });
+        }
+        if arity == 0 {
+            return Ok(Relation::empty(schema));
+        }
+        if !values.len().is_multiple_of(arity) {
+            return Err(StorageError::ArityMismatch {
+                expected: arity,
+                found: values.len() % arity,
+            });
+        }
+        if arity == 1 {
+            let mut col: Vec<Value> = values.to_vec();
+            col.sort_unstable();
+            col.dedup();
+            let len = col.len();
+            return Ok(Relation {
+                schema,
+                columns: vec![col],
+                len,
+            });
+        }
+        // Pack each permuted row into a single scalar sort key straight from the
+        // flat buffer (no intermediate row materialization) whenever the fields'
+        // bit widths fit in one u64.
+        if arity <= 8 {
+            let mut field_max = vec![0u64; arity];
+            for chunk in values.chunks_exact(arity) {
+                for (m, &v) in field_max.iter_mut().zip(chunk) {
+                    if v > *m {
+                        *m = v;
+                    }
+                }
+            }
+            let widths: Vec<u32> = perm
+                .iter()
+                .map(|&p| 64 - field_max[p].leading_zeros())
+                .collect();
+            let total: u32 = widths.iter().sum();
+            if total <= 64 {
+                let mut keys: Vec<u64> = values
+                    .chunks_exact(arity)
+                    .map(|chunk| {
+                        let mut k = 0u64;
+                        for (&p, &w) in perm.iter().zip(&widths) {
+                            // w == 64 implies every other width is 0 and k is still 0
+                            k = if w == 64 {
+                                chunk[p]
+                            } else {
+                                (k << w) | chunk[p]
+                            };
+                        }
+                        k
+                    })
+                    .collect();
+                keys.sort_unstable();
+                keys.dedup();
+                let columns = unpack_keys::<u64>(&keys, &widths);
+                let len = keys.len();
+                return Ok(Relation {
+                    schema,
+                    columns,
+                    len,
+                });
+            }
+        }
+        let columns: Vec<Vec<Value>> = perm
+            .iter()
+            .map(|&p| values.iter().skip(p).step_by(arity).copied().collect())
+            .collect();
+        Self::try_from_columns(schema, columns)
+    }
+
+    /// Sort + dedup rows already packed as fixed-arity arrays, then split back into
+    /// columns. When the per-field bit widths fit, rows are squeezed into single
+    /// `u64`/`u128` sort keys (lexicographic order is preserved because each field
+    /// occupies a disjoint, more-significant bit range) — sorting scalar keys is
+    /// ~3x faster than sorting `[Value; K]` arrays, which in turn beats an index
+    /// argsort chasing per-column vectors. This is the canonicalization core for
+    /// every low-arity constructor.
+    fn canonicalize_packed<const K: usize>(schema: Schema, mut rows: Vec<[Value; K]>) -> Self {
+        let mut maxes = [0u64; K];
+        for row in &rows {
+            for (c, m) in maxes.iter_mut().enumerate() {
+                *m = (*m).max(row[c]);
+            }
+        }
+        let widths = maxes.map(|m| 64 - m.leading_zeros());
+        let total: u32 = widths.iter().sum();
+        let columns = if total <= 64 {
+            let mut keys: Vec<u64> = rows
+                .iter()
+                .map(|row| {
+                    let mut k = 0u64;
+                    for (c, &w) in widths.iter().enumerate() {
+                        // w == 64 implies every other width is 0 and k is still 0
+                        k = if w == 64 { row[c] } else { (k << w) | row[c] };
+                    }
+                    k
+                })
+                .collect();
+            keys.sort_unstable();
+            keys.dedup();
+            unpack_keys::<u64>(&keys, &widths)
+        } else if total <= 128 {
+            let mut keys: Vec<u128> = rows
+                .iter()
+                .map(|row| {
+                    let mut k = 0u128;
+                    for (c, &w) in widths.iter().enumerate() {
+                        k = (k << w) | row[c] as u128;
+                    }
+                    k
+                })
+                .collect();
+            keys.sort_unstable();
+            keys.dedup();
+            unpack_keys::<u128>(&keys, &widths)
+        } else {
+            rows.sort_unstable();
+            rows.dedup();
+            let mut columns: Vec<Vec<Value>> =
+                (0..K).map(|_| Vec::with_capacity(rows.len())).collect();
+            for row in &rows {
+                for (c, col) in columns.iter_mut().enumerate() {
+                    col.push(row[c]);
+                }
+            }
+            columns
+        };
+        let len = columns.first().map_or(0, |c| c.len());
+        Relation {
+            schema,
+            columns,
+            len,
+        }
+    }
+
     /// Build a relation directly from columns (all of equal length), sorting rows
     /// lexicographically and deduplicating — the bulk-load path that never touches a
     /// row representation.
@@ -138,7 +292,41 @@ impl Relation {
                 found: bad.len(),
             });
         }
-        // argsort row indices, then gather each column through the permutation
+        // Low arities (the overwhelmingly common case) repack into contiguous
+        // fixed-size rows and sort those; wider schemas fall back to an argsort of
+        // row indices gathered through the permutation.
+        match columns.len() {
+            1 => {
+                let mut col = columns.into_iter().next().expect("arity checked");
+                col.sort_unstable();
+                col.dedup();
+                let len = col.len();
+                return Ok(Relation {
+                    schema,
+                    columns: vec![col],
+                    len,
+                });
+            }
+            2 => {
+                return Ok(Self::canonicalize_packed::<2>(
+                    schema,
+                    pack_columns::<2>(&columns, n),
+                ))
+            }
+            3 => {
+                return Ok(Self::canonicalize_packed::<3>(
+                    schema,
+                    pack_columns::<3>(&columns, n),
+                ))
+            }
+            4 => {
+                return Ok(Self::canonicalize_packed::<4>(
+                    schema,
+                    pack_columns::<4>(&columns, n),
+                ))
+            }
+            _ => {}
+        }
         let cmp = |&a: &usize, &b: &usize| -> Ordering {
             for col in &columns {
                 match col[a].cmp(&col[b]) {
@@ -608,6 +796,63 @@ pub(crate) fn cmp_columns_at(
     a.cmp(&b)
 }
 
+/// Scalar sort keys that packed rows can be squeezed into: shift/extract in
+/// word-sized chunks with per-field widths summing to at most `Self::BITS`.
+trait PackedKey: Copy {
+    fn field(self, shift: u32, width: u32) -> Value;
+}
+
+impl PackedKey for u64 {
+    fn field(self, shift: u32, width: u32) -> Value {
+        if width == 0 {
+            0
+        } else {
+            (self >> shift) & (u64::MAX >> (64 - width))
+        }
+    }
+}
+
+impl PackedKey for u128 {
+    fn field(self, shift: u32, width: u32) -> Value {
+        if width == 0 {
+            0
+        } else {
+            ((self >> shift) as u64) & (u64::MAX >> (64 - width))
+        }
+    }
+}
+
+/// Split sorted packed keys back into per-field columns using the bit widths the
+/// keys were packed with (field 0 most significant).
+fn unpack_keys<T: PackedKey>(keys: &[T], widths: &[u32]) -> Vec<Vec<Value>> {
+    let mut shifts = vec![0u32; widths.len()];
+    let mut acc = 0u32;
+    for c in (0..widths.len()).rev() {
+        shifts[c] = acc;
+        acc += widths[c];
+    }
+    let mut columns: Vec<Vec<Value>> = (0..widths.len())
+        .map(|_| Vec::with_capacity(keys.len()))
+        .collect();
+    for &k in keys {
+        for (c, col) in columns.iter_mut().enumerate() {
+            col.push(k.field(shifts[c], widths[c]));
+        }
+    }
+    columns
+}
+
+/// Gather `n` column-major rows into contiguous fixed-arity arrays.
+fn pack_columns<const K: usize>(columns: &[Vec<Value>], n: usize) -> Vec<[Value; K]> {
+    let mut rows: Vec<[Value; K]> = vec![[0; K]; n];
+    for (c, col) in columns.iter().enumerate() {
+        for (row, &v) in rows.iter_mut().zip(col) {
+            row[c] = v;
+        }
+    }
+    rows
+}
+
 /// Argsort of `len` rows of column-major `columns` by `positions` — the serial
 /// core of [`Relation::sort_perm`], shared with the delta-log subsystem (whose
 /// run concatenations are *not* canonical relations, so this works on raw
@@ -628,6 +873,13 @@ pub(crate) fn argsort_columns(
 /// `threads <= 1`) fall back to the serial sort. This is the parallel merge
 /// machinery behind both [`Relation::sort_perm_threads`] and delta-run
 /// compaction.
+///
+/// Workers are pinned by [`crate::topology::CpuTopology::pin_plan`] (advisory;
+/// `WCOJ_NO_PIN=1` disables): the plan is socket-major, chunk `i`'s sorter runs
+/// on `plan[i]`, and the merger of runs `2j, 2j+1` runs on the CPU that sorted
+/// the left run — so each pairwise merge tree stays socket-local (warm last-level
+/// cache) until the final cross-socket rounds. Placement never changes chunk or
+/// merge boundaries, so the permutation is identical with or without pinning.
 pub(crate) fn argsort_columns_threads(
     columns: &[Vec<Value>],
     positions: &[usize],
@@ -639,12 +891,16 @@ pub(crate) fn argsort_columns_threads(
         return argsort_columns(columns, positions, len);
     }
     let chunk = len.div_ceil(threads);
+    let plan = crate::topology::CpuTopology::detect().pin_plan(threads);
+    let plan = &plan;
     let mut runs: Vec<Vec<usize>> = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..len)
             .step_by(chunk)
-            .map(|start| {
+            .enumerate()
+            .map(|(i, start)| {
                 let end = (start + chunk).min(len);
                 scope.spawn(move || {
+                    crate::topology::pin_current_thread(plan[i % plan.len()]);
                     let mut run: Vec<usize> = (start..end).collect();
                     run.sort_unstable_by(|&a, &b| cmp_columns_at(columns, positions, a, b));
                     run
@@ -656,13 +912,17 @@ pub(crate) fn argsort_columns_threads(
             .map(|h| h.join().expect("argsort worker"))
             .collect()
     });
+    // each merge round doubles the number of original chunks per run; `stride`
+    // tracks it so merge worker j maps back to the CPU of its leftmost chunk
+    let mut stride = 1usize;
     while runs.len() > 1 {
         runs = std::thread::scope(|scope| {
             let mut handles = Vec::new();
-            let mut iter = runs.into_iter();
-            while let Some(a) = iter.next() {
+            let mut iter = runs.into_iter().enumerate();
+            while let Some((j, a)) = iter.next() {
                 match iter.next() {
-                    Some(b) => handles.push(scope.spawn(move || {
+                    Some((_, b)) => handles.push(scope.spawn(move || {
+                        crate::topology::pin_current_thread(plan[(j * stride) % plan.len()]);
                         let mut out = Vec::with_capacity(a.len() + b.len());
                         let (mut i, mut j) = (0usize, 0usize);
                         while i < a.len() && j < b.len() {
@@ -686,6 +946,7 @@ pub(crate) fn argsort_columns_threads(
                 .map(|h| h.join().expect("merge worker"))
                 .collect()
         });
+        stride *= 2;
     }
     runs.pop().unwrap_or_default()
 }
