@@ -21,6 +21,16 @@
 //!   slower". Wall-clock comparisons are only meaningful against a baseline
 //!   recorded on comparable hardware, so CI runs with a looser
 //!   `--time-factor 1.5` and relies on the work gate for precision.
+//! * **cache differential** — every row is additionally executed once with the
+//!   access-structure cache off ([`CacheMode::Off`]), and the output relation
+//!   plus the **entire** work counter — including the exact per-kernel
+//!   breakdown — must be bit-identical to the cached run. Caching may only
+//!   change *when* structures are built, never *what* the join does; any
+//!   divergence here means a stale or mispermuted structure leaked out of the
+//!   cache. The timed iterations run with the cache enabled (the default), so
+//!   `fresh_ms` is the warm repeated-query path; the `off_ms` / `warm_ratio`
+//!   columns report the uncached time alongside it for visibility (informative,
+//!   not gated — cold builds dominate small smoke sizes unevenly across hosts).
 //!
 //! Exits non-zero if any row regresses — wire as a CI step:
 //! `cargo run --release -p wcoj-bench --bin perf_gate -- --time-factor 1.5`.
@@ -32,7 +42,7 @@
 use std::time::Instant;
 use wcoj_bench::report::parse_bench_json;
 use wcoj_bench::{bench_matrix, ExperimentTable};
-use wcoj_core::exec::{execute_opts_with_order, Engine, ExecOptions, KernelCalibration};
+use wcoj_core::exec::{execute_opts_with_order, CacheMode, Engine, ExecOptions, KernelCalibration};
 use wcoj_core::planner::agm_variable_order;
 
 fn min_time_ms<F: FnMut()>(mut f: F, iters: usize) -> f64 {
@@ -96,7 +106,16 @@ fn main() {
             "perf gate: fresh serial medians vs {} (work x{work_factor:.2}, time x{time_factor:.2})",
             baseline_path.display()
         ),
-        &["base_ms", "fresh_ms", "time_ratio", "base_work", "fresh_work", "work_ratio"],
+        &[
+            "base_ms",
+            "fresh_ms",
+            "time_ratio",
+            "base_work",
+            "fresh_work",
+            "work_ratio",
+            "off_ms",
+            "warm_ratio",
+        ],
     );
     let mut failures = Vec::new();
     let mut compared = 0usize;
@@ -121,9 +140,63 @@ fn main() {
                 },
                 iters,
             );
+            // cache differential: the uncached execution must be bit-identical
+            // in output rows and in the full work counter — caching can only
+            // move structure *builds* around, never change what the join does
+            let off_opts = opts.with_cache(CacheMode::Off);
+            let off =
+                execute_opts_with_order(&w.query, &w.db, &off_opts, &order).expect("execute off");
+            if off.result != out.result {
+                failures.push(format!(
+                    "{label}/{engine_name}: cache-off output diverges from cache-on ({} vs {} rows)",
+                    off.result.len(),
+                    out.result.len()
+                ));
+            }
+            for (tally, on_value, off_value) in [
+                ("total_work", out.work.total_work(), off.work.total_work()),
+                (
+                    "kernel_merge",
+                    out.work.kernel_merge(),
+                    off.work.kernel_merge(),
+                ),
+                (
+                    "kernel_gallop",
+                    out.work.kernel_gallop(),
+                    off.work.kernel_gallop(),
+                ),
+                (
+                    "kernel_bitmap",
+                    out.work.kernel_bitmap(),
+                    off.work.kernel_bitmap(),
+                ),
+                (
+                    "delta_merge",
+                    out.work.delta_merge(),
+                    off.work.delta_merge(),
+                ),
+            ] {
+                if on_value != off_value {
+                    failures.push(format!(
+                        "{label}/{engine_name}: {tally} differs under caching ({off_value} off vs {on_value} on — breakdown must be exactly unchanged)"
+                    ));
+                }
+            }
+            if off.work != out.work {
+                failures.push(format!(
+                    "{label}/{engine_name}: work counters differ under caching (must be bit-identical)"
+                ));
+            }
+            let off_ms = min_time_ms(
+                || {
+                    let _ = execute_opts_with_order(&w.query, &w.db, &off_opts, &order).unwrap();
+                },
+                iters,
+            );
             let fresh_work = out.work.total_work();
             let base_work = base.work_value("total_work").unwrap_or(0);
             let time_ratio = fresh_ms / base.median_ms;
+            let warm_ratio = fresh_ms / off_ms.max(f64::MIN_POSITIVE);
             let work_ratio = if base_work == 0 {
                 // a zero/missing baseline tally must not silently disable the
                 // deterministic gate: any fresh work over a zero base fails below
@@ -145,6 +218,8 @@ fn main() {
                     base_work as f64,
                     fresh_work as f64,
                     work_ratio,
+                    off_ms,
+                    warm_ratio,
                 ],
             );
             if work_ratio > work_factor {

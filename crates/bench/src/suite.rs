@@ -7,7 +7,8 @@
 //! recorded.
 
 use wcoj_workloads::{
-    edge_stream, hub_spoke, kclique, social_graph, triangle, triangle_skewed, Workload,
+    edge_stream, hub_spoke, kclique, query_replay, social_graph, triangle, triangle_skewed,
+    Workload,
 };
 
 /// The benchmark workload matrix at the given triangle sizes: uniform and
@@ -20,8 +21,11 @@ use wcoj_workloads::{
 /// and are directly comparable to the `clique4`/`hub` pure-`u64` rows; the
 /// `stream` rows run the same triangle self-join over a **delta-backed**
 /// sliding-window edge stream (base + delta runs + tombstones under the union
-/// cursor), so the static-vs-live overhead is visible in the same table. Labels
-/// match the `workload` field of `BENCH_joins.json` records.
+/// cursor), so the static-vs-live overhead is visible in the same table, and
+/// the `replay` rows run the triangle over two Zipf sliding-window streams plus
+/// a static relation — the repeated-query regime the access-structure cache
+/// targets (experiment E8). Labels match the `workload` field of
+/// `BENCH_joins.json` records.
 pub fn bench_matrix(sizes: &[usize], clique_sizes: &[usize]) -> Vec<(String, Workload)> {
     let mut out = Vec::new();
     for &n in sizes {
@@ -45,6 +49,9 @@ pub fn bench_matrix(sizes: &[usize], clique_sizes: &[usize]) -> Vec<(String, Wor
     for &n in clique_sizes {
         out.push((format!("stream_n{n}"), edge_stream(n, 0xD17A)));
     }
+    for &n in clique_sizes {
+        out.push((format!("replay_n{n}"), query_replay(n, 0xCACE)));
+    }
     out
 }
 
@@ -55,11 +62,11 @@ mod tests {
     #[test]
     fn matrix_labels_are_distinct_and_bound() {
         let m = bench_matrix(&[256, 1024], &[256]);
-        assert_eq!(m.len(), 9);
+        assert_eq!(m.len(), 10);
         let mut labels: Vec<&str> = m.iter().map(|(l, _)| l.as_str()).collect();
         labels.sort();
         labels.dedup();
-        assert_eq!(labels.len(), 9);
+        assert_eq!(labels.len(), 10);
         for (label, w) in &m {
             for i in 0..w.query.atoms().len() {
                 assert!(

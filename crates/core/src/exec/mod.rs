@@ -23,10 +23,23 @@
 //! flat buffers — no per-row allocation — and at the deepest variable emit
 //! straight from the kernel output.
 //!
+//! Access-structure **builds** flow through the per-database
+//! [`wcoj_storage::AccessCache`]: `BuiltAccess::build` keys each trie, prefix
+//! index, and permuted delta view by `(relation, column positions, kind, stamp)`
+//! and reuses valid entries across executions — transparently for all three
+//! engines, both backends, and the morsel scheduler, since builds record no
+//! [`WorkCounter`] work. Delta-backed entries revalidate by **run identity**:
+//! an unchanged sealed-run list is a hit, newly sealed runs appended are an
+//! *incremental merge* (only the new runs get permuted), anything else (tier
+//! merge, compaction) rebuilds. [`CacheMode`] on [`ExecOptions`] switches the
+//! cache off or pins entries per execution, and [`ExecOutput::cache_stats`]
+//! reports hits/misses/incremental merges — results and work counters are
+//! bit-identical with the cache on, off, or cold.
+//!
 //! [`ExecOptions`] carries the full execution configuration — engine, backend,
-//! worker **thread count**, and kernel policy — through the public API and the
-//! planner, so callers (benchmarks, experiment binaries, tests) select serial vs
-//! morsel-parallel execution uniformly. With `threads > 1` the WCOJ engines run
+//! worker **thread count**, kernel policy, and cache mode — through the public
+//! API and the planner, so callers (benchmarks, experiment binaries, tests)
+//! select serial vs morsel-parallel execution uniformly. With `threads > 1` the WCOJ engines run
 //! under the morsel-driven scheduler of [`parallel`], which partitions the first
 //! join variable's extension set across `std::thread::scope` workers holding
 //! private cursors and private [`WorkCounter`]s — and the access-structure
@@ -54,15 +67,16 @@ pub mod parallel;
 
 use crate::error::ExecError;
 use crate::planner::plan_order;
+use std::sync::Arc;
 use wcoj_query::database::VarBinding;
 use wcoj_query::plan::{atom_attr_order, atom_levels, is_valid_order};
 use wcoj_query::{AtomSource, ConjunctiveQuery, Database, VarId};
 use wcoj_storage::typed::TypedRows;
-pub use wcoj_storage::KernelCalibration;
 use wcoj_storage::{
-    kernels, AttrType, CursorKind, DeltaAccess, KernelPolicy, PrefixIndex, Relation, Schema, Trie,
-    TrieAccess, Value, WorkCounter,
+    kernels, AttrType, CacheKey, CacheKind, CachedValue, CursorKind, DeltaAccess, DeltaRelation,
+    DeltaView, KernelPolicy, PrefixIndex, Relation, Schema, Trie, TrieAccess, Value, WorkCounter,
 };
+pub use wcoj_storage::{CacheStats, KernelCalibration};
 
 /// Which join engine to run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -85,6 +99,25 @@ pub enum Backend {
     Trie,
     /// Prefix hash indexes for every atom.
     Hash,
+}
+
+/// How one execution uses the per-database access-structure cache
+/// ([`wcoj_storage::AccessCache`]). Caching never changes results or work
+/// counters — structures are bit-identical however they were obtained — so
+/// this only trades build time against memory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CacheMode {
+    /// Bypass the cache entirely: build fresh structures and touch no shared
+    /// state (differential baselines, one-shot queries).
+    Off,
+    /// Reuse valid cached structures, insert whatever gets built, and let the
+    /// cost-aware policy evict under byte pressure. The default.
+    #[default]
+    On,
+    /// Like [`CacheMode::On`], but entries this execution inserts are exempt
+    /// from eviction (they still revalidate, and stale ones are replaced).
+    /// For hot recurring queries that must never lose their structures.
+    Pinned,
 }
 
 /// Execution configuration threaded through the public API and the planner.
@@ -114,6 +147,11 @@ pub struct ExecOptions {
     /// machine-independent. Thresholds change which kernel/tally a given
     /// intersection or seek lands in, never the result.
     pub calibration: Option<KernelCalibration>,
+    /// Access-structure cache behavior (see [`CacheMode`]): reuse builds from
+    /// the database's shared cache ([`CacheMode::On`], the default), pin them
+    /// against eviction, or bypass the cache. Ignored by the binary baseline,
+    /// which builds no tries or indexes.
+    pub cache: CacheMode,
 }
 
 impl Default for ExecOptions {
@@ -124,6 +162,7 @@ impl Default for ExecOptions {
             threads: 1,
             kernel: KernelPolicy::Adaptive,
             calibration: None,
+            cache: CacheMode::On,
         }
     }
 }
@@ -158,6 +197,12 @@ impl ExecOptions {
     /// Builder-style calibration pin (see [`ExecOptions::calibration`]).
     pub fn with_calibration(mut self, cal: KernelCalibration) -> Self {
         self.calibration = Some(cal);
+        self
+    }
+
+    /// Builder-style cache-mode override (see [`ExecOptions::cache`]).
+    pub fn with_cache(mut self, cache: CacheMode) -> Self {
+        self.cache = cache;
         self
     }
 
@@ -202,6 +247,12 @@ pub struct ExecOutput {
     /// The global variable order the engine ran with (identity for the binary
     /// baseline, which is order-insensitive).
     pub order: Vec<VarId>,
+    /// Access-structure cache activity during this execution: hits, misses,
+    /// incremental delta merges, evictions triggered, and the cache's resident
+    /// bytes afterwards. Build work is tallied here — never in
+    /// [`ExecOutput::work`] — so caching cannot perturb the work counters.
+    /// All-zero for the binary baseline and with [`CacheMode::Off`].
+    pub cache_stats: CacheStats,
 }
 
 impl ExecOutput {
@@ -273,6 +324,7 @@ pub fn execute_opts_with_order(
     // codes from different value spaces. Also yields the result schema's types.
     let bindings = db.var_bindings(query)?;
     let counter = WorkCounter::new();
+    let mut cache_stats = CacheStats::default();
     let result = match opts.engine {
         Engine::BinaryHash => binary::binary_hash_plan(query, db, &counter)?,
         engine => {
@@ -282,13 +334,8 @@ pub fn execute_opts_with_order(
                 attr_orders.push(atom_attr_order(query, i, order)?);
             }
             let threads = opts.resolved_threads();
-            let built = BuiltAccess::build(
-                query,
-                &sources,
-                &attr_orders,
-                opts.resolved_backend(),
-                threads,
-            )?;
+            let built =
+                BuiltAccess::build(query, db, &sources, &attr_orders, opts, &mut cache_stats)?;
             let parts = participants(query, order);
             let cal = opts.resolved_calibration();
             let rows = built.run(engine, &parts, threads, opts.kernel, &cal, &counter);
@@ -299,15 +346,17 @@ pub fn execute_opts_with_order(
         result,
         work: counter,
         order: order.to_vec(),
+        cache_stats,
     })
 }
 
 /// One atom's built access structure when the query mixes storage kinds (any
 /// delta-backed atom forces this composition path): cursors dispatch through
-/// [`CursorKind`]'s branch, not a vtable.
+/// [`CursorKind`]'s branch, not a vtable. Static structures are `Arc`-shared
+/// with the access cache, so a hit costs a refcount, not a rebuild.
 enum AtomAccess<'d> {
-    Trie(Trie),
-    Index(PrefixIndex),
+    Trie(Arc<Trie>),
+    Index(Arc<PrefixIndex>),
     Delta(DeltaAccess<'d>),
 }
 
@@ -327,80 +376,267 @@ impl AtomAccess<'_> {
 /// [`DeltaAccess`] union cursors with static structures through [`CursorKind`].
 /// Shared immutably by all workers.
 enum BuiltAccess<'d> {
-    Tries(Vec<Trie>),
-    Indexes(Vec<PrefixIndex>),
+    Tries(Vec<Arc<Trie>>),
+    Indexes(Vec<Arc<PrefixIndex>>),
     Mixed(Vec<AtomAccess<'d>>),
 }
 
+/// The cache side-channel of one [`BuiltAccess::build`]: the database whose
+/// [`wcoj_storage::AccessCache`] (and relation stamps) to consult, and the
+/// resolved [`CacheMode`]. `use_cache` is false when the mode is
+/// [`CacheMode::Off`] *or* the cache's byte budget is zero — either way every
+/// build is fresh and the shared cache is never touched.
+struct CacheCtx<'a> {
+    db: &'a Database,
+    use_cache: bool,
+    pinned: bool,
+}
+
+/// Fetch-or-build one static relation's CSR trie through the access cache.
+/// Keyed by `(name, positions, Trie, insertion stamp)` — rebinding the name
+/// changes the stamp, so stale entries can never be returned (they age out).
+fn cached_trie(
+    ctx: &CacheCtx<'_>,
+    name: &str,
+    rel: &Relation,
+    positions: &[usize],
+    threads: usize,
+    stats: &mut CacheStats,
+) -> Result<Arc<Trie>, ExecError> {
+    if !ctx.use_cache {
+        return Ok(Arc::new(Trie::build_positions_parallel(
+            rel, positions, threads,
+        )?));
+    }
+    let cache = ctx.db.access_cache();
+    let key = CacheKey {
+        relation: name.to_string(),
+        positions: positions.to_vec(),
+        kind: CacheKind::Trie,
+        stamp: ctx.db.relation_stamp(name),
+    };
+    if let Some(CachedValue::Trie(t)) = cache.get(&key) {
+        stats.hits += 1;
+        return Ok(t);
+    }
+    let built = Arc::new(Trie::build_positions_parallel(rel, positions, threads)?);
+    stats.misses += 1;
+    stats.evictions += cache.insert(
+        key,
+        CachedValue::Trie(Arc::clone(&built)),
+        rel.len() as u64,
+        built.heap_bytes(),
+        ctx.pinned,
+    );
+    Ok(built)
+}
+
+/// Fetch-or-build one static relation's prefix hash index through the access
+/// cache (same keying and staleness story as [`cached_trie`]).
+fn cached_index(
+    ctx: &CacheCtx<'_>,
+    name: &str,
+    rel: &Relation,
+    positions: &[usize],
+    threads: usize,
+    stats: &mut CacheStats,
+) -> Result<Arc<PrefixIndex>, ExecError> {
+    if !ctx.use_cache {
+        return Ok(Arc::new(PrefixIndex::build_positions_parallel(
+            rel, positions, threads,
+        )?));
+    }
+    let cache = ctx.db.access_cache();
+    let key = CacheKey {
+        relation: name.to_string(),
+        positions: positions.to_vec(),
+        kind: CacheKind::Index,
+        stamp: ctx.db.relation_stamp(name),
+    };
+    if let Some(CachedValue::Index(ix)) = cache.get(&key) {
+        stats.hits += 1;
+        return Ok(ix);
+    }
+    let built = Arc::new(PrefixIndex::build_positions_parallel(
+        rel, positions, threads,
+    )?);
+    stats.misses += 1;
+    stats.evictions += cache.insert(
+        key,
+        CachedValue::Index(Arc::clone(&built)),
+        rel.len() as u64,
+        built.heap_bytes(),
+        ctx.pinned,
+    );
+    Ok(built)
+}
+
+/// Fetch-or-build one delta-backed atom's [`DeltaAccess`] through the access
+/// cache. The cached payload is a [`DeltaView`] of the **sealed** runs only —
+/// the live unsealed buffer is collapsed per query by
+/// [`DeltaAccess::from_view`], exactly like an uncached build — revalidated by
+/// run identity: unchanged run list = hit, newly sealed runs appended =
+/// incremental merge (permute only the new tail, re-insert the extended view),
+/// anything else (tier merge, compaction) = full rebuild. The relation's
+/// **native** attribute order borrows the log directly (no permute, nothing
+/// worth caching), so identity orders bypass the cache.
+fn cached_delta<'d>(
+    ctx: &CacheCtx<'_>,
+    name: &str,
+    delta: &'d DeltaRelation,
+    positions: &[usize],
+    threads: usize,
+    stats: &mut CacheStats,
+) -> Result<DeltaAccess<'d>, ExecError> {
+    let identity = positions.iter().enumerate().all(|(i, &p)| i == p);
+    if identity || !ctx.use_cache {
+        return Ok(DeltaAccess::build_positions(delta, positions, threads)?);
+    }
+    let cache = ctx.db.access_cache();
+    let key = CacheKey {
+        relation: name.to_string(),
+        positions: positions.to_vec(),
+        kind: CacheKind::Delta,
+        stamp: 0, // delta entries revalidate by run identity, not stamps
+    };
+    if let Some(CachedValue::Delta(view)) = cache.get(&key) {
+        if view.matches(delta) {
+            stats.hits += 1;
+            return Ok(DeltaAccess::from_view(&view, delta));
+        }
+        if let Some(extended) = view.extend(delta, threads) {
+            let extended = Arc::new(extended);
+            stats.incremental_merges += 1;
+            stats.evictions += cache.insert(
+                key,
+                CachedValue::Delta(Arc::clone(&extended)),
+                extended.num_rows() as u64,
+                extended.heap_bytes(),
+                ctx.pinned,
+            );
+            return Ok(DeltaAccess::from_view(&extended, delta));
+        }
+    }
+    let view = Arc::new(DeltaView::build(delta, positions, threads)?);
+    stats.misses += 1;
+    stats.evictions += cache.insert(
+        key,
+        CachedValue::Delta(Arc::clone(&view)),
+        view.num_rows() as u64,
+        view.heap_bytes(),
+        ctx.pinned,
+    );
+    Ok(DeltaAccess::from_view(&view, delta))
+}
+
 impl<'d> BuiltAccess<'d> {
-    /// Build one access structure per atom; with `threads > 1` each build's
-    /// argsort-and-scan pass is partitioned across scoped workers
-    /// ([`Trie::build_parallel`] / [`PrefixIndex::build_parallel`] /
-    /// [`wcoj_storage::Relation::sort_perm_threads`] for delta runs), producing
-    /// bit-identical structures to the serial builds. Delta-backed atoms build a
-    /// [`DeltaAccess`] over the live runs — no snapshot materialization.
+    /// Build (or fetch from the database's access cache) one access structure
+    /// per atom; with `threads > 1` each fresh build's argsort-and-scan pass
+    /// is partitioned across scoped workers
+    /// ([`Trie::build_positions_parallel`] /
+    /// [`PrefixIndex::build_positions_parallel`] /
+    /// [`wcoj_storage::Relation::sort_perm_threads`] for delta runs),
+    /// producing bit-identical structures to the serial builds — so cached,
+    /// fresh-serial, and fresh-parallel structures are interchangeable.
+    /// Delta-backed atoms build a [`DeltaAccess`] over the live runs — no
+    /// snapshot materialization. The attribute orders name query variables;
+    /// every source's columns bind to its atom's variables positionally, so
+    /// each order is resolved to column positions up front (also the cache
+    /// key's permutation component).
     fn build(
         query: &ConjunctiveQuery,
+        db: &Database,
         sources: &'d [AtomSource<'d>],
         attr_orders: &[Vec<&str>],
-        backend: Backend,
-        threads: usize,
+        opts: &ExecOptions,
+        stats: &mut CacheStats,
     ) -> Result<Self, ExecError> {
+        let backend = opts.resolved_backend();
+        let threads = opts.resolved_threads();
+        let ctx = CacheCtx {
+            db,
+            use_cache: opts.cache != CacheMode::Off && db.access_cache().is_enabled(),
+            pinned: opts.cache == CacheMode::Pinned,
+        };
+        let atoms = query.atoms();
+        let mut positions_per_atom = Vec::with_capacity(sources.len());
+        for (i, attrs) in attr_orders.iter().enumerate() {
+            let atom_vars = query.atom_var_names(i);
+            let positions: Vec<usize> = attrs
+                .iter()
+                .map(|a| {
+                    atom_vars
+                        .iter()
+                        .position(|v| v == a)
+                        .expect("order names come from the atom's variables")
+                })
+                .collect();
+            positions_per_atom.push(positions);
+        }
         let any_delta = sources.iter().any(|s| matches!(s, AtomSource::Delta(_)));
-        if any_delta {
+        let built = if any_delta {
             let mut accesses = Vec::with_capacity(sources.len());
-            for (i, (source, attrs)) in sources.iter().zip(attr_orders).enumerate() {
+            for (i, source) in sources.iter().enumerate() {
+                let name = &atoms[i].name;
+                let positions = &positions_per_atom[i];
                 accesses.push(match source {
                     AtomSource::Static(rel) => match backend {
-                        Backend::Trie => {
-                            AtomAccess::Trie(Trie::build_parallel(rel, attrs, threads)?)
-                        }
-                        Backend::Hash | Backend::Auto => {
-                            AtomAccess::Index(PrefixIndex::build_parallel(rel, attrs, threads)?)
-                        }
+                        Backend::Trie => AtomAccess::Trie(cached_trie(
+                            &ctx, name, rel, positions, threads, stats,
+                        )?),
+                        Backend::Hash | Backend::Auto => AtomAccess::Index(cached_index(
+                            &ctx, name, rel, positions, threads, stats,
+                        )?),
                     },
-                    AtomSource::Delta(delta) => {
-                        // the attr order names query variables; the delta's
-                        // columns bind to the atom's variables positionally
-                        let atom_vars = query.atom_var_names(i);
-                        let positions: Vec<usize> = attrs
-                            .iter()
-                            .map(|a| {
-                                atom_vars
-                                    .iter()
-                                    .position(|v| v == a)
-                                    .expect("order names come from the atom's variables")
-                            })
-                            .collect();
-                        AtomAccess::Delta(DeltaAccess::build_positions(delta, &positions, threads)?)
-                    }
+                    AtomSource::Delta(delta) => AtomAccess::Delta(cached_delta(
+                        &ctx, name, delta, positions, threads, stats,
+                    )?),
                 });
             }
-            return Ok(BuiltAccess::Mixed(accesses));
+            BuiltAccess::Mixed(accesses)
+        } else {
+            let statics: Vec<&Relation> = sources
+                .iter()
+                .map(|s| match s {
+                    AtomSource::Static(rel) => *rel,
+                    AtomSource::Delta(_) => unreachable!("any_delta checked above"),
+                })
+                .collect();
+            match backend {
+                Backend::Trie => {
+                    let mut tries = Vec::with_capacity(statics.len());
+                    for (i, rel) in statics.iter().enumerate() {
+                        tries.push(cached_trie(
+                            &ctx,
+                            &atoms[i].name,
+                            rel,
+                            &positions_per_atom[i],
+                            threads,
+                            stats,
+                        )?);
+                    }
+                    BuiltAccess::Tries(tries)
+                }
+                Backend::Hash | Backend::Auto => {
+                    let mut indexes = Vec::with_capacity(statics.len());
+                    for (i, rel) in statics.iter().enumerate() {
+                        indexes.push(cached_index(
+                            &ctx,
+                            &atoms[i].name,
+                            rel,
+                            &positions_per_atom[i],
+                            threads,
+                            stats,
+                        )?);
+                    }
+                    BuiltAccess::Indexes(indexes)
+                }
+            }
+        };
+        if ctx.use_cache {
+            stats.bytes = db.access_cache().bytes() as u64;
         }
-        let statics: Vec<&Relation> = sources
-            .iter()
-            .map(|s| match s {
-                AtomSource::Static(rel) => rel,
-                AtomSource::Delta(_) => unreachable!("any_delta checked above"),
-            })
-            .collect();
-        Ok(match backend {
-            Backend::Trie => BuiltAccess::Tries(
-                statics
-                    .iter()
-                    .zip(attr_orders)
-                    .map(|(rel, attrs)| Trie::build_parallel(rel, attrs, threads))
-                    .collect::<Result<_, _>>()?,
-            ),
-            Backend::Hash | Backend::Auto => BuiltAccess::Indexes(
-                statics
-                    .iter()
-                    .zip(attr_orders)
-                    .map(|(rel, attrs)| PrefixIndex::build_parallel(rel, attrs, threads))
-                    .collect::<Result<_, _>>()?,
-            ),
-        })
+        Ok(built)
     }
 
     /// Run the engine over fresh cursor sets — serial for `threads == 1`, morsel
@@ -686,6 +922,11 @@ mod tests {
         assert_eq!(opts.engine, Engine::GenericJoin);
         assert_eq!(opts.resolved_backend(), Backend::Hash);
         assert_eq!(opts.resolved_threads(), 1);
+        assert_eq!(opts.cache, CacheMode::On);
+        assert_eq!(
+            ExecOptions::default().with_cache(CacheMode::Pinned).cache,
+            CacheMode::Pinned
+        );
         let lf = ExecOptions::new(Engine::Leapfrog).with_threads(4);
         assert_eq!(lf.resolved_backend(), Backend::Trie);
         assert_eq!(lf.resolved_threads(), 4);
@@ -860,6 +1101,36 @@ mod tests {
             out.work.delta_merge() > 0,
             "union-cursor work is attributed"
         );
+    }
+
+    #[test]
+    fn repeated_queries_hit_the_cache() {
+        let q = examples::triangle();
+        let mut db = triangle_db();
+        // pin an explicit budget so the counter asserts hold even when the
+        // environment disables the cache (the WCOJ_CACHE_BYTES=0 CI leg)
+        db.set_cache_budget(64 << 20);
+        let cold = execute(&q, &db, Engine::GenericJoin).unwrap();
+        assert_eq!(cold.cache_stats.misses, 3, "three atoms built cold");
+        assert_eq!(cold.cache_stats.hits, 0);
+        let warm = execute(&q, &db, Engine::GenericJoin).unwrap();
+        assert_eq!(warm.cache_stats.hits, 3, "three atoms reused warm");
+        assert_eq!(warm.cache_stats.misses, 0);
+        assert_eq!(warm.result, cold.result);
+        assert_eq!(warm.work, cold.work, "caching never changes work counters");
+        // Off bypasses the shared cache entirely: no hits, no misses recorded
+        let off = execute_opts(
+            &q,
+            &db,
+            &ExecOptions::new(Engine::GenericJoin).with_cache(CacheMode::Off),
+        )
+        .unwrap();
+        assert_eq!(off.cache_stats, CacheStats::default());
+        assert_eq!(off.result, cold.result);
+        assert_eq!(off.work, cold.work);
+        // the binary baseline builds no tries or indexes
+        let bh = execute(&q, &db, Engine::BinaryHash).unwrap();
+        assert_eq!(bh.cache_stats, CacheStats::default());
     }
 
     #[test]

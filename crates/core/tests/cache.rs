@@ -1,0 +1,247 @@
+//! Differential and property tests for the epoch-keyed access-structure cache:
+//!
+//! executing with the cache **on** (or pinned) must be bit-identical — output
+//! rows AND per-query work counters — to executing with the cache **off**,
+//! across engines × backends × threads {1, 4}, interleaved with every kind of
+//! log mutation (append, delete, seal, compact, relation rebinding); repeated
+//! queries must actually hit; newly sealed runs must take the incremental-merge
+//! path, compaction must force a rebuild; and a byte-starved cache must evict
+//! without ever surfacing a stale structure.
+
+use wcoj_core::exec::{
+    execute_opts, execute_opts_with_order, Backend, CacheMode, Engine, ExecOptions,
+};
+use wcoj_core::planner::agm_variable_order;
+use wcoj_query::query::examples;
+use wcoj_query::{ConjunctiveQuery, Database};
+use wcoj_storage::Relation;
+use wcoj_workloads::{query_replay, random_pairs, Workload};
+
+const ENGINES: [Engine; 3] = [Engine::BinaryHash, Engine::GenericJoin, Engine::Leapfrog];
+const BACKENDS: [Backend; 3] = [Backend::Auto, Backend::Trie, Backend::Hash];
+
+/// Run one configuration with the cache off (fresh builds, shared state
+/// untouched) and assert the cached run is bit-identical in rows and counters.
+fn assert_cached_matches_uncached(
+    query: &ConjunctiveQuery,
+    db: &Database,
+    order: &[usize],
+    label: &str,
+) {
+    for engine in ENGINES {
+        for backend in BACKENDS {
+            for threads in [1usize, 4] {
+                let base = ExecOptions::new(engine)
+                    .with_backend(backend)
+                    .with_threads(threads);
+                let off =
+                    execute_opts_with_order(query, db, &base.with_cache(CacheMode::Off), order)
+                        .unwrap_or_else(|e| panic!("{label}: off {engine:?} failed: {e}"));
+                for mode in [CacheMode::On, CacheMode::Pinned] {
+                    let on = execute_opts_with_order(query, db, &base.with_cache(mode), order)
+                        .unwrap_or_else(|e| panic!("{label}: {mode:?} {engine:?} failed: {e}"));
+                    assert_eq!(
+                        on.result, off.result,
+                        "{label}: {engine:?}/{backend:?}/t{threads}/{mode:?}: rows diverge"
+                    );
+                    assert_eq!(
+                        on.work, off.work,
+                        "{label}: {engine:?}/{backend:?}/t{threads}/{mode:?}: counters diverge"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn cache_on_equals_cache_off_under_log_mutations() {
+    let Workload { query, mut db, .. } = query_replay(96, 0xE8);
+    let order = agm_variable_order(&query, &db).expect("planner");
+    assert_cached_matches_uncached(&query, &db, &order, "initial");
+
+    // every visibility-changing mutation kind, with queries replayed between:
+    // buffered appends, deletes, seals (epoch advance + new runs), compaction
+    // (structural rewrite), and a static-relation rebind (stamp change)
+    let mut rng = wcoj_workloads::SplitMix64::new(0xE8E8);
+    for step in 0..6 {
+        match step {
+            0 => {
+                for _ in 0..8 {
+                    db.insert_delta("R", vec![rng.below(24), rng.below(24)])
+                        .expect("append");
+                }
+            }
+            1 => {
+                let victim = db.delta("S").expect("delta S").snapshot();
+                if !victim.is_empty() {
+                    let row: Vec<u64> = victim.row(0);
+                    db.delete("S", &row).expect("delete");
+                }
+            }
+            2 => db.seal("R").expect("seal"),
+            3 => db.compact("R", 2).expect("compact"),
+            4 => {
+                for _ in 0..8 {
+                    db.insert_delta("S", vec![rng.below(24), rng.below(24)])
+                        .expect("append");
+                }
+                db.seal("S").expect("seal");
+            }
+            _ => {
+                // rebind the static relation: the stamp changes, so cached
+                // entries for the old binding can never be returned
+                db.insert(
+                    "T",
+                    Relation::from_pairs("A", "C", random_pairs(64, 24, step)),
+                );
+            }
+        }
+        assert_cached_matches_uncached(&query, &db, &order, &format!("step {step}"));
+    }
+}
+
+#[test]
+fn repeat_hits_seal_merges_incrementally_compaction_rebuilds() {
+    // one delta-backed atom with a deliberately large base run, so sealing a
+    // small batch later cannot trip the size-tiered tail merge (which would
+    // legitimately — but nondeterministically — rewrite the run list)
+    let query = examples::triangle();
+    let mut db = Database::new();
+    let mut delta = wcoj_storage::DeltaRelation::new(wcoj_storage::Schema::new(&["A", "B"]));
+    delta.set_seal_threshold(usize::MAX);
+    for (a, b) in random_pairs(512, 48, 0xE811) {
+        delta.insert(vec![a, b]).expect("base insert");
+    }
+    delta.seal();
+    db.insert_delta_relation("R", delta);
+    // pin an explicit budget: the hit/miss asserts below must hold even when
+    // the environment disables the cache (the WCOJ_CACHE_BYTES=0 CI leg)
+    db.set_cache_budget(64 << 20);
+    db.insert(
+        "S",
+        Relation::from_pairs("B", "C", random_pairs(512, 48, 0xE812)),
+    );
+    db.insert(
+        "T",
+        Relation::from_pairs("A", "C", random_pairs(512, 48, 0xE813)),
+    );
+    // a deliberately non-native variable order: every atom's columns must be
+    // permuted, so the delta atom flows through a cached view (the native
+    // order borrows the log directly and bypasses the cache)
+    let order = vec![2, 1, 0]; // C, B, A: every atom binds positions [1, 0]
+    let opts = ExecOptions::new(Engine::GenericJoin);
+
+    let cold = execute_opts_with_order(&query, &db, &opts, &order).expect("cold");
+    assert_eq!(cold.cache_stats.hits, 0);
+    assert_eq!(cold.cache_stats.misses, 3, "all three atoms built cold");
+    assert!(cold.cache_stats.bytes > 0, "built structures are resident");
+
+    let warm = execute_opts_with_order(&query, &db, &opts, &order).expect("warm");
+    assert_eq!(warm.cache_stats.misses, 0);
+    assert_eq!(warm.cache_stats.hits, 3, "all three atoms reused warm");
+    assert_eq!(warm.result, cold.result);
+    assert_eq!(warm.work, cold.work);
+
+    // seal a small fresh batch into R: only the new run should be permuted
+    // (512-row base ≥ 2 × the 16-row batch, so no tail merge fires)
+    for i in 0..16u64 {
+        db.insert_delta("R", vec![i % 48, (i * 7) % 48])
+            .expect("append");
+    }
+    db.seal("R").expect("seal");
+    let merged = execute_opts_with_order(&query, &db, &opts, &order).expect("merged");
+    assert_eq!(
+        merged.cache_stats.incremental_merges, 1,
+        "R extends incrementally"
+    );
+    assert_eq!(merged.cache_stats.hits, 2, "S and T still hit");
+    assert_eq!(merged.cache_stats.misses, 0);
+    let off = execute_opts_with_order(&query, &db, &opts.with_cache(CacheMode::Off), &order)
+        .expect("off");
+    assert_eq!(
+        merged.result, off.result,
+        "incremental merge is bit-identical"
+    );
+    assert_eq!(merged.work, off.work);
+
+    // compaction rewrites the run list: the view diverges and R rebuilds
+    db.compact("R", 1).expect("compact");
+    let rebuilt = execute_opts_with_order(&query, &db, &opts, &order).expect("rebuilt");
+    assert_eq!(rebuilt.cache_stats.incremental_merges, 0);
+    assert_eq!(rebuilt.cache_stats.misses, 1, "compacted R rebuilds");
+    assert_eq!(rebuilt.cache_stats.hits, 2);
+    let off = execute_opts_with_order(&query, &db, &opts.with_cache(CacheMode::Off), &order)
+        .expect("off");
+    assert_eq!(rebuilt.result, off.result);
+    assert_eq!(rebuilt.work, off.work);
+}
+
+#[test]
+fn eviction_under_pressure_never_surfaces_stale_structures() {
+    let Workload { query, mut db, .. } = wcoj_workloads::triangle(256, 0xE82);
+    let order = agm_variable_order(&query, &db).expect("planner");
+    let opts = ExecOptions::new(Engine::GenericJoin).with_threads(1);
+    let off = execute_opts_with_order(&query, &db, &opts.with_cache(CacheMode::Off), &order)
+        .expect("off");
+
+    // measure the full working set (3 tries + 3 indexes), then starve the
+    // cache to 3/4 of it: individual entries still fit, the set does not
+    // (explicit budget first, so WCOJ_CACHE_BYTES=0 cannot void the warm-up)
+    db.set_cache_budget(64 << 20);
+    for backend in [Backend::Hash, Backend::Trie] {
+        execute_opts_with_order(&query, &db, &opts.with_backend(backend), &order).expect("warm-up");
+    }
+    let full_bytes = db.access_cache().bytes();
+    assert!(full_bytes > 0);
+    let budget = full_bytes * 3 / 4;
+    db.set_cache_budget(budget);
+
+    let mut evictions = 0u64;
+    for round in 0..4 {
+        // alternate backends so trie and index entries fight over the budget
+        for backend in [Backend::Hash, Backend::Trie] {
+            let out = execute_opts_with_order(&query, &db, &opts.with_backend(backend), &order)
+                .unwrap_or_else(|e| panic!("round {round}/{backend:?}: {e}"));
+            assert_eq!(out.result, off.result, "round {round}/{backend:?}");
+            evictions += out.cache_stats.evictions;
+            assert!(
+                db.access_cache().bytes() <= budget,
+                "round {round}: budget respected"
+            );
+        }
+    }
+    assert!(evictions > 0, "the starved cache must actually evict");
+
+    // zero budget disables the cache outright: no hits, no residency
+    db.set_cache_budget(0);
+    let disabled = execute_opts_with_order(&query, &db, &opts, &order).expect("disabled");
+    assert_eq!(disabled.result, off.result);
+    assert_eq!(disabled.cache_stats.hits, 0);
+    assert_eq!(disabled.cache_stats.misses, 0);
+    assert_eq!(disabled.cache_stats.bytes, 0);
+    assert!(db.access_cache().is_empty());
+}
+
+#[test]
+fn pinned_entries_survive_pressure_and_stay_correct() {
+    let mut db = Database::new();
+    db.insert(
+        "E",
+        Relation::from_pairs("src", "dst", random_pairs(512, 48, 0xE83)),
+    );
+    db.set_cache_budget(4 * 1024);
+    let query = examples::clique(3);
+    let pinned = ExecOptions::new(Engine::GenericJoin).with_cache(CacheMode::Pinned);
+    let first = execute_opts(&query, &db, &pinned).expect("pinned build");
+    assert!(first.cache_stats.misses > 0);
+    // pinned entries are admitted and kept even over the byte budget
+    let again = execute_opts(&query, &db, &pinned).expect("pinned reuse");
+    assert_eq!(again.cache_stats.misses, 0);
+    assert!(again.cache_stats.hits > 0, "pinned entries survive");
+    assert_eq!(again.result, first.result);
+    assert_eq!(again.work, first.work);
+    let off = execute_opts(&query, &db, &pinned.with_cache(CacheMode::Off)).expect("off");
+    assert_eq!(off.result, first.result);
+    assert_eq!(off.work, first.work);
+}

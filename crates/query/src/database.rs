@@ -6,9 +6,11 @@ use crate::constraints::{ConstraintSet, DegreeConstraint};
 use crate::query::{ConjunctiveQuery, QueryError};
 use std::collections::HashMap;
 use std::fmt;
+use std::sync::Arc;
 use wcoj_storage::typed::{encode_column, TypedRow};
 use wcoj_storage::{
-    AttrType, DeltaRelation, Dictionary, Relation, Schema, StorageError, Tuple, TypedValue,
+    next_stamp, AccessCache, AttrType, DeltaRelation, Dictionary, Relation, Schema, StorageError,
+    Tuple, TypedValue,
 };
 
 /// Errors raised when binding a database to a query or verifying constraints.
@@ -146,13 +148,15 @@ impl VarBinding {
 /// shared validation/encode front half produces.
 type EncodedColumns = (Vec<Vec<u64>>, Vec<Option<String>>);
 
-/// How one query atom's data is accessed by the execution layer: a materialized
-/// static relation (renamed to the atom's variables), or a live delta log whose
-/// columns bind to the atom's variables positionally.
+/// How one query atom's data is accessed by the execution layer: a borrowed
+/// static relation, or a live delta log. In both cases the stored columns bind
+/// to the atom's variables **positionally** — no per-query rename or copy, and
+/// access structures built over the stored relation are reusable across
+/// queries (the premise of the access-structure cache).
 #[derive(Debug)]
 pub enum AtomSource<'a> {
-    /// A static relation, renamed to the atom's variable names.
-    Static(Relation),
+    /// A static relation, borrowed from the catalog.
+    Static(&'a Relation),
     /// A delta-backed relation, queried live through its union cursor.
     Delta(&'a DeltaRelation),
 }
@@ -192,6 +196,15 @@ pub struct Database {
     /// attribute's domain *after* loading cannot misrepresent where existing codes
     /// live. Relations stored via the raw [`Database::insert`] have no record.
     loaded_domains: HashMap<String, Vec<Option<String>>>,
+    /// Per-static-relation identity stamps ([`next_stamp`]): refreshed whenever a
+    /// name is (re)bound to a relation, part of every cache key, so replacing a
+    /// relation can never produce a stale cache hit. Delta-backed relations
+    /// carry their freshness in their run ids instead.
+    rel_stamps: HashMap<String, u64>,
+    /// The access-structure cache, shared across clones of this database (the
+    /// keys are identity-stamped, so sharing is safe — clones that diverge
+    /// simply stop hitting each other's entries).
+    cache: Arc<AccessCache>,
 }
 
 impl Database {
@@ -208,6 +221,7 @@ impl Database {
         let name = name.into();
         self.loaded_domains.remove(&name);
         self.deltas.remove(&name);
+        self.rel_stamps.insert(name.clone(), next_stamp());
         self.relations.insert(name, relation);
     }
 
@@ -217,6 +231,7 @@ impl Database {
         let name = name.into();
         self.loaded_domains.remove(&name);
         self.relations.remove(&name);
+        self.rel_stamps.remove(&name);
         self.deltas.insert(name, delta);
     }
 
@@ -231,9 +246,31 @@ impl Database {
             .relations
             .remove(name)
             .ok_or_else(|| DatabaseError::MissingRelation(name.to_string()))?;
+        self.rel_stamps.remove(name);
         self.deltas
             .insert(name.to_string(), DeltaRelation::from_relation(rel));
         Ok(())
+    }
+
+    /// The identity stamp of the static relation stored under `name` (assigned
+    /// when the name was last bound by [`Database::insert`]; 0 if `name` is not
+    /// a static relation). Cache keys include it, so rebinding a name keys new
+    /// builds away from entries of the replaced relation.
+    pub fn relation_stamp(&self, name: &str) -> u64 {
+        self.rel_stamps.get(name).copied().unwrap_or(0)
+    }
+
+    /// The access-structure cache shared by executions over this database (and
+    /// its clones). See [`wcoj_storage::cache`] for keying and eviction.
+    pub fn access_cache(&self) -> &AccessCache {
+        &self.cache
+    }
+
+    /// Replace this instance's cache with a fresh, empty one of `bytes` budget
+    /// (`0` disables caching). Only this instance is switched — clones sharing
+    /// the previous cache keep it.
+    pub fn set_cache_budget(&mut self, bytes: usize) {
+        self.cache = Arc::new(AccessCache::with_budget(bytes));
     }
 
     /// The delta log stored under `name`, if the relation is delta-backed.
@@ -834,11 +871,11 @@ impl Database {
         Ok(len)
     }
 
-    /// The access-structure source for atom `i` of `query`: the renamed static
-    /// relation, or a borrowed handle to the live delta log (whose columns map
-    /// to the atom's variables positionally). This is what lets the execution
-    /// layer build a [`wcoj_storage::DeltaAccess`] over live data instead of
-    /// rebuilding from a snapshot.
+    /// The access-structure source for atom `i` of `query`: a borrowed handle
+    /// to the stored static relation or to the live delta log — in both cases
+    /// the stored columns map to the atom's variables positionally, with no
+    /// per-query rename or copy. This is what lets the execution layer run
+    /// live over delta logs and reuse cached access structures across queries.
     pub fn atom_source(
         &self,
         query: &ConjunctiveQuery,
@@ -855,8 +892,18 @@ impl Database {
             }
             return Ok(AtomSource::Delta(delta));
         }
-        self.relation_for_atom(query, atom_index)
-            .map(AtomSource::Static)
+        let stored = self
+            .relations
+            .get(&atom.name)
+            .ok_or_else(|| DatabaseError::MissingRelation(atom.name.clone()))?;
+        if stored.arity() != atom.vars.len() {
+            return Err(DatabaseError::ArityMismatch {
+                atom: atom.name.clone(),
+                expected: atom.vars.len(),
+                found: stored.arity(),
+            });
+        }
+        Ok(AtomSource::Static(stored))
     }
 
     /// All atom sources of `query`, in atom order (see
@@ -1354,6 +1401,33 @@ mod tests {
         db.insert("R", Relation::from_pairs("A", "B", vec![(7, 7)]));
         assert!(db.delta("R").is_none());
         assert_eq!(db.get("R").unwrap().len(), 1);
+    }
+
+    #[test]
+    fn relation_stamps_track_rebinding() {
+        let mut db = triangle_db();
+        let s0 = db.relation_stamp("R");
+        assert_ne!(s0, 0, "static relations are stamped at insert");
+        assert_ne!(db.relation_stamp("S"), s0, "stamps are unique per binding");
+        assert_eq!(db.relation_stamp("nope"), 0);
+        // replacement under the same name takes a fresh stamp
+        db.insert("R", Relation::from_pairs("A", "B", vec![(7, 7)]));
+        let s1 = db.relation_stamp("R");
+        assert_ne!(s1, s0);
+        // clones keep the stamp (identical content), divergence re-stamps
+        let mut clone = db.clone();
+        assert_eq!(clone.relation_stamp("R"), s1);
+        clone.insert("R", Relation::from_pairs("A", "B", vec![(8, 8)]));
+        assert_ne!(clone.relation_stamp("R"), s1);
+        assert_eq!(db.relation_stamp("R"), s1);
+        // delta-backed relations carry no static stamp
+        db.to_delta("R").unwrap();
+        assert_eq!(db.relation_stamp("R"), 0);
+        // the cache handle is shared across clones until rebudgeted
+        assert!(std::ptr::eq(db.access_cache(), clone.access_cache()));
+        clone.set_cache_budget(0);
+        assert!(!std::ptr::eq(db.access_cache(), clone.access_cache()));
+        assert!(!clone.access_cache().is_enabled());
     }
 
     #[test]

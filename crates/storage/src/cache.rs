@@ -1,0 +1,470 @@
+//! The per-database access-structure cache: built [`Trie`]s, [`PrefixIndex`]es
+//! and permuted delta views ([`DeltaView`]), keyed by *what they were built
+//! from* and evicted under a byte budget with cost-aware (GreedyDual-Size
+//! style) priorities.
+//!
+//! # Keying and invalidation
+//!
+//! A cache cannot safely key on relation **names** alone: names are rebound
+//! (`Database::insert` replaces), databases are cloned, and delta logs mutate
+//! in place. Two mechanisms make stale hits impossible by construction:
+//!
+//! * **Stamps** ([`next_stamp`]) — a process-global monotone counter. Every
+//!   static relation insertion takes a fresh stamp, and the stamp is part of
+//!   the [`CacheKey`]; replacing a relation under the same name simply keys
+//!   new builds away from the old entries (which age out via eviction).
+//! * **Run identity** — delta entries hold a [`DeltaView`] that records the
+//!   unique ids of the sealed runs it was built over. At lookup time the view
+//!   is revalidated against the live [`crate::DeltaRelation`]: equal id lists
+//!   hit; a *proper prefix* (only new sealed runs appended since the build)
+//!   takes the **incremental merge** path, permuting only the new runs;
+//!   anything else (compaction, tier merges, replacement) rebuilds. The
+//!   unsealed append buffer is never cached — it is collapsed into an
+//!   ephemeral run per query, exactly as uncached execution does.
+//!
+//! # Eviction
+//!
+//! Entries carry their byte footprint and a build-cost estimate (rows
+//! scanned). While the cache exceeds its budget the entry with the lowest
+//! priority `L + cost/bytes` is dropped and the clock `L` advances to the
+//! victim's priority — the classic GreedyDual-Size rule (in integer
+//! arithmetic), which decays to LRU for same-shaped entries but prefers
+//! keeping structures that are expensive to rebuild per byte. Pinned entries
+//! (see `CacheMode::Pinned` in the execution layer) are never evicted.
+//!
+//! The budget defaults to 256 MiB and is configurable via the
+//! `WCOJ_CACHE_BYTES` environment variable; `0` disables caching entirely.
+
+use crate::delta::DeltaView;
+use crate::index::PrefixIndex;
+use crate::trie::Trie;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Default cache budget (bytes) when `WCOJ_CACHE_BYTES` is unset: 256 MiB.
+pub const DEFAULT_CACHE_BYTES: usize = 256 << 20;
+
+static STAMP: AtomicU64 = AtomicU64::new(1);
+
+/// The process-global monotone stamp source: every call returns a fresh,
+/// unique value. Stamps identify immutable build inputs — static relations
+/// take one per insertion, sealed delta runs take one per run, and
+/// [`crate::DeltaRelation`] epochs are refreshed from it on every mutation —
+/// so equal stamps imply identical content even across cloned catalogs.
+pub fn next_stamp() -> u64 {
+    STAMP.fetch_add(1, Ordering::Relaxed)
+}
+
+/// Per-query cache activity tallies, surfaced on the execution layer's output.
+/// Kept strictly separate from the engine work counters: caching changes how
+/// access structures come to exist, never what execution does with them, so
+/// the work tallies stay bit-identical with the cache on or off.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups that returned a valid entry as-is.
+    pub hits: u64,
+    /// Lookups that found nothing usable and built from scratch.
+    pub misses: u64,
+    /// Delta lookups revalidated by merging only newly sealed runs into the
+    /// cached view (the incremental path between a hit and a rebuild).
+    pub incremental_merges: u64,
+    /// Cache residency in bytes after the query's builds.
+    pub bytes: u64,
+    /// Entries evicted by this query's insertions.
+    pub evictions: u64,
+}
+
+impl CacheStats {
+    /// Fold another query's tallies into this one (for aggregating sweeps).
+    pub fn absorb(&mut self, other: &CacheStats) {
+        self.hits += other.hits;
+        self.misses += other.misses;
+        self.incremental_merges += other.incremental_merges;
+        self.evictions += other.evictions;
+        self.bytes = other.bytes; // residency is a level, not a flow
+    }
+}
+
+/// Which access structure an entry holds — part of the key, so one relation
+/// and order can cache a trie and a prefix index side by side.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum CacheKind {
+    /// A CSR [`Trie`] (the Leapfrog backend).
+    Trie,
+    /// A [`PrefixIndex`] (the Generic Join backend).
+    Index,
+    /// A permuted [`DeltaView`] over a delta log's sealed runs.
+    Delta,
+}
+
+/// What an access structure was built from: the relation's catalog name, the
+/// column permutation it was built over, the structure kind, and — for static
+/// relations — the insertion stamp of the exact stored relation (0 for delta
+/// entries, which revalidate by run identity instead; see the
+/// [module docs](crate::cache)).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct CacheKey {
+    /// Catalog name of the source relation.
+    pub relation: String,
+    /// Column positions, one per attribute, in the built order.
+    pub positions: Vec<usize>,
+    /// Which structure the entry holds.
+    pub kind: CacheKind,
+    /// Insertion stamp of the static source relation; 0 for delta entries.
+    pub stamp: u64,
+}
+
+/// A cached access structure, shared by reference count: a hit hands the
+/// execution layer an `Arc` clone, so eviction can never invalidate an
+/// in-flight query.
+#[derive(Debug, Clone)]
+pub enum CachedValue {
+    /// A built CSR trie.
+    Trie(Arc<Trie>),
+    /// A built prefix hash index.
+    Index(Arc<PrefixIndex>),
+    /// A permuted view of a delta log's sealed runs.
+    Delta(Arc<DeltaView>),
+}
+
+#[derive(Debug)]
+struct Entry {
+    value: CachedValue,
+    bytes: usize,
+    cost: u64,
+    priority: u64,
+    pinned: bool,
+}
+
+/// GreedyDual-Size credit: build cost per byte, scaled to integer arithmetic
+/// and clamped so pathological ratios cannot starve the clock.
+fn credit(cost: u64, bytes: usize) -> u64 {
+    (cost.saturating_mul(1024) / (bytes.max(1) as u64)).min(1 << 20) + 1
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    map: HashMap<CacheKey, Entry>,
+    /// The GreedyDual clock `L`: advances to the victim's priority on
+    /// eviction, so long-idle entries age relative to fresh ones.
+    clock: u64,
+    bytes: usize,
+}
+
+/// The shared concurrent access-structure cache — one per `Database`
+/// (`Arc`-shared across clones), guarded by a single mutex. Builds happen
+/// *outside* the lock: the execution layer looks up, releases, builds, and
+/// inserts, so a racing double-build costs duplicated work, never a wrong
+/// result (the later insert simply replaces an identical entry).
+#[derive(Debug)]
+pub struct AccessCache {
+    budget: usize,
+    inner: Mutex<Inner>,
+}
+
+impl Default for AccessCache {
+    /// Budget from `WCOJ_CACHE_BYTES` (bytes; `0` disables), defaulting to
+    /// [`DEFAULT_CACHE_BYTES`].
+    fn default() -> Self {
+        let budget = std::env::var("WCOJ_CACHE_BYTES")
+            .ok()
+            .and_then(|v| v.trim().parse::<usize>().ok())
+            .unwrap_or(DEFAULT_CACHE_BYTES);
+        AccessCache::with_budget(budget)
+    }
+}
+
+impl AccessCache {
+    /// A cache with an explicit byte budget (`0` disables caching).
+    pub fn with_budget(budget: usize) -> Self {
+        AccessCache {
+            budget,
+            inner: Mutex::new(Inner::default()),
+        }
+    }
+
+    /// The byte budget.
+    pub fn budget(&self) -> usize {
+        self.budget
+    }
+
+    /// Whether the cache accepts entries at all (`budget > 0`).
+    pub fn is_enabled(&self) -> bool {
+        self.budget > 0
+    }
+
+    /// Current residency in bytes.
+    pub fn bytes(&self) -> usize {
+        self.inner.lock().expect("cache lock").bytes
+    }
+
+    /// Number of cached entries.
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("cache lock").map.len()
+    }
+
+    /// Whether the cache holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drop every entry (in-flight `Arc` clones stay valid).
+    pub fn clear(&self) {
+        let mut inner = self.inner.lock().expect("cache lock");
+        inner.map.clear();
+        inner.bytes = 0;
+    }
+
+    /// Look up `key`, refreshing its eviction priority on a hit. The returned
+    /// value is an `Arc` clone; delta values must still be revalidated against
+    /// the live log by the caller (see the [module docs](crate::cache)).
+    pub fn get(&self, key: &CacheKey) -> Option<CachedValue> {
+        let mut inner = self.inner.lock().expect("cache lock");
+        let clock = inner.clock;
+        let entry = inner.map.get_mut(key)?;
+        entry.priority = clock + credit(entry.cost, entry.bytes);
+        Some(entry.value.clone())
+    }
+
+    /// Insert (or replace) `key` with `value`, charging `bytes` of residency
+    /// and remembering the build-`cost` estimate (rows scanned) for the
+    /// eviction priority. Returns how many entries were evicted to fit. An
+    /// unpinned value larger than the whole budget is not admitted (inserting
+    /// it could only thrash); a pinned value always is, and pinned entries are
+    /// never evicted.
+    pub fn insert(
+        &self,
+        key: CacheKey,
+        value: CachedValue,
+        cost: u64,
+        bytes: usize,
+        pinned: bool,
+    ) -> u64 {
+        let mut inner = self.inner.lock().expect("cache lock");
+        if let Some(old) = inner.map.remove(&key) {
+            inner.bytes -= old.bytes;
+        }
+        if !self.is_enabled() || (!pinned && bytes > self.budget) {
+            return 0;
+        }
+        let priority = inner.clock + credit(cost, bytes);
+        inner.map.insert(
+            key,
+            Entry {
+                value,
+                bytes,
+                cost,
+                priority,
+                pinned,
+            },
+        );
+        inner.bytes += bytes;
+        let mut evicted = 0u64;
+        while inner.bytes > self.budget {
+            // victim: lowest priority among unpinned entries, with a
+            // deterministic key tie-break (map iteration order is not)
+            let victim = inner
+                .map
+                .iter()
+                .filter(|(_, e)| !e.pinned)
+                .min_by(|(ka, ea), (kb, eb)| {
+                    ea.priority
+                        .cmp(&eb.priority)
+                        .then_with(|| ka.relation.cmp(&kb.relation))
+                        .then_with(|| ka.stamp.cmp(&kb.stamp))
+                        .then_with(|| ka.kind.cmp(&kb.kind))
+                        .then_with(|| ka.positions.cmp(&kb.positions))
+                })
+                .map(|(k, _)| k.clone());
+            let Some(victim) = victim else { break };
+            let gone = inner.map.remove(&victim).expect("victim came from the map");
+            inner.bytes -= gone.bytes;
+            inner.clock = inner.clock.max(gone.priority);
+            evicted += 1;
+        }
+        evicted
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::relation::Relation;
+
+    fn trie_of(n: u64) -> Arc<Trie> {
+        let rel = Relation::from_pairs("A", "B", (0..n).map(|i| (i, i + 1)));
+        Arc::new(Trie::build(&rel, &["A", "B"]).unwrap())
+    }
+
+    fn key(name: &str, stamp: u64) -> CacheKey {
+        CacheKey {
+            relation: name.to_string(),
+            positions: vec![0, 1],
+            kind: CacheKind::Trie,
+            stamp,
+        }
+    }
+
+    #[test]
+    fn stamps_are_unique_and_monotone() {
+        let a = next_stamp();
+        let b = next_stamp();
+        assert!(b > a);
+    }
+
+    #[test]
+    fn insert_get_roundtrip_and_replacement() {
+        let cache = AccessCache::with_budget(1 << 20);
+        let t = trie_of(10);
+        assert!(cache.get(&key("R", 1)).is_none());
+        cache.insert(
+            key("R", 1),
+            CachedValue::Trie(Arc::clone(&t)),
+            10,
+            100,
+            false,
+        );
+        assert_eq!(cache.len(), 1);
+        assert_eq!(cache.bytes(), 100);
+        match cache.get(&key("R", 1)) {
+            Some(CachedValue::Trie(got)) => assert!(Arc::ptr_eq(&got, &t)),
+            other => panic!("unexpected {other:?}"),
+        }
+        // different stamp = different relation generation = different entry
+        assert!(cache.get(&key("R", 2)).is_none());
+        // replacement under the same key swaps bytes, not duplicates
+        cache.insert(key("R", 1), CachedValue::Trie(trie_of(5)), 5, 60, false);
+        assert_eq!(cache.len(), 1);
+        assert_eq!(cache.bytes(), 60);
+        cache.clear();
+        assert!(cache.is_empty());
+        assert_eq!(cache.bytes(), 0);
+    }
+
+    #[test]
+    fn eviction_is_cost_aware_and_bounded() {
+        let cache = AccessCache::with_budget(250);
+        let t = trie_of(4);
+        // same bytes, different build costs: the cheap-to-rebuild entry goes first
+        cache.insert(
+            key("cheap", 1),
+            CachedValue::Trie(Arc::clone(&t)),
+            1,
+            100,
+            false,
+        );
+        cache.insert(
+            key("dear", 1),
+            CachedValue::Trie(Arc::clone(&t)),
+            1_000,
+            100,
+            false,
+        );
+        let evicted = cache.insert(
+            key("new", 1),
+            CachedValue::Trie(Arc::clone(&t)),
+            10,
+            100,
+            false,
+        );
+        assert_eq!(evicted, 1);
+        assert!(cache.get(&key("cheap", 1)).is_none(), "cheap entry evicted");
+        assert!(cache.get(&key("dear", 1)).is_some());
+        assert!(cache.get(&key("new", 1)).is_some());
+        assert!(cache.bytes() <= 250);
+    }
+
+    #[test]
+    fn oversized_unpinned_rejected_pinned_admitted_and_kept() {
+        let cache = AccessCache::with_budget(50);
+        let t = trie_of(4);
+        assert_eq!(
+            cache.insert(
+                key("big", 1),
+                CachedValue::Trie(Arc::clone(&t)),
+                1,
+                100,
+                false
+            ),
+            0
+        );
+        assert!(cache.is_empty(), "over-budget unpinned value not admitted");
+        cache.insert(
+            key("big", 1),
+            CachedValue::Trie(Arc::clone(&t)),
+            1,
+            100,
+            true,
+        );
+        assert_eq!(cache.len(), 1);
+        // pinned entries are never the victim, even under pressure
+        cache.insert(
+            key("small", 1),
+            CachedValue::Trie(Arc::clone(&t)),
+            1,
+            10,
+            false,
+        );
+        assert!(cache.get(&key("big", 1)).is_some());
+        assert!(
+            cache.get(&key("small", 1)).is_none(),
+            "only the unpinned entry could yield"
+        );
+    }
+
+    #[test]
+    fn zero_budget_disables() {
+        let cache = AccessCache::with_budget(0);
+        assert!(!cache.is_enabled());
+        cache.insert(key("R", 1), CachedValue::Trie(trie_of(2)), 1, 10, false);
+        assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn recency_breaks_cost_ties() {
+        let cache = AccessCache::with_budget(200);
+        let t = trie_of(4);
+        cache.insert(
+            key("a", 1),
+            CachedValue::Trie(Arc::clone(&t)),
+            10,
+            100,
+            false,
+        );
+        cache.insert(
+            key("b", 1),
+            CachedValue::Trie(Arc::clone(&t)),
+            10,
+            100,
+            false,
+        );
+        // evicting "a" (priority tie, key tie-break) advances the clock past
+        // the survivors; a touched survivor then outlives an untouched one
+        cache.insert(
+            key("c", 1),
+            CachedValue::Trie(Arc::clone(&t)),
+            10,
+            100,
+            false,
+        );
+        assert!(cache.get(&key("a", 1)).is_none());
+        let _ = cache.get(&key("c", 1));
+        cache.insert(
+            key("d", 1),
+            CachedValue::Trie(Arc::clone(&t)),
+            10,
+            100,
+            false,
+        );
+        assert!(
+            cache.get(&key("b", 1)).is_none(),
+            "stale entry is the victim"
+        );
+        assert!(
+            cache.get(&key("c", 1)).is_some(),
+            "recently touched survives"
+        );
+        assert!(cache.get(&key("d", 1)).is_some());
+    }
+}

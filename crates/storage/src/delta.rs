@@ -56,9 +56,32 @@ use crate::relation::{argsort_columns_threads, Relation, Tuple};
 use crate::schema::Schema;
 use crate::stats::CursorWork;
 use crate::Value;
-use std::borrow::Cow;
 use std::hash::BuildHasherDefault;
 use std::sync::Arc;
+
+/// A column (or prefix-sum) slice inside an [`AccessRun`]: borrowed straight
+/// from the log when the requested order is a run's native order, owned when
+/// freshly permuted (or collapsed from the unsealed buffer), or shared with
+/// the access-structure cache's [`DeltaView`]. `Deref` keeps the cursor code
+/// oblivious to which.
+#[derive(Debug, Clone)]
+enum SliceRef<'a, T> {
+    Borrowed(&'a [T]),
+    Owned(Vec<T>),
+    Shared(Arc<[T]>),
+}
+
+impl<T> std::ops::Deref for SliceRef<'_, T> {
+    type Target = [T];
+
+    fn deref(&self) -> &[T] {
+        match self {
+            SliceRef::Borrowed(s) => s,
+            SliceRef::Owned(v) => v,
+            SliceRef::Shared(a) => a,
+        }
+    }
+}
 
 /// The live-tuple membership index: one entry per live tuple, maintained
 /// incrementally by `insert`/`delete` (hashed with the in-tree [`FxHasher`];
@@ -217,6 +240,10 @@ const GROWTH: usize = 2;
 /// One immutable sorted run: a canonical ± mini-relation plus sign prefix sums.
 #[derive(Debug, Clone, PartialEq, Eq)]
 struct Run {
+    /// Process-unique identity stamp ([`crate::cache::next_stamp`]): runs are
+    /// immutable, so equal ids imply identical content — what the
+    /// access-structure cache's [`DeltaView`] revalidates against.
+    id: u64,
     /// The run's rows: sorted, distinct tuples (each tuple occurs at most once
     /// per run, with its net sign).
     rel: Relation,
@@ -229,7 +256,11 @@ impl Run {
     /// A run of pure inserts (the base-run shape).
     fn all_insert(rel: Relation) -> Run {
         let cum = (0..=rel.len() as i64).collect();
-        Run { rel, cum }
+        Run {
+            id: crate::cache::next_stamp(),
+            rel,
+            cum,
+        }
     }
 
     /// Build a run from canonical columns plus per-row net signs.
@@ -238,6 +269,7 @@ impl Run {
         debug_assert_eq!(rel.len(), signs.len());
         debug_assert!(signs.iter().all(|&s| s == 1 || s == -1));
         Run {
+            id: crate::cache::next_stamp(),
             rel,
             cum: cum_from(signs.iter().copied()),
         }
@@ -434,6 +466,11 @@ pub struct DeltaRelation {
     /// the alternating-history guard, without per-op run searches.
     live_set: LiveSet,
     seal_threshold: usize,
+    /// Modification epoch: a fresh process-unique stamp
+    /// ([`crate::cache::next_stamp`]) on every mutation, so equal epochs imply
+    /// identical visible state — the access-structure cache's fast-path
+    /// freshness check (run-id matching is the authoritative one).
+    epoch: u64,
 }
 
 impl DeltaRelation {
@@ -451,6 +488,7 @@ impl DeltaRelation {
             buffer,
             live_set,
             seal_threshold: DEFAULT_SEAL_THRESHOLD,
+            epoch: crate::cache::next_stamp(),
         }
     }
 
@@ -475,7 +513,33 @@ impl DeltaRelation {
             buffer,
             live_set,
             seal_threshold: DEFAULT_SEAL_THRESHOLD,
+            epoch: crate::cache::next_stamp(),
         }
+    }
+
+    /// Take a fresh epoch stamp; called on every visible mutation (ingest,
+    /// seal, tier merge). Over-stamping is harmless — a changed epoch only
+    /// means cached views re-check run identity.
+    fn touch(&mut self) {
+        self.epoch = crate::cache::next_stamp();
+    }
+
+    /// The modification epoch: refreshed from the process-global stamp source
+    /// on every mutation. Because stamps are process-unique, **equal epochs
+    /// imply identical visible state**, even across clones of the log; an
+    /// unequal epoch says nothing more than "re-examine" (see
+    /// [`DeltaView::matches`] for the authoritative check).
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// The sealed runs' unique identity stamps, oldest first. Runs are
+    /// immutable, so any cached structure recording these ids can revalidate
+    /// exactly: same list = same sealed content; a proper prefix = only new
+    /// runs were sealed since (the incremental-maintenance case); anything
+    /// else = a structural rewrite (tier merge, compaction).
+    pub fn run_ids(&self) -> Vec<u64> {
+        self.runs.iter().map(|r| r.id).collect()
     }
 
     /// The schema.
@@ -565,6 +629,7 @@ impl DeltaRelation {
             return Ok(false); // already live: blind re-insert is a no-op
         }
         self.buffer.push(tuple, 1);
+        self.touch();
         self.maybe_seal();
         Ok(true)
     }
@@ -577,6 +642,7 @@ impl DeltaRelation {
             return Ok(false); // not live: blind delete is a no-op
         }
         self.buffer.push(tuple, -1);
+        self.touch();
         self.maybe_seal();
         Ok(true)
     }
@@ -658,6 +724,7 @@ impl DeltaRelation {
         if !self.buffer.is_empty() {
             let (cols, signs) = self.buffer_parts();
             self.buffer.clear();
+            self.touch();
             if !signs.is_empty() {
                 self.runs
                     .push(Run::from_parts(self.schema.clone(), cols, &signs));
@@ -684,6 +751,7 @@ impl DeltaRelation {
         if self.runs.len() - start < 2 {
             return;
         }
+        self.touch();
         let total: usize = self.runs[start..].iter().map(Run::len).sum();
         if threads > 1 && total >= PAR_MERGE_MIN {
             let arity = self.arity();
@@ -769,13 +837,35 @@ impl DeltaRelation {
     }
 }
 
+/// Check that `positions` is a permutation of `0..arity`; returns whether it
+/// is the identity (the native-order short-circuit: runs are already sorted
+/// and prefix-summed in that order, so nothing needs permuting — or caching).
+fn validate_positions(arity: usize, positions: &[usize]) -> Result<bool, StorageError> {
+    if positions.len() != arity {
+        return Err(StorageError::ArityMismatch {
+            expected: arity,
+            found: positions.len(),
+        });
+    }
+    let mut seen = vec![false; arity];
+    for &p in positions {
+        if p >= arity || seen[p] {
+            return Err(StorageError::DuplicateAttribute(format!("column {p}")));
+        }
+        seen[p] = true;
+    }
+    Ok(positions.iter().enumerate().all(|(i, &p)| i == p))
+}
+
 /// One run's view inside a [`DeltaAccess`]: columns permuted to the requested
-/// attribute order (borrowed when the order is the run's native order), rows
-/// re-sorted in that order, plus the permuted sign prefix sums.
+/// attribute order, rows re-sorted in that order, plus the permuted sign
+/// prefix sums. For the run's native order both columns **and** prefix sums
+/// are borrowed straight from the log — zero per-query work; cache hits hand
+/// out [`SliceRef::Shared`] slices instead.
 #[derive(Debug, Clone)]
 struct AccessRun<'a> {
-    cols: Vec<Cow<'a, [Value]>>,
-    cum: Vec<i64>,
+    cols: Vec<SliceRef<'a, Value>>,
+    cum: SliceRef<'a, i64>,
 }
 
 impl AccessRun<'_> {
@@ -811,20 +901,7 @@ impl<'a> DeltaAccess<'a> {
         threads: usize,
     ) -> Result<Self, StorageError> {
         let arity = delta.arity();
-        if positions.len() != arity {
-            return Err(StorageError::ArityMismatch {
-                expected: arity,
-                found: positions.len(),
-            });
-        }
-        let mut seen = vec![false; arity];
-        for &p in positions {
-            if p >= arity || seen[p] {
-                return Err(StorageError::DuplicateAttribute(format!("column {p}")));
-            }
-            seen[p] = true;
-        }
-        let identity = positions.iter().enumerate().all(|(i, &p)| i == p);
+        let identity = validate_positions(arity, positions)?;
         let mut runs: Vec<AccessRun<'a>> = Vec::with_capacity(delta.runs.len() + 1);
         for run in &delta.runs {
             runs.push(Self::run_view(run, positions, identity, threads));
@@ -869,20 +946,40 @@ impl<'a> DeltaAccess<'a> {
     ) -> AccessRun<'static> {
         if identity {
             return AccessRun {
-                cum: cum_from(signs.iter().copied()),
-                cols: cols.into_iter().map(Cow::Owned).collect(),
+                cum: SliceRef::Owned(cum_from(signs.iter().copied())),
+                cols: cols.into_iter().map(SliceRef::Owned).collect(),
             };
         }
         let len = signs.len();
         let perm = crate::relation::argsort_columns(&cols, positions, len);
-        let permuted: Vec<Cow<'static, [Value]>> = positions
+        let permuted: Vec<SliceRef<'static, Value>> = positions
             .iter()
-            .map(|&p| Cow::Owned(perm.iter().map(|&i| cols[p][i]).collect::<Vec<Value>>()))
+            .map(|&p| SliceRef::Owned(perm.iter().map(|&i| cols[p][i]).collect::<Vec<Value>>()))
             .collect();
         AccessRun {
-            cum: cum_from(perm.iter().map(|&i| signs[i])),
+            cum: SliceRef::Owned(cum_from(perm.iter().map(|&i| signs[i]))),
             cols: permuted,
         }
+    }
+
+    /// Re-sort one sealed run's rows into the order given by `positions`,
+    /// returning the permuted columns and sign prefix sums. Shared by the
+    /// borrowing build path and [`DeltaView`]'s cacheable (Arc-backed) builds.
+    fn permuted_parts(
+        run: &Run,
+        positions: &[usize],
+        threads: usize,
+    ) -> (Vec<Vec<Value>>, Vec<i64>) {
+        let perm = run.rel.sort_perm_threads(positions, threads);
+        let cols = positions
+            .iter()
+            .map(|&p| {
+                let src = run.rel.column(p);
+                perm.iter().map(|&i| src[i]).collect::<Vec<Value>>()
+            })
+            .collect();
+        let cum = cum_from(perm.iter().map(|&i| run.sign(i)));
+        (cols, cum)
     }
 
     fn run_view<'r>(
@@ -892,26 +989,57 @@ impl<'a> DeltaAccess<'a> {
         threads: usize,
     ) -> AccessRun<'r> {
         if identity {
+            // native order: the run is already sorted and prefix-summed this
+            // way — borrow both, permute (and allocate) nothing
             return AccessRun {
                 cols: run
                     .rel
                     .columns()
                     .iter()
-                    .map(|c| Cow::Borrowed(c.as_slice()))
+                    .map(|c| SliceRef::Borrowed(c.as_slice()))
                     .collect(),
-                cum: run.cum.clone(),
+                cum: SliceRef::Borrowed(&run.cum),
             };
         }
-        let perm = run.rel.sort_perm_threads(positions, threads);
-        let cols: Vec<Cow<'r, [Value]>> = positions
+        let (cols, cum) = Self::permuted_parts(run, positions, threads);
+        AccessRun {
+            cols: cols.into_iter().map(SliceRef::Owned).collect(),
+            cum: SliceRef::Owned(cum),
+        }
+    }
+
+    /// Rehydrate a cached [`DeltaView`] into a queryable access structure: the
+    /// sealed-run columns are shared (`Arc` clones, no copying), and the live
+    /// unsealed buffer — never cached — is collapsed into an ephemeral owned
+    /// run exactly as [`DeltaAccess::build_positions`] does. The caller must
+    /// have revalidated `view` against `delta` (see [`DeltaView::matches`] /
+    /// [`DeltaView::extend`]); run order is preserved, so the result is
+    /// bit-identical to an uncached build.
+    pub fn from_view(view: &DeltaView, delta: &DeltaRelation) -> DeltaAccess<'static> {
+        debug_assert!(view.matches(delta), "view must be revalidated before use");
+        let identity = view.positions.iter().enumerate().all(|(i, &p)| i == p);
+        let mut runs: Vec<AccessRun<'static>> = view
+            .runs
             .iter()
-            .map(|&p| {
-                let src = run.rel.column(p);
-                Cow::Owned(perm.iter().map(|&i| src[i]).collect::<Vec<Value>>())
+            .map(|r| AccessRun {
+                cols: r
+                    .cols
+                    .iter()
+                    .map(|c| SliceRef::Shared(Arc::clone(c)))
+                    .collect(),
+                cum: SliceRef::Shared(Arc::clone(&r.cum)),
             })
             .collect();
-        let cum = cum_from(perm.iter().map(|&i| run.sign(i)));
-        AccessRun { cols, cum }
+        if !delta.buffer.is_empty() {
+            let (cols, signs) = delta.buffer_parts();
+            if !signs.is_empty() {
+                runs.push(Self::owned_view(cols, &signs, &view.positions, identity));
+            }
+        }
+        DeltaAccess {
+            arity: delta.arity(),
+            runs,
+        }
     }
 
     /// Number of levels (the relation's arity).
@@ -930,6 +1058,157 @@ impl<'a> DeltaAccess<'a> {
             simd: crate::simd::active_level(),
             seek_linear_max: crate::ops::LINEAR_SEEK_MAX,
         }
+    }
+}
+
+/// One sealed run's permuted columns and sign prefix sums, `Arc`-backed so a
+/// cached view, its incremental extensions, and every in-flight query share
+/// the same allocations.
+#[derive(Debug, Clone)]
+struct ViewRun {
+    cols: Vec<Arc<[Value]>>,
+    cum: Arc<[i64]>,
+}
+
+/// A cacheable permuted view of a [`DeltaRelation`]'s **sealed** runs for one
+/// attribute order — the owned counterpart of the borrowing [`DeltaAccess`],
+/// and the delta payload of [`crate::AccessCache`]. The view records the
+/// identity stamps of the runs it was built over ([`DeltaRelation::run_ids`]),
+/// so freshness is decidable exactly: [`DeltaView::matches`] accepts when the
+/// live run list is identical, and [`DeltaView::extend`] handles the
+/// incremental-maintenance case — only new sealed runs appended — by permuting
+/// *just those runs* and sharing everything already built. Anything else
+/// (tier merge, compaction, relation replacement) is a rebuild. The unsealed
+/// append buffer is deliberately absent: [`DeltaAccess::from_view`] collapses
+/// it per query, exactly like an uncached build.
+#[derive(Debug, Clone)]
+pub struct DeltaView {
+    positions: Vec<usize>,
+    run_ids: Vec<u64>,
+    runs: Vec<ViewRun>,
+}
+
+impl DeltaView {
+    /// Build a view of `delta`'s sealed runs in the order given by column
+    /// `positions` (a permutation of `0..arity`); `threads` parallelizes the
+    /// per-run argsorts, with bit-identical results to serial.
+    pub fn build(
+        delta: &DeltaRelation,
+        positions: &[usize],
+        threads: usize,
+    ) -> Result<DeltaView, StorageError> {
+        let identity = validate_positions(delta.arity(), positions)?;
+        Ok(DeltaView {
+            positions: positions.to_vec(),
+            run_ids: delta.run_ids(),
+            runs: delta
+                .runs
+                .iter()
+                .map(|r| Self::view_run(r, positions, identity, threads))
+                .collect(),
+        })
+    }
+
+    fn view_run(run: &Run, positions: &[usize], identity: bool, threads: usize) -> ViewRun {
+        if identity {
+            // native order still copies once into the shared allocation: a
+            // cached view may not borrow from (and thereby pin) the log —
+            // which is why identity orders skip the cache entirely
+            return ViewRun {
+                cols: run
+                    .rel
+                    .columns()
+                    .iter()
+                    .map(|c| Arc::from(c.as_slice()))
+                    .collect(),
+                cum: Arc::from(run.cum.as_slice()),
+            };
+        }
+        let (cols, cum) = DeltaAccess::permuted_parts(run, positions, threads);
+        ViewRun {
+            cols: cols
+                .into_iter()
+                .map(|c| Arc::from(c.into_boxed_slice()))
+                .collect(),
+            cum: Arc::from(cum.into_boxed_slice()),
+        }
+    }
+
+    /// Whether the view covers exactly `delta`'s current sealed runs (the
+    /// authoritative freshness check — run ids are process-unique and runs
+    /// immutable, so a match guarantees identical sealed content).
+    pub fn matches(&self, delta: &DeltaRelation) -> bool {
+        self.run_ids.len() == delta.runs.len()
+            && self
+                .run_ids
+                .iter()
+                .zip(&delta.runs)
+                .all(|(id, r)| *id == r.id)
+    }
+
+    /// The incremental-maintenance path: when `delta`'s run list **extends**
+    /// this view's (same runs, plus newly sealed ones appended), return a new
+    /// view that shares every already-permuted run and permutes only the new
+    /// tail. `None` means the run list diverged (tier merge, compaction,
+    /// replacement) and the caller must rebuild.
+    pub fn extend(&self, delta: &DeltaRelation, threads: usize) -> Option<DeltaView> {
+        if delta.runs.len() <= self.run_ids.len()
+            || !self
+                .run_ids
+                .iter()
+                .zip(&delta.runs)
+                .all(|(id, r)| *id == r.id)
+        {
+            return None;
+        }
+        let identity = self.positions.iter().enumerate().all(|(i, &p)| i == p);
+        let mut run_ids = self.run_ids.clone();
+        let mut runs = self.runs.clone();
+        for run in &delta.runs[self.run_ids.len()..] {
+            run_ids.push(run.id);
+            runs.push(Self::view_run(run, &self.positions, identity, threads));
+        }
+        Some(DeltaView {
+            positions: self.positions.clone(),
+            run_ids,
+            runs,
+        })
+    }
+
+    /// The column positions the view was built over.
+    pub fn positions(&self) -> &[usize] {
+        &self.positions
+    }
+
+    /// Number of sealed runs covered.
+    pub fn num_runs(&self) -> usize {
+        self.runs.len()
+    }
+
+    /// Total rows across the covered runs — the rebuild-cost proxy used for
+    /// cache eviction priorities.
+    pub fn num_rows(&self) -> usize {
+        self.runs
+            .iter()
+            .map(|r| r.cum.len().saturating_sub(1))
+            .sum()
+    }
+
+    /// Approximate heap footprint in bytes — the cache's budget accounting.
+    pub fn heap_bytes(&self) -> usize {
+        let runs: usize = self
+            .runs
+            .iter()
+            .map(|r| {
+                r.cols
+                    .iter()
+                    .map(|c| std::mem::size_of_val(&c[..]))
+                    .sum::<usize>()
+                    + std::mem::size_of_val(&r.cum[..])
+            })
+            .sum();
+        runs + self.positions.len() * std::mem::size_of::<usize>()
+            + self.run_ids.len() * std::mem::size_of::<u64>()
     }
 }
 
@@ -1476,6 +1755,119 @@ mod tests {
         fn assert_sync<T: Sync>() {}
         assert_send_clone::<DeltaCursor<'_>>();
         assert_sync::<DeltaAccess<'_>>();
+    }
+
+    #[test]
+    fn epoch_advances_on_every_visible_mutation() {
+        let mut d = DeltaRelation::new(schema_ab());
+        let e0 = d.epoch();
+        assert!(d.insert(vec![1, 2]).unwrap());
+        let e1 = d.epoch();
+        assert!(e1 > e0, "insert bumps");
+        assert!(!d.insert(vec![1, 2]).unwrap());
+        assert_eq!(d.epoch(), e1, "no-op re-insert does not bump");
+        d.delete(&[1, 2]).unwrap();
+        let e2 = d.epoch();
+        assert!(e2 > e1, "delete bumps");
+        assert!(!d.delete(&[1, 2]).unwrap());
+        assert_eq!(d.epoch(), e2, "no-op delete does not bump");
+        d.insert(vec![3, 4]).unwrap();
+        let e3 = d.epoch();
+        d.seal();
+        assert!(d.epoch() > e3, "seal bumps");
+        // distinct logs never share an epoch (stamps are process-unique)
+        let other = DeltaRelation::new(schema_ab());
+        assert_ne!(other.epoch(), d.epoch());
+    }
+
+    #[test]
+    fn run_ids_are_stable_until_a_structural_rewrite() {
+        let mut d = DeltaRelation::new(schema_ab());
+        d.set_seal_threshold(usize::MAX);
+        for i in 0..64u64 {
+            d.insert(vec![i, i]).unwrap();
+        }
+        d.seal();
+        let base = d.run_ids();
+        assert_eq!(base.len(), 1);
+        // a small second seal survives tiering: old ids stay a prefix
+        d.insert(vec![100, 100]).unwrap();
+        d.insert(vec![101, 101]).unwrap();
+        d.seal();
+        let extended = d.run_ids();
+        assert_eq!(extended.len(), 2);
+        assert_eq!(
+            extended[0], base[0],
+            "old run untouched by append-only seal"
+        );
+        // compaction rewrites: a fresh id, not a prefix of the old list
+        d.compact(1);
+        let compacted = d.run_ids();
+        assert_eq!(compacted.len(), 1);
+        assert!(!extended.contains(&compacted[0]));
+    }
+
+    #[test]
+    fn view_matches_extends_and_rehydrates_bit_identically() {
+        let mut d = DeltaRelation::new(schema_ab());
+        d.set_seal_threshold(usize::MAX);
+        for i in 0..200u64 {
+            d.insert(vec![i % 13, (i * 11) % 17]).unwrap();
+        }
+        d.seal();
+        for positions in [vec![0usize, 1], vec![1usize, 0]] {
+            let view = DeltaView::build(&d, &positions, 1).unwrap();
+            assert!(view.matches(&d));
+            assert!(view.heap_bytes() > 0);
+            assert_eq!(view.num_rows(), d.run_sizes().iter().sum::<usize>());
+            let fresh = DeltaAccess::build_positions(&d, &positions, 1).unwrap();
+            let cached = DeltaAccess::from_view(&view, &d);
+            assert_eq!(
+                enumerate(&mut fresh.cursor(), 2),
+                enumerate(&mut cached.cursor(), 2),
+                "rehydrated view must equal a fresh build ({positions:?})"
+            );
+
+            // mutate: unsealed ops are visible through the ephemeral run even
+            // on a stale-free (matching) view
+            let mut d2 = d.clone();
+            d2.insert(vec![999, 1]).unwrap();
+            d2.delete(&[0, 0]).unwrap();
+            assert!(view.matches(&d2), "buffer-only changes keep run ids");
+            let fresh2 = DeltaAccess::build_positions(&d2, &positions, 1).unwrap();
+            let cached2 = DeltaAccess::from_view(&view, &d2);
+            assert_eq!(
+                enumerate(&mut fresh2.cursor(), 2),
+                enumerate(&mut cached2.cursor(), 2),
+                "unsealed buffer visible through cached view ({positions:?})"
+            );
+
+            // seal: the view no longer matches, but extends incrementally
+            d2.set_seal_threshold(usize::MAX);
+            d2.seal();
+            assert!(!view.matches(&d2));
+            let extended = view.extend(&d2, 1).expect("append-only seal extends");
+            assert!(extended.matches(&d2));
+            assert_eq!(extended.num_runs(), d2.num_runs());
+            let fresh3 = DeltaAccess::build_positions(&d2, &positions, 1).unwrap();
+            let cached3 = DeltaAccess::from_view(&extended, &d2);
+            assert_eq!(
+                enumerate(&mut fresh3.cursor(), 2),
+                enumerate(&mut cached3.cursor(), 2),
+                "incrementally extended view must equal a fresh build ({positions:?})"
+            );
+
+            // compaction diverges the run list: no extension possible
+            let mut d3 = d2.clone();
+            d3.compact(1);
+            assert!(!extended.matches(&d3));
+            assert!(
+                extended.extend(&d3, 1).is_none(),
+                "compaction forces rebuild"
+            );
+        }
+        assert!(DeltaView::build(&d, &[0, 0], 1).is_err());
+        assert!(DeltaView::build(&d, &[0], 1).is_err());
     }
 
     #[test]

@@ -15,7 +15,8 @@
 use crate::error::StorageError;
 use crate::relation::Relation;
 use crate::trie::{
-    boundary_depths, fused_scan, order_perm_threads, order_positions, PAR_BUILD_MIN,
+    boundary_depths, fused_scan, order_perm_threads, order_positions, positions_order,
+    PAR_BUILD_MIN,
 };
 use crate::Value;
 use std::collections::HashMap;
@@ -96,13 +97,31 @@ impl PrefixIndex {
     /// (which must be a permutation of the relation's attributes).
     pub fn build(rel: &Relation, attr_order: &[&str]) -> Result<Self, StorageError> {
         let positions = order_positions(rel, attr_order)?;
+        Ok(Self::build_ordered(
+            rel,
+            &positions,
+            attr_order.iter().map(|s| s.to_string()).collect(),
+        ))
+    }
+
+    /// [`PrefixIndex::build`] with the order given as **column positions** (a
+    /// permutation of `0..arity`, names synthesized from the stored schema) —
+    /// the entry used by the execution layer's access-structure cache, whose
+    /// keys are positional so per-query variable names never reach (or
+    /// fragment) the cache.
+    pub fn build_positions(rel: &Relation, positions: &[usize]) -> Result<Self, StorageError> {
+        let attr_order = positions_order(rel, positions)?;
+        Ok(Self::build_ordered(rel, positions, attr_order))
+    }
+
+    fn build_ordered(rel: &Relation, positions: &[usize], attr_order: Vec<String>) -> Self {
         let arity = rel.arity();
         let cols: Vec<&[Value]> = positions.iter().map(|&p| rel.column(p)).collect();
 
         let mut levels: Vec<PrefixMap> = vec![PrefixMap::default(); arity];
         // the current row's values in index order; prefix[..k] keys level k
         let mut cur: Vec<Value> = vec![0; arity];
-        fused_scan(rel, &positions, |r, d| {
+        fused_scan(rel, positions, |r, d| {
             // positions >= d hold a value not yet recorded under its (possibly new)
             // prefix; positions < d extend prefixes whose entries already exist
             for (k, col) in cols.iter().enumerate().skip(d) {
@@ -110,11 +129,11 @@ impl PrefixIndex {
                 levels[k].entry(cur[..k].to_vec()).or_default().push(cur[k]);
             }
         });
-        Ok(PrefixIndex {
-            attr_order: attr_order.iter().map(|s| s.to_string()).collect(),
+        PrefixIndex {
+            attr_order,
             levels,
             len: rel.len(),
-        })
+        }
     }
 
     /// [`PrefixIndex::build`] with the fused argsort-and-scan pass partitioned
@@ -133,14 +152,41 @@ impl PrefixIndex {
         attr_order: &[&str],
         threads: usize,
     ) -> Result<Self, StorageError> {
-        if threads <= 1 || rel.len() < PAR_BUILD_MIN {
-            return Self::build(rel, attr_order);
-        }
         let positions = order_positions(rel, attr_order)?;
+        Ok(Self::build_parallel_ordered(
+            rel,
+            &positions,
+            attr_order.iter().map(|s| s.to_string()).collect(),
+            threads,
+        ))
+    }
+
+    /// [`PrefixIndex::build_positions`] with the parallel fused pass of
+    /// [`PrefixIndex::build_parallel`]; bit-identical for every thread count.
+    pub fn build_positions_parallel(
+        rel: &Relation,
+        positions: &[usize],
+        threads: usize,
+    ) -> Result<Self, StorageError> {
+        let attr_order = positions_order(rel, positions)?;
+        Ok(Self::build_parallel_ordered(
+            rel, positions, attr_order, threads,
+        ))
+    }
+
+    fn build_parallel_ordered(
+        rel: &Relation,
+        positions: &[usize],
+        attr_order: Vec<String>,
+        threads: usize,
+    ) -> Self {
+        if threads <= 1 || rel.len() < PAR_BUILD_MIN {
+            return Self::build_ordered(rel, positions, attr_order);
+        }
         let arity = rel.arity();
         let n = rel.len();
-        let perm = order_perm_threads(rel, &positions, threads);
-        let bounds = boundary_depths(rel, &positions, perm.as_deref(), threads);
+        let perm = order_perm_threads(rel, positions, threads);
+        let bounds = boundary_depths(rel, positions, perm.as_deref(), threads);
         let cols: Vec<&[Value]> = positions.iter().map(|&p| rel.column(p)).collect();
 
         // chunk ranges aligned to root boundaries (bounds == 0), one per worker
@@ -197,16 +243,29 @@ impl PrefixIndex {
                 }
             }
         }
-        Ok(PrefixIndex {
-            attr_order: attr_order.iter().map(|s| s.to_string()).collect(),
+        PrefixIndex {
+            attr_order,
             levels,
             len: n,
-        })
+        }
     }
 
     /// The attribute order the index was built over.
     pub fn attr_order(&self) -> &[String] {
         &self.attr_order
+    }
+
+    /// Approximate heap footprint in bytes (per-entry key and value storage
+    /// plus an estimated hash-table overhead) — the byte accounting behind the
+    /// access-structure cache's budget.
+    pub fn heap_bytes(&self) -> usize {
+        // per-entry bookkeeping estimate: two Vec headers + table slot
+        const ENTRY_OVERHEAD: usize = 56;
+        self.levels
+            .iter()
+            .flat_map(|m| m.iter())
+            .map(|(k, v)| (k.len() + v.len()) * std::mem::size_of::<Value>() + ENTRY_OVERHEAD)
+            .sum()
     }
 
     /// Arity of the indexed relation.
@@ -315,6 +374,21 @@ mod tests {
         assert!(PrefixIndex::build(&rel(), &["A"]).is_err());
         assert!(PrefixIndex::build(&rel(), &["A", "Z"]).is_err());
         assert!(PrefixIndex::build(&rel(), &["A", "A"]).is_err());
+        assert!(PrefixIndex::build_positions(&rel(), &[0]).is_err());
+        assert!(PrefixIndex::build_positions(&rel(), &[0, 0]).is_err());
+        assert!(PrefixIndex::build_positions(&rel(), &[0, 2]).is_err());
+    }
+
+    #[test]
+    fn positional_build_matches_named_build() {
+        let r = rel();
+        let by_name = PrefixIndex::build(&r, &["B", "A"]).unwrap();
+        let by_pos = PrefixIndex::build_positions(&r, &[1, 0]).unwrap();
+        assert_eq!(by_pos, by_name);
+        assert_eq!(by_pos.attr_order(), &["B".to_string(), "A".to_string()]);
+        assert!(by_pos.heap_bytes() > 0);
+        let par = PrefixIndex::build_positions_parallel(&r, &[1, 0], 4).unwrap();
+        assert_eq!(par, by_name);
     }
 
     #[test]

@@ -38,6 +38,13 @@
 //!   the **union cursor** — a [`access::TrieAccess`] implementation that n-way
 //!   merges the runs and suppresses tombstoned subtrees, so both engines run
 //!   unmodified (and bit-identically to a full rebuild) over live data;
+//! * [`cache`] — the access-structure cache: built tries, prefix indexes, and
+//!   permuted delta views ([`delta::DeltaView`]) keyed by what they were built
+//!   from (relation identity stamp, column permutation, structure kind) in a
+//!   shared [`cache::AccessCache`] with a byte budget and cost-aware
+//!   (GreedyDual-Size) eviction; delta entries revalidate against the live
+//!   log's run ids and extend **incrementally** when only new sealed runs
+//!   appeared since the cached build;
 //! * [`typed`] / [`dictionary`] — the typed-value layer over the `u64` columns:
 //!   [`Schema`]s carry per-attribute [`AttrType`]s, [`typed::TypedValue`] rows
 //!   encode through per-domain [`Dictionary`]s (batch interning, single-storage
@@ -80,6 +87,7 @@
 #![warn(missing_docs)]
 
 pub mod access;
+pub mod cache;
 pub mod delta;
 pub mod dictionary;
 pub mod error;
@@ -96,7 +104,8 @@ pub mod tune;
 pub mod typed;
 
 pub use access::{CursorKind, PrefixCursor, TrieAccess};
-pub use delta::{DeltaAccess, DeltaCursor, DeltaRelation};
+pub use cache::{next_stamp, AccessCache, CacheKey, CacheKind, CacheStats, CachedValue};
+pub use delta::{DeltaAccess, DeltaCursor, DeltaRelation, DeltaView};
 pub use dictionary::{DictReader, Dictionary};
 pub use error::StorageError;
 pub use index::PrefixIndex;

@@ -66,6 +66,34 @@ pub(crate) fn order_positions(
     Ok(positions)
 }
 
+/// Validate that `positions` is a permutation of `0..rel.arity()` and synthesize the
+/// attribute names of that order from the relation's stored schema. The positional
+/// twin of [`order_positions`], used by the cache-keyed builds
+/// ([`Trie::build_positions`], [`crate::PrefixIndex::build_positions`]) where atom
+/// variables bind to stored columns positionally.
+pub(crate) fn positions_order(
+    rel: &Relation,
+    positions: &[usize],
+) -> Result<Vec<String>, StorageError> {
+    if positions.len() != rel.arity() {
+        return Err(StorageError::ArityMismatch {
+            expected: rel.arity(),
+            found: positions.len(),
+        });
+    }
+    let mut seen = vec![false; rel.arity()];
+    for &p in positions {
+        if p >= rel.arity() || seen[p] {
+            return Err(StorageError::DuplicateAttribute(format!("column {p}")));
+        }
+        seen[p] = true;
+    }
+    Ok(positions
+        .iter()
+        .map(|&p| rel.schema().attrs()[p].clone())
+        .collect())
+}
+
 /// Argsort of `rel`'s rows by the permuted columns, or `None` when the permutation
 /// is the identity (the relation is already sorted in that order). Rows of a
 /// full-attribute permutation are distinct, so `sort_perm`'s index tie-break never
@@ -186,13 +214,30 @@ impl Trie {
     /// whenever the current row first differs from the previous row at depth `≤ d`.
     pub fn build(rel: &Relation, attr_order: &[&str]) -> Result<Self, StorageError> {
         let positions = order_positions(rel, attr_order)?;
+        Ok(Self::build_ordered(
+            rel,
+            &positions,
+            attr_order.iter().map(|s| s.to_string()).collect(),
+        ))
+    }
+
+    /// [`Trie::build`] with the order given as **column positions** (a permutation of
+    /// `0..arity`, names synthesized from the stored schema) — the entry used by the
+    /// execution layer's access-structure cache, whose keys are positional so that
+    /// per-query variable names never reach (or fragment) the cache.
+    pub fn build_positions(rel: &Relation, positions: &[usize]) -> Result<Self, StorageError> {
+        let attr_order = positions_order(rel, positions)?;
+        Ok(Self::build_ordered(rel, positions, attr_order))
+    }
+
+    fn build_ordered(rel: &Relation, positions: &[usize], attr_order: Vec<String>) -> Self {
         let arity = rel.arity();
         let n = rel.len();
         let cols: Vec<&[Value]> = positions.iter().map(|&p| rel.column(p)).collect();
 
         let mut values: Vec<Vec<Value>> = vec![Vec::new(); arity];
         let mut child_start: Vec<Vec<usize>> = vec![Vec::new(); arity];
-        fused_scan(rel, &positions, |r, d| {
+        fused_scan(rel, positions, |r, d| {
             // the row starts a new node at every depth >= d
             for (depth, col) in cols.iter().enumerate().skip(d) {
                 if depth + 1 < arity {
@@ -214,11 +259,11 @@ impl Trie {
                 child_start,
             })
             .collect();
-        Ok(Trie {
-            attr_order: attr_order.iter().map(|s| s.to_string()).collect(),
+        Trie {
+            attr_order,
             levels,
             num_tuples: n,
-        })
+        }
     }
 
     /// [`Trie::build`] with the fused argsort-and-scan pass partitioned across
@@ -238,14 +283,41 @@ impl Trie {
         attr_order: &[&str],
         threads: usize,
     ) -> Result<Self, StorageError> {
-        if threads <= 1 || rel.len() < PAR_BUILD_MIN {
-            return Self::build(rel, attr_order);
-        }
         let positions = order_positions(rel, attr_order)?;
+        Ok(Self::build_parallel_ordered(
+            rel,
+            &positions,
+            attr_order.iter().map(|s| s.to_string()).collect(),
+            threads,
+        ))
+    }
+
+    /// [`Trie::build_positions`] with the parallel fused pass of
+    /// [`Trie::build_parallel`]; bit-identical for every thread count.
+    pub fn build_positions_parallel(
+        rel: &Relation,
+        positions: &[usize],
+        threads: usize,
+    ) -> Result<Self, StorageError> {
+        let attr_order = positions_order(rel, positions)?;
+        Ok(Self::build_parallel_ordered(
+            rel, positions, attr_order, threads,
+        ))
+    }
+
+    fn build_parallel_ordered(
+        rel: &Relation,
+        positions: &[usize],
+        attr_order: Vec<String>,
+        threads: usize,
+    ) -> Self {
+        if threads <= 1 || rel.len() < PAR_BUILD_MIN {
+            return Self::build_ordered(rel, positions, attr_order);
+        }
         let arity = rel.arity();
         let n = rel.len();
-        let perm = order_perm_threads(rel, &positions, threads);
-        let bounds = boundary_depths(rel, &positions, perm.as_deref(), threads);
+        let perm = order_perm_threads(rel, positions, threads);
+        let bounds = boundary_depths(rel, positions, perm.as_deref(), threads);
         let cols: Vec<&[Value]> = positions.iter().map(|&p| rel.column(p)).collect();
 
         // per-chunk node counts per depth (a row with boundary b creates one node
@@ -357,16 +429,30 @@ impl Trie {
                 child_start,
             })
             .collect();
-        Ok(Trie {
-            attr_order: attr_order.iter().map(|s| s.to_string()).collect(),
+        Trie {
+            attr_order,
             levels,
             num_tuples: n,
-        })
+        }
     }
 
     /// The attribute order of the trie.
     pub fn attr_order(&self) -> &[String] {
         &self.attr_order
+    }
+
+    /// Approximate heap footprint in bytes (level value and offset arrays plus
+    /// order metadata) — the byte accounting behind the access-structure
+    /// cache's budget.
+    pub fn heap_bytes(&self) -> usize {
+        self.levels
+            .iter()
+            .map(|l| {
+                l.values.len() * std::mem::size_of::<Value>()
+                    + l.child_start.len() * std::mem::size_of::<usize>()
+            })
+            .sum::<usize>()
+            + self.attr_order.iter().map(|s| s.len()).sum::<usize>()
     }
 
     /// Arity (number of levels).
@@ -602,6 +688,24 @@ mod tests {
                 vec![4, 1, 2],
             ],
         )
+    }
+
+    #[test]
+    fn positional_build_matches_named_build() {
+        let r = rel();
+        let by_name = Trie::build(&r, &["C", "A", "B"]).unwrap();
+        let by_pos = Trie::build_positions(&r, &[2, 0, 1]).unwrap();
+        assert_eq!(by_pos, by_name);
+        assert_eq!(
+            by_pos.attr_order(),
+            &["C".to_string(), "A".to_string(), "B".to_string()]
+        );
+        assert!(by_pos.heap_bytes() > 0);
+        let par = Trie::build_positions_parallel(&r, &[2, 0, 1], 4).unwrap();
+        assert_eq!(par, by_name);
+        assert!(Trie::build_positions(&r, &[0, 1]).is_err());
+        assert!(Trie::build_positions(&r, &[0, 1, 1]).is_err());
+        assert!(Trie::build_positions(&r, &[0, 1, 3]).is_err());
     }
 
     #[test]

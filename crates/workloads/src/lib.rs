@@ -447,6 +447,54 @@ pub fn edge_stream(n: usize, seed: u64) -> Workload {
     }
 }
 
+/// The cache-replay workload: the triangle query over two **delta-backed**
+/// Zipf-skewed sliding-window edge streams (`R` and `S` — several sealed runs
+/// plus a still-unsealed buffer tail) and one static Zipf relation `T`.
+/// Replaying the same query against it is the access-structure cache's target
+/// regime (experiment E8): repeated executions hit cached tries/indexes and
+/// permuted delta views, each newly sealed run takes the incremental-merge
+/// path instead of a full rebuild, and the live unsealed tail is collapsed
+/// per query exactly as without a cache.
+pub fn query_replay(n: usize, seed: u64) -> Workload {
+    let domain = default_domain(n);
+    let window = (n / 2).max(8);
+    let mut db = Database::new();
+    for (name, attrs, salt) in [("R", ["A", "B"], 0x7171u64), ("S", ["B", "C"], 0x7272)] {
+        let schema = Schema::new(&attrs);
+        db.insert_delta_relation(name, wcoj_storage::DeltaRelation::new(schema));
+        // seal often enough that even small instances stack several runs
+        db.delta_mut(name)
+            .expect("just inserted")
+            .set_seal_threshold((n / 8).max(16));
+        let mut live: std::collections::VecDeque<(Value, Value)> =
+            std::collections::VecDeque::new();
+        for e in zipf_pairs(n, domain, 1.1, seed ^ salt) {
+            db.insert_delta(name, vec![e.0, e.1])
+                .expect("stream insert");
+            live.push_back(e);
+            if live.len() > window {
+                let old = live.pop_front().expect("window exceeded");
+                db.delete(name, &[old.0, old.1]).expect("stream delete");
+            }
+        }
+        // seal the stream, then land a short burst of fresh edges in the
+        // buffer: a guaranteed unsealed tail that stays live across replays
+        db.seal(name).expect("seal stream");
+        for e in zipf_pairs((n / 16).max(4), domain, 1.1, seed ^ salt ^ 0xFF) {
+            db.insert_delta(name, vec![e.0, e.1]).expect("tail insert");
+        }
+    }
+    db.insert(
+        "T",
+        Relation::from_pairs("A", "C", zipf_pairs(n, domain, 1.1, seed ^ 0x7373)),
+    );
+    Workload {
+        name: format!("query_replay_n{n}"),
+        query: examples::triangle(),
+        db,
+    }
+}
+
 /// The Loomis–Whitney query `LW(k)` — `k` variables, `k` atoms of arity `k − 1`,
 /// each omitting exactly one variable — over uniform random relations of (up to)
 /// `n` tuples each. The fractional edge cover number is `k/(k−1)`, so the AGM bound
@@ -571,6 +619,7 @@ pub fn differential_suite(seed: u64) -> Vec<Workload> {
         hub_spoke(96, seed ^ 12),
         social_graph(96, seed ^ 13),
         edge_stream(96, seed ^ 14),
+        query_replay(96, seed ^ 15),
     ]
 }
 
@@ -707,6 +756,34 @@ mod tests {
             edge_stream(96, 7).db.delta("E").unwrap().snapshot()
         );
         assert!(w.db.var_bindings(&w.query).is_ok());
+    }
+
+    #[test]
+    fn query_replay_is_streaming_skewed_and_deterministic() {
+        let w = query_replay(96, 7);
+        assert_eq!(w.name, "query_replay_n96");
+        // R and S are delta-backed streams with sealed runs AND a live
+        // unsealed tail; T is static
+        for name in ["R", "S"] {
+            let delta = w.db.delta(name).expect("delta-backed stream");
+            assert!(delta.num_runs() >= 1, "{name}: sealed runs stacked");
+            assert!(delta.buffered() > 0, "{name}: unsealed tail stays live");
+            // the window evicts edges, but heavy Zipf duplicate churn can let
+            // compaction annihilate every +1/−1 pair — only liveness is stable
+            assert!(!delta.is_empty(), "{name}: live edges survive the window");
+        }
+        assert!(w.db.delta("T").is_none());
+        assert!(!w.db.get("T").unwrap().is_empty());
+        assert!(w.db.var_bindings(&w.query).is_ok());
+        // deterministic per seed
+        assert_eq!(
+            w.db.delta("R").unwrap().snapshot(),
+            query_replay(96, 7).db.delta("R").unwrap().snapshot()
+        );
+        assert_ne!(
+            w.db.delta("R").unwrap().snapshot(),
+            query_replay(96, 8).db.delta("R").unwrap().snapshot()
+        );
     }
 
     #[test]
