@@ -18,6 +18,10 @@ pub enum ExecError {
     Query(QueryError),
     /// The supplied variable order is not a permutation of the query variables.
     InvalidOrder(Vec<usize>),
+    /// Execution was cancelled cooperatively — the caller's
+    /// [`crate::exec::CancelToken`] fired (explicit cancel or deadline) and
+    /// the engine stopped at the next check point, discarding partial output.
+    Canceled,
 }
 
 impl std::fmt::Display for ExecError {
@@ -28,6 +32,7 @@ impl std::fmt::Display for ExecError {
             ExecError::Bound(e) => write!(f, "bound error: {e}"),
             ExecError::Query(e) => write!(f, "query error: {e}"),
             ExecError::InvalidOrder(o) => write!(f, "invalid variable order {o:?}"),
+            ExecError::Canceled => write!(f, "execution cancelled"),
         }
     }
 }
@@ -73,5 +78,6 @@ mod tests {
         assert!(e.to_string().contains("query"));
         assert!(ExecError::Bound("x".into()).to_string().contains('x'));
         assert!(ExecError::Database("y".into()).to_string().contains('y'));
+        assert!(ExecError::Canceled.to_string().contains("cancelled"));
     }
 }

@@ -8,6 +8,7 @@
 //! intermediate blow-up on e.g. skewed triangle inputs becomes visible while the
 //! WCOJ engines stay within `O(N^{3/2})`.
 
+use super::CancelToken;
 use crate::error::ExecError;
 use wcoj_query::{ConjunctiveQuery, Database};
 use wcoj_storage::ops::{hash_join, nested_loop_join};
@@ -20,6 +21,19 @@ pub fn binary_hash_plan(
     db: &Database,
     counter: &WorkCounter,
 ) -> Result<Relation, ExecError> {
+    binary_hash_plan_cancellable(query, db, counter, None)
+}
+
+/// [`binary_hash_plan`] with a cooperative [`CancelToken`]: the token is
+/// polled **between** binary joins — the storage operators themselves have no
+/// chunk seam, so one oversized intermediate join still runs to completion
+/// before the cancellation is honored (coarse, but bounded per join).
+pub(crate) fn binary_hash_plan_cancellable(
+    query: &ConjunctiveQuery,
+    db: &Database,
+    counter: &WorkCounter,
+    token: Option<&CancelToken>,
+) -> Result<Relation, ExecError> {
     let mut pending: Vec<Relation> = db.atom_relations(query)?;
     // start from the smallest relation
     let start = pending
@@ -31,6 +45,9 @@ pub fn binary_hash_plan(
     let mut acc = pending.swap_remove(start);
 
     while !pending.is_empty() {
+        if let Some(t) = token {
+            t.check()?;
+        }
         // smallest joinable next; Cartesian product only if the query is disconnected
         let next = pending
             .iter()

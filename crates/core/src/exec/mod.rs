@@ -61,9 +61,12 @@
 //! schema untouched.
 
 pub mod binary;
+pub mod cancel;
 pub mod generic;
 pub mod leapfrog;
 pub mod parallel;
+
+pub use cancel::CancelToken;
 
 use crate::error::ExecError;
 use crate::planner::plan_order;
@@ -316,6 +319,42 @@ pub fn execute_opts_with_order(
     opts: &ExecOptions,
     order: &[VarId],
 ) -> Result<ExecOutput, ExecError> {
+    execute_inner(query, db, opts, order, None)
+}
+
+/// Execute `query` over `db` under a [`CancelToken`]: the engines poll the
+/// token cooperatively (between extension-set chunks serially, in the morsel
+/// claim loop in parallel — see [`cancel`]) and return
+/// [`ExecError::Canceled`], discarding partial output, once it fires. With a
+/// token that never fires, rows and work counters are **bit-identical** to
+/// [`execute_opts_with_order`]. `order` picks an explicit global variable
+/// order; `None` asks the AGM-guided planner, like [`execute_opts`].
+pub fn execute_cancellable(
+    query: &ConjunctiveQuery,
+    db: &Database,
+    opts: &ExecOptions,
+    order: Option<&[VarId]>,
+    token: &CancelToken,
+) -> Result<ExecOutput, ExecError> {
+    token.check()?;
+    let planned;
+    let order = match order {
+        Some(o) => o,
+        None => {
+            planned = plan_order(query, db, opts)?;
+            &planned
+        }
+    };
+    execute_inner(query, db, opts, order, Some(token))
+}
+
+fn execute_inner(
+    query: &ConjunctiveQuery,
+    db: &Database,
+    opts: &ExecOptions,
+    order: &[VarId],
+    token: Option<&CancelToken>,
+) -> Result<ExecOutput, ExecError> {
     if !is_valid_order(query, order) {
         return Err(ExecError::InvalidOrder(order.to_vec()));
     }
@@ -326,7 +365,15 @@ pub fn execute_opts_with_order(
     let counter = WorkCounter::new();
     let mut cache_stats = CacheStats::default();
     let result = match opts.engine {
-        Engine::BinaryHash => binary::binary_hash_plan(query, db, &counter)?,
+        Engine::BinaryHash => {
+            // the baseline's storage operators have no chunk seam: the token is
+            // honored only between whole binary joins (coarse, but bounded)
+            let rel = binary::binary_hash_plan_cancellable(query, db, &counter, token)?;
+            if let Some(t) = token {
+                t.check()?;
+            }
+            rel
+        }
         engine => {
             let sources = db.atom_sources(query)?;
             let mut attr_orders = Vec::with_capacity(sources.len());
@@ -338,7 +385,7 @@ pub fn execute_opts_with_order(
                 BuiltAccess::build(query, db, &sources, &attr_orders, opts, &mut cache_stats)?;
             let parts = participants(query, order);
             let cal = opts.resolved_calibration();
-            let rows = built.run(engine, &parts, threads, opts.kernel, &cal, &counter);
+            let rows = built.run(engine, &parts, threads, opts.kernel, &cal, &counter, token)?;
             rows_to_relation(query, order, rows, &bindings)?
         }
     };
@@ -640,7 +687,9 @@ impl<'d> BuiltAccess<'d> {
     }
 
     /// Run the engine over fresh cursor sets — serial for `threads == 1`, morsel
-    /// workers otherwise. Monomorphizes per backend.
+    /// workers otherwise. Monomorphizes per backend. Fails only with
+    /// [`ExecError::Canceled`], and only when `token` fires mid-run.
+    #[allow(clippy::too_many_arguments)] // the engine-dispatch seam carries the full config
     fn run(
         &self,
         engine: Engine,
@@ -649,7 +698,8 @@ impl<'d> BuiltAccess<'d> {
         policy: KernelPolicy,
         cal: &KernelCalibration,
         counter: &WorkCounter,
-    ) -> Vec<Value> {
+        token: Option<&CancelToken>,
+    ) -> Result<Vec<Value>, ExecError> {
         match self {
             BuiltAccess::Tries(tries) => run_cursors(
                 engine,
@@ -659,6 +709,7 @@ impl<'d> BuiltAccess<'d> {
                 policy,
                 cal,
                 counter,
+                token,
             ),
             BuiltAccess::Indexes(indexes) => run_cursors(
                 engine,
@@ -668,6 +719,7 @@ impl<'d> BuiltAccess<'d> {
                 policy,
                 cal,
                 counter,
+                token,
             ),
             BuiltAccess::Mixed(accesses) => run_cursors(
                 engine,
@@ -677,11 +729,19 @@ impl<'d> BuiltAccess<'d> {
                 policy,
                 cal,
                 counter,
+                token,
             ),
         }
     }
 }
 
+/// Serial cancellable execution slices the extension set this many values at a
+/// time between token polls. Chunk boundaries cannot affect rows or counters —
+/// the morsel scheduler's differential tests assert exactly that — so this
+/// only bounds cancellation latency (one chunk's subtrees).
+const CANCEL_CHUNK: usize = 64;
+
+#[allow(clippy::too_many_arguments)] // the engine-dispatch seam carries the full config
 fn run_cursors<C, F>(
     engine: Engine,
     make_cursors: F,
@@ -690,7 +750,8 @@ fn run_cursors<C, F>(
     policy: KernelPolicy,
     cal: &KernelCalibration,
     counter: &WorkCounter,
-) -> Vec<Value>
+    token: Option<&CancelToken>,
+) -> Result<Vec<Value>, ExecError>
 where
     C: TrieAccess,
     F: Fn() -> Vec<C> + Sync,
@@ -700,14 +761,37 @@ where
         for c in cursors.iter_mut() {
             c.set_seek_calibration(cal.linear_seek_max);
         }
-        match engine {
-            Engine::GenericJoin => {
-                generic::generic_join(&mut cursors, participants, policy, cal, counter)
+        match token {
+            None => Ok(match engine {
+                Engine::GenericJoin => {
+                    generic::generic_join(&mut cursors, participants, policy, cal, counter)
+                }
+                Engine::Leapfrog => {
+                    leapfrog::leapfrog_triejoin(&mut cursors, participants, policy, cal, counter)
+                }
+                Engine::BinaryHash => unreachable!("the binary baseline has no cursor path"),
+            }),
+            Some(token) => {
+                // chunked serial body: same driver charge + per-slice engine
+                // body as the morsel path, with a token poll between slices
+                token.check()?;
+                let e0 = first_extension_set(&mut cursors, &participants[0], policy, cal, counter);
+                let mut out = Vec::new();
+                for chunk in e0.chunks(CANCEL_CHUNK) {
+                    token.check()?;
+                    engine_join_extensions(
+                        engine,
+                        &mut cursors,
+                        participants,
+                        chunk,
+                        policy,
+                        cal,
+                        counter,
+                        &mut out,
+                    );
+                }
+                Ok(out)
             }
-            Engine::Leapfrog => {
-                leapfrog::leapfrog_triejoin(&mut cursors, participants, policy, cal, counter)
-            }
-            Engine::BinaryHash => unreachable!("the binary baseline has no cursor path"),
         }
     } else {
         parallel::morsel_join(
@@ -718,6 +802,7 @@ where
             policy,
             cal,
             counter,
+            token,
         )
     }
 }
@@ -1131,6 +1216,42 @@ mod tests {
         // the binary baseline builds no tries or indexes
         let bh = execute(&q, &db, Engine::BinaryHash).unwrap();
         assert_eq!(bh.cache_stats, CacheStats::default());
+    }
+
+    #[test]
+    fn cancellable_execution_matches_plain_and_honors_the_token() {
+        let q = examples::triangle();
+        let db = triangle_db();
+        for engine in [Engine::BinaryHash, Engine::GenericJoin, Engine::Leapfrog] {
+            for threads in [1, 4] {
+                let opts = ExecOptions::new(engine).with_threads(threads);
+                let plain = execute_opts(&q, &db, &opts).unwrap();
+                // a token that never fires: rows AND counters bit-identical
+                let token = CancelToken::new();
+                let out = execute_cancellable(&q, &db, &opts, None, &token).unwrap();
+                assert_eq!(out.result, plain.result, "{engine:?}/t{threads}");
+                assert_eq!(out.work, plain.work, "{engine:?}/t{threads} counters");
+                // explicit order passes through unchanged
+                let ordered =
+                    execute_cancellable(&q, &db, &opts, Some(&plain.order), &token).unwrap();
+                assert_eq!(ordered.result, plain.result);
+                // a pre-fired token cancels before any engine work
+                let fired = CancelToken::new();
+                fired.cancel();
+                assert_eq!(
+                    execute_cancellable(&q, &db, &opts, None, &fired).unwrap_err(),
+                    ExecError::Canceled
+                );
+                // an expired deadline behaves like an explicit cancel
+                let expired = CancelToken::with_deadline(
+                    std::time::Instant::now() - std::time::Duration::from_millis(1),
+                );
+                assert_eq!(
+                    execute_cancellable(&q, &db, &opts, None, &expired).unwrap_err(),
+                    ExecError::Canceled
+                );
+            }
+        }
     }
 
     #[test]

@@ -42,7 +42,8 @@
 //! equal the serial engine's for *any* thread count. The differential test suite
 //! asserts both properties for threads ∈ {1, 2, 4, 8}.
 
-use super::{engine_join_extensions, first_extension_set, Engine};
+use super::{engine_join_extensions, first_extension_set, CancelToken, Engine};
+use crate::error::ExecError;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 use wcoj_storage::topology::{self, CpuTopology};
@@ -118,7 +119,12 @@ impl MorselSchedule {
 /// Run `engine` over `threads` workers, each holding a private cursor set produced
 /// by `make_cursors` (one cursor per atom, positioned at the root). Returns the
 /// result tuples in the same order as serial execution; merged worker counters and
-/// the driver's intersection work are recorded into `counter`.
+/// the driver's intersection work are recorded into `counter`. A `token` is
+/// polled in every worker's morsel claim loop: once it fires, workers stop
+/// claiming, the scope drains, and the call returns [`ExecError::Canceled`]
+/// (partial output is discarded) — with a token that never fires, rows and
+/// counters are bit-identical to a token-less run.
+#[allow(clippy::too_many_arguments)] // mirrors the exec layer's dispatch seam
 pub(crate) fn morsel_join<C, F>(
     engine: Engine,
     make_cursors: F,
@@ -127,12 +133,16 @@ pub(crate) fn morsel_join<C, F>(
     policy: KernelPolicy,
     cal: &KernelCalibration,
     counter: &WorkCounter,
-) -> Vec<Value>
+    token: Option<&CancelToken>,
+) -> Result<Vec<Value>, ExecError>
 where
     C: TrieAccess,
     F: Fn() -> Vec<C> + Sync,
 {
     debug_assert!(threads >= 1);
+    if let Some(t) = token {
+        t.check()?;
+    }
     // The driver computes the extension set once, charging the intersection work to
     // the main counter — the same charge serial execution makes.
     let extensions = {
@@ -143,7 +153,7 @@ where
         first_extension_set(&mut driver_cursors, &participants[0], policy, cal, counter)
     };
     if extensions.is_empty() {
-        return Vec::new();
+        return Ok(Vec::new());
     }
 
     let morsel_len = extensions
@@ -177,6 +187,11 @@ where
                 let mut opened = false;
                 let mut produced: Vec<(usize, Vec<Value>)> = Vec::new();
                 while let Some(m) = schedule.claim(w) {
+                    // cooperative cancellation: stop claiming once the token
+                    // fires; the partial output is discarded by the caller
+                    if token.is_some_and(|t| t.is_canceled()) {
+                        break;
+                    }
                     if !opened {
                         // lazily open the level-0 participants: workers that never
                         // claim a morsel touch nothing
@@ -205,6 +220,9 @@ where
         }
     });
 
+    if let Some(t) = token {
+        t.check()?; // cancelled mid-run: the deposited output is partial
+    }
     for local in worker_counters.into_inner().expect("counter sink") {
         counter.merge(&local);
     }
@@ -214,7 +232,7 @@ where
     for (_, mut rows) in per_morsel {
         out.append(&mut rows);
     }
-    out
+    Ok(out)
 }
 
 #[cfg(test)]
@@ -260,7 +278,9 @@ mod tests {
                 KernelPolicy::Adaptive,
                 &KernelCalibration::fixed(),
                 &parallel_counter,
-            );
+                None,
+            )
+            .unwrap();
             assert_eq!(out, serial, "rows with {threads} threads");
             assert_eq!(
                 parallel_counter, serial_counter,
@@ -286,7 +306,9 @@ mod tests {
             KernelPolicy::Adaptive,
             &KernelCalibration::fixed(),
             &w,
-        );
+            None,
+        )
+        .unwrap();
         assert!(out.is_empty());
         assert_eq!(w.output_tuples(), 0);
     }

@@ -178,6 +178,54 @@ fn repeat_hits_seal_merges_incrementally_compaction_rebuilds() {
 }
 
 #[test]
+fn empty_seal_is_a_complete_noop_and_cache_still_hits() {
+    // Sealing an empty buffer must be a complete no-op: no run pushed, no
+    // epoch bump, no cache invalidation. A periodic flush tick on an idle
+    // relation must not cost the next query a rebuild.
+    let query = examples::triangle();
+    let mut db = Database::new();
+    let mut delta = wcoj_storage::DeltaRelation::new(wcoj_storage::Schema::new(&["A", "B"]));
+    delta.set_seal_threshold(usize::MAX);
+    for (a, b) in random_pairs(256, 32, 0xE901) {
+        delta.insert(vec![a, b]).expect("base insert");
+    }
+    delta.seal();
+    db.insert_delta_relation("R", delta);
+    db.set_cache_budget(64 << 20);
+    db.insert(
+        "S",
+        Relation::from_pairs("B", "C", random_pairs(256, 32, 0xE902)),
+    );
+    db.insert(
+        "T",
+        Relation::from_pairs("A", "C", random_pairs(256, 32, 0xE903)),
+    );
+    let order = vec![2, 1, 0]; // permuted: the delta atom flows through a cached view
+    let opts = ExecOptions::new(Engine::GenericJoin);
+    let cold = execute_opts_with_order(&query, &db, &opts, &order).expect("cold");
+    assert_eq!(cold.cache_stats.misses, 3);
+
+    let (epoch, runs) = {
+        let d = db.delta("R").expect("delta R");
+        (d.epoch(), d.run_ids())
+    };
+    db.seal("R").expect("empty seal");
+    let d = db.delta("R").expect("delta R");
+    assert_eq!(d.epoch(), epoch, "empty seal must not bump the epoch");
+    assert_eq!(d.run_ids(), runs, "empty seal must not touch the run list");
+
+    let warm = execute_opts_with_order(&query, &db, &opts, &order).expect("warm");
+    assert_eq!(
+        warm.cache_stats.hits, 3,
+        "cache still hits after empty seal"
+    );
+    assert_eq!(warm.cache_stats.misses, 0);
+    assert_eq!(warm.cache_stats.incremental_merges, 0);
+    assert_eq!(warm.result, cold.result);
+    assert_eq!(warm.work, cold.work);
+}
+
+#[test]
 fn eviction_under_pressure_never_surfaces_stale_structures() {
     let Workload { query, mut db, .. } = wcoj_workloads::triangle(256, 0xE82);
     let order = agm_variable_order(&query, &db).expect("planner");

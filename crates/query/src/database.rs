@@ -180,14 +180,24 @@ pub enum AtomSource<'a> {
 /// differently-named attributes hold the same kind of value (e.g. the `src` and
 /// `dst` endpoints of a graph's edge relation, self-joined by clique queries), map
 /// them onto one domain with [`Database::set_domain`] **before** loading.
+/// # Snapshots
+///
+/// `Database` is `Clone`, and cloning **is** the snapshot mechanism: static
+/// relations and dictionaries are held behind [`Arc`]s, and
+/// [`DeltaRelation`]'s runs and live-set are `Arc`-shared too, so a clone pins
+/// the current visible state of every relation in O(catalog) without copying
+/// tuple data. Mutating either side afterwards copies-on-write only what it
+/// touches. [`Database::snapshot`] wraps a clone as a read-only
+/// [`crate::snapshot::Snapshot`].
 #[derive(Debug, Clone, Default)]
 pub struct Database {
-    relations: HashMap<String, Relation>,
+    relations: HashMap<String, Arc<Relation>>,
     /// Delta-backed (live) relations; a name lives in exactly one of
     /// `relations` / `deltas`. See [`wcoj_storage::delta`].
     deltas: HashMap<String, DeltaRelation>,
-    /// One shared dictionary per domain name.
-    dicts: HashMap<String, Dictionary>,
+    /// One shared dictionary per domain name (behind `Arc` so snapshots pin
+    /// the interned table without copying it; loads copy-on-write).
+    dicts: HashMap<String, Arc<Dictionary>>,
     /// Attribute-name → domain-name overrides (attributes default to themselves).
     domains: HashMap<String, String>,
     /// For relations loaded through the typed loaders: the domain each column's
@@ -222,7 +232,7 @@ impl Database {
         self.loaded_domains.remove(&name);
         self.deltas.remove(&name);
         self.rel_stamps.insert(name.clone(), next_stamp());
-        self.relations.insert(name, relation);
+        self.relations.insert(name, Arc::new(relation));
     }
 
     /// Insert (or replace) a delta-backed relation under `name` (already
@@ -246,6 +256,9 @@ impl Database {
             .relations
             .remove(name)
             .ok_or_else(|| DatabaseError::MissingRelation(name.to_string()))?;
+        // reclaim the allocation when this catalog is the sole owner; a
+        // snapshot holding the old static binding keeps its own copy
+        let rel = Arc::try_unwrap(rel).unwrap_or_else(|shared| (*shared).clone());
         self.rel_stamps.remove(name);
         self.deltas
             .insert(name.to_string(), DeltaRelation::from_relation(rel));
@@ -271,6 +284,28 @@ impl Database {
     /// the previous cache keep it.
     pub fn set_cache_budget(&mut self, bytes: usize) {
         self.cache = Arc::new(AccessCache::with_budget(bytes));
+    }
+
+    /// Pin the current visible state of every relation as a read-only
+    /// [`crate::snapshot::Snapshot`]. O(catalog): tuple data, runs, live-sets,
+    /// and dictionaries are `Arc`-shared, not copied — see the
+    /// [struct docs](Database#snapshots). The snapshot keeps this database's
+    /// access-structure cache handle, so reads through it hit (and seed)
+    /// the same cache; identity-stamped keys make that safe.
+    pub fn snapshot(&self) -> crate::snapshot::Snapshot {
+        crate::snapshot::Snapshot::pin(self)
+    }
+
+    /// The modification epoch of the relation stored under `name`: the delta
+    /// log's [`DeltaRelation::epoch`] for delta-backed relations, the binding
+    /// stamp for static ones, `None` for unknown names. Equal epochs imply
+    /// identical visible state — the optimistic-concurrency check used by
+    /// compare-and-set writers.
+    pub fn relation_epoch(&self, name: &str) -> Option<u64> {
+        if let Some(delta) = self.deltas.get(name) {
+            return Some(delta.epoch());
+        }
+        self.rel_stamps.get(name).copied()
     }
 
     /// The delta log stored under `name`, if the relation is delta-backed.
@@ -355,12 +390,12 @@ impl Database {
 
     /// The shared dictionary of `domain`, if any strings were interned into it.
     pub fn dictionary(&self, domain: &str) -> Option<&Dictionary> {
-        self.dicts.get(domain)
+        self.dicts.get(domain).map(|d| d.as_ref())
     }
 
     /// The shared dictionary that attribute `attr` interns into, if any.
     pub fn dictionary_of_attr(&self, attr: &str) -> Option<&Dictionary> {
-        self.dicts.get(self.domain_of(attr))
+        self.dicts.get(self.domain_of(attr)).map(|d| d.as_ref())
     }
 
     /// Load external typed rows as relation `name`, interning every string value
@@ -426,7 +461,7 @@ impl Database {
                 AttrType::Str => {
                     let domain = self.domain_of(attr).to_string();
                     (
-                        Some(self.dicts.entry(domain.clone()).or_default()),
+                        Some(Arc::make_mut(self.dicts.entry(domain.clone()).or_default())),
                         Some(domain),
                     )
                 }
@@ -687,7 +722,7 @@ impl Database {
                 }
                 Some(local) => {
                     let domain = self.domain_of(attr).to_string();
-                    let shared = self.dicts.entry(domain.clone()).or_default();
+                    let shared = Arc::make_mut(self.dicts.entry(domain.clone()).or_default());
                     maps.push(Some(shared.merge(local)));
                     col_domains.push(Some(domain));
                 }
@@ -766,7 +801,7 @@ impl Database {
     /// relations are reached via [`Database::delta`] or materialized through
     /// [`Database::relation_for_atom`]).
     pub fn get(&self, name: &str) -> Option<&Relation> {
-        self.relations.get(name)
+        self.relations.get(name).map(|r| r.as_ref())
     }
 
     /// The schema of the relation stored under `name` (static or delta-backed).
@@ -903,7 +938,7 @@ impl Database {
                 found: stored.arity(),
             });
         }
-        Ok(AtomSource::Static(stored))
+        Ok(AtomSource::Static(stored.as_ref()))
     }
 
     /// All atom sources of `query`, in atom order (see

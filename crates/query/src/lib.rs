@@ -13,6 +13,9 @@
 //!   of Proposition 5.2 / Corollary 5.3 — [`constraint_graph`], [`repair`];
 //! * a **database** binding atom names to [`wcoj_storage::Relation`]s, with
 //!   verification that it satisfies a constraint set (`D ⊨ DC`) — [`Database`];
+//! * **MVCC snapshots** pinning a database's visible state via `Arc` refcounts
+//!   so readers run lock-free against a frozen view while writers proceed —
+//!   [`Snapshot`];
 //! * GYO reduction / α-acyclicity of the query hypergraph — [`gyo`];
 //! * a small datalog-style parser for queries and constraints — [`parser`];
 //! * **variable-order planning** for the join engines of `wcoj-core`: per-atom
@@ -50,6 +53,7 @@ pub mod parser;
 pub mod plan;
 pub mod query;
 pub mod repair;
+pub mod snapshot;
 
 pub use constraints::{constraint_graph, ConstraintSet, DegreeConstraint};
 pub use database::{AtomSource, Database, VarBinding};
@@ -58,6 +62,7 @@ pub use parser::{parse_constraints, parse_query, ParseError};
 pub use plan::{atom_attr_order, default_order, is_valid_order, weighted_greedy_order};
 pub use query::{Atom, ConjunctiveQuery, QueryBuilder, QueryError};
 pub use repair::{bound_variables, is_output_finite, repair_to_acyclic};
+pub use snapshot::Snapshot;
 
 /// A variable identifier: a dense index into the query's variable list.
 pub type VarId = usize;

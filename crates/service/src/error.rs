@@ -1,0 +1,119 @@
+//! Typed errors for the service layer.
+//!
+//! Every failure mode a caller can act on gets its own variant: back off and
+//! retry ([`ServiceError::Overloaded`]), give up on this request
+//! ([`ServiceError::DeadlineExceeded`]), rebase and resubmit
+//! ([`ServiceError::Conflict`]), or escalate (the wrapped execution / catalog /
+//! storage errors, which are bugs or environment failures rather than load).
+
+use std::fmt;
+use wcoj_core::ExecError;
+use wcoj_query::database::DatabaseError;
+use wcoj_storage::StorageError;
+
+/// Errors surfaced by [`QueryService`](crate::QueryService).
+#[derive(Debug, PartialEq)]
+pub enum ServiceError {
+    /// The admission queue is full: the request was shed without queuing.
+    /// Retry after backoff — the service is healthy, just saturated.
+    Overloaded {
+        /// Queries currently executing.
+        running: usize,
+        /// Queries currently queued behind them.
+        queued: usize,
+    },
+    /// The per-query deadline passed before execution finished; partial
+    /// output was discarded at a cooperative cancellation point.
+    DeadlineExceeded,
+    /// The request was cancelled explicitly (not by its deadline).
+    Canceled,
+    /// A write batch was built against a snapshot another writer has since
+    /// overwritten; rebase on a fresh snapshot and resubmit.
+    Conflict {
+        /// The relation whose epoch moved.
+        relation: String,
+        /// The epoch the batch expected.
+        expected: u64,
+        /// The epoch actually found at apply time.
+        found: u64,
+    },
+    /// A relation named by a write or replayed WAL op is not in the catalog.
+    UnknownRelation(String),
+    /// Query execution failed (planning, missing relations, arity, ...).
+    Exec(ExecError),
+    /// A catalog mutation failed.
+    Database(DatabaseError),
+    /// The write-ahead log failed (real I/O error or injected fault). The
+    /// batch was **not** applied in memory: durability failures never let
+    /// memory run ahead of the log.
+    Wal(StorageError),
+}
+
+impl fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServiceError::Overloaded { running, queued } => write!(
+                f,
+                "overloaded: {running} queries running, {queued} queued; request shed"
+            ),
+            ServiceError::DeadlineExceeded => write!(f, "deadline exceeded"),
+            ServiceError::Canceled => write!(f, "request cancelled"),
+            ServiceError::Conflict {
+                relation,
+                expected,
+                found,
+            } => write!(
+                f,
+                "write conflict on `{relation}`: expected epoch {expected}, found {found}"
+            ),
+            ServiceError::UnknownRelation(name) => {
+                write!(f, "relation `{name}` is not in the catalog")
+            }
+            ServiceError::Exec(e) => write!(f, "execution failed: {e}"),
+            ServiceError::Database(e) => write!(f, "catalog mutation failed: {e}"),
+            ServiceError::Wal(e) => write!(f, "write-ahead log failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServiceError {}
+
+impl From<DatabaseError> for ServiceError {
+    fn from(e: DatabaseError) -> Self {
+        ServiceError::Database(e)
+    }
+}
+
+impl From<StorageError> for ServiceError {
+    fn from(e: StorageError) -> Self {
+        ServiceError::Wal(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_actionable() {
+        let s = ServiceError::Overloaded {
+            running: 4,
+            queued: 16,
+        }
+        .to_string();
+        assert!(s.contains("shed") && s.contains('4') && s.contains("16"));
+        assert!(ServiceError::DeadlineExceeded
+            .to_string()
+            .contains("deadline"));
+        let c = ServiceError::Conflict {
+            relation: "E".into(),
+            expected: 3,
+            found: 5,
+        }
+        .to_string();
+        assert!(c.contains("E") && c.contains('3') && c.contains('5'));
+        assert!(ServiceError::UnknownRelation("Q".into())
+            .to_string()
+            .contains("`Q`"));
+    }
+}

@@ -1,0 +1,58 @@
+//! `wcoj-service` — the crash-safe, concurrent front end of the workspace.
+//!
+//! The lower crates model the paper's *algorithms*; this crate wraps them into
+//! a long-lived **service** with the robustness a real deployment needs:
+//!
+//! * **WAL durability** — every write batch is logged and fsynced through
+//!   [`wcoj_storage::wal`] *before* it touches memory; [`QueryService::open`]
+//!   recovers committed batches after a crash and truncates torn tails;
+//! * **MVCC snapshot reads** — queries execute lock-free against a pinned
+//!   [`wcoj_query::Snapshot`] while writers append, seal, and compact
+//!   concurrently, with bit-identical rows *and* work counters;
+//! * **admission control** — a bounded [`AdmissionGate`] runs at most
+//!   `max_concurrent` queries, queues at most `max_queued`, and sheds the
+//!   rest with a typed [`ServiceError::Overloaded`];
+//! * **deadlines & cancellation** — per-query [`wcoj_core::CancelToken`]s are
+//!   polled at the engines' chunk boundaries, surfacing
+//!   [`ServiceError::DeadlineExceeded`] with partial output discarded;
+//! * **optimistic write concurrency** — [`WriteBatch::against`] a snapshot
+//!   records relation epochs, [`QueryService::apply`] CAS-validates them, and
+//!   [`QueryService::apply_with_retry`] rebases with exponential backoff on
+//!   [`ServiceError::Conflict`];
+//! * **fault injection** — [`wcoj_storage::FaultPlan`] (from the `WCOJ_FAULT`
+//!   environment variable) deterministically fails fsyncs, tears writes, and
+//!   delays seals, so the crash harness can drive recovery through real
+//!   failure shapes.
+//!
+//! # Example
+//!
+//! ```
+//! use wcoj_query::{query::examples, Database};
+//! use wcoj_service::{QueryService, ServiceConfig, WriteBatch};
+//! use wcoj_storage::{DeltaRelation, Schema};
+//!
+//! let mut db = Database::new();
+//! db.insert_delta_relation("R", DeltaRelation::new(Schema::new(&["a", "b"])));
+//! db.insert_delta_relation("S", DeltaRelation::new(Schema::new(&["b", "c"])));
+//! db.insert_delta_relation("T", DeltaRelation::new(Schema::new(&["a", "c"])));
+//! let service = QueryService::in_memory(db, ServiceConfig::default());
+//!
+//! let batch = WriteBatch::new()
+//!     .insert("R", vec![1, 2]).insert("S", vec![2, 3]).insert("T", vec![1, 3])
+//!     .seal("R").seal("S").seal("T");
+//! service.apply(&batch).unwrap();
+//!
+//! let out = service.query(&examples::triangle()).unwrap();
+//! assert_eq!(out.result.len(), 1); // the (1,2,3) triangle
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod admission;
+pub mod error;
+pub mod service;
+
+pub use admission::{AdmissionGate, Permit};
+pub use error::ServiceError;
+pub use service::{replay_into, QueryService, ServiceConfig, StatsSnapshot, WriteBatch};

@@ -1,0 +1,551 @@
+//! The long-lived query service: a [`Database`] behind a reader/writer lock,
+//! fronted by WAL durability, MVCC snapshot reads, bounded admission, and
+//! per-query deadlines.
+//!
+//! # Read path
+//!
+//! A query is admitted through the [`AdmissionGate`], takes the catalog read
+//! lock **only long enough to clone an MVCC snapshot** (O(catalog) `Arc`
+//! bumps), then executes lock-free against the frozen view with a
+//! [`CancelToken`] carrying its deadline. Writers never block behind a slow
+//! query and a query never observes a half-applied batch.
+//!
+//! # Write path
+//!
+//! Mutations travel in [`WriteBatch`]es. A batch built
+//! [`against`](WriteBatch::against) a snapshot records the epochs it read;
+//! [`QueryService::apply`] re-checks them under the write lock (optimistic
+//! CAS) and returns a typed [`ServiceError::Conflict`] if another writer got
+//! there first — [`QueryService::apply_with_retry`] rebases and retries with
+//! exponential backoff. Once validated, the batch is **logged and fsynced
+//! before touching memory**: a WAL failure (real or injected via
+//! [`FaultPlan`]) rejects the batch with memory unchanged, so the in-memory
+//! state never runs ahead of the durable log.
+//!
+//! # Recovery
+//!
+//! [`QueryService::open`] recovers the log (truncating any torn tail),
+//! replays the committed batches into the base catalog through the same
+//! public mutation API the writer used, and resumes the writer with a
+//! contiguous commit sequence. Replay is deterministic, so a recovered
+//! catalog is bit-identical to one that applied the same committed prefix
+//! live — the crash harness differential-checks exactly this.
+
+use crate::admission::{AdmissionGate, Permit};
+use crate::error::ServiceError;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, RwLock, RwLockReadGuard, RwLockWriteGuard};
+use std::time::{Duration, Instant};
+use wcoj_core::{execute_cancellable, CancelToken, ExecOptions, ExecOutput};
+use wcoj_query::{ConjunctiveQuery, Database, Snapshot};
+use wcoj_storage::wal::{self, FaultPlan, WalOp, WalReplay, WalWriter};
+use wcoj_storage::Value;
+
+/// Tuning knobs for a [`QueryService`].
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// Queries executing concurrently before new arrivals queue.
+    pub max_concurrent: usize,
+    /// Queries allowed to wait; arrivals beyond this are shed with
+    /// [`ServiceError::Overloaded`].
+    pub max_queued: usize,
+    /// Deadline applied to queries that do not bring their own token.
+    pub default_deadline: Option<Duration>,
+    /// Engine/backend/threads used for query execution.
+    pub exec: ExecOptions,
+    /// Conflict retries in [`QueryService::apply_with_retry`] before the
+    /// conflict is surfaced.
+    pub write_retries: u32,
+    /// Base backoff between conflict retries (doubles per attempt).
+    pub retry_backoff: Duration,
+    /// Worker threads for compaction ops (1 = serial; the merge is
+    /// deterministic either way, so replay matches any setting).
+    pub compact_threads: usize,
+    /// Injected faults for the durability path (seal delay is honored here;
+    /// fsync/torn faults are honored inside the [`WalWriter`]).
+    pub fault: FaultPlan,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            max_concurrent: 4,
+            max_queued: 16,
+            default_deadline: None,
+            exec: ExecOptions::default(),
+            write_retries: 3,
+            retry_backoff: Duration::from_millis(1),
+            compact_threads: 1,
+            fault: FaultPlan::from_env(),
+        }
+    }
+}
+
+impl ServiceConfig {
+    /// Override the admission bounds.
+    pub fn with_admission(mut self, max_concurrent: usize, max_queued: usize) -> Self {
+        self.max_concurrent = max_concurrent;
+        self.max_queued = max_queued;
+        self
+    }
+
+    /// Override the default per-query deadline.
+    pub fn with_deadline(mut self, deadline: Duration) -> Self {
+        self.default_deadline = Some(deadline);
+        self
+    }
+
+    /// Override the execution options.
+    pub fn with_exec(mut self, exec: ExecOptions) -> Self {
+        self.exec = exec;
+        self
+    }
+
+    /// Override the injected fault plan (tests).
+    pub fn with_fault(mut self, fault: FaultPlan) -> Self {
+        self.fault = fault;
+        self
+    }
+}
+
+/// Monotonic operation counters, readable at any time via
+/// [`QueryService::stats`].
+#[derive(Debug, Default)]
+struct ServiceStats {
+    admitted: AtomicU64,
+    shed: AtomicU64,
+    deadline_exceeded: AtomicU64,
+    canceled: AtomicU64,
+    batches_committed: AtomicU64,
+    ops_committed: AtomicU64,
+    conflicts: AtomicU64,
+    write_retries: AtomicU64,
+    recovered_batches: AtomicU64,
+    recovered_ops: AtomicU64,
+}
+
+/// A point-in-time copy of the service counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct StatsSnapshot {
+    /// Queries that passed admission.
+    pub admitted: u64,
+    /// Queries shed with [`ServiceError::Overloaded`].
+    pub shed: u64,
+    /// Queries that hit their deadline mid-execution.
+    pub deadline_exceeded: u64,
+    /// Queries cancelled explicitly.
+    pub canceled: u64,
+    /// Write batches durably committed and applied.
+    pub batches_committed: u64,
+    /// Ops inside those batches.
+    pub ops_committed: u64,
+    /// Write batches rejected by the epoch CAS.
+    pub conflicts: u64,
+    /// Conflict retries performed by [`QueryService::apply_with_retry`].
+    pub write_retries: u64,
+    /// Batches replayed from the log at [`QueryService::open`].
+    pub recovered_batches: u64,
+    /// Ops replayed from the log at [`QueryService::open`].
+    pub recovered_ops: u64,
+}
+
+/// A batch of catalog mutations applied atomically: WAL-logged, fsynced, then
+/// applied in memory under the write lock.
+#[derive(Debug, Clone, Default)]
+pub struct WriteBatch {
+    ops: Vec<WalOp>,
+    /// Epochs observed at build time, per relation; validated at apply time.
+    expected: HashMap<String, u64>,
+    blind: bool,
+}
+
+impl WriteBatch {
+    /// A blind batch: no conflict detection, last writer wins (the semantics
+    /// of raw `insert`/`delete` — idempotent against the live-set).
+    pub fn new() -> WriteBatch {
+        WriteBatch {
+            blind: true,
+            ..WriteBatch::default()
+        }
+    }
+
+    /// A batch that conflicts if any relation it touches has moved past the
+    /// epoch `snapshot` pinned.
+    pub fn against(snapshot: &Snapshot) -> WriteBatch {
+        WriteBatch {
+            expected: snapshot
+                .epochs()
+                .map(|(name, epoch)| (name.to_string(), epoch))
+                .collect(),
+            blind: false,
+            ..WriteBatch::default()
+        }
+    }
+
+    /// Queue an insert.
+    pub fn insert(mut self, relation: impl Into<String>, tuple: Vec<Value>) -> Self {
+        self.ops.push(WalOp::Insert {
+            relation: relation.into(),
+            tuple,
+        });
+        self
+    }
+
+    /// Queue a delete (tombstone).
+    pub fn delete(mut self, relation: impl Into<String>, tuple: Vec<Value>) -> Self {
+        self.ops.push(WalOp::Delete {
+            relation: relation.into(),
+            tuple,
+        });
+        self
+    }
+
+    /// Queue a seal of the relation's append buffer.
+    pub fn seal(mut self, relation: impl Into<String>) -> Self {
+        self.ops.push(WalOp::Seal {
+            relation: relation.into(),
+        });
+        self
+    }
+
+    /// Queue a full compaction of the relation.
+    pub fn compact(mut self, relation: impl Into<String>) -> Self {
+        self.ops.push(WalOp::Compact {
+            relation: relation.into(),
+        });
+        self
+    }
+
+    /// The queued ops, in application order.
+    pub fn ops(&self) -> &[WalOp] {
+        &self.ops
+    }
+
+    /// Whether the batch carries no ops.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// The distinct relations the batch touches, in first-touch order.
+    fn touched(&self) -> Vec<&str> {
+        let mut seen = Vec::new();
+        for op in &self.ops {
+            if let Some(rel) = op.relation() {
+                if !seen.contains(&rel) {
+                    seen.push(rel);
+                }
+            }
+        }
+        seen
+    }
+}
+
+/// Apply `batches` (as recovered by [`wal::replay`]) to `db` through the
+/// public mutation API — the deterministic replay shared by
+/// [`QueryService::open`] and the crash harness's oracle.
+pub fn replay_into(db: &mut Database, batches: &[Vec<WalOp>]) -> Result<(), ServiceError> {
+    for batch in batches {
+        for op in batch {
+            apply_op(db, op, 1, &FaultPlan::default())?;
+        }
+    }
+    Ok(())
+}
+
+fn apply_op(
+    db: &mut Database,
+    op: &WalOp,
+    compact_threads: usize,
+    fault: &FaultPlan,
+) -> Result<(), ServiceError> {
+    match op {
+        WalOp::Insert { relation, tuple } => {
+            db.insert_delta(relation, tuple.clone())?;
+        }
+        WalOp::Delete { relation, tuple } => {
+            db.delete(relation, tuple)?;
+        }
+        WalOp::Seal { relation } => {
+            if let Some(ms) = fault.seal_delay_ms {
+                // injected scheduling delay: widens the writer/reader race
+                // window so chaos tests can overlap seals with snapshot reads
+                std::thread::sleep(Duration::from_millis(ms));
+            }
+            db.seal(relation)?;
+        }
+        WalOp::Compact { relation } => {
+            db.compact(relation, compact_threads.max(1))?;
+        }
+        WalOp::Commit { .. } => {
+            // commit markers delimit batches in the log; replay_into receives
+            // batches already split, so a marker here is a caller bug
+            return Err(ServiceError::Wal(wcoj_storage::StorageError::Io(
+                "commit marker inside a batch".into(),
+            )));
+        }
+    }
+    Ok(())
+}
+
+/// The long-lived service: shared catalog, optional WAL, admission gate, and
+/// counters. All methods take `&self`; the service is `Sync` and meant to be
+/// shared across request threads.
+#[derive(Debug)]
+pub struct QueryService {
+    db: RwLock<Database>,
+    wal: Option<Mutex<WalWriter>>,
+    gate: AdmissionGate,
+    stats: ServiceStats,
+    config: ServiceConfig,
+}
+
+impl QueryService {
+    /// A service over `db` with no durability (tests, ephemeral catalogs).
+    pub fn in_memory(db: Database, config: ServiceConfig) -> QueryService {
+        let gate = AdmissionGate::new(config.max_concurrent, config.max_queued);
+        QueryService {
+            db: RwLock::new(db),
+            wal: None,
+            gate,
+            stats: ServiceStats::default(),
+            config,
+        }
+    }
+
+    /// Open a durable service: recover the log at `path` (truncating any torn
+    /// tail), replay the committed batches into `base`, and resume the writer
+    /// with a contiguous commit sequence. `base` must contain the same
+    /// catalog the original writer started from — schemas are not logged.
+    pub fn open(
+        path: impl AsRef<std::path::Path>,
+        mut base: Database,
+        config: ServiceConfig,
+    ) -> Result<(QueryService, WalReplay), ServiceError> {
+        let replayed = wal::recover(&path)?;
+        replay_into(&mut base, &replayed.batches)?;
+        let writer =
+            WalWriter::append_to_with_fault(&path, replayed.batches.len() as u64, config.fault)?;
+        let service = QueryService {
+            db: RwLock::new(base),
+            wal: Some(Mutex::new(writer)),
+            gate: AdmissionGate::new(config.max_concurrent, config.max_queued),
+            stats: ServiceStats::default(),
+            config,
+        };
+        service
+            .stats
+            .recovered_batches
+            .store(replayed.batches.len() as u64, Ordering::Relaxed);
+        service
+            .stats
+            .recovered_ops
+            .store(replayed.num_ops() as u64, Ordering::Relaxed);
+        Ok((service, replayed))
+    }
+
+    /// The catalog is only mutated through `apply`, which upholds its
+    /// invariants before releasing the lock — recover from poison instead of
+    /// wedging the whole service on an unrelated panic.
+    fn db_read(&self) -> RwLockReadGuard<'_, Database> {
+        match self.db.read() {
+            Ok(g) => g,
+            Err(poisoned) => {
+                self.db.clear_poison();
+                poisoned.into_inner()
+            }
+        }
+    }
+
+    fn db_write(&self) -> RwLockWriteGuard<'_, Database> {
+        match self.db.write() {
+            Ok(g) => g,
+            Err(poisoned) => {
+                self.db.clear_poison();
+                poisoned.into_inner()
+            }
+        }
+    }
+
+    /// Pin an MVCC snapshot of the current catalog (O(catalog) `Arc` bumps;
+    /// the read lock is held only for the clone).
+    pub fn snapshot(&self) -> Snapshot {
+        self.db_read().snapshot()
+    }
+
+    /// Current service counters.
+    pub fn stats(&self) -> StatsSnapshot {
+        let s = &self.stats;
+        StatsSnapshot {
+            admitted: s.admitted.load(Ordering::Relaxed),
+            shed: s.shed.load(Ordering::Relaxed),
+            deadline_exceeded: s.deadline_exceeded.load(Ordering::Relaxed),
+            canceled: s.canceled.load(Ordering::Relaxed),
+            batches_committed: s.batches_committed.load(Ordering::Relaxed),
+            ops_committed: s.ops_committed.load(Ordering::Relaxed),
+            conflicts: s.conflicts.load(Ordering::Relaxed),
+            write_retries: s.write_retries.load(Ordering::Relaxed),
+            recovered_batches: s.recovered_batches.load(Ordering::Relaxed),
+            recovered_ops: s.recovered_ops.load(Ordering::Relaxed),
+        }
+    }
+
+    /// `(running, queued)` admission load right now.
+    pub fn load(&self) -> (usize, usize) {
+        self.gate.load()
+    }
+
+    /// Batches committed through the WAL so far (`0` for in-memory services).
+    pub fn committed(&self) -> u64 {
+        self.wal
+            .as_ref()
+            .map(|w| self.wal_lock(w).committed())
+            .unwrap_or(0)
+    }
+
+    fn wal_lock<'a>(&self, wal: &'a Mutex<WalWriter>) -> std::sync::MutexGuard<'a, WalWriter> {
+        match wal.lock() {
+            Ok(g) => g,
+            Err(poisoned) => {
+                // a panic while holding the WAL lock leaves the writer in an
+                // unknown state; the writer's own poisoning (durable-tail
+                // unknown) is the safety net, so recovering the mutex is safe
+                wal.clear_poison();
+                poisoned.into_inner()
+            }
+        }
+    }
+
+    /// Execute `query` against a fresh snapshot, with the config's default
+    /// deadline (if any).
+    pub fn query(&self, query: &ConjunctiveQuery) -> Result<ExecOutput, ServiceError> {
+        let token = match self.config.default_deadline {
+            Some(d) => CancelToken::expiring_in(d),
+            None => CancelToken::new(),
+        };
+        self.query_with(query, &token)
+    }
+
+    /// Execute `query` with an explicit deadline from now.
+    pub fn query_deadline(
+        &self,
+        query: &ConjunctiveQuery,
+        deadline: Duration,
+    ) -> Result<ExecOutput, ServiceError> {
+        self.query_with(query, &CancelToken::expiring_in(deadline))
+    }
+
+    /// Execute `query` with a caller-held [`CancelToken`] (keep a clone to
+    /// cancel from another thread).
+    pub fn query_with(
+        &self,
+        query: &ConjunctiveQuery,
+        token: &CancelToken,
+    ) -> Result<ExecOutput, ServiceError> {
+        let _permit: Permit<'_> = self.gate.admit().inspect_err(|_| {
+            self.stats.shed.fetch_add(1, Ordering::Relaxed);
+        })?;
+        self.stats.admitted.fetch_add(1, Ordering::Relaxed);
+        // hold the read lock only for the snapshot clone; execution runs
+        // against the frozen view while writers proceed
+        let snap = self.snapshot();
+        match execute_cancellable(query, &snap, &self.config.exec, None, token) {
+            Ok(out) => Ok(out),
+            Err(wcoj_core::ExecError::Canceled) => {
+                let by_deadline = token.deadline().is_some_and(|d| Instant::now() >= d);
+                if by_deadline {
+                    self.stats.deadline_exceeded.fetch_add(1, Ordering::Relaxed);
+                    Err(ServiceError::DeadlineExceeded)
+                } else {
+                    self.stats.canceled.fetch_add(1, Ordering::Relaxed);
+                    Err(ServiceError::Canceled)
+                }
+            }
+            Err(e) => Err(ServiceError::Exec(e)),
+        }
+    }
+
+    /// Apply `batch`: validate its epoch expectations under the write lock,
+    /// log + fsync it, then mutate the catalog. Returns the WAL commit
+    /// sequence number (`0` for in-memory services and empty batches).
+    pub fn apply(&self, batch: &WriteBatch) -> Result<u64, ServiceError> {
+        if batch.is_empty() {
+            return Ok(self.committed());
+        }
+        let mut db = self.db_write();
+        // 1. optimistic CAS: every touched relation must still be at the
+        //    epoch the batch's snapshot observed
+        for rel in batch.touched() {
+            let found = db
+                .relation_epoch(rel)
+                .ok_or_else(|| ServiceError::UnknownRelation(rel.to_string()))?;
+            if !batch.blind {
+                let expected = *batch
+                    .expected
+                    .get(rel)
+                    .ok_or_else(|| ServiceError::UnknownRelation(rel.to_string()))?;
+                if expected != found {
+                    self.stats.conflicts.fetch_add(1, Ordering::Relaxed);
+                    return Err(ServiceError::Conflict {
+                        relation: rel.to_string(),
+                        expected,
+                        found,
+                    });
+                }
+            }
+        }
+        // 2. durability first: the batch reaches the disk (or fails) before
+        //    memory changes, so memory never runs ahead of the log
+        let seq = match &self.wal {
+            Some(wal) => {
+                let mut w = self.wal_lock(wal);
+                for op in &batch.ops {
+                    w.log(op)?;
+                }
+                w.commit()?
+            }
+            None => 0,
+        };
+        // 3. apply in memory under the still-held write lock
+        for op in &batch.ops {
+            apply_op(&mut db, op, self.config.compact_threads, &self.config.fault)?;
+        }
+        self.stats.batches_committed.fetch_add(1, Ordering::Relaxed);
+        self.stats
+            .ops_committed
+            .fetch_add(batch.ops.len() as u64, Ordering::Relaxed);
+        Ok(seq)
+    }
+
+    /// [`QueryService::apply`] with rebase-and-retry on conflict: `make` is
+    /// called with a fresh snapshot per attempt and builds the batch (so it
+    /// can re-read whatever state its writes depend on); conflicts back off
+    /// exponentially from [`ServiceConfig::retry_backoff`] and retry up to
+    /// [`ServiceConfig::write_retries`] times before surfacing.
+    pub fn apply_with_retry(
+        &self,
+        make: impl Fn(&Snapshot) -> Result<WriteBatch, ServiceError>,
+    ) -> Result<u64, ServiceError> {
+        let mut backoff = self.config.retry_backoff;
+        for attempt in 0..=self.config.write_retries {
+            let snap = self.snapshot();
+            let batch = make(&snap)?;
+            match self.apply(&batch) {
+                Err(ServiceError::Conflict { .. }) if attempt < self.config.write_retries => {
+                    self.stats.write_retries.fetch_add(1, Ordering::Relaxed);
+                    std::thread::sleep(backoff);
+                    backoff = backoff.saturating_mul(2);
+                }
+                other => return other,
+            }
+        }
+        unreachable!("loop returns on the final attempt");
+    }
+
+    /// Run `f` with read access to the live catalog (monitoring, tests). For
+    /// query execution prefer [`QueryService::query`], which snapshots and
+    /// releases the lock.
+    pub fn with_db<R>(&self, f: impl FnOnce(&Database) -> R) -> R {
+        f(&self.db_read())
+    }
+}

@@ -184,6 +184,26 @@ impl AccessCache {
         }
     }
 
+    /// Lock the cache state, **recovering** from a poisoned mutex: a build
+    /// thread that panics while holding the lock must not wedge every
+    /// subsequent query on this database. The panicked section may have left
+    /// the residency accounting mid-update, so recovery resets the cache to
+    /// empty — always sound, because the cache is a pure optimization — and
+    /// clears the poison flag so later locks take the fast path again.
+    fn lock(&self) -> std::sync::MutexGuard<'_, Inner> {
+        match self.inner.lock() {
+            Ok(guard) => guard,
+            Err(poisoned) => {
+                self.inner.clear_poison();
+                let mut guard = poisoned.into_inner();
+                guard.map.clear();
+                guard.bytes = 0;
+                guard.clock = 0;
+                guard
+            }
+        }
+    }
+
     /// The byte budget.
     pub fn budget(&self) -> usize {
         self.budget
@@ -196,12 +216,12 @@ impl AccessCache {
 
     /// Current residency in bytes.
     pub fn bytes(&self) -> usize {
-        self.inner.lock().expect("cache lock").bytes
+        self.lock().bytes
     }
 
     /// Number of cached entries.
     pub fn len(&self) -> usize {
-        self.inner.lock().expect("cache lock").map.len()
+        self.lock().map.len()
     }
 
     /// Whether the cache holds no entries.
@@ -211,7 +231,7 @@ impl AccessCache {
 
     /// Drop every entry (in-flight `Arc` clones stay valid).
     pub fn clear(&self) {
-        let mut inner = self.inner.lock().expect("cache lock");
+        let mut inner = self.lock();
         inner.map.clear();
         inner.bytes = 0;
     }
@@ -220,7 +240,7 @@ impl AccessCache {
     /// value is an `Arc` clone; delta values must still be revalidated against
     /// the live log by the caller (see the [module docs](crate::cache)).
     pub fn get(&self, key: &CacheKey) -> Option<CachedValue> {
-        let mut inner = self.inner.lock().expect("cache lock");
+        let mut inner = self.lock();
         let clock = inner.clock;
         let entry = inner.map.get_mut(key)?;
         entry.priority = clock + credit(entry.cost, entry.bytes);
@@ -241,7 +261,7 @@ impl AccessCache {
         bytes: usize,
         pinned: bool,
     ) -> u64 {
-        let mut inner = self.inner.lock().expect("cache lock");
+        let mut inner = self.lock();
         if let Some(old) = inner.map.remove(&key) {
             inner.bytes -= old.bytes;
         }
@@ -340,6 +360,29 @@ mod tests {
         cache.clear();
         assert!(cache.is_empty());
         assert_eq!(cache.bytes(), 0);
+    }
+
+    #[test]
+    fn poisoned_lock_recovers_instead_of_wedging() {
+        let cache = AccessCache::with_budget(1 << 20);
+        cache.insert(key("R", 1), CachedValue::Trie(trie_of(3)), 3, 100, false);
+        assert_eq!(cache.len(), 1);
+        // A builder thread dies while holding the cache lock.
+        let died = std::thread::scope(|s| {
+            s.spawn(|| {
+                let _guard = cache.inner.lock().unwrap();
+                panic!("builder thread panics under the cache lock");
+            })
+            .join()
+        });
+        assert!(died.is_err());
+        // Recovery resets to empty (the accounting may be torn mid-insert)
+        // and every operation keeps working instead of panicking.
+        assert_eq!(cache.len(), 0);
+        assert_eq!(cache.bytes(), 0);
+        cache.insert(key("R", 1), CachedValue::Trie(trie_of(3)), 3, 100, false);
+        assert!(cache.get(&key("R", 1)).is_some());
+        assert_eq!(cache.bytes(), 100);
     }
 
     #[test]

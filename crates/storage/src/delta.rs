@@ -454,17 +454,28 @@ fn merge_two_packed(a: &Run, b: &Run, arity: usize) -> (Vec<Vec<Value>>, Vec<i64
 
 /// A relation stored as a delta log: base run + ordered delta runs + append
 /// buffer. See the [module docs](crate::delta) for the layout and cost model.
+///
+/// Runs are immutable and `Arc`-shared, and the live-tuple index is
+/// copy-on-write, so **cloning is cheap**: O(runs) refcount bumps plus one
+/// copy of the (threshold-bounded) append buffer. That is what MVCC snapshots
+/// (`wcoj_query`'s `Database::snapshot`) pin — a clone freezes the
+/// `(base, sealed-run-list, buffer)` state by refcount while the original
+/// keeps ingesting; the first post-clone `insert`/`delete` pays a one-time
+/// O(live) copy of the shared live-tuple index.
 #[derive(Debug, Clone)]
 pub struct DeltaRelation {
     schema: Schema,
     /// `runs[0]` is the oldest (the base after a [`DeltaRelation::compact`]);
     /// later runs are newer and shadow earlier ones via signed counting.
-    runs: Vec<Run>,
+    /// `Arc`-shared: snapshot clones pin runs by refcount, never by copying.
+    runs: Vec<Arc<Run>>,
     /// Unsealed operations in arrival order: (tuple, +1 insert / −1 tombstone).
     buffer: OpBuffer,
     /// Exactly the live tuples, maintained incrementally — O(1) liveness and
     /// the alternating-history guard, without per-op run searches.
-    live_set: LiveSet,
+    /// Copy-on-write (`Arc::make_mut`): queries never read it beyond `len()`,
+    /// so snapshot clones share it until the writer's next mutation.
+    live_set: Arc<LiveSet>,
     seal_threshold: usize,
     /// Modification epoch: a fresh process-unique stamp
     /// ([`crate::cache::next_stamp`]) on every mutation, so equal epochs imply
@@ -474,27 +485,42 @@ pub struct DeltaRelation {
 }
 
 impl DeltaRelation {
-    /// An empty delta relation with the given schema (arity must be positive).
+    /// An empty delta relation with the given schema. Panics on a zero-arity
+    /// schema (use [`DeltaRelation::try_new`] for a fallible version).
     pub fn new(schema: Schema) -> Self {
-        assert!(
-            schema.arity() > 0,
-            "delta relations need at least one column"
-        );
-        let live_set = LiveSet::for_arity(schema.arity());
+        Self::try_new(schema).expect("delta relations need at least one column")
+    }
+
+    /// An empty delta relation with the given schema, rejecting zero-arity
+    /// schemas with [`StorageError::EmptySchema`].
+    pub fn try_new(schema: Schema) -> Result<Self, StorageError> {
+        if schema.arity() == 0 {
+            return Err(StorageError::EmptySchema);
+        }
+        let live_set = Arc::new(LiveSet::for_arity(schema.arity()));
         let buffer = OpBuffer::for_arity(schema.arity());
-        DeltaRelation {
+        Ok(DeltaRelation {
             schema,
             runs: Vec::new(),
             buffer,
             live_set,
             seal_threshold: DEFAULT_SEAL_THRESHOLD,
             epoch: crate::cache::next_stamp(),
-        }
+        })
     }
 
-    /// Wrap an existing relation as the base run of a new delta log.
+    /// Wrap an existing relation as the base run of a new delta log. Panics on
+    /// a zero-arity relation (use [`DeltaRelation::try_from_relation`]).
     pub fn from_relation(rel: Relation) -> Self {
-        assert!(rel.arity() > 0, "delta relations need at least one column");
+        Self::try_from_relation(rel).expect("delta relations need at least one column")
+    }
+
+    /// Wrap an existing relation as the base run of a new delta log, rejecting
+    /// zero-arity relations with [`StorageError::EmptySchema`].
+    pub fn try_from_relation(rel: Relation) -> Result<Self, StorageError> {
+        if rel.arity() == 0 {
+            return Err(StorageError::EmptySchema);
+        }
         let schema = rel.schema().clone();
         let mut live_set = LiveSet::for_arity(schema.arity());
         live_set.reserve(rel.len());
@@ -504,17 +530,17 @@ impl DeltaRelation {
         let runs = if rel.is_empty() {
             Vec::new()
         } else {
-            vec![Run::all_insert(rel)]
+            vec![Arc::new(Run::all_insert(rel))]
         };
         let buffer = OpBuffer::for_arity(schema.arity());
-        DeltaRelation {
+        Ok(DeltaRelation {
             schema,
             runs,
             buffer,
-            live_set,
+            live_set: Arc::new(live_set),
             seal_threshold: DEFAULT_SEAL_THRESHOLD,
             epoch: crate::cache::next_stamp(),
-        }
+        })
     }
 
     /// Take a fresh epoch stamp; called on every visible mutation (ingest,
@@ -569,7 +595,7 @@ impl DeltaRelation {
 
     /// Sizes of the sealed runs, oldest first.
     pub fn run_sizes(&self) -> Vec<usize> {
-        self.runs.iter().map(Run::len).collect()
+        self.runs.iter().map(|r| r.len()).collect()
     }
 
     /// Number of buffered (unsealed) operations.
@@ -579,7 +605,7 @@ impl DeltaRelation {
 
     /// Total tombstone rows across the sealed runs.
     pub fn tombstones(&self) -> usize {
-        self.runs.iter().map(Run::tombstones).sum()
+        self.runs.iter().map(|r| r.tombstones()).sum()
     }
 
     /// Override the automatic seal threshold (buffered operations before
@@ -592,7 +618,7 @@ impl DeltaRelation {
     /// Pre-size the live-tuple index for `n` expected live tuples (avoids
     /// rehash pauses during bulk ingest).
     pub fn reserve(&mut self, n: usize) {
-        self.live_set.reserve(n);
+        Arc::make_mut(&mut self.live_set).reserve(n);
     }
 
     /// Whether `tuple` is currently live. O(arity) expected — one probe of the
@@ -625,7 +651,10 @@ impl DeltaRelation {
     /// heap-allocated.
     pub fn insert_ref(&mut self, tuple: &[Value]) -> Result<bool, StorageError> {
         self.check_arity(tuple.len())?;
-        if !self.live_set.insert(tuple) {
+        if Arc::strong_count(&self.live_set) > 1 && self.live_set.contains(tuple) {
+            return Ok(false); // no-op while snapshot-shared: skip the copy-on-write
+        }
+        if !Arc::make_mut(&mut self.live_set).insert(tuple) {
             return Ok(false); // already live: blind re-insert is a no-op
         }
         self.buffer.push(tuple, 1);
@@ -638,7 +667,10 @@ impl DeltaRelation {
     /// amortized cost as [`DeltaRelation::insert`].
     pub fn delete(&mut self, tuple: &[Value]) -> Result<bool, StorageError> {
         self.check_arity(tuple.len())?;
-        if !self.live_set.remove(tuple) {
+        if Arc::strong_count(&self.live_set) > 1 && !self.live_set.contains(tuple) {
+            return Ok(false); // no-op while snapshot-shared: skip the copy-on-write
+        }
+        if !Arc::make_mut(&mut self.live_set).remove(tuple) {
             return Ok(false); // not live: blind delete is a no-op
         }
         self.buffer.push(tuple, -1);
@@ -718,17 +750,22 @@ impl DeltaRelation {
 
     /// Seal the append buffer into a new sorted run, then apply size-tiered
     /// compaction: while the previous run is smaller than twice the newest, the
-    /// two merge (annihilating matched insert/tombstone pairs). No-op on an
-    /// empty buffer except for the tiering check.
+    /// two merge (annihilating matched insert/tombstone pairs).
+    ///
+    /// Sealing an **empty** buffer is a complete no-op: no run is pushed, the
+    /// epoch is not bumped, and — because the run list is untouched — cached
+    /// [`DeltaView`]s stay valid (no spurious invalidation). The tiering
+    /// invariant is re-established by the seals that actually add runs.
     pub fn seal(&mut self) {
-        if !self.buffer.is_empty() {
-            let (cols, signs) = self.buffer_parts();
-            self.buffer.clear();
-            self.touch();
-            if !signs.is_empty() {
-                self.runs
-                    .push(Run::from_parts(self.schema.clone(), cols, &signs));
-            }
+        if self.buffer.is_empty() {
+            return;
+        }
+        let (cols, signs) = self.buffer_parts();
+        self.buffer.clear();
+        self.touch();
+        if !signs.is_empty() {
+            self.runs
+                .push(Arc::new(Run::from_parts(self.schema.clone(), cols, &signs)));
         }
         while self.runs.len() >= 2
             && self.runs[self.runs.len() - 2].len() < GROWTH * self.runs[self.runs.len() - 1].len()
@@ -752,7 +789,7 @@ impl DeltaRelation {
             return;
         }
         self.touch();
-        let total: usize = self.runs[start..].iter().map(Run::len).sum();
+        let total: usize = self.runs[start..].iter().map(|r| r.len()).sum();
         if threads > 1 && total >= PAR_MERGE_MIN {
             let arity = self.arity();
             let mut cols: Vec<Vec<Value>> = (0..arity).map(|_| Vec::with_capacity(total)).collect();
@@ -767,7 +804,7 @@ impl DeltaRelation {
             self.runs.truncate(start);
             if !signs.is_empty() {
                 self.runs
-                    .push(Run::from_parts(self.schema.clone(), cols, &signs));
+                    .push(Arc::new(Run::from_parts(self.schema.clone(), cols, &signs)));
             }
         } else {
             while self.runs.len() - start >= 2 {
@@ -776,7 +813,7 @@ impl DeltaRelation {
                 let (cols, signs) = merge_two(&a, &b);
                 if !signs.is_empty() {
                     self.runs
-                        .push(Run::from_parts(self.schema.clone(), cols, &signs));
+                        .push(Arc::new(Run::from_parts(self.schema.clone(), cols, &signs)));
                 }
             }
         }
@@ -814,7 +851,7 @@ impl DeltaRelation {
     /// the log (the buffer is collapsed into a temporary copy).
     pub fn snapshot(&self) -> Relation {
         let arity = self.arity();
-        let total: usize = self.runs.iter().map(Run::len).sum::<usize>() + self.buffer.len();
+        let total: usize = self.runs.iter().map(|r| r.len()).sum::<usize>() + self.buffer.len();
         let mut cols: Vec<Vec<Value>> = (0..arity).map(|_| Vec::with_capacity(total)).collect();
         let mut signs = Vec::with_capacity(total);
         for run in &self.runs {

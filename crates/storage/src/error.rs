@@ -42,6 +42,30 @@ pub enum StorageError {
     },
     /// A dictionary-encoded attribute was decoded without a dictionary.
     MissingDictionary(String),
+    /// A write-ahead-log file operation failed at the OS level. The message is
+    /// the rendered `std::io::Error` (kept as a string so the error stays
+    /// `Clone + Eq` like every other variant).
+    Io(String),
+    /// The write-ahead log contains bytes that are neither a complete valid
+    /// record nor a clean end-of-file **before** the last commit marker —
+    /// corruption that recovery cannot repair by truncating a torn tail.
+    WalCorrupt {
+        /// Byte offset of the unreadable record.
+        offset: u64,
+        /// What failed to parse or verify.
+        reason: String,
+    },
+    /// An injected fault fired (see `wal::FaultPlan`): the operation behaved
+    /// as if the corresponding real failure had happened.
+    FaultInjected(String),
+    /// A relation constructor requires at least one column.
+    EmptySchema,
+}
+
+impl From<std::io::Error> for StorageError {
+    fn from(e: std::io::Error) -> Self {
+        StorageError::Io(e.to_string())
+    }
 }
 
 impl fmt::Display for StorageError {
@@ -71,6 +95,14 @@ impl fmt::Display for StorageError {
             ),
             StorageError::MissingDictionary(a) => {
                 write!(f, "no dictionary for string attribute `{a}`")
+            }
+            StorageError::Io(e) => write!(f, "wal i/o error: {e}"),
+            StorageError::WalCorrupt { offset, reason } => {
+                write!(f, "wal corrupt at byte {offset}: {reason}")
+            }
+            StorageError::FaultInjected(what) => write!(f, "injected fault: {what}"),
+            StorageError::EmptySchema => {
+                write!(f, "relations need at least one column")
             }
         }
     }
@@ -114,5 +146,16 @@ mod tests {
         assert!(StorageError::MissingDictionary("name".into())
             .to_string()
             .contains("name"));
+        let io: StorageError = std::io::Error::other("disk gone").into();
+        assert!(io.to_string().contains("disk gone"));
+        let e = StorageError::WalCorrupt {
+            offset: 17,
+            reason: "bad checksum".into(),
+        };
+        assert!(e.to_string().contains("17") && e.to_string().contains("bad checksum"));
+        assert!(StorageError::FaultInjected("fsync".into())
+            .to_string()
+            .contains("fsync"));
+        assert!(!StorageError::EmptySchema.to_string().is_empty());
     }
 }

@@ -45,6 +45,12 @@
 //!   (GreedyDual-Size) eviction; delta entries revalidate against the live
 //!   log's run ids and extend **incrementally** when only new sealed runs
 //!   appeared since the cached build;
+//! * [`wal`] — write-ahead logging for the ingest path: every delta mutation
+//!   appends a length-prefixed, CRC32-checksummed [`wal::WalOp`] record to a
+//!   per-database log with batch commit markers; [`wal::recover`] replays the
+//!   committed-batch prefix and truncates any torn tail, and a deterministic
+//!   [`wal::FaultPlan`] (env `WCOJ_FAULT`) injects fsync failures and torn
+//!   writes for crash testing;
 //! * [`typed`] / [`dictionary`] — the typed-value layer over the `u64` columns:
 //!   [`Schema`]s carry per-attribute [`AttrType`]s, [`typed::TypedValue`] rows
 //!   encode through per-domain [`Dictionary`]s (batch interning, single-storage
@@ -102,6 +108,7 @@ pub mod topology;
 pub mod trie;
 pub mod tune;
 pub mod typed;
+pub mod wal;
 
 pub use access::{CursorKind, PrefixCursor, TrieAccess};
 pub use cache::{next_stamp, AccessCache, CacheKey, CacheKind, CacheStats, CachedValue};
@@ -118,6 +125,7 @@ pub use stats::{CursorWork, WorkCounter};
 pub use trie::{Trie, TrieCursor};
 pub use tune::KernelCalibration;
 pub use typed::{encode_column, TypedRow, TypedRows, TypedValue};
+pub use wal::{FaultPlan, WalOp, WalReplay, WalWriter};
 
 /// A dictionary-encoded attribute value.
 ///

@@ -1,0 +1,847 @@
+//! Write-ahead logging for delta relations: crash durability for the ingest
+//! path.
+//!
+//! A [`DeltaRelation`](crate::DeltaRelation)'s append buffer lives only in
+//! memory, so a crash mid-ingest silently loses every operation since the last
+//! materialization. This module adds the classical fix: every mutation
+//! (`insert`/`delete`/`seal`/`compact`) is encoded as a [`WalOp`] and appended
+//! to a per-database log **before** it is applied in memory, and batches are
+//! bounded by an explicit commit marker. The format is deliberately boring:
+//!
+//! ```text
+//! record   := [payload_len: u32 LE] [crc32(payload): u32 LE] [payload]
+//! payload  := op_tag: u8, op-specific fields (names length-prefixed, values u64 LE)
+//! batch    := record*  commit-record(seq)
+//! ```
+//!
+//! * **Torn tails are expected, not fatal.** [`replay`] scans records until the
+//!   first incomplete, over-long, checksum-failing, or undecodable record and
+//!   returns exactly the batches whose commit marker was fully durable before
+//!   that point — any byte prefix of a valid log recovers the committed-batch
+//!   prefix and never a partial batch (property-tested in
+//!   `tests/wal_recovery.rs`). [`recover`] additionally truncates the file to
+//!   the last committed byte so a writer can reopen it for appending.
+//! * **Commit sequence numbers are contiguous** (1, 2, 3, …). A gap or
+//!   repetition means the log was spliced rather than torn, and replay stops
+//!   there exactly like a torn tail rather than guessing.
+//! * **Fault injection is first-class.** A [`FaultPlan`] — parsed from the
+//!   `WCOJ_FAULT` environment variable or constructed directly by tests —
+//!   deterministically fails the Nth fsync or tears a write at byte k, leaving
+//!   the on-disk state exactly as a crash at that point would. The crash-recovery
+//!   test suite and the CI chaos leg drive recovery through these hooks.
+//!
+//! The replay output is storage-agnostic (`Vec<Vec<WalOp>>`); applying it to a
+//! catalog (`wcoj_query::Database`) lives with the service layer, which owns
+//! both sides.
+
+use crate::error::StorageError;
+use crate::Value;
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::Path;
+
+/// CRC-32 (IEEE 802.3, reflected, polynomial `0xEDB88320`) lookup table,
+/// generated at compile time — no dependency, no runtime init.
+const CRC_TABLE: [u32; 256] = {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 {
+                0xEDB8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+};
+
+/// CRC-32 (IEEE) of `bytes` — the per-record checksum.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut c = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        c = CRC_TABLE[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+    }
+    c ^ 0xFFFF_FFFF
+}
+
+/// Records larger than this are treated as corruption: no legitimate op comes
+/// close (the bound exists so a torn length field cannot ask replay to buffer
+/// gigabytes).
+const MAX_RECORD_BYTES: u32 = 1 << 26;
+
+/// One logged mutation of a delta-backed relation, plus the batch commit
+/// marker. The op carries everything replay needs to re-drive the public
+/// `Database` mutation API; schemas are not logged — recovery starts from the
+/// same catalog the writer started from.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WalOp {
+    /// `insert_delta(relation, tuple)`.
+    Insert {
+        /// Target relation name.
+        relation: String,
+        /// The inserted tuple.
+        tuple: Vec<Value>,
+    },
+    /// `delete(relation, tuple)` (a tombstone append).
+    Delete {
+        /// Target relation name.
+        relation: String,
+        /// The deleted tuple.
+        tuple: Vec<Value>,
+    },
+    /// `seal(relation)` — buffer sealed into a sorted run.
+    Seal {
+        /// Target relation name.
+        relation: String,
+    },
+    /// `compact(relation)` — runs merged into a single base.
+    Compact {
+        /// Target relation name.
+        relation: String,
+    },
+    /// Batch commit marker: everything since the previous marker is durable as
+    /// one atomic unit. `seq` numbers batches contiguously from 1.
+    Commit {
+        /// 1-based contiguous batch sequence number.
+        seq: u64,
+    },
+}
+
+const TAG_INSERT: u8 = 0;
+const TAG_DELETE: u8 = 1;
+const TAG_SEAL: u8 = 2;
+const TAG_COMPACT: u8 = 3;
+const TAG_COMMIT: u8 = 4;
+
+fn put_name(buf: &mut Vec<u8>, name: &str) {
+    let bytes = name.as_bytes();
+    debug_assert!(bytes.len() <= u16::MAX as usize, "relation name too long");
+    buf.extend_from_slice(&(bytes.len() as u16).to_le_bytes());
+    buf.extend_from_slice(bytes);
+}
+
+fn put_tuple(buf: &mut Vec<u8>, tuple: &[Value]) {
+    buf.extend_from_slice(&(tuple.len() as u16).to_le_bytes());
+    for &v in tuple {
+        buf.extend_from_slice(&v.to_le_bytes());
+    }
+}
+
+/// A bounds-checked little-endian reader over one record payload.
+struct PayloadReader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> PayloadReader<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], String> {
+        if self.bytes.len() - self.pos < n {
+            return Err(format!(
+                "payload truncated: wanted {n} bytes at {}, have {}",
+                self.pos,
+                self.bytes.len() - self.pos
+            ));
+        }
+        let s = &self.bytes[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn u16(&mut self) -> Result<u16, String> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().expect("len 2")))
+    }
+
+    fn u64(&mut self) -> Result<u64, String> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("len 8")))
+    }
+
+    fn name(&mut self) -> Result<String, String> {
+        let len = self.u16()? as usize;
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| "relation name is not UTF-8".to_string())
+    }
+
+    fn tuple(&mut self) -> Result<Vec<Value>, String> {
+        let arity = self.u16()? as usize;
+        let mut tuple = Vec::with_capacity(arity);
+        for _ in 0..arity {
+            tuple.push(self.u64()?);
+        }
+        Ok(tuple)
+    }
+
+    fn done(&self) -> Result<(), String> {
+        if self.pos != self.bytes.len() {
+            return Err(format!(
+                "trailing garbage: {} bytes after op",
+                self.bytes.len() - self.pos
+            ));
+        }
+        Ok(())
+    }
+}
+
+impl WalOp {
+    /// Encode the op as one record payload (tag + fields, no framing).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut buf = Vec::with_capacity(32);
+        match self {
+            WalOp::Insert { relation, tuple } => {
+                buf.push(TAG_INSERT);
+                put_name(&mut buf, relation);
+                put_tuple(&mut buf, tuple);
+            }
+            WalOp::Delete { relation, tuple } => {
+                buf.push(TAG_DELETE);
+                put_name(&mut buf, relation);
+                put_tuple(&mut buf, tuple);
+            }
+            WalOp::Seal { relation } => {
+                buf.push(TAG_SEAL);
+                put_name(&mut buf, relation);
+            }
+            WalOp::Compact { relation } => {
+                buf.push(TAG_COMPACT);
+                put_name(&mut buf, relation);
+            }
+            WalOp::Commit { seq } => {
+                buf.push(TAG_COMMIT);
+                buf.extend_from_slice(&seq.to_le_bytes());
+            }
+        }
+        buf
+    }
+
+    /// Decode one record payload. The error is a human-readable reason;
+    /// [`replay`] treats any failure as a torn tail.
+    pub fn decode(payload: &[u8]) -> Result<WalOp, String> {
+        let mut r = PayloadReader {
+            bytes: payload,
+            pos: 0,
+        };
+        let tag = *r.take(1)?.first().expect("len 1");
+        let op = match tag {
+            TAG_INSERT => WalOp::Insert {
+                relation: r.name()?,
+                tuple: r.tuple()?,
+            },
+            TAG_DELETE => WalOp::Delete {
+                relation: r.name()?,
+                tuple: r.tuple()?,
+            },
+            TAG_SEAL => WalOp::Seal {
+                relation: r.name()?,
+            },
+            TAG_COMPACT => WalOp::Compact {
+                relation: r.name()?,
+            },
+            TAG_COMMIT => WalOp::Commit { seq: r.u64()? },
+            other => return Err(format!("unknown op tag {other}")),
+        };
+        r.done()?;
+        Ok(op)
+    }
+
+    /// The relation the op targets (`None` for commit markers).
+    pub fn relation(&self) -> Option<&str> {
+        match self {
+            WalOp::Insert { relation, .. }
+            | WalOp::Delete { relation, .. }
+            | WalOp::Seal { relation }
+            | WalOp::Compact { relation } => Some(relation),
+            WalOp::Commit { .. } => None,
+        }
+    }
+}
+
+/// Deterministic fault injection for the durability path, parsed from the
+/// `WCOJ_FAULT` environment variable (comma-separated directives) or built
+/// directly by tests:
+///
+/// * `fsync_fail:N` — the Nth fsync (1-based) fails and poisons the writer;
+/// * `torn:K` — the write that would carry the log past absolute byte offset
+///   `K` stops at `K` (a torn write) and poisons the writer;
+/// * `seal_delay:MS` — the service layer sleeps `MS` milliseconds before
+///   applying a seal (widens the writer/reader race window in chaos tests).
+///
+/// Poisoning mirrors the only safe interpretation of a real fsync/write
+/// failure: the log's durable tail is unknown, so every later append fails
+/// until recovery truncates and reopens the file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct FaultPlan {
+    /// Fail the Nth fsync (1-based), then poison the writer.
+    pub fail_fsync_at: Option<u64>,
+    /// Tear the write crossing absolute byte offset `K`, then poison.
+    pub torn_write_at: Option<u64>,
+    /// Milliseconds the service sleeps before applying a seal op.
+    pub seal_delay_ms: Option<u64>,
+}
+
+impl FaultPlan {
+    /// Parse a `WCOJ_FAULT` directive string (e.g. `"fsync_fail:2,torn:96"`).
+    pub fn parse(spec: &str) -> Result<FaultPlan, String> {
+        let mut plan = FaultPlan::default();
+        for directive in spec.split(',') {
+            let directive = directive.trim();
+            if directive.is_empty() {
+                continue;
+            }
+            let (key, value) = directive
+                .split_once(':')
+                .ok_or_else(|| format!("fault directive `{directive}` is missing `:value`"))?;
+            let value: u64 = value
+                .parse()
+                .map_err(|_| format!("fault directive `{directive}` needs an integer value"))?;
+            match key {
+                "fsync_fail" => plan.fail_fsync_at = Some(value),
+                "torn" => plan.torn_write_at = Some(value),
+                "seal_delay" => plan.seal_delay_ms = Some(value),
+                other => return Err(format!("unknown fault directive `{other}`")),
+            }
+        }
+        Ok(plan)
+    }
+
+    /// The plan from `WCOJ_FAULT`, or the all-off default when the variable is
+    /// unset or unparsable (a debugging knob must never take the process down).
+    pub fn from_env() -> FaultPlan {
+        std::env::var("WCOJ_FAULT")
+            .ok()
+            .and_then(|spec| FaultPlan::parse(&spec).ok())
+            .unwrap_or_default()
+    }
+
+    /// Whether any fault is armed.
+    pub fn is_armed(&self) -> bool {
+        *self != FaultPlan::default()
+    }
+}
+
+/// Appends length-prefixed, checksummed [`WalOp`] records to a log file.
+/// Records are written immediately (so a crash leaves a realistic partial
+/// batch on disk); [`WalWriter::commit`] appends the batch's commit marker and
+/// fsyncs. After any I/O failure — real or injected — the writer is poisoned:
+/// the durable tail is unknown, so every later call fails until the log is
+/// [`recover`]ed and reopened.
+#[derive(Debug)]
+pub struct WalWriter {
+    file: File,
+    /// Bytes successfully handed to the OS so far (the torn-fault ruler).
+    offset: u64,
+    /// Fsyncs attempted so far (the fsync-fault ruler).
+    fsyncs: u64,
+    /// Committed batches so far; the next commit marker carries `committed + 1`.
+    committed: u64,
+    /// Ops logged since the last commit marker.
+    pending_ops: u64,
+    fault: FaultPlan,
+    poisoned: bool,
+}
+
+impl WalWriter {
+    /// Create (truncating) a fresh log at `path`, with faults from
+    /// [`FaultPlan::from_env`].
+    pub fn create(path: impl AsRef<Path>) -> Result<WalWriter, StorageError> {
+        Self::create_with_fault(path, FaultPlan::from_env())
+    }
+
+    /// [`WalWriter::create`] with an explicit fault plan (tests).
+    pub fn create_with_fault(
+        path: impl AsRef<Path>,
+        fault: FaultPlan,
+    ) -> Result<WalWriter, StorageError> {
+        let file = OpenOptions::new()
+            .create(true)
+            .write(true)
+            .truncate(true)
+            .open(path)?;
+        Ok(WalWriter {
+            file,
+            offset: 0,
+            fsyncs: 0,
+            committed: 0,
+            pending_ops: 0,
+            fault,
+            poisoned: false,
+        })
+    }
+
+    /// Reopen a log for appending after [`recover`] truncated it: positions at
+    /// the end and resumes the commit sequence from `committed` (the number of
+    /// batches recovery replayed). Faults come from [`FaultPlan::from_env`].
+    pub fn append_to(path: impl AsRef<Path>, committed: u64) -> Result<WalWriter, StorageError> {
+        Self::append_to_with_fault(path, committed, FaultPlan::from_env())
+    }
+
+    /// [`WalWriter::append_to`] with an explicit fault plan (tests).
+    pub fn append_to_with_fault(
+        path: impl AsRef<Path>,
+        committed: u64,
+        fault: FaultPlan,
+    ) -> Result<WalWriter, StorageError> {
+        let mut file = OpenOptions::new()
+            .create(true)
+            .write(true)
+            .truncate(false)
+            .open(path)?;
+        let offset = file.seek(SeekFrom::End(0))?;
+        Ok(WalWriter {
+            file,
+            offset,
+            fsyncs: 0,
+            committed,
+            pending_ops: 0,
+            fault,
+            poisoned: false,
+        })
+    }
+
+    /// Bytes handed to the OS so far.
+    pub fn offset(&self) -> u64 {
+        self.offset
+    }
+
+    /// Batches committed through this writer (plus whatever it resumed from).
+    pub fn committed(&self) -> u64 {
+        self.committed
+    }
+
+    /// Ops logged since the last commit marker.
+    pub fn pending_ops(&self) -> u64 {
+        self.pending_ops
+    }
+
+    /// Whether a prior failure poisoned the writer.
+    pub fn is_poisoned(&self) -> bool {
+        self.poisoned
+    }
+
+    /// Replace the fault plan (tests re-arm between scenarios).
+    pub fn set_fault(&mut self, fault: FaultPlan) {
+        self.fault = fault;
+    }
+
+    fn check_poisoned(&self) -> Result<(), StorageError> {
+        if self.poisoned {
+            return Err(StorageError::Io(
+                "wal writer is poisoned by an earlier failure; recover the log first".into(),
+            ));
+        }
+        Ok(())
+    }
+
+    /// Write `bytes` through the torn-write fault filter, poisoning on any
+    /// short or failed write.
+    fn write_all(&mut self, bytes: &[u8]) -> Result<(), StorageError> {
+        if let Some(k) = self.fault.torn_write_at {
+            if self.offset + bytes.len() as u64 > k {
+                let keep = k.saturating_sub(self.offset) as usize;
+                let res = self.file.write_all(&bytes[..keep]).and_then(|_| {
+                    // a torn write is only observable once it reaches the disk
+                    self.file.sync_data()
+                });
+                self.poisoned = true;
+                res?;
+                self.offset += keep as u64;
+                return Err(StorageError::FaultInjected(format!(
+                    "torn write at byte {k}"
+                )));
+            }
+        }
+        if let Err(e) = self.file.write_all(bytes) {
+            self.poisoned = true;
+            return Err(e.into());
+        }
+        self.offset += bytes.len() as u64;
+        Ok(())
+    }
+
+    fn fsync(&mut self) -> Result<(), StorageError> {
+        self.fsyncs += 1;
+        if self.fault.fail_fsync_at == Some(self.fsyncs) {
+            self.poisoned = true;
+            return Err(StorageError::FaultInjected(format!(
+                "fsync {} failed",
+                self.fsyncs
+            )));
+        }
+        if let Err(e) = self.file.sync_data() {
+            self.poisoned = true;
+            return Err(e.into());
+        }
+        Ok(())
+    }
+
+    fn write_record(&mut self, op: &WalOp) -> Result<(), StorageError> {
+        let payload = op.encode();
+        let mut framed = Vec::with_capacity(8 + payload.len());
+        framed.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        framed.extend_from_slice(&crc32(&payload).to_le_bytes());
+        framed.extend_from_slice(&payload);
+        self.write_all(&framed)
+    }
+
+    /// Append one op record (unsynced — durability comes from the batch's
+    /// [`WalWriter::commit`]). Logging a [`WalOp::Commit`] directly is a
+    /// contract violation and is rejected.
+    pub fn log(&mut self, op: &WalOp) -> Result<(), StorageError> {
+        self.check_poisoned()?;
+        if matches!(op, WalOp::Commit { .. }) {
+            return Err(StorageError::Io(
+                "commit markers are written by WalWriter::commit, not log()".into(),
+            ));
+        }
+        self.write_record(op)?;
+        self.pending_ops += 1;
+        Ok(())
+    }
+
+    /// Commit the batch: append the commit marker and fsync. Returns the
+    /// batch's sequence number. Committing with no pending ops is a no-op
+    /// (no marker written) and returns the current committed count.
+    pub fn commit(&mut self) -> Result<u64, StorageError> {
+        self.check_poisoned()?;
+        if self.pending_ops == 0 {
+            return Ok(self.committed);
+        }
+        let seq = self.committed + 1;
+        self.write_record(&WalOp::Commit { seq })?;
+        self.fsync()?;
+        self.committed = seq;
+        self.pending_ops = 0;
+        Ok(seq)
+    }
+}
+
+/// What [`replay`] found in a log file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WalReplay {
+    /// The committed batches, in commit order; each batch's ops in log order.
+    pub batches: Vec<Vec<WalOp>>,
+    /// Byte offset just past the last commit marker — the durable prefix.
+    pub valid_bytes: u64,
+    /// Total file size; `valid_bytes < file_bytes` means a tail was dropped.
+    pub file_bytes: u64,
+    /// Why the tail (if any) was dropped: human-readable, `None` for a clean
+    /// log that ends exactly on a commit marker.
+    pub tail_reason: Option<String>,
+}
+
+impl WalReplay {
+    /// Whether a torn/uncommitted tail was dropped.
+    pub fn torn(&self) -> bool {
+        self.valid_bytes < self.file_bytes
+    }
+
+    /// Total ops across the committed batches (markers excluded).
+    pub fn num_ops(&self) -> usize {
+        self.batches.iter().map(Vec::len).sum()
+    }
+}
+
+/// Scan the committed batches out of a log's bytes (the pure core of
+/// [`replay`], shared with tests that fuzz byte prefixes directly).
+pub fn replay_bytes(bytes: &[u8]) -> WalReplay {
+    let file_bytes = bytes.len() as u64;
+    let mut batches = Vec::new();
+    let mut pending: Vec<WalOp> = Vec::new();
+    let mut valid_bytes = 0u64;
+    let mut pos = 0usize;
+    let mut tail_reason = None;
+    loop {
+        if pos == bytes.len() {
+            if !pending.is_empty() {
+                tail_reason = Some(format!("{} uncommitted trailing ops", pending.len()));
+            }
+            break;
+        }
+        let at = pos as u64;
+        if bytes.len() - pos < 8 {
+            tail_reason = Some(format!("truncated record header at byte {at}"));
+            break;
+        }
+        let len = u32::from_le_bytes(bytes[pos..pos + 4].try_into().expect("len 4"));
+        let crc = u32::from_le_bytes(bytes[pos + 4..pos + 8].try_into().expect("len 4"));
+        if len > MAX_RECORD_BYTES {
+            tail_reason = Some(format!("implausible record length {len} at byte {at}"));
+            break;
+        }
+        if bytes.len() - pos - 8 < len as usize {
+            tail_reason = Some(format!("truncated record body at byte {at}"));
+            break;
+        }
+        let payload = &bytes[pos + 8..pos + 8 + len as usize];
+        if crc32(payload) != crc {
+            tail_reason = Some(format!("checksum mismatch at byte {at}"));
+            break;
+        }
+        let op = match WalOp::decode(payload) {
+            Ok(op) => op,
+            Err(reason) => {
+                tail_reason = Some(format!("undecodable record at byte {at}: {reason}"));
+                break;
+            }
+        };
+        pos += 8 + len as usize;
+        match op {
+            WalOp::Commit { seq } => {
+                if seq != batches.len() as u64 + 1 {
+                    tail_reason = Some(format!(
+                        "commit sequence jumped to {seq} after {} batches at byte {at}",
+                        batches.len()
+                    ));
+                    break;
+                }
+                batches.push(std::mem::take(&mut pending));
+                valid_bytes = pos as u64;
+            }
+            op => pending.push(op),
+        }
+    }
+    WalReplay {
+        batches,
+        valid_bytes,
+        file_bytes,
+        tail_reason,
+    }
+}
+
+/// Read a log file and return its committed batches, dropping (but not yet
+/// truncating) any torn tail. A missing file replays as empty — creating the
+/// log lazily on first write is fine.
+pub fn replay(path: impl AsRef<Path>) -> Result<WalReplay, StorageError> {
+    let mut bytes = Vec::new();
+    match File::open(path) {
+        Ok(mut f) => {
+            f.read_to_end(&mut bytes)?;
+        }
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+        Err(e) => return Err(e.into()),
+    }
+    Ok(replay_bytes(&bytes))
+}
+
+/// [`replay`], then truncate the file to the durable prefix so a
+/// [`WalWriter::append_to`] can resume cleanly. This is the recovery entry the
+/// service layer calls on startup.
+pub fn recover(path: impl AsRef<Path>) -> Result<WalReplay, StorageError> {
+    let replayed = replay(&path)?;
+    if replayed.torn() {
+        let file = OpenOptions::new().write(true).open(&path)?;
+        file.set_len(replayed.valid_bytes)?;
+        file.sync_data()?;
+    }
+    Ok(replayed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_path(tag: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!(
+            "wcoj-wal-{tag}-{}-{}",
+            std::process::id(),
+            crate::cache::next_stamp()
+        ));
+        p
+    }
+
+    fn ins(rel: &str, t: &[Value]) -> WalOp {
+        WalOp::Insert {
+            relation: rel.into(),
+            tuple: t.to_vec(),
+        }
+    }
+
+    #[test]
+    fn crc32_known_answer() {
+        // the canonical IEEE CRC-32 check value
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn ops_roundtrip_through_encode_decode() {
+        let ops = [
+            ins("E", &[1, 2]),
+            WalOp::Delete {
+                relation: "edge_rel".into(),
+                tuple: vec![7, 8, 9],
+            },
+            WalOp::Seal {
+                relation: "E".into(),
+            },
+            WalOp::Compact {
+                relation: "E".into(),
+            },
+            WalOp::Commit { seq: 42 },
+        ];
+        for op in &ops {
+            assert_eq!(&WalOp::decode(&op.encode()).unwrap(), op);
+        }
+        assert!(WalOp::decode(&[99]).is_err(), "unknown tag");
+        assert!(WalOp::decode(&[]).is_err(), "empty payload");
+        let mut trailing = ops[2].encode();
+        trailing.push(0);
+        assert!(WalOp::decode(&trailing).is_err(), "trailing garbage");
+    }
+
+    #[test]
+    fn write_then_replay_roundtrips_batches() {
+        let path = temp_path("roundtrip");
+        let mut w = WalWriter::create_with_fault(&path, FaultPlan::default()).unwrap();
+        w.log(&ins("E", &[1, 2])).unwrap();
+        w.log(&ins("E", &[3, 4])).unwrap();
+        assert_eq!(w.commit().unwrap(), 1);
+        w.log(&WalOp::Seal {
+            relation: "E".into(),
+        })
+        .unwrap();
+        assert_eq!(w.commit().unwrap(), 2);
+        // empty commit: no marker, sequence unchanged
+        assert_eq!(w.commit().unwrap(), 2);
+
+        let replayed = replay(&path).unwrap();
+        assert_eq!(replayed.batches.len(), 2);
+        assert_eq!(
+            replayed.batches[0],
+            vec![ins("E", &[1, 2]), ins("E", &[3, 4])]
+        );
+        assert!(!replayed.torn());
+        assert_eq!(replayed.tail_reason, None);
+        assert_eq!(replayed.num_ops(), 3);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn uncommitted_tail_is_dropped_and_recover_truncates() {
+        let path = temp_path("tail");
+        let mut w = WalWriter::create_with_fault(&path, FaultPlan::default()).unwrap();
+        w.log(&ins("E", &[1, 2])).unwrap();
+        w.commit().unwrap();
+        w.log(&ins("E", &[5, 6])).unwrap(); // never committed
+        drop(w);
+
+        let replayed = recover(&path).unwrap();
+        assert_eq!(replayed.batches.len(), 1);
+        assert!(replayed.torn());
+        assert!(replayed.tail_reason.unwrap().contains("uncommitted"));
+
+        // after recovery the file ends exactly on the commit marker and a
+        // writer can resume with a contiguous sequence
+        let mut w = WalWriter::append_to_with_fault(
+            &path,
+            replayed.batches.len() as u64,
+            FaultPlan::default(),
+        )
+        .unwrap();
+        w.log(&ins("E", &[7, 8])).unwrap();
+        assert_eq!(w.commit().unwrap(), 2);
+        let replayed = replay(&path).unwrap();
+        assert_eq!(replayed.batches.len(), 2);
+        assert!(!replayed.torn());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn corrupt_byte_truncates_from_there() {
+        let path = temp_path("corrupt");
+        let mut w = WalWriter::create_with_fault(&path, FaultPlan::default()).unwrap();
+        for i in 0..4u64 {
+            w.log(&ins("E", &[i, i + 1])).unwrap();
+            w.commit().unwrap();
+        }
+        let clean = replay(&path).unwrap();
+        assert_eq!(clean.batches.len(), 4);
+        let mut bytes = std::fs::read(&path).unwrap();
+        // flip a byte inside batch 3's record
+        let target = (clean.valid_bytes / 2) as usize;
+        bytes[target] ^= 0xFF;
+        let replayed = replay_bytes(&bytes);
+        assert!(replayed.batches.len() < 4);
+        assert!(replayed.torn() || replayed.tail_reason.is_some());
+        // the surviving batches are a strict prefix of the clean ones
+        assert_eq!(
+            replayed.batches[..],
+            clean.batches[..replayed.batches.len()]
+        );
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn injected_fsync_failure_poisons_the_writer() {
+        let path = temp_path("fsync-fault");
+        let fault = FaultPlan::parse("fsync_fail:2").unwrap();
+        let mut w = WalWriter::create_with_fault(&path, fault).unwrap();
+        w.log(&ins("E", &[1, 2])).unwrap();
+        assert_eq!(w.commit().unwrap(), 1);
+        w.log(&ins("E", &[3, 4])).unwrap();
+        let err = w.commit().unwrap_err();
+        assert!(matches!(err, StorageError::FaultInjected(_)), "{err}");
+        assert!(w.is_poisoned());
+        assert!(w.log(&ins("E", &[5, 6])).is_err(), "poisoned writer");
+        // batch 2's marker reached the file but its durability was never
+        // acknowledged; replay may surface it or not — what recovery must
+        // guarantee is that batch 1 survives and nothing partial appears
+        let replayed = replay(&path).unwrap();
+        assert!(!replayed.batches.is_empty());
+        assert_eq!(replayed.batches[0], vec![ins("E", &[1, 2])]);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn injected_torn_write_truncates_mid_record() {
+        let path = temp_path("torn-fault");
+        let mut w = WalWriter::create_with_fault(&path, FaultPlan::default()).unwrap();
+        w.log(&ins("E", &[1, 2])).unwrap();
+        w.commit().unwrap();
+        let cut = w.offset() + 5; // mid-way through the next record
+        w.set_fault(FaultPlan {
+            torn_write_at: Some(cut),
+            ..FaultPlan::default()
+        });
+        let err = w.log(&ins("E", &[3, 4])).unwrap_err();
+        assert!(matches!(err, StorageError::FaultInjected(_)), "{err}");
+        assert!(w.is_poisoned());
+        assert_eq!(std::fs::metadata(&path).unwrap().len(), cut);
+        let replayed = recover(&path).unwrap();
+        assert_eq!(replayed.batches.len(), 1);
+        assert!(replayed.torn());
+        assert_eq!(
+            std::fs::metadata(&path).unwrap().len(),
+            replayed.valid_bytes
+        );
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn fault_plan_parses_and_rejects() {
+        assert_eq!(FaultPlan::parse("").unwrap(), FaultPlan::default());
+        let plan = FaultPlan::parse("fsync_fail:3, torn:128, seal_delay:50").unwrap();
+        assert_eq!(plan.fail_fsync_at, Some(3));
+        assert_eq!(plan.torn_write_at, Some(128));
+        assert_eq!(plan.seal_delay_ms, Some(50));
+        assert!(plan.is_armed());
+        assert!(!FaultPlan::default().is_armed());
+        assert!(FaultPlan::parse("fsync_fail").is_err());
+        assert!(FaultPlan::parse("fsync_fail:x").is_err());
+        assert!(FaultPlan::parse("explode:1").is_err());
+    }
+
+    #[test]
+    fn missing_file_replays_empty() {
+        let replayed = replay(temp_path("never-created")).unwrap();
+        assert!(replayed.batches.is_empty());
+        assert_eq!(replayed.file_bytes, 0);
+        assert!(!replayed.torn());
+    }
+}
