@@ -59,7 +59,7 @@ fn triangle_service(n: usize, config: ServiceConfig) -> QueryService {
 fn wal_path(tag: &str) -> std::path::PathBuf {
     let mut p = std::env::temp_dir();
     p.push(format!("wcoj-e9-{tag}-{}", std::process::id()));
-    std::fs::remove_file(&p).ok();
+    std::fs::remove_dir_all(&p).ok();
     p
 }
 
@@ -97,7 +97,7 @@ fn main() {
         let (recovered, replayed) =
             QueryService::open(&path, edge_db(), ServiceConfig::default()).unwrap();
         let recover_s = t.elapsed().as_secs_f64();
-        assert_eq!(replayed.batches.len(), batches);
+        assert_eq!(replayed.committed as usize, batches);
         recovered.with_db(|db| assert_eq!(db.delta("E").unwrap().len(), rows));
         println!(
             "  {batches:>5} batches: ingest {:>8.1} batches/s, recovery {:>8.3} ms ({:>9.0} ops/s replay)",
@@ -105,7 +105,7 @@ fn main() {
             recover_s * 1e3,
             (batches * 32) as f64 / recover_s
         );
-        std::fs::remove_file(&path).ok();
+        std::fs::remove_dir_all(&path).ok();
     }
 
     // ---- 2. snapshot-read throughput vs writer rate ----------------------

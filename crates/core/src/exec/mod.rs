@@ -518,6 +518,48 @@ fn cached_index(
     Ok(built)
 }
 
+/// The epoch-partitioned delta-cache gate: 0 = uninitialized (consult
+/// `WCOJ_CACHE_PARTITIONS`), 1 = on (the default), 2 = off (the pre-partition
+/// single-slot behavior, kept for A/B measurement — see EXPERIMENTS E10).
+static CACHE_PARTITIONS: std::sync::atomic::AtomicU8 = std::sync::atomic::AtomicU8::new(0);
+
+/// Whether delta-view cache entries are **epoch-partitioned** (see
+/// [`set_cache_partitions`]). Defaults to on; `WCOJ_CACHE_PARTITIONS=0`
+/// disables.
+pub fn cache_partitions_enabled() -> bool {
+    use std::sync::atomic::Ordering;
+    match CACHE_PARTITIONS.load(Ordering::Relaxed) {
+        1 => true,
+        2 => false,
+        _ => {
+            let on = std::env::var("WCOJ_CACHE_PARTITIONS").map_or(true, |v| v.trim() != "0");
+            CACHE_PARTITIONS.store(if on { 1 } else { 2 }, Ordering::Relaxed);
+            on
+        }
+    }
+}
+
+/// Switch delta-view cache partitioning on or off in-process (overrides
+/// `WCOJ_CACHE_PARTITIONS`; benchmarks use this for same-process A/B runs).
+/// With partitioning **off**, a pinned snapshot and the live head share one
+/// cache slot per `(relation, order)` and evict each other's views on every
+/// alternating access — the E9.4 thrash this knob exists to demonstrate.
+pub fn set_cache_partitions(on: bool) {
+    CACHE_PARTITIONS.store(if on { 1 } else { 2 }, std::sync::atomic::Ordering::Relaxed);
+}
+
+/// FNV-1a over the sealed-run identity list — the content fingerprint that
+/// keys a delta view to the exact run set it was built over. `| 1` keeps it
+/// disjoint from the head slot's reserved stamp 0.
+fn run_fingerprint(delta: &DeltaRelation) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for id in delta.run_ids() {
+        h ^= id;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h | 1
+}
+
 /// Fetch-or-build one delta-backed atom's [`DeltaAccess`] through the access
 /// cache. The cached payload is a [`DeltaView`] of the **sealed** runs only —
 /// the live unsealed buffer is collapsed per query by
@@ -527,6 +569,20 @@ fn cached_index(
 /// anything else (tier merge, compaction) = full rebuild. The relation's
 /// **native** attribute order borrows the log directly (no permute, nothing
 /// worth caching), so identity orders bypass the cache.
+///
+/// # Epoch partitioning (the E9.4 fix)
+///
+/// Two slots per `(relation, order)`: the **head slot** (stamp 0), owned by
+/// the live database and only ever moved forward (extended, or rebuilt by a
+/// non-snapshot reader), and **exact slots** (stamp = run-set fingerprint)
+/// that pin a view to the precise run list it matches. A pinned
+/// [`wcoj_query::Snapshot`]'s
+/// reads fill only its exact slot, so a long-held snapshot and the advancing
+/// head stop evicting each other — while a *fresh* snapshot still hits the
+/// head slot via run-identity revalidation (same run list at pin time), which
+/// is what keeps the service's snapshot-per-query read path cached.
+/// `WCOJ_CACHE_PARTITIONS=0` (or [`set_cache_partitions`]) restores the old
+/// single-slot behavior for comparison.
 fn cached_delta<'d>(
     ctx: &CacheCtx<'_>,
     name: &str,
@@ -540,13 +596,26 @@ fn cached_delta<'d>(
         return Ok(DeltaAccess::build_positions(delta, positions, threads)?);
     }
     let cache = ctx.db.access_cache();
-    let key = CacheKey {
+    let partitioned = cache_partitions_enabled();
+    let head_key = CacheKey {
         relation: name.to_string(),
         positions: positions.to_vec(),
         kind: CacheKind::Delta,
-        stamp: 0, // delta entries revalidate by run identity, not stamps
+        stamp: 0, // the live head's slot; snapshots never write it
     };
-    if let Some(CachedValue::Delta(view)) = cache.get(&key) {
+    let exact_key = CacheKey {
+        stamp: run_fingerprint(delta),
+        ..head_key.clone()
+    };
+    if partitioned {
+        if let Some(CachedValue::Delta(view)) = cache.get(&exact_key) {
+            if view.matches(delta) {
+                stats.hits += 1;
+                return Ok(DeltaAccess::from_view(&view, delta));
+            }
+        }
+    }
+    if let Some(CachedValue::Delta(view)) = cache.get(&head_key) {
         if view.matches(delta) {
             stats.hits += 1;
             return Ok(DeltaAccess::from_view(&view, delta));
@@ -554,25 +623,50 @@ fn cached_delta<'d>(
         if let Some(extended) = view.extend(delta, threads) {
             let extended = Arc::new(extended);
             stats.incremental_merges += 1;
-            stats.evictions += cache.insert(
-                key,
-                CachedValue::Delta(Arc::clone(&extended)),
-                extended.num_rows() as u64,
-                extended.heap_bytes(),
-                ctx.pinned,
-            );
+            // a snapshot's extension must not move the head slot (its frozen
+            // run set may be behind a head another reader already advanced)
+            let claim_head = !partitioned || !ctx.db.is_snapshot();
+            if claim_head {
+                stats.evictions += cache.insert(
+                    head_key,
+                    CachedValue::Delta(Arc::clone(&extended)),
+                    extended.num_rows() as u64,
+                    extended.heap_bytes(),
+                    ctx.pinned,
+                );
+            }
+            if partitioned {
+                stats.evictions += cache.insert(
+                    exact_key.clone(),
+                    CachedValue::Delta(Arc::clone(&extended)),
+                    extended.num_rows() as u64,
+                    extended.heap_bytes(),
+                    ctx.pinned,
+                );
+            }
             return Ok(DeltaAccess::from_view(&extended, delta));
         }
     }
     let view = Arc::new(DeltaView::build(delta, positions, threads)?);
     stats.misses += 1;
-    stats.evictions += cache.insert(
-        key,
-        CachedValue::Delta(Arc::clone(&view)),
-        view.num_rows() as u64,
-        view.heap_bytes(),
-        ctx.pinned,
-    );
+    if !partitioned || !ctx.db.is_snapshot() {
+        stats.evictions += cache.insert(
+            head_key,
+            CachedValue::Delta(Arc::clone(&view)),
+            view.num_rows() as u64,
+            view.heap_bytes(),
+            ctx.pinned,
+        );
+    }
+    if partitioned {
+        stats.evictions += cache.insert(
+            exact_key.clone(),
+            CachedValue::Delta(Arc::clone(&view)),
+            view.num_rows() as u64,
+            view.heap_bytes(),
+            ctx.pinned,
+        );
+    }
     Ok(DeltaAccess::from_view(&view, delta))
 }
 

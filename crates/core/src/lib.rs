@@ -58,7 +58,8 @@ pub mod planner;
 
 pub use error::ExecError;
 pub use exec::{
-    execute, execute_cancellable, execute_opts, execute_opts_with_order, execute_with_order,
-    Backend, CacheMode, CacheStats, CancelToken, Engine, ExecOptions, ExecOutput,
+    cache_partitions_enabled, execute, execute_cancellable, execute_opts, execute_opts_with_order,
+    execute_with_order, set_cache_partitions, Backend, CacheMode, CacheStats, CancelToken, Engine,
+    ExecOptions, ExecOutput,
 };
 pub use planner::{agm_variable_order, plan_order};

@@ -60,10 +60,12 @@ impl Snapshot {
             .into_iter()
             .filter_map(|name| db.relation_epoch(name).map(|e| (name.to_string(), e)))
             .collect();
-        Snapshot {
-            db: db.clone(),
-            epochs,
-        }
+        let mut db = db.clone();
+        // the clone is marked so the execution layer's delta-view caching
+        // keys this snapshot's frozen views away from the live head slot —
+        // a pinned snapshot must never evict the advancing head's entry
+        db.mark_snapshot();
+        Snapshot { db, epochs }
     }
 
     /// The modification epoch relation `name` had when this snapshot was

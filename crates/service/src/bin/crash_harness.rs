@@ -7,14 +7,16 @@
 //! tombstones.
 //!
 //! ```text
-//! crash_harness ingest --wal PATH --seed S --batches N [--ops-per-batch M]
-//! crash_harness verify --wal PATH --seed S --batches N [--ops-per-batch M]
+//! crash_harness ingest --wal DIR --seed S --batches N [--ops-per-batch M]
+//! crash_harness verify --wal DIR --seed S --batches N [--ops-per-batch M]
 //! ```
 //!
-//! `ingest` resumes: if the log already holds `k` committed batches it
-//! recovers them and continues from batch `k`, so a kill/restart loop
-//! converges to the full `N` batches while exercising recovery on every
-//! iteration.
+//! `--wal` names a log **directory** (rotated segments plus checkpoints —
+//! size the segments with `WCOJ_WAL_SEGMENT_BYTES` to force rotation and
+//! checkpointing under the kill loop). `ingest` resumes: if the log already
+//! holds `k` committed batches it recovers them and continues from batch `k`,
+//! so a kill/restart loop converges to the full `N` batches while exercising
+//! recovery — checkpoint load plus tail replay — on every iteration.
 
 use std::process::ExitCode;
 use wcoj_query::Database;
@@ -125,9 +127,13 @@ fn parse_args() -> Result<Args, String> {
 fn ingest(args: &Args) -> Result<(), String> {
     let (service, replayed) = QueryService::open(&args.wal, base_db(), ServiceConfig::default())
         .map_err(|e| format!("open failed: {e}"))?;
-    let start = replayed.batches.len();
+    let start = replayed.committed as usize;
     if start > 0 {
-        println!("resumed after {start} recovered batches");
+        println!(
+            "resumed after {start} recovered batches (checkpoint at {}, {} replayed)",
+            replayed.checkpoint_seq,
+            replayed.tail.len()
+        );
     }
     let stream = gen_batches(args.seed, args.batches, args.ops_per_batch);
     for (i, ops) in stream.iter().enumerate().skip(start) {
@@ -148,20 +154,28 @@ fn ingest(args: &Args) -> Result<(), String> {
 fn verify(args: &Args) -> Result<(), String> {
     let (service, replayed) = QueryService::open(&args.wal, base_db(), ServiceConfig::default())
         .map_err(|e| format!("recovery failed: {e}"))?;
-    let committed = replayed.batches.len();
+    let committed = replayed.committed as usize;
     if committed > args.batches {
         return Err(format!(
             "log holds {committed} batches but the stream only has {}",
             args.batches
         ));
     }
-    // differential 1: the recovered ops are bit-identical to the generated
-    // committed-batch prefix — never a partial batch, never a reordered op
+    // differential 1: the recovered tail ops — everything after the
+    // checkpoint — are bit-identical to the generated stream at the same
+    // positions: never a partial batch, never a reordered op
     let stream = gen_batches(args.seed, args.batches, args.ops_per_batch);
-    for (i, (got, want)) in replayed.batches.iter().zip(&stream).enumerate() {
+    let ckpt = replayed.checkpoint_seq as usize;
+    for (offset, (got, want)) in replayed
+        .tail
+        .iter()
+        .zip(&stream[ckpt..committed])
+        .enumerate()
+    {
         if got != want {
             return Err(format!(
-                "recovered batch {i} diverges from the oracle stream"
+                "recovered batch {} diverges from the oracle stream",
+                ckpt + offset
             ));
         }
     }

@@ -3,9 +3,13 @@
 //! The lower crates model the paper's *algorithms*; this crate wraps them into
 //! a long-lived **service** with the robustness a real deployment needs:
 //!
-//! * **WAL durability** — every write batch is logged and fsynced through
-//!   [`wcoj_storage::wal`] *before* it touches memory; [`QueryService::open`]
-//!   recovers committed batches after a crash and truncates torn tails;
+//! * **WAL durability with group commit** — every write batch is logged and
+//!   fsynced through [`wcoj_storage::wal`] *before* it touches memory, and
+//!   concurrent committers share one fsync via the leader-based group-commit
+//!   coordinator; the log is a directory of rotated segments plus periodic
+//!   checkpoints, so [`QueryService::open`] recovers committed batches after
+//!   a crash in time bounded by the post-checkpoint tail, truncating torn
+//!   tails;
 //! * **MVCC snapshot reads** — queries execute lock-free against a pinned
 //!   [`wcoj_query::Snapshot`] while writers append, seal, and compact
 //!   concurrently, with bit-identical rows *and* work counters;
@@ -51,8 +55,12 @@
 
 pub mod admission;
 pub mod error;
+mod group;
 pub mod service;
 
 pub use admission::{AdmissionGate, Permit};
 pub use error::ServiceError;
-pub use service::{replay_into, QueryService, ServiceConfig, StatsSnapshot, WriteBatch};
+pub use service::{
+    replay_into, QueryService, RecoveryReport, ServiceConfig, StatsSnapshot, WriteBatch,
+    GROUP_SIZE_BUCKETS,
+};

@@ -22,25 +22,49 @@
 //! [`FaultPlan`]) rejects the batch with memory unchanged, so the in-memory
 //! state never runs ahead of the durable log.
 //!
+//! Durable writes flow through the **group-commit coordinator** (the private
+//! `group` module): concurrent `apply` callers enqueue their batches, one
+//! leader drains the queue, CAS-validates every member under the write lock,
+//! appends all payloads and commit markers, and issues a **single fsync** for
+//! the whole group — so the per-batch fsync cost is amortized across however
+//! many writers piled up during the previous group's barrier. A failed group
+//! fsync fails *every* member atomically with memory untouched. An optional
+//! coalescing window (`WCOJ_GROUP_COMMIT_US`,
+//! [`ServiceConfig::group_commit_window`]) grows groups at the cost of
+//! latency; a solo writer degenerates to exactly the PR 8 path — one append,
+//! one marker, one fsync.
+//!
 //! # Recovery
 //!
-//! [`QueryService::open`] recovers the log (truncating any torn tail),
-//! replays the committed batches into the base catalog through the same
-//! public mutation API the writer used, and resumes the writer with a
-//! contiguous commit sequence. Replay is deterministic, so a recovered
-//! catalog is bit-identical to one that applied the same committed prefix
-//! live — the crash harness differential-checks exactly this.
+//! The log is a **directory**: rotated segments (`wal.000001`, …) plus
+//! periodic **checkpoints** (`ckpt.000047`) holding every delta relation's
+//! serialized state ([`wcoj_storage::DeltaRelation::encode_state`]), taken
+//! from an MVCC snapshot so the writer is never stalled, and followed by
+//! deletion of fully-covered segments. [`QueryService::open`] loads the
+//! newest valid checkpoint (base), replays only the **tail** — batches after
+//! the checkpoint — through the same public mutation API the writer used, and
+//! resumes the writer with a contiguous commit sequence. Recovery cost is
+//! bounded by the tail length, not total history. Replay is deterministic,
+//! and the checkpoint codec is bit-exact (same run partitioning, buffer, and
+//! seal threshold), so a recovered catalog is bit-identical to one that
+//! applied the same committed prefix live — the crash harness
+//! differential-checks exactly this.
 
 use crate::admission::{AdmissionGate, Permit};
 use crate::error::ServiceError;
-use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Mutex, RwLock, RwLockReadGuard, RwLockWriteGuard};
+use crate::group::{GroupQueue, Pending, Slot};
+use std::collections::{HashMap, HashSet};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, RwLock, RwLockReadGuard, RwLockWriteGuard};
 use std::time::{Duration, Instant};
 use wcoj_core::{execute_cancellable, CancelToken, ExecOptions, ExecOutput};
 use wcoj_query::{ConjunctiveQuery, Database, Snapshot};
-use wcoj_storage::wal::{self, FaultPlan, WalOp, WalReplay, WalWriter};
-use wcoj_storage::Value;
+use wcoj_storage::wal::segmented::{
+    gc_checkpoint, recover_dir, segment_bytes_from_env, write_checkpoint, SegmentedWal,
+};
+use wcoj_storage::wal::{FaultPlan, WalOp};
+use wcoj_storage::{DeltaRelation, StorageError, Value};
 
 /// Tuning knobs for a [`QueryService`].
 #[derive(Debug, Clone)]
@@ -63,8 +87,30 @@ pub struct ServiceConfig {
     /// deterministic either way, so replay matches any setting).
     pub compact_threads: usize,
     /// Injected faults for the durability path (seal delay is honored here;
-    /// fsync/torn faults are honored inside the [`WalWriter`]).
+    /// fsync/torn faults inside the WAL writer, checkpoint tears inside
+    /// [`write_checkpoint`]).
     pub fault: FaultPlan,
+    /// How long a group-commit leader waits after claiming leadership before
+    /// draining the queue, letting more batches coalesce into its fsync.
+    /// Zero (the default) relies on the self-clocking batching alone.
+    /// Defaults from `WCOJ_GROUP_COMMIT_US` (microseconds).
+    pub group_commit_window: Duration,
+    /// WAL segment-rotation threshold in bytes. Defaults from
+    /// `WCOJ_WAL_SEGMENT_BYTES` (64 MiB when unset).
+    pub segment_bytes: u64,
+    /// Take a checkpoint after this many completed (rotated-out) segments;
+    /// `0` disables automatic checkpoints ([`QueryService::checkpoint`] can
+    /// still be called directly).
+    pub checkpoint_after_segments: u64,
+}
+
+/// `WCOJ_GROUP_COMMIT_US` (microseconds), or zero when unset/unparsable.
+fn group_commit_window_from_env() -> Duration {
+    std::env::var("WCOJ_GROUP_COMMIT_US")
+        .ok()
+        .and_then(|v| v.trim().parse::<u64>().ok())
+        .map(Duration::from_micros)
+        .unwrap_or(Duration::ZERO)
 }
 
 impl Default for ServiceConfig {
@@ -78,6 +124,9 @@ impl Default for ServiceConfig {
             retry_backoff: Duration::from_millis(1),
             compact_threads: 1,
             fault: FaultPlan::from_env(),
+            group_commit_window: group_commit_window_from_env(),
+            segment_bytes: segment_bytes_from_env(),
+            checkpoint_after_segments: 1,
         }
     }
 }
@@ -107,6 +156,35 @@ impl ServiceConfig {
         self.fault = fault;
         self
     }
+
+    /// Override the group-commit coalescing window.
+    pub fn with_group_commit_window(mut self, window: Duration) -> Self {
+        self.group_commit_window = window;
+        self
+    }
+
+    /// Override the WAL segment-rotation threshold.
+    pub fn with_segment_bytes(mut self, bytes: u64) -> Self {
+        self.segment_bytes = bytes;
+        self
+    }
+
+    /// Override the automatic checkpoint cadence (`0` disables).
+    pub fn with_checkpoint_after_segments(mut self, segments: u64) -> Self {
+        self.checkpoint_after_segments = segments;
+        self
+    }
+}
+
+/// The `batches_per_fsync` histogram's bucket upper bounds (inclusive); the
+/// last bucket is open-ended.
+pub const GROUP_SIZE_BUCKETS: [u64; 6] = [1, 2, 4, 8, 16, u64::MAX];
+
+fn group_size_bucket(batches: u64) -> usize {
+    GROUP_SIZE_BUCKETS
+        .iter()
+        .position(|&hi| batches <= hi)
+        .expect("last bucket is open-ended")
 }
 
 /// Monotonic operation counters, readable at any time via
@@ -122,7 +200,12 @@ struct ServiceStats {
     conflicts: AtomicU64,
     write_retries: AtomicU64,
     recovered_batches: AtomicU64,
-    recovered_ops: AtomicU64,
+    recovery_replay_ops: AtomicU64,
+    group_commits: AtomicU64,
+    batches_per_fsync: [AtomicU64; 6],
+    checkpoints: AtomicU64,
+    segments_deleted: AtomicU64,
+    wal_bytes: AtomicU64,
 }
 
 /// A point-in-time copy of the service counters.
@@ -144,10 +227,23 @@ pub struct StatsSnapshot {
     pub conflicts: u64,
     /// Conflict retries performed by [`QueryService::apply_with_retry`].
     pub write_retries: u64,
-    /// Batches replayed from the log at [`QueryService::open`].
+    /// Batches reconstructed from the log at [`QueryService::open`]
+    /// (checkpoint-covered + tail-replayed).
     pub recovered_batches: u64,
-    /// Ops replayed from the log at [`QueryService::open`].
-    pub recovered_ops: u64,
+    /// Ops actually **replayed** at [`QueryService::open`] — the tail after
+    /// the newest checkpoint, i.e. the work recovery had to redo.
+    pub recovery_replay_ops: u64,
+    /// Coalesced commit groups flushed (each = exactly one fsync).
+    pub group_commits: u64,
+    /// Histogram of group sizes: bucket `i` counts groups of up to
+    /// [`GROUP_SIZE_BUCKETS`]`[i]` batches (≤1, ≤2, ≤4, ≤8, ≤16, more).
+    pub batches_per_fsync: [u64; 6],
+    /// Checkpoints durably written.
+    pub checkpoints: u64,
+    /// WAL segments deleted by checkpoint GC.
+    pub segments_deleted: u64,
+    /// Gauge: on-disk WAL segment bytes (appended minus GC-freed).
+    pub wal_bytes: u64,
 }
 
 /// A batch of catalog mutations applied atomically: WAL-logged, fsynced, then
@@ -241,9 +337,9 @@ impl WriteBatch {
     }
 }
 
-/// Apply `batches` (as recovered by [`wal::replay`]) to `db` through the
-/// public mutation API — the deterministic replay shared by
-/// [`QueryService::open`] and the crash harness's oracle.
+/// Apply `batches` (as recovered from the log) to `db` through the public
+/// mutation API — the deterministic replay shared by [`QueryService::open`]
+/// and the crash harness's oracle.
 pub fn replay_into(db: &mut Database, batches: &[Vec<WalOp>]) -> Result<(), ServiceError> {
     for batch in batches {
         for op in batch {
@@ -288,16 +384,66 @@ fn apply_op(
     Ok(())
 }
 
-/// The long-lived service: shared catalog, optional WAL, admission gate, and
-/// counters. All methods take `&self`; the service is `Sync` and meant to be
-/// shared across request threads.
+/// What [`QueryService::open`] recovered from the log directory.
+#[derive(Debug, Clone)]
+pub struct RecoveryReport {
+    /// The sequence the newest valid checkpoint covers (`0` = no checkpoint;
+    /// everything was replayed from segments).
+    pub checkpoint_seq: u64,
+    /// The **replayed tail**: committed batches after the checkpoint, in
+    /// sequence order (batch `checkpoint_seq + 1` first). Pre-checkpoint
+    /// batches are *not* here — their effect came from the checkpoint state.
+    pub tail: Vec<Vec<WalOp>>,
+    /// The last durable batch sequence (`checkpoint_seq` + tail length); the
+    /// writer resumes at `committed + 1`.
+    pub committed: u64,
+    /// Whether recovery dropped anything: a torn segment tail, a discarded
+    /// torn/corrupt checkpoint, or a sequence gap.
+    pub torn: bool,
+    /// Why (first drop wins); `None` for a clean log.
+    pub tail_reason: Option<String>,
+    /// Segment files surviving recovery.
+    pub segments: usize,
+    /// On-disk segment bytes after recovery.
+    pub wal_bytes: u64,
+}
+
+impl RecoveryReport {
+    /// Whether recovery dropped anything (see [`RecoveryReport::torn`]).
+    pub fn torn(&self) -> bool {
+        self.torn
+    }
+
+    /// Ops across the replayed tail batches.
+    pub fn num_ops(&self) -> usize {
+        self.tail.iter().map(Vec::len).sum()
+    }
+}
+
+/// The long-lived service: shared catalog, optional segmented WAL, group-
+/// commit queue, admission gate, and counters. All methods take `&self`; the
+/// service is `Sync` and meant to be shared across request threads.
 #[derive(Debug)]
 pub struct QueryService {
     db: RwLock<Database>,
-    wal: Option<Mutex<WalWriter>>,
+    wal: Option<Mutex<SegmentedWal>>,
+    /// The log directory (`None` for in-memory services).
+    wal_dir: Option<PathBuf>,
+    group: GroupQueue,
     gate: AdmissionGate,
     stats: ServiceStats,
     config: ServiceConfig,
+    /// Last WAL sequence whose effects are applied in memory. Written under
+    /// the db **write** lock, read under the read lock — so a checkpoint's
+    /// `(state, seq)` pair is always consistent.
+    applied_seq: AtomicU64,
+    /// Single-flight guard for [`QueryService::checkpoint`].
+    checkpoint_active: AtomicBool,
+    /// Sequence of the last durable checkpoint (skip no-progress repeats).
+    last_checkpoint_seq: AtomicU64,
+    /// Cumulative segment bytes freed by GC (the `wal_bytes` gauge is
+    /// `SegmentedWal::total_bytes() - this`).
+    gc_segment_bytes: AtomicU64,
 }
 
 impl QueryService {
@@ -307,41 +453,81 @@ impl QueryService {
         QueryService {
             db: RwLock::new(db),
             wal: None,
+            wal_dir: None,
+            group: GroupQueue::default(),
             gate,
             stats: ServiceStats::default(),
             config,
+            applied_seq: AtomicU64::new(0),
+            checkpoint_active: AtomicBool::new(false),
+            last_checkpoint_seq: AtomicU64::new(0),
+            gc_segment_bytes: AtomicU64::new(0),
         }
     }
 
-    /// Open a durable service: recover the log at `path` (truncating any torn
-    /// tail), replay the committed batches into `base`, and resume the writer
-    /// with a contiguous commit sequence. `base` must contain the same
-    /// catalog the original writer started from — schemas are not logged.
+    /// Open a durable service over the log **directory** at `dir`: pick the
+    /// newest valid checkpoint, install its relation states into `base`
+    /// ([`DeltaRelation::decode_state`]), replay the post-checkpoint tail
+    /// (truncating any torn end), and resume the writer with a contiguous
+    /// commit sequence. `base` must contain the same catalog the original
+    /// writer started from — schemas are not logged — and recovery cost is
+    /// bounded by the tail length, not total history.
     pub fn open(
-        path: impl AsRef<std::path::Path>,
+        dir: impl AsRef<std::path::Path>,
         mut base: Database,
         config: ServiceConfig,
-    ) -> Result<(QueryService, WalReplay), ServiceError> {
-        let replayed = wal::recover(&path)?;
-        replay_into(&mut base, &replayed.batches)?;
-        let writer =
-            WalWriter::append_to_with_fault(&path, replayed.batches.len() as u64, config.fault)?;
+    ) -> Result<(QueryService, RecoveryReport), ServiceError> {
+        let dir = dir.as_ref().to_path_buf();
+        let recovery = recover_dir(&dir)?;
+        let checkpoint_seq = recovery.checkpoint_seq();
+        if let Some(ckpt) = &recovery.checkpoint {
+            for (name, bytes) in &ckpt.relations {
+                let schema = base
+                    .delta(name)
+                    .map(|d| d.schema().clone())
+                    .or_else(|| base.get(name).map(|r| r.schema().clone()))
+                    .ok_or_else(|| ServiceError::UnknownRelation(name.clone()))?;
+                let state = DeltaRelation::decode_state(schema, bytes)?;
+                base.insert_delta_relation(name.clone(), state);
+            }
+        }
+        replay_into(&mut base, &recovery.tail)?;
+        let writer = SegmentedWal::open(&dir, &recovery, config.segment_bytes, config.fault)?;
+        let report = RecoveryReport {
+            checkpoint_seq,
+            tail: recovery.tail.clone(),
+            committed: recovery.committed,
+            torn: recovery.torn,
+            tail_reason: recovery.tail_reason.clone(),
+            segments: recovery.segments,
+            wal_bytes: recovery.wal_bytes,
+        };
         let service = QueryService {
             db: RwLock::new(base),
             wal: Some(Mutex::new(writer)),
+            wal_dir: Some(dir),
+            group: GroupQueue::default(),
             gate: AdmissionGate::new(config.max_concurrent, config.max_queued),
             stats: ServiceStats::default(),
             config,
+            applied_seq: AtomicU64::new(recovery.committed),
+            checkpoint_active: AtomicBool::new(false),
+            last_checkpoint_seq: AtomicU64::new(checkpoint_seq),
+            gc_segment_bytes: AtomicU64::new(0),
         };
         service
             .stats
             .recovered_batches
-            .store(replayed.batches.len() as u64, Ordering::Relaxed);
+            .store(recovery.committed, Ordering::Relaxed);
         service
             .stats
-            .recovered_ops
-            .store(replayed.num_ops() as u64, Ordering::Relaxed);
-        Ok((service, replayed))
+            .recovery_replay_ops
+            .store(report.num_ops() as u64, Ordering::Relaxed);
+        service
+            .stats
+            .wal_bytes
+            .store(recovery.wal_bytes, Ordering::Relaxed);
+        Ok((service, report))
     }
 
     /// The catalog is only mutated through `apply`, which upholds its
@@ -386,7 +572,14 @@ impl QueryService {
             conflicts: s.conflicts.load(Ordering::Relaxed),
             write_retries: s.write_retries.load(Ordering::Relaxed),
             recovered_batches: s.recovered_batches.load(Ordering::Relaxed),
-            recovered_ops: s.recovered_ops.load(Ordering::Relaxed),
+            recovery_replay_ops: s.recovery_replay_ops.load(Ordering::Relaxed),
+            group_commits: s.group_commits.load(Ordering::Relaxed),
+            batches_per_fsync: std::array::from_fn(|i| {
+                s.batches_per_fsync[i].load(Ordering::Relaxed)
+            }),
+            checkpoints: s.checkpoints.load(Ordering::Relaxed),
+            segments_deleted: s.segments_deleted.load(Ordering::Relaxed),
+            wal_bytes: s.wal_bytes.load(Ordering::Relaxed),
         }
     }
 
@@ -403,7 +596,10 @@ impl QueryService {
             .unwrap_or(0)
     }
 
-    fn wal_lock<'a>(&self, wal: &'a Mutex<WalWriter>) -> std::sync::MutexGuard<'a, WalWriter> {
+    fn wal_lock<'a>(
+        &self,
+        wal: &'a Mutex<SegmentedWal>,
+    ) -> std::sync::MutexGuard<'a, SegmentedWal> {
         match wal.lock() {
             Ok(g) => g,
             Err(poisoned) => {
@@ -468,13 +664,58 @@ impl QueryService {
     /// Apply `batch`: validate its epoch expectations under the write lock,
     /// log + fsync it, then mutate the catalog. Returns the WAL commit
     /// sequence number (`0` for in-memory services and empty batches).
+    ///
+    /// Durable services route through the **group-commit coordinator**: the
+    /// batch joins the shared queue, and either this caller becomes the
+    /// leader (drains the queue, commits the whole group under one fsync,
+    /// fills every member's outcome) or it blocks until a concurrent leader
+    /// delivers its outcome. A solo writer degenerates to the direct path —
+    /// one append, one marker, one fsync — with only two uncontended mutex
+    /// hops added.
+    ///
+    /// **Deferral rule:** a non-blind member whose touched relations were
+    /// already written by an *earlier member of the same group* cannot be
+    /// CAS-validated against honest epochs (they move when the group
+    /// applies), so it is requeued at the front for the leader's next round
+    /// instead of being rejected with a conflict it never had a chance to
+    /// observe. Blind batches are exempt. Each round resolves at least its
+    /// first member, so rounds terminate.
     pub fn apply(&self, batch: &WriteBatch) -> Result<u64, ServiceError> {
         if batch.is_empty() {
             return Ok(self.committed());
         }
+        let Some(wal) = &self.wal else {
+            return self.apply_in_memory(batch);
+        };
+        let slot = Arc::new(Slot::default());
+        let leader = self.group.enqueue(Pending {
+            batch: batch.clone(),
+            slot: Arc::clone(&slot),
+        });
+        if leader {
+            // bounded coalescing window: arrivals during the sleep join this
+            // group's fsync (self-clocking batching needs no window at all —
+            // followers pile up while the leader is inside the *previous*
+            // fsync — so zero is the default)
+            if !self.config.group_commit_window.is_zero() {
+                std::thread::sleep(self.config.group_commit_window);
+            }
+            loop {
+                let group = self.group.drain();
+                self.commit_group(wal, group);
+                if !self.group.step_down_or_continue() {
+                    break;
+                }
+            }
+            self.maybe_checkpoint(wal);
+        }
+        slot.wait()
+    }
+
+    /// The non-durable write path: CAS + in-memory apply under the write
+    /// lock, no WAL, sequence `0`.
+    fn apply_in_memory(&self, batch: &WriteBatch) -> Result<u64, ServiceError> {
         let mut db = self.db_write();
-        // 1. optimistic CAS: every touched relation must still be at the
-        //    epoch the batch's snapshot observed
         for rel in batch.touched() {
             let found = db
                 .relation_epoch(rel)
@@ -494,19 +735,6 @@ impl QueryService {
                 }
             }
         }
-        // 2. durability first: the batch reaches the disk (or fails) before
-        //    memory changes, so memory never runs ahead of the log
-        let seq = match &self.wal {
-            Some(wal) => {
-                let mut w = self.wal_lock(wal);
-                for op in &batch.ops {
-                    w.log(op)?;
-                }
-                w.commit()?
-            }
-            None => 0,
-        };
-        // 3. apply in memory under the still-held write lock
         for op in &batch.ops {
             apply_op(&mut db, op, self.config.compact_threads, &self.config.fault)?;
         }
@@ -514,7 +742,232 @@ impl QueryService {
         self.stats
             .ops_committed
             .fetch_add(batch.ops.len() as u64, Ordering::Relaxed);
-        Ok(seq)
+        Ok(0)
+    }
+
+    /// Commit one drained group (leader only): CAS-validate every member
+    /// under the write lock, append all accepted payloads + commit markers,
+    /// issue a **single fsync**, apply in memory, then fill every member's
+    /// outcome slot. A WAL failure anywhere in the group fails *every*
+    /// accepted member atomically with memory untouched — the log may run
+    /// ahead of acknowledgement, memory never runs ahead of the log.
+    fn commit_group(&self, wal: &Mutex<SegmentedWal>, group: Vec<Pending>) {
+        if group.is_empty() {
+            return;
+        }
+        enum Decision {
+            Accept,
+            Defer,
+            Reject(ServiceError),
+        }
+        let mut outcomes: Vec<(Arc<Slot>, Result<u64, ServiceError>)> = Vec::new();
+        let mut accepted: Vec<Pending> = Vec::new();
+        let mut deferred: Vec<Pending> = Vec::new();
+        let mut db = self.db_write();
+        // 1. validation: relations an earlier member of this group writes
+        let mut dirty: HashSet<String> = HashSet::new();
+        for pending in group {
+            let decision = 'decide: {
+                for rel in pending.batch.touched() {
+                    let Some(found) = db.relation_epoch(rel) else {
+                        break 'decide Decision::Reject(ServiceError::UnknownRelation(
+                            rel.to_string(),
+                        ));
+                    };
+                    if !pending.batch.blind {
+                        if dirty.contains(rel) {
+                            break 'decide Decision::Defer;
+                        }
+                        let Some(&expected) = pending.batch.expected.get(rel) else {
+                            break 'decide Decision::Reject(ServiceError::UnknownRelation(
+                                rel.to_string(),
+                            ));
+                        };
+                        if expected != found {
+                            self.stats.conflicts.fetch_add(1, Ordering::Relaxed);
+                            break 'decide Decision::Reject(ServiceError::Conflict {
+                                relation: rel.to_string(),
+                                expected,
+                                found,
+                            });
+                        }
+                    }
+                }
+                Decision::Accept
+            };
+            match decision {
+                Decision::Accept => {
+                    for rel in pending.batch.touched() {
+                        dirty.insert(rel.to_string());
+                    }
+                    accepted.push(pending);
+                }
+                Decision::Defer => deferred.push(pending),
+                Decision::Reject(e) => outcomes.push((pending.slot, Err(e))),
+            }
+        }
+        // 2. durability first, one fsync for the whole group
+        if !accepted.is_empty() {
+            let mut w = self.wal_lock(wal);
+            let mut seqs = Vec::with_capacity(accepted.len());
+            let mut failure: Option<StorageError> = None;
+            // one buffered write per batch (ops + marker in a single
+            // syscall): with the fsync amortized across the group, the
+            // leader's serial write-path CPU is what bounds ingest
+            for pending in &accepted {
+                match w.commit_batch_unsynced(&pending.batch.ops) {
+                    Ok(seq) => seqs.push(seq),
+                    Err(e) => {
+                        failure = Some(e);
+                        break;
+                    }
+                }
+            }
+            if failure.is_none() {
+                if let Err(e) = w.sync() {
+                    failure = Some(e);
+                }
+            }
+            if let Some(e) = failure {
+                // group atomicity: no member's effects reach memory; the
+                // writer is poisoned, so deferred members fail next round
+                drop(w);
+                drop(db);
+                for pending in accepted {
+                    outcomes.push((pending.slot, Err(ServiceError::Wal(e.clone()))));
+                }
+                self.group.requeue_front(deferred);
+                for (slot, outcome) in outcomes {
+                    slot.fill(outcome);
+                }
+                return;
+            }
+            // rotation only ever happens on a durable batch boundary; a
+            // rotation failure leaves the current segment as append target
+            let _ = w.maybe_rotate();
+            let total_bytes = w.total_bytes();
+            drop(w);
+            // 3. apply in memory under the still-held write lock; an apply
+            //    error fails only that member (its ops are durable and replay
+            //    deterministically — same contract as the PR 8 single path)
+            let accepted_len = accepted.len() as u64;
+            let mut last_seq = 0;
+            for (pending, seq) in accepted.into_iter().zip(seqs) {
+                let mut outcome = Ok(seq);
+                for op in &pending.batch.ops {
+                    if let Err(e) =
+                        apply_op(&mut db, op, self.config.compact_threads, &self.config.fault)
+                    {
+                        outcome = Err(e);
+                        break;
+                    }
+                }
+                if outcome.is_ok() {
+                    self.stats.batches_committed.fetch_add(1, Ordering::Relaxed);
+                    self.stats
+                        .ops_committed
+                        .fetch_add(pending.batch.ops.len() as u64, Ordering::Relaxed);
+                }
+                last_seq = seq;
+                outcomes.push((pending.slot, outcome));
+            }
+            // stored under the write lock: a checkpoint's (state, seq) pair
+            // read under the read lock is consistent
+            self.applied_seq.store(last_seq, Ordering::Release);
+            self.stats.group_commits.fetch_add(1, Ordering::Relaxed);
+            self.stats.batches_per_fsync[group_size_bucket(accepted_len)]
+                .fetch_add(1, Ordering::Relaxed);
+            self.stats.wal_bytes.store(
+                total_bytes.saturating_sub(self.gc_segment_bytes.load(Ordering::Relaxed)),
+                Ordering::Relaxed,
+            );
+        }
+        drop(db);
+        self.group.requeue_front(deferred);
+        for (slot, outcome) in outcomes {
+            slot.fill(outcome);
+        }
+    }
+
+    /// Take a checkpoint if enough segments rotated out since the last one.
+    /// Best-effort: a failed attempt (e.g. an injected tear) just leaves
+    /// recovery on the previous checkpoint plus a longer tail.
+    fn maybe_checkpoint(&self, wal: &Mutex<SegmentedWal>) {
+        if self.config.checkpoint_after_segments == 0 {
+            return;
+        }
+        let due =
+            self.wal_lock(wal).segments_since_checkpoint() >= self.config.checkpoint_after_segments;
+        if due {
+            let _ = self.checkpoint();
+        }
+    }
+
+    /// Persist a checkpoint of every delta relation's state at the current
+    /// applied sequence, then delete the segments (and older checkpoints) it
+    /// makes redundant. The state is cloned from an MVCC read — **the writer
+    /// is never stalled**: encoding and file I/O happen outside all locks.
+    /// Returns the covered sequence, or `None` when skipped (in-memory
+    /// service, no progress since the last checkpoint, or another checkpoint
+    /// in flight).
+    pub fn checkpoint(&self) -> Result<Option<u64>, ServiceError> {
+        let (Some(wal), Some(dir)) = (&self.wal, &self.wal_dir) else {
+            return Ok(None);
+        };
+        if self.checkpoint_active.swap(true, Ordering::AcqRel) {
+            return Ok(None); // single-flight; the in-flight one covers us
+        }
+        let result = self.checkpoint_inner(wal, dir);
+        self.checkpoint_active.store(false, Ordering::Release);
+        result
+    }
+
+    fn checkpoint_inner(
+        &self,
+        wal: &Mutex<SegmentedWal>,
+        dir: &Path,
+    ) -> Result<Option<u64>, ServiceError> {
+        // consistent (state, seq) pair: applied_seq is stored under the db
+        // write lock, so one read-lock hold sees both atomically
+        let (seq, relations) = {
+            let db = self.db_read();
+            let seq = self.applied_seq.load(Ordering::Acquire);
+            let mut rels: Vec<(String, DeltaRelation)> = db
+                .relation_names()
+                .into_iter()
+                .filter_map(|name| db.delta(name).map(|d| (name.to_string(), d.clone())))
+                .collect();
+            rels.sort_by(|a, b| a.0.cmp(&b.0));
+            (seq, rels)
+        };
+        if seq == 0 || seq == self.last_checkpoint_seq.load(Ordering::Acquire) {
+            return Ok(None);
+        }
+        let encoded: Vec<(String, Vec<u8>)> = relations
+            .iter()
+            .map(|(name, d)| (name.clone(), d.encode_state()))
+            .collect();
+        write_checkpoint(dir, seq, &encoded, &self.config.fault)?;
+        // the checkpoint is durable (file + directory fsynced) — only now is
+        // it safe to delete the segments it covers
+        let gc = gc_checkpoint(dir, seq)?;
+        self.last_checkpoint_seq.store(seq, Ordering::Release);
+        self.stats.checkpoints.fetch_add(1, Ordering::Relaxed);
+        self.stats
+            .segments_deleted
+            .fetch_add(gc.segments_deleted, Ordering::Relaxed);
+        let gc_total = self
+            .gc_segment_bytes
+            .fetch_add(gc.segment_bytes_freed, Ordering::AcqRel)
+            + gc.segment_bytes_freed;
+        let mut w = self.wal_lock(wal);
+        w.checkpoint_taken();
+        let total_bytes = w.total_bytes();
+        drop(w);
+        self.stats
+            .wal_bytes
+            .store(total_bytes.saturating_sub(gc_total), Ordering::Relaxed);
+        Ok(Some(seq))
     }
 
     /// [`QueryService::apply`] with rebase-and-retry on conflict: `make` is

@@ -11,10 +11,11 @@ use wcoj_storage::wal::{FaultPlan, WalWriter};
 use wcoj_storage::{DeltaRelation, Relation, Schema};
 use wcoj_workloads::SplitMix64;
 
+/// A fresh WAL **directory** (segments + checkpoints live inside).
 fn temp_wal(tag: &str) -> std::path::PathBuf {
     let mut p = std::env::temp_dir();
     p.push(format!("wcoj-service-{tag}-{}", std::process::id()));
-    std::fs::remove_file(&p).ok();
+    std::fs::remove_dir_all(&p).ok();
     p
 }
 
@@ -55,7 +56,8 @@ fn crash_and_recover_is_bit_identical_to_the_committed_prefix() {
     let path = temp_wal("recover");
     let config = ServiceConfig::default();
     let (service, replayed) = QueryService::open(&path, edge_db(), config.clone()).unwrap();
-    assert!(replayed.batches.is_empty());
+    assert_eq!(replayed.committed, 0);
+    assert!(replayed.tail.is_empty());
 
     let mut rng = SplitMix64::new(11);
     for batch_no in 0..12 {
@@ -81,8 +83,10 @@ fn crash_and_recover_is_bit_identical_to_the_committed_prefix() {
     assert_eq!(service.stats().batches_committed, 12);
     drop(service); // simulated crash after the last commit
 
-    // splice an uncommitted tail onto the log — a crash mid-batch
-    let mut w = WalWriter::append_to_with_fault(&path, 12, FaultPlan::default()).unwrap();
+    // splice an uncommitted tail onto the live segment — a crash mid-batch
+    // (the default 64 MiB rotation threshold means one segment holds it all)
+    let mut w =
+        WalWriter::append_to_with_fault(path.join("wal.000001"), 12, FaultPlan::default()).unwrap();
     w.log(&wcoj_storage::wal::WalOp::Insert {
         relation: "E".into(),
         tuple: vec![999, 999],
@@ -91,7 +95,8 @@ fn crash_and_recover_is_bit_identical_to_the_committed_prefix() {
     drop(w); // never committed
 
     let (recovered, replayed) = QueryService::open(&path, edge_db(), config).unwrap();
-    assert_eq!(replayed.batches.len(), 12, "committed batches survive");
+    assert_eq!(replayed.committed, 12, "committed batches survive");
+    assert_eq!(replayed.tail.len(), 12, "no checkpoint: all replayed");
     assert!(replayed.torn(), "the uncommitted tail was dropped");
     assert_eq!(recovered.stats().recovered_batches, 12);
     recovered.with_db(|db| {
@@ -105,7 +110,7 @@ fn crash_and_recover_is_bit_identical_to_the_committed_prefix() {
         .apply(&WriteBatch::new().insert("E", vec![1, 1]))
         .unwrap();
     assert_eq!(seq, 13);
-    std::fs::remove_file(&path).ok();
+    std::fs::remove_dir_all(&path).ok();
 }
 
 #[test]
@@ -288,14 +293,14 @@ fn injected_wal_faults_never_let_memory_run_ahead_of_the_log() {
     // matters is that reopen yields a consistent catalog and a live writer)
     let (service, replayed) =
         QueryService::open(&path, edge_db(), ServiceConfig::default()).unwrap();
-    let recovered = replayed.batches.len() as u64;
+    let recovered = replayed.committed;
     assert!(recovered <= 1);
     service.with_db(|db| {
         let expect = if recovered == 1 { 2 } else { 0 };
         assert_eq!(db.delta("E").unwrap().len(), expect);
     });
     assert_eq!(service.apply(&batch).unwrap(), recovered + 1);
-    std::fs::remove_file(&path).ok();
+    std::fs::remove_dir_all(&path).ok();
 
     // torn write: the record is cut mid-frame, the batch rejected, and
     // recovery truncates back to the last durable commit
@@ -316,11 +321,11 @@ fn injected_wal_faults_never_let_memory_run_ahead_of_the_log() {
     drop(service);
     let (service, replayed) =
         QueryService::open(&path, edge_db(), ServiceConfig::default()).unwrap();
-    assert!(replayed.batches.is_empty(), "no batch ever committed");
+    assert_eq!(replayed.committed, 0, "no batch ever committed");
     assert!(replayed.torn());
     assert_eq!(service.apply(&big).unwrap(), 1);
     service.with_db(|db| assert_eq!(db.delta("E").unwrap().len(), 3));
-    std::fs::remove_file(&path).ok();
+    std::fs::remove_dir_all(&path).ok();
 }
 
 #[test]
@@ -368,4 +373,316 @@ fn replay_into_matches_live_application_over_a_random_stream() {
     assert_eq!(a.run_sizes(), b.run_sizes());
     assert_eq!(a.buffered(), b.buffered());
     assert_eq!(a.tombstones(), b.tombstones());
+}
+
+/// Property: an acknowledged batch never vanishes. Concurrent committers
+/// flow through the group-commit coordinator (coalescing window on, so real
+/// multi-batch groups form); after a crash, every `Ok(seq)` the service
+/// handed out is still durable — `committed >= seq` and the tuple is live.
+#[test]
+fn group_commit_acked_batches_never_vanish_across_crash() {
+    let path = temp_wal("group-acked");
+    let config = ServiceConfig::default().with_group_commit_window(Duration::from_millis(1));
+    let (service, _) = QueryService::open(&path, edge_db(), config).unwrap();
+
+    const THREADS: u64 = 8;
+    const PER_THREAD: u64 = 25;
+    let mut acked: Vec<(u64, u64)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..THREADS)
+            .map(|t| {
+                let service = &service;
+                scope.spawn(move || {
+                    let mut mine = Vec::new();
+                    for i in 0..PER_THREAD {
+                        let tuple = t * 1_000 + i;
+                        let batch = WriteBatch::new().insert("E", vec![tuple, tuple]);
+                        let seq = service.apply(&batch).unwrap();
+                        mine.push((seq, tuple));
+                    }
+                    mine
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().unwrap())
+            .collect()
+    });
+    // sequences are unique and contiguous: every batch got its own marker
+    acked.sort_unstable();
+    let seqs: Vec<u64> = acked.iter().map(|&(s, _)| s).collect();
+    assert_eq!(seqs, (1..=THREADS * PER_THREAD).collect::<Vec<_>>());
+
+    let stats = service.stats();
+    assert_eq!(stats.batches_committed, THREADS * PER_THREAD);
+    assert!(
+        stats.group_commits <= stats.batches_committed,
+        "one fsync per group, not per batch"
+    );
+    assert!(
+        stats.group_commits < THREADS * PER_THREAD,
+        "the coalescing window formed at least one multi-batch group \
+         ({} groups for {} batches)",
+        stats.group_commits,
+        THREADS * PER_THREAD
+    );
+    assert_eq!(
+        stats.batches_per_fsync.iter().sum::<u64>(),
+        stats.group_commits,
+        "histogram totals the group count"
+    );
+    assert!(stats.wal_bytes > 0, "the log-size gauge is maintained");
+    drop(service); // crash
+
+    let (recovered, replayed) =
+        QueryService::open(&path, edge_db(), ServiceConfig::default()).unwrap();
+    assert_eq!(replayed.committed, THREADS * PER_THREAD);
+    recovered.with_db(|db| {
+        let delta = db.delta("E").unwrap();
+        for &(seq, tuple) in &acked {
+            assert!(replayed.committed >= seq, "acked seq {seq} vanished");
+            assert!(
+                delta.is_live(&[tuple, tuple]),
+                "acked tuple {tuple} vanished"
+            );
+        }
+    });
+    std::fs::remove_dir_all(&path).ok();
+}
+
+/// Property: an injected fsync failure during a coalesced group fails every
+/// member of that group atomically — all callers get `Err`, memory is
+/// untouched — and reopening yields exactly the committed prefix the log
+/// actually holds.
+#[test]
+fn failed_group_fsync_fails_every_member_atomically() {
+    let path = temp_wal("group-fsync-fault");
+    let config = ServiceConfig::default()
+        .with_fault(FaultPlan::parse("fsync_fail:1").unwrap())
+        .with_group_commit_window(Duration::from_millis(2));
+    let (service, _) = QueryService::open(&path, edge_db(), config).unwrap();
+
+    const THREADS: u64 = 6;
+    let outcomes: Vec<Result<u64, ServiceError>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..THREADS)
+            .map(|t| {
+                let service = &service;
+                scope.spawn(move || service.apply(&WriteBatch::new().insert("E", vec![t, t])))
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    // the first group's single fsync fails the whole group; later groups hit
+    // the poisoned writer — nobody is acknowledged
+    for outcome in &outcomes {
+        assert!(
+            matches!(outcome, Err(ServiceError::Wal(_))),
+            "expected a WAL error for every member, got {outcome:?}"
+        );
+    }
+    service.with_db(|db| {
+        assert_eq!(
+            db.delta("E").unwrap().len(),
+            0,
+            "no member's effects reached memory"
+        );
+    });
+    drop(service);
+
+    // the log may run ahead of acknowledgement (bytes written before the
+    // failed sync can survive the crash) — memory never runs ahead of the
+    // log: whatever prefix replays is exactly what the catalog holds
+    let (recovered, replayed) =
+        QueryService::open(&path, edge_db(), ServiceConfig::default()).unwrap();
+    assert!(replayed.committed <= THREADS);
+    recovered.with_db(|db| {
+        assert_eq!(
+            db.delta("E").unwrap().len(),
+            replayed.committed as usize,
+            "recovered state is exactly the replayed prefix"
+        );
+    });
+    std::fs::remove_dir_all(&path).ok();
+}
+
+/// Property: a torn checkpoint write is discarded on recovery, falling back
+/// to the previous durable checkpoint plus a longer replay tail — never a
+/// half-loaded catalog.
+#[test]
+fn torn_checkpoint_falls_back_to_previous_checkpoint_and_longer_tail() {
+    let path = temp_wal("ckpt-torn");
+    let tiny = ServiceConfig::default()
+        .with_segment_bytes(1024)
+        .with_checkpoint_after_segments(1);
+
+    // phase 1: healthy service rotates segments and checkpoints
+    let (service, _) = QueryService::open(&path, edge_db(), tiny.clone()).unwrap();
+    let mut rng = SplitMix64::new(0x9);
+    let mut apply_batches = |service: &QueryService, n: u64| {
+        for _ in 0..n {
+            let mut batch = WriteBatch::new();
+            for _ in 0..8 {
+                batch = batch.insert("E", vec![rng.next_u64() % 64, rng.next_u64() % 64]);
+            }
+            service.apply(&batch).unwrap();
+        }
+    };
+    apply_batches(&service, 30);
+    let healthy = service.stats();
+    assert!(healthy.checkpoints >= 1, "tiny segments force checkpoints");
+    assert!(
+        healthy.segments_deleted >= 1,
+        "GC reclaimed covered segments"
+    );
+    drop(service);
+    let good_ckpt = {
+        let (_, replayed) = QueryService::open(&path, edge_db(), tiny.clone()).unwrap();
+        assert!(replayed.checkpoint_seq > 0);
+        replayed.checkpoint_seq
+    };
+
+    // phase 2: every checkpoint write tears mid-file; applies keep working
+    // (checkpointing is best-effort), no checkpoint lands
+    let torn_config = tiny
+        .clone()
+        .with_fault(FaultPlan::parse("ckpt_torn:8").unwrap());
+    let (service, _) = QueryService::open(&path, edge_db(), torn_config).unwrap();
+    apply_batches(&service, 30);
+    assert_eq!(
+        service.stats().checkpoints,
+        0,
+        "torn checkpoints never count"
+    );
+    assert_eq!(service.stats().batches_committed, 30, "writes unaffected");
+    drop(service);
+
+    // phase 3: recovery discards the torn checkpoint file and falls back
+    let (recovered, replayed) = QueryService::open(&path, edge_db(), tiny).unwrap();
+    assert_eq!(replayed.committed, 60, "every committed batch survives");
+    assert!(
+        replayed.checkpoint_seq <= good_ckpt,
+        "fell back to a checkpoint no newer than the last durable one"
+    );
+    assert_eq!(
+        replayed.tail.len() as u64,
+        replayed.committed - replayed.checkpoint_seq,
+        "the whole gap is replayed from segments"
+    );
+    assert!(
+        replayed.tail.len() as u64 >= 30,
+        "the tail spans at least everything after the torn-checkpoint phase"
+    );
+    // differential: the recovered catalog equals a clean replay of the stream
+    let mut rng = SplitMix64::new(0x9);
+    let mut oracle = edge_db();
+    let stream: Vec<Vec<wcoj_storage::wal::WalOp>> = (0..60)
+        .map(|_| {
+            (0..8)
+                .map(|_| wcoj_storage::wal::WalOp::Insert {
+                    relation: "E".into(),
+                    tuple: vec![rng.next_u64() % 64, rng.next_u64() % 64],
+                })
+                .collect()
+        })
+        .collect();
+    replay_into(&mut oracle, &stream).unwrap();
+    recovered.with_db(|db| {
+        let got = db.delta("E").unwrap();
+        let want = oracle.delta("E").unwrap();
+        assert_eq!(got.snapshot(), want.snapshot());
+        assert_eq!(got.run_sizes(), want.run_sizes());
+        assert_eq!(got.tombstones(), want.tombstones());
+    });
+    std::fs::remove_dir_all(&path).ok();
+}
+
+/// Rotation + checkpointing keep recovery bounded by the tail, not history:
+/// after hundreds of batches through tiny segments, reopen replays only the
+/// post-checkpoint remainder and the writer resumes contiguously.
+#[test]
+fn checkpoints_bound_recovery_to_the_tail_through_the_service() {
+    let path = temp_wal("ckpt-bound");
+    let config = ServiceConfig::default()
+        .with_segment_bytes(2048)
+        .with_checkpoint_after_segments(1);
+    let (service, _) = QueryService::open(&path, edge_db(), config.clone()).unwrap();
+    let mut rng = SplitMix64::new(0xB0);
+    for i in 0..120u64 {
+        let mut batch = WriteBatch::new();
+        for _ in 0..8 {
+            batch = batch.insert("E", vec![rng.next_u64() % 256, rng.next_u64() % 256]);
+        }
+        if i % 10 == 9 {
+            batch = batch.seal("E");
+        }
+        assert_eq!(service.apply(&batch).unwrap(), i + 1);
+    }
+    let stats = service.stats();
+    assert!(stats.checkpoints >= 2);
+    assert!(stats.segments_deleted >= stats.checkpoints);
+    let rows = service.with_db(|db| db.delta("E").unwrap().len());
+    drop(service);
+
+    let (recovered, replayed) = QueryService::open(&path, edge_db(), config).unwrap();
+    assert_eq!(replayed.committed, 120);
+    assert!(replayed.checkpoint_seq > 0);
+    assert!(
+        replayed.tail.len() < 60,
+        "recovery replays the tail, not the {}-batch history (got {})",
+        replayed.committed,
+        replayed.tail.len()
+    );
+    assert_eq!(
+        recovered.stats().recovery_replay_ops,
+        replayed.num_ops() as u64
+    );
+    recovered.with_db(|db| assert_eq!(db.delta("E").unwrap().len(), rows));
+    assert_eq!(
+        recovered
+            .apply(&WriteBatch::new().insert("E", vec![1, 1]))
+            .unwrap(),
+        121,
+        "the writer resumes with a contiguous sequence"
+    );
+    std::fs::remove_dir_all(&path).ok();
+}
+
+/// CAS batches from concurrent writers still converge under group commit:
+/// same-group conflicts are deferred (not falsely rejected), cross-group
+/// conflicts surface as typed `Conflict` and `apply_with_retry` rebases.
+#[test]
+fn concurrent_cas_writers_converge_under_group_commit() {
+    let path = temp_wal("group-cas");
+    let mut config = ServiceConfig::default().with_group_commit_window(Duration::from_micros(200));
+    config.write_retries = 50;
+    config.retry_backoff = Duration::from_micros(50);
+    let (service, _) = QueryService::open(&path, edge_db(), config).unwrap();
+
+    const THREADS: u64 = 4;
+    const PER_THREAD: u64 = 10;
+    std::thread::scope(|scope| {
+        for t in 0..THREADS {
+            let service = &service;
+            scope.spawn(move || {
+                for i in 0..PER_THREAD {
+                    let tuple = t * 100 + i;
+                    service
+                        .apply_with_retry(|snap| {
+                            Ok(WriteBatch::against(snap).insert("E", vec![tuple, tuple]))
+                        })
+                        .unwrap();
+                }
+            });
+        }
+    });
+    let stats = service.stats();
+    assert_eq!(stats.batches_committed, THREADS * PER_THREAD);
+    service.with_db(|db| {
+        let delta = db.delta("E").unwrap();
+        assert_eq!(delta.len(), (THREADS * PER_THREAD) as usize);
+    });
+    drop(service);
+    let (_, replayed) = QueryService::open(&path, edge_db(), ServiceConfig::default()).unwrap();
+    assert_eq!(replayed.committed, THREADS * PER_THREAD);
+    std::fs::remove_dir_all(&path).ok();
 }

@@ -125,6 +125,10 @@ pub use stats::{CursorWork, WorkCounter};
 pub use trie::{Trie, TrieCursor};
 pub use tune::KernelCalibration;
 pub use typed::{encode_column, TypedRow, TypedRows, TypedValue};
+pub use wal::segmented::{
+    gc_checkpoint, recover_dir, segment_bytes_from_env, write_checkpoint, Checkpoint, DirRecovery,
+    GcReport, SegmentedWal, DEFAULT_SEGMENT_BYTES,
+};
 pub use wal::{FaultPlan, WalOp, WalReplay, WalWriter};
 
 /// A dictionary-encoded attribute value.
