@@ -31,6 +31,11 @@
 //!   `fresh_ms` is the warm repeated-query path; the `off_ms` / `warm_ratio`
 //!   columns report the uncached time alongside it for visibility (informative,
 //!   not gated — cold builds dominate small smoke sizes unevenly across hosts).
+//! * **trace differential** — every row is executed once more with a
+//!   [`TraceSink`] installed, and the output relation plus the entire work
+//!   counter must again be bit-identical: observability may watch the join but
+//!   never steer it. The timed iterations run trace-off, so the gate also
+//!   bounds any residual cost of the disabled trace path.
 //!
 //! Exits non-zero if any row regresses — wire as a CI step:
 //! `cargo run --release -p wcoj-bench --bin perf_gate -- --time-factor 1.5`.
@@ -39,11 +44,13 @@
 //! root), `--time-factor <f>`, `--work-factor <f>`, `--full` (measure the full
 //! non-smoke size matrix; slower).
 
+use std::sync::Arc;
 use std::time::Instant;
 use wcoj_bench::report::parse_bench_json;
 use wcoj_bench::{bench_matrix, ExperimentTable};
 use wcoj_core::exec::{execute_opts_with_order, CacheMode, Engine, ExecOptions, KernelCalibration};
 use wcoj_core::planner::agm_variable_order;
+use wcoj_core::TraceSink;
 
 fn min_time_ms<F: FnMut()>(mut f: F, iters: usize) -> f64 {
     let mut best = f64::INFINITY;
@@ -193,6 +200,29 @@ fn main() {
                 },
                 iters,
             );
+            // trace differential: a traced run must not drift a single counter
+            let sink = Arc::new(TraceSink::new());
+            let traced_opts = opts.with_trace(Arc::clone(&sink));
+            let traced = execute_opts_with_order(&w.query, &w.db, &traced_opts, &order)
+                .expect("execute traced");
+            if traced.result != out.result || traced.work != out.work {
+                failures.push(format!(
+                    "{label}/{engine_name}: tracing perturbed execution (rows or work \
+                     counters differ from the untraced run)"
+                ));
+            }
+            match sink.take() {
+                Some(trace) => {
+                    if trace.work_value("total_work") != Some(out.work.total_work()) {
+                        failures.push(format!(
+                            "{label}/{engine_name}: trace work tally disagrees with the counter"
+                        ));
+                    }
+                }
+                None => failures.push(format!(
+                    "{label}/{engine_name}: traced run deposited no trace"
+                )),
+            }
             let fresh_work = out.work.total_work();
             let base_work = base.work_value("total_work").unwrap_or(0);
             let time_ratio = fresh_ms / base.median_ms;

@@ -22,6 +22,7 @@
 //! the kernel output with no per-value cursor movement at all.
 
 use super::{first_extension_set, flush_cursor_work, level_extension_into};
+use wcoj_obs::LevelRecorder;
 use wcoj_storage::{KernelCalibration, KernelPolicy, TrieAccess, Tuple, Value, WorkCounter};
 
 /// Run Generic Join over one cursor per atom.
@@ -40,8 +41,17 @@ pub fn generic_join<C: TrieAccess>(
     counter: &WorkCounter,
 ) -> Vec<Value> {
     let mut out = Vec::new();
-    let e0 = first_extension_set(cursors, &participants[0], policy, cal, counter);
-    join_extensions(cursors, participants, &e0, policy, cal, counter, &mut out);
+    let e0 = first_extension_set(cursors, &participants[0], policy, cal, counter, None);
+    join_extensions(
+        cursors,
+        participants,
+        &e0,
+        policy,
+        cal,
+        counter,
+        None,
+        &mut out,
+    );
     for &ci in &participants[0] {
         cursors[ci].up();
     }
@@ -53,6 +63,11 @@ pub fn generic_join<C: TrieAccess>(
 /// discovery) and recurse over the remaining levels. The level-0 participant cursors
 /// must already be open at their root group. This is the serial engine body that
 /// morsel workers run on their private cursor sets.
+///
+/// With `trace` present, per-level extension statistics are recorded into the
+/// shared [`LevelRecorder`] (relaxed atomic sums — commutative, so parallel
+/// traced runs report the same deterministic totals as serial ones).
+#[allow(clippy::too_many_arguments)] // mirrors the exec layer's dispatch seam
 pub(crate) fn join_extensions<C: TrieAccess>(
     cursors: &mut [C],
     participants: &[Vec<usize>],
@@ -60,8 +75,14 @@ pub(crate) fn join_extensions<C: TrieAccess>(
     policy: KernelPolicy,
     cal: &KernelCalibration,
     counter: &WorkCounter,
+    trace: Option<&LevelRecorder>,
     out: &mut Vec<Value>,
 ) {
+    if let Some(rec) = trace {
+        // level 0's candidates were recorded by the driver's intersection;
+        // each processed slice contributes its share of the emitted tally
+        rec.record_emitted(0, values.len() as u64);
+    }
     let mut binding: Tuple = Vec::with_capacity(participants.len());
     let mut scratch: Vec<Vec<Value>> = vec![Vec::new(); participants.len()];
     for (i, &v) in values.iter().enumerate() {
@@ -86,6 +107,7 @@ pub(crate) fn join_extensions<C: TrieAccess>(
             cal,
             &mut scratch,
             counter,
+            trace,
         );
         binding.pop();
     }
@@ -103,6 +125,7 @@ fn descend<C: TrieAccess>(
     cal: &KernelCalibration,
     scratch: &mut [Vec<Value>],
     counter: &WorkCounter,
+    trace: Option<&LevelRecorder>,
 ) {
     if level == participants.len() {
         // only reachable for single-variable queries (deeper levels emit below)
@@ -127,7 +150,19 @@ fn descend<C: TrieAccess>(
     // this level's extension set, through the adaptive kernel layer (the scratch
     // buffer is reused across all visits of this level)
     let mut ext = std::mem::take(&mut scratch[level]);
-    level_extension_into(&mut ext, cursors, parts, policy, cal, counter);
+    level_extension_into(
+        &mut ext,
+        cursors,
+        parts,
+        policy,
+        cal,
+        counter,
+        trace.map(|t| (t, level)),
+    );
+    if let Some(rec) = trace {
+        // Generic Join binds every candidate, so this level emits all of them
+        rec.record_emitted(level, ext.len() as u64);
+    }
 
     if level + 1 == participants.len() {
         // deepest variable: the extension set is the tuple tail — emit directly,
@@ -156,6 +191,7 @@ fn descend<C: TrieAccess>(
                 cal,
                 scratch,
                 counter,
+                trace,
             );
             binding.pop();
         }

@@ -20,6 +20,7 @@
 //! (Section 1.2 of the paper).
 
 use super::{first_extension_set, flush_cursor_work, level_extension_into};
+use wcoj_obs::LevelRecorder;
 use wcoj_storage::{KernelCalibration, KernelPolicy, TrieAccess, Tuple, Value, WorkCounter};
 
 /// Run Leapfrog Triejoin over one cursor per atom.
@@ -35,8 +36,17 @@ pub fn leapfrog_triejoin<C: TrieAccess>(
     counter: &WorkCounter,
 ) -> Vec<Value> {
     let mut out = Vec::new();
-    let e0 = first_extension_set(cursors, &participants[0], policy, cal, counter);
-    join_extensions(cursors, participants, &e0, policy, cal, counter, &mut out);
+    let e0 = first_extension_set(cursors, &participants[0], policy, cal, counter, None);
+    join_extensions(
+        cursors,
+        participants,
+        &e0,
+        policy,
+        cal,
+        counter,
+        None,
+        &mut out,
+    );
     for &ci in &participants[0] {
         cursors[ci].up();
     }
@@ -45,7 +55,13 @@ pub fn leapfrog_triejoin<C: TrieAccess>(
 
 /// The morsel body: process a slice of the first variable's extension set with
 /// leapfrogging below level 0. See [`crate::exec::generic::join_extensions`] for the
-/// shared contract.
+/// shared contract (including the `trace` recording discipline).
+///
+/// Leapfrog's *interior* levels run the ring-based mutual seek, not the kernel
+/// layer, so their trace rows report only `emitted` (matches found) — no
+/// candidates and no kernel choice. Only the deepest level (a pure
+/// intersection) gets kernel attribution.
+#[allow(clippy::too_many_arguments)] // mirrors the exec layer's dispatch seam
 pub(crate) fn join_extensions<C: TrieAccess>(
     cursors: &mut [C],
     participants: &[Vec<usize>],
@@ -53,8 +69,13 @@ pub(crate) fn join_extensions<C: TrieAccess>(
     policy: KernelPolicy,
     cal: &KernelCalibration,
     counter: &WorkCounter,
+    trace: Option<&LevelRecorder>,
     out: &mut Vec<Value>,
 ) {
+    if let Some(rec) = trace {
+        // level 0's candidates were recorded by the driver's intersection
+        rec.record_emitted(0, values.len() as u64);
+    }
     let mut binding: Tuple = Vec::with_capacity(participants.len());
     let mut scratch: Vec<Value> = Vec::new();
     for (i, &v) in values.iter().enumerate() {
@@ -79,6 +100,7 @@ pub(crate) fn join_extensions<C: TrieAccess>(
             cal,
             &mut scratch,
             counter,
+            trace,
         );
         binding.pop();
     }
@@ -96,6 +118,7 @@ fn descend<C: TrieAccess>(
     cal: &KernelCalibration,
     scratch: &mut Vec<Value>,
     counter: &WorkCounter,
+    trace: Option<&LevelRecorder>,
 ) {
     if level == participants.len() {
         // only reachable for single-variable queries (the deepest level emits below)
@@ -122,7 +145,18 @@ fn descend<C: TrieAccess>(
         // run it through the kernel layer and emit tuples straight from its output
         // (only this level needs the scratch buffer, so one Vec suffices)
         let mut ext = std::mem::take(scratch);
-        level_extension_into(&mut ext, cursors, parts, policy, cal, counter);
+        level_extension_into(
+            &mut ext,
+            cursors,
+            parts,
+            policy,
+            cal,
+            counter,
+            trace.map(|t| (t, level)),
+        );
+        if let Some(rec) = trace {
+            rec.record_emitted(level, ext.len() as u64);
+        }
         counter.add_output(ext.len() as u64);
         out.reserve(ext.len() * (binding.len() + 1));
         for &v in &ext {
@@ -143,12 +177,14 @@ fn descend<C: TrieAccess>(
     let mut p = 0usize;
 
     // leapfrog_search / leapfrog_next
+    let mut matches = 0u64;
     loop {
         let max_key = cursors[ring[(p + k - 1) % k]].key();
         let cur = ring[p];
         let key = cursors[cur].key();
         if key == max_key {
             // all k cursors agree
+            matches += 1;
             binding.push(key);
             descend(
                 cursors,
@@ -160,6 +196,7 @@ fn descend<C: TrieAccess>(
                 cal,
                 scratch,
                 counter,
+                trace,
             );
             binding.pop();
             if !cursors[cur].next() {
@@ -172,6 +209,10 @@ fn descend<C: TrieAccess>(
             }
             p = (p + 1) % k;
         }
+    }
+    if let Some(rec) = trace {
+        // interior leapfrog level: `matches` keys survived the mutual seek
+        rec.record_emitted(level, matches);
     }
 
     for &ci in parts.iter() {

@@ -70,7 +70,10 @@ pub use cancel::CancelToken;
 
 use crate::error::ExecError;
 use crate::planner::plan_order;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+use wcoj_bounds::agm::agm_bound;
+use wcoj_obs::{AtomTrace, LevelRecorder, MorselTrace, QueryTrace, TraceKernel, TraceSink};
 use wcoj_query::database::VarBinding;
 use wcoj_query::plan::{atom_attr_order, atom_levels, is_valid_order};
 use wcoj_query::{AtomSource, ConjunctiveQuery, Database, VarId};
@@ -124,7 +127,12 @@ pub enum CacheMode {
 }
 
 /// Execution configuration threaded through the public API and the planner.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+///
+/// Equality ignores [`ExecOptions::trace`]: a trace sink observes an execution
+/// without configuring it (results and work counters are bit-identical with
+/// tracing on or off), so two options differing only in their sink describe
+/// the same execution.
+#[derive(Debug, Clone)]
 pub struct ExecOptions {
     /// The join engine.
     pub engine: Engine,
@@ -155,7 +163,30 @@ pub struct ExecOptions {
     /// against eviction, or bypass the cache. Ignored by the binary baseline,
     /// which builds no tries or indexes.
     pub cache: CacheMode,
+    /// Optional trace sink: `Some` makes the execution deposit a
+    /// [`QueryTrace`] — plan choice, per-level extension-set statistics,
+    /// per-atom cache outcomes, morsel scheduling, and wall-time phases —
+    /// into the sink ([`TraceSink::take`] retrieves it). `None` (the default)
+    /// records nothing and adds no work to the hot path. Tracing never
+    /// perturbs execution: rows and work counters are bit-identical with the
+    /// sink present or absent (the trace-neutrality property suite asserts
+    /// this), only wall-clock fields differ between traced runs.
+    pub trace: Option<Arc<TraceSink>>,
 }
+
+impl PartialEq for ExecOptions {
+    fn eq(&self, other: &Self) -> bool {
+        // `trace` is deliberately excluded: it observes, never configures.
+        self.engine == other.engine
+            && self.backend == other.backend
+            && self.threads == other.threads
+            && self.kernel == other.kernel
+            && self.calibration == other.calibration
+            && self.cache == other.cache
+    }
+}
+
+impl Eq for ExecOptions {}
 
 impl Default for ExecOptions {
     fn default() -> Self {
@@ -166,6 +197,7 @@ impl Default for ExecOptions {
             kernel: KernelPolicy::Adaptive,
             calibration: None,
             cache: CacheMode::On,
+            trace: None,
         }
     }
 }
@@ -180,33 +212,51 @@ impl ExecOptions {
     }
 
     /// Builder-style backend override.
-    pub fn with_backend(mut self, backend: Backend) -> Self {
-        self.backend = backend;
-        self
+    pub fn with_backend(&self, backend: Backend) -> Self {
+        ExecOptions {
+            backend,
+            ..self.clone()
+        }
     }
 
     /// Builder-style thread-count override (see [`ExecOptions::threads`]).
-    pub fn with_threads(mut self, threads: usize) -> Self {
-        self.threads = threads;
-        self
+    pub fn with_threads(&self, threads: usize) -> Self {
+        ExecOptions {
+            threads,
+            ..self.clone()
+        }
     }
 
     /// Builder-style kernel-policy override (see [`ExecOptions::kernel`]).
-    pub fn with_kernel(mut self, kernel: KernelPolicy) -> Self {
-        self.kernel = kernel;
-        self
+    pub fn with_kernel(&self, kernel: KernelPolicy) -> Self {
+        ExecOptions {
+            kernel,
+            ..self.clone()
+        }
     }
 
     /// Builder-style calibration pin (see [`ExecOptions::calibration`]).
-    pub fn with_calibration(mut self, cal: KernelCalibration) -> Self {
-        self.calibration = Some(cal);
-        self
+    pub fn with_calibration(&self, cal: KernelCalibration) -> Self {
+        ExecOptions {
+            calibration: Some(cal),
+            ..self.clone()
+        }
     }
 
     /// Builder-style cache-mode override (see [`ExecOptions::cache`]).
-    pub fn with_cache(mut self, cache: CacheMode) -> Self {
-        self.cache = cache;
-        self
+    pub fn with_cache(&self, cache: CacheMode) -> Self {
+        ExecOptions {
+            cache,
+            ..self.clone()
+        }
+    }
+
+    /// Builder-style trace sink (see [`ExecOptions::trace`]).
+    pub fn with_trace(&self, sink: Arc<TraceSink>) -> Self {
+        ExecOptions {
+            trace: Some(sink),
+            ..self.clone()
+        }
     }
 
     /// The concrete worker count: `threads`, with `0` resolved to the OS-reported
@@ -307,8 +357,44 @@ pub fn execute_opts(
     db: &Database,
     opts: &ExecOptions,
 ) -> Result<ExecOutput, ExecError> {
+    let planning = opts.trace.as_ref().map(|_| Instant::now());
     let order = plan_order(query, db, opts)?;
-    execute_opts_with_order(query, db, opts, &order)
+    let plan_ns = planning.map_or(0, |t| t.elapsed().as_nanos() as u64);
+    let out = execute_opts_with_order(query, db, opts, &order)?;
+    patch_plan_time(opts, plan_ns);
+    Ok(out)
+}
+
+/// Fold the caller-side planning time into the trace the execution deposited
+/// (the engines cannot see planning — it happens before they run).
+fn patch_plan_time(opts: &ExecOptions, plan_ns: u64) {
+    if let Some(sink) = &opts.trace {
+        if let Some(mut trace) = sink.take() {
+            trace.plan_ns = plan_ns;
+            trace.total_ns += plan_ns;
+            sink.record(trace);
+        }
+    }
+}
+
+/// Execute `query` with tracing forced on and return the recorded
+/// [`QueryTrace`] alongside the output — the `EXPLAIN ANALYZE` entry point.
+/// The trace's [`QueryTrace::render_tree`] is the human-readable profile;
+/// [`QueryTrace::to_json`] is the machine-readable one. The execution itself
+/// is bit-identical to [`execute_opts`] without the sink: rows and work
+/// counters never depend on tracing.
+pub fn execute_explain(
+    query: &ConjunctiveQuery,
+    db: &Database,
+    opts: &ExecOptions,
+) -> Result<(ExecOutput, QueryTrace), ExecError> {
+    let sink = Arc::new(TraceSink::new());
+    let traced = opts.with_trace(Arc::clone(&sink));
+    let out = execute_opts(query, db, &traced)?;
+    let trace = sink
+        .take()
+        .expect("every successful traced execution deposits a trace");
+    Ok((out, trace))
 }
 
 /// Execute `query` over `db` with full [`ExecOptions`] and an explicit global
@@ -338,14 +424,67 @@ pub fn execute_cancellable(
 ) -> Result<ExecOutput, ExecError> {
     token.check()?;
     let planned;
+    let mut plan_ns = 0;
     let order = match order {
         Some(o) => o,
         None => {
+            let planning = opts.trace.as_ref().map(|_| Instant::now());
             planned = plan_order(query, db, opts)?;
+            plan_ns = planning.map_or(0, |t| t.elapsed().as_nanos() as u64);
             &planned
         }
     };
-    execute_inner(query, db, opts, order, Some(token))
+    let out = execute_inner(query, db, opts, order, Some(token))?;
+    patch_plan_time(opts, plan_ns);
+    Ok(out)
+}
+
+/// The per-execution trace state threaded through the engines when a sink is
+/// installed: one [`LevelRecorder`] cell row per join variable (engines record
+/// into it with relaxed atomics — per-level sums are commutative, so the
+/// deterministic fields are identical for any thread count) and a slot the
+/// morsel scheduler fills with its per-worker claim/steal/pin report.
+pub(crate) struct TraceCtx {
+    pub(crate) levels: LevelRecorder,
+    pub(crate) morsels: Mutex<Option<MorselTrace>>,
+}
+
+/// The stable trace spelling of a work-counter snapshot — every deterministic
+/// tally, in a fixed order (bit-identical across traced and untraced runs by
+/// the trace-neutrality property).
+fn work_pairs(w: &WorkCounter) -> Vec<(String, u64)> {
+    [
+        ("total_work", w.total_work()),
+        ("intersect_steps", w.intersect_steps()),
+        ("probes", w.probes()),
+        ("comparisons", w.comparisons()),
+        ("intermediate_tuples", w.intermediate_tuples()),
+        ("output_tuples", w.output_tuples()),
+        ("delta_merge", w.delta_merge()),
+        ("kernel_merge", w.kernel_merge()),
+        ("kernel_gallop", w.kernel_gallop()),
+        ("kernel_bitmap", w.kernel_bitmap()),
+    ]
+    .into_iter()
+    .map(|(n, v)| (n.to_string(), v))
+    .collect()
+}
+
+/// The trace spelling of engine and backend choices.
+fn engine_name(engine: Engine) -> &'static str {
+    match engine {
+        Engine::BinaryHash => "binary_hash",
+        Engine::GenericJoin => "generic_join",
+        Engine::Leapfrog => "leapfrog",
+    }
+}
+
+fn backend_name(backend: Backend) -> &'static str {
+    match backend {
+        Backend::Auto => "auto",
+        Backend::Trie => "trie",
+        Backend::Hash => "hash",
+    }
 }
 
 fn execute_inner(
@@ -364,11 +503,19 @@ fn execute_inner(
     let bindings = db.var_bindings(query)?;
     let counter = WorkCounter::new();
     let mut cache_stats = CacheStats::default();
+    let tracing = opts.trace.is_some();
+    let started = tracing.then(Instant::now);
+    let mut atom_traces: Vec<AtomTrace> = Vec::new();
+    let mut build_ns = 0u64;
+    let join_ns;
+    let mut trace_ctx: Option<TraceCtx> = None;
     let result = match opts.engine {
         Engine::BinaryHash => {
             // the baseline's storage operators have no chunk seam: the token is
             // honored only between whole binary joins (coarse, but bounded)
+            let join_started = tracing.then(Instant::now);
             let rel = binary::binary_hash_plan_cancellable(query, db, &counter, token)?;
+            join_ns = join_started.map_or(0, |t| t.elapsed().as_nanos() as u64);
             if let Some(t) = token {
                 t.check()?;
             }
@@ -381,14 +528,84 @@ fn execute_inner(
                 attr_orders.push(atom_attr_order(query, i, order)?);
             }
             let threads = opts.resolved_threads();
-            let built =
-                BuiltAccess::build(query, db, &sources, &attr_orders, opts, &mut cache_stats)?;
+            let build_started = tracing.then(Instant::now);
+            let built = BuiltAccess::build(
+                query,
+                db,
+                &sources,
+                &attr_orders,
+                opts,
+                &mut cache_stats,
+                tracing.then_some(&mut atom_traces),
+            )?;
+            build_ns = build_started.map_or(0, |t| t.elapsed().as_nanos() as u64);
             let parts = participants(query, order);
             let cal = opts.resolved_calibration();
-            let rows = built.run(engine, &parts, threads, opts.kernel, &cal, &counter, token)?;
+            if tracing {
+                trace_ctx = Some(TraceCtx {
+                    levels: LevelRecorder::new(order.len()),
+                    morsels: Mutex::new(None),
+                });
+            }
+            let join_started = tracing.then(Instant::now);
+            let rows = built.run(
+                engine,
+                &parts,
+                threads,
+                opts.kernel,
+                &cal,
+                &counter,
+                token,
+                trace_ctx.as_ref(),
+            )?;
+            join_ns = join_started.map_or(0, |t| t.elapsed().as_nanos() as u64);
+            // fold this query's cache activity into the database's cumulative
+            // observability counters (guarded so a cache-bypassing run cannot
+            // zero the resident-bytes gauge)
+            if opts.cache != CacheMode::Off && db.access_cache().is_enabled() {
+                db.access_cache().record_query(&cache_stats);
+            }
             rows_to_relation(query, order, rows, &bindings)?
         }
     };
+    if let Some(sink) = &opts.trace {
+        let (agm_log2, agm_tuples) = match agm_bound(query, db) {
+            Ok(b) => (b.log2_bound, b.tuple_bound()),
+            Err(_) => (f64::NAN, f64::NAN),
+        };
+        let order_names: Vec<String> = order
+            .iter()
+            .map(|&v| query.var_name(v).to_string())
+            .collect();
+        let (levels, morsels) = match trace_ctx {
+            Some(ctx) => (
+                ctx.levels.into_levels(&order_names),
+                ctx.morsels.into_inner().unwrap_or_default(),
+            ),
+            None => (Vec::new(), None),
+        };
+        sink.record(QueryTrace {
+            engine: engine_name(opts.engine).to_string(),
+            backend: backend_name(opts.resolved_backend()).to_string(),
+            threads: opts.resolved_threads(),
+            order: order_names,
+            agm_log2,
+            agm_tuples,
+            rows: result.len() as u64,
+            plan_ns: 0, // the caller that planned patches this in
+            build_ns,
+            join_ns,
+            total_ns: started.map_or(0, |t| t.elapsed().as_nanos() as u64),
+            atoms: atom_traces,
+            levels,
+            morsels,
+            work: work_pairs(&counter),
+            cache_hits: cache_stats.hits,
+            cache_misses: cache_stats.misses,
+            cache_incremental: cache_stats.incremental_merges,
+            cache_evictions: cache_stats.evictions,
+        });
+    }
     Ok(ExecOutput {
         result,
         work: counter,
@@ -670,6 +887,41 @@ fn cached_delta<'d>(
     Ok(DeltaAccess::from_view(&view, delta))
 }
 
+/// Classify one atom's cache interaction by diffing the per-query
+/// [`CacheStats`] around its build: exactly one tally moves per cached build,
+/// and none on the cache-bypassing paths (identity-order deltas,
+/// [`CacheMode::Off`], a disabled cache).
+fn atom_outcome(before: &CacheStats, after: &CacheStats) -> &'static str {
+    if after.hits > before.hits {
+        "hit"
+    } else if after.incremental_merges > before.incremental_merges {
+        "incremental"
+    } else if after.misses > before.misses {
+        "miss"
+    } else {
+        "bypass"
+    }
+}
+
+/// Append one atom's build record when tracing is on (no-op otherwise).
+fn push_atom_trace(
+    trace: &mut Option<&mut Vec<AtomTrace>>,
+    started: Option<Instant>,
+    name: &str,
+    kind: &'static str,
+    before: &CacheStats,
+    after: &CacheStats,
+) {
+    if let Some(tr) = trace.as_deref_mut() {
+        tr.push(AtomTrace {
+            relation: name.to_string(),
+            kind: kind.to_string(),
+            outcome: atom_outcome(before, after).to_string(),
+            build_ns: started.map_or(0, |t| t.elapsed().as_nanos() as u64),
+        });
+    }
+}
+
 impl<'d> BuiltAccess<'d> {
     /// Build (or fetch from the database's access cache) one access structure
     /// per atom; with `threads > 1` each fresh build's argsort-and-scan pass
@@ -684,6 +936,9 @@ impl<'d> BuiltAccess<'d> {
     /// every source's columns bind to its atom's variables positionally, so
     /// each order is resolved to column positions up front (also the cache
     /// key's permutation component).
+    /// With `trace` present, one [`AtomTrace`] per atom is appended — its
+    /// relation name, structure kind, cache outcome (diffed from `stats`),
+    /// and build wall-time. `None` adds no timing calls at all.
     fn build(
         query: &ConjunctiveQuery,
         db: &Database,
@@ -691,6 +946,7 @@ impl<'d> BuiltAccess<'d> {
         attr_orders: &[Vec<&str>],
         opts: &ExecOptions,
         stats: &mut CacheStats,
+        mut trace: Option<&mut Vec<AtomTrace>>,
     ) -> Result<Self, ExecError> {
         let backend = opts.resolved_backend();
         let threads = opts.resolved_threads();
@@ -720,19 +976,32 @@ impl<'d> BuiltAccess<'d> {
             for (i, source) in sources.iter().enumerate() {
                 let name = &atoms[i].name;
                 let positions = &positions_per_atom[i];
-                accesses.push(match source {
+                let started = trace.is_some().then(Instant::now);
+                let before = *stats;
+                let (access, kind) = match source {
                     AtomSource::Static(rel) => match backend {
-                        Backend::Trie => AtomAccess::Trie(cached_trie(
-                            &ctx, name, rel, positions, threads, stats,
-                        )?),
-                        Backend::Hash | Backend::Auto => AtomAccess::Index(cached_index(
-                            &ctx, name, rel, positions, threads, stats,
-                        )?),
+                        Backend::Trie => (
+                            AtomAccess::Trie(cached_trie(
+                                &ctx, name, rel, positions, threads, stats,
+                            )?),
+                            "trie",
+                        ),
+                        Backend::Hash | Backend::Auto => (
+                            AtomAccess::Index(cached_index(
+                                &ctx, name, rel, positions, threads, stats,
+                            )?),
+                            "index",
+                        ),
                     },
-                    AtomSource::Delta(delta) => AtomAccess::Delta(cached_delta(
-                        &ctx, name, delta, positions, threads, stats,
-                    )?),
-                });
+                    AtomSource::Delta(delta) => (
+                        AtomAccess::Delta(cached_delta(
+                            &ctx, name, delta, positions, threads, stats,
+                        )?),
+                        "delta",
+                    ),
+                };
+                push_atom_trace(&mut trace, started, name, kind, &before, stats);
+                accesses.push(access);
             }
             BuiltAccess::Mixed(accesses)
         } else {
@@ -747,6 +1016,8 @@ impl<'d> BuiltAccess<'d> {
                 Backend::Trie => {
                     let mut tries = Vec::with_capacity(statics.len());
                     for (i, rel) in statics.iter().enumerate() {
+                        let started = trace.is_some().then(Instant::now);
+                        let before = *stats;
                         tries.push(cached_trie(
                             &ctx,
                             &atoms[i].name,
@@ -755,12 +1026,22 @@ impl<'d> BuiltAccess<'d> {
                             threads,
                             stats,
                         )?);
+                        push_atom_trace(
+                            &mut trace,
+                            started,
+                            &atoms[i].name,
+                            "trie",
+                            &before,
+                            stats,
+                        );
                     }
                     BuiltAccess::Tries(tries)
                 }
                 Backend::Hash | Backend::Auto => {
                     let mut indexes = Vec::with_capacity(statics.len());
                     for (i, rel) in statics.iter().enumerate() {
+                        let started = trace.is_some().then(Instant::now);
+                        let before = *stats;
                         indexes.push(cached_index(
                             &ctx,
                             &atoms[i].name,
@@ -769,6 +1050,14 @@ impl<'d> BuiltAccess<'d> {
                             threads,
                             stats,
                         )?);
+                        push_atom_trace(
+                            &mut trace,
+                            started,
+                            &atoms[i].name,
+                            "index",
+                            &before,
+                            stats,
+                        );
                     }
                     BuiltAccess::Indexes(indexes)
                 }
@@ -793,6 +1082,7 @@ impl<'d> BuiltAccess<'d> {
         cal: &KernelCalibration,
         counter: &WorkCounter,
         token: Option<&CancelToken>,
+        trace: Option<&TraceCtx>,
     ) -> Result<Vec<Value>, ExecError> {
         match self {
             BuiltAccess::Tries(tries) => run_cursors(
@@ -804,6 +1094,7 @@ impl<'d> BuiltAccess<'d> {
                 cal,
                 counter,
                 token,
+                trace,
             ),
             BuiltAccess::Indexes(indexes) => run_cursors(
                 engine,
@@ -814,6 +1105,7 @@ impl<'d> BuiltAccess<'d> {
                 cal,
                 counter,
                 token,
+                trace,
             ),
             BuiltAccess::Mixed(accesses) => run_cursors(
                 engine,
@@ -824,6 +1116,7 @@ impl<'d> BuiltAccess<'d> {
                 cal,
                 counter,
                 token,
+                trace,
             ),
         }
     }
@@ -845,31 +1138,72 @@ fn run_cursors<C, F>(
     cal: &KernelCalibration,
     counter: &WorkCounter,
     token: Option<&CancelToken>,
+    trace: Option<&TraceCtx>,
 ) -> Result<Vec<Value>, ExecError>
 where
     C: TrieAccess,
     F: Fn() -> Vec<C> + Sync,
 {
+    let levels = trace.map(|t| &t.levels);
     if threads <= 1 {
         let mut cursors = make_cursors();
         for c in cursors.iter_mut() {
             c.set_seek_calibration(cal.linear_seek_max);
         }
         match token {
-            None => Ok(match engine {
-                Engine::GenericJoin => {
-                    generic::generic_join(&mut cursors, participants, policy, cal, counter)
+            None => match levels {
+                None => Ok(match engine {
+                    Engine::GenericJoin => {
+                        generic::generic_join(&mut cursors, participants, policy, cal, counter)
+                    }
+                    Engine::Leapfrog => leapfrog::leapfrog_triejoin(
+                        &mut cursors,
+                        participants,
+                        policy,
+                        cal,
+                        counter,
+                    ),
+                    Engine::BinaryHash => unreachable!("the binary baseline has no cursor path"),
+                }),
+                Some(levels) => {
+                    // the traced serial body is the engines' own decomposition
+                    // (driver intersection + one full-slice engine body), so
+                    // rows and counters are bit-identical to the direct call
+                    let e0 = first_extension_set(
+                        &mut cursors,
+                        &participants[0],
+                        policy,
+                        cal,
+                        counter,
+                        Some(levels),
+                    );
+                    let mut out = Vec::new();
+                    engine_join_extensions(
+                        engine,
+                        &mut cursors,
+                        participants,
+                        &e0,
+                        policy,
+                        cal,
+                        counter,
+                        Some(levels),
+                        &mut out,
+                    );
+                    Ok(out)
                 }
-                Engine::Leapfrog => {
-                    leapfrog::leapfrog_triejoin(&mut cursors, participants, policy, cal, counter)
-                }
-                Engine::BinaryHash => unreachable!("the binary baseline has no cursor path"),
-            }),
+            },
             Some(token) => {
                 // chunked serial body: same driver charge + per-slice engine
                 // body as the morsel path, with a token poll between slices
                 token.check()?;
-                let e0 = first_extension_set(&mut cursors, &participants[0], policy, cal, counter);
+                let e0 = first_extension_set(
+                    &mut cursors,
+                    &participants[0],
+                    policy,
+                    cal,
+                    counter,
+                    levels,
+                );
                 let mut out = Vec::new();
                 for chunk in e0.chunks(CANCEL_CHUNK) {
                     token.check()?;
@@ -881,6 +1215,7 @@ where
                         policy,
                         cal,
                         counter,
+                        levels,
                         &mut out,
                     );
                 }
@@ -897,6 +1232,7 @@ where
             cal,
             counter,
             token,
+            trace,
         )
     }
 }
@@ -911,6 +1247,7 @@ pub(crate) fn first_extension_set<C: TrieAccess>(
     policy: KernelPolicy,
     cal: &KernelCalibration,
     counter: &WorkCounter,
+    trace: Option<&LevelRecorder>,
 ) -> Vec<Value> {
     for &ci in parts0 {
         if !cursors[ci].open() {
@@ -918,7 +1255,15 @@ pub(crate) fn first_extension_set<C: TrieAccess>(
         }
     }
     let mut out = Vec::new();
-    level_extension_into(&mut out, cursors, parts0, policy, cal, counter);
+    level_extension_into(
+        &mut out,
+        cursors,
+        parts0,
+        policy,
+        cal,
+        counter,
+        trace.map(|t| (t, 0)),
+    );
     out
 }
 
@@ -929,6 +1274,12 @@ pub(crate) fn first_extension_set<C: TrieAccess>(
 /// calibrated thresholds, and the per-kernel work/choice tallies apply uniformly.
 /// The SIMD level is the process-wide detected one — it never changes output or
 /// counters, only the instruction mix.
+///
+/// With `trace` present the kernel's choice and its charged work (diffed from
+/// `counter` around the call — the counter is private to this thread of
+/// execution, so the diff attributes exactly this intersection) are recorded
+/// against the given join level. Tracing reads the counter and appends to
+/// relaxed atomics; it never changes what the kernel computes.
 pub(crate) fn level_extension_into<C: TrieAccess>(
     ext: &mut Vec<Value>,
     cursors: &[C],
@@ -936,19 +1287,39 @@ pub(crate) fn level_extension_into<C: TrieAccess>(
     policy: KernelPolicy,
     cal: &KernelCalibration,
     counter: &WorkCounter,
+    trace: Option<(&LevelRecorder, usize)>,
 ) {
     let level = wcoj_storage::simd::active_level();
     // sized against the kernel layer's own inline-bookkeeping capacity
     const MAX_INLINE: usize = kernels::MAX_INLINE_LISTS;
-    if parts.len() <= MAX_INLINE {
+    let before = trace.map(|_| (counter.intersect_steps(), counter.comparisons()));
+    let chosen = if parts.len() <= MAX_INLINE {
         let mut buf: [&[Value]; MAX_INLINE] = [&[]; MAX_INLINE];
         for (slot, &ci) in buf.iter_mut().zip(parts) {
             *slot = cursors[ci].remaining();
         }
-        kernels::intersect_into_cal(level, ext, &buf[..parts.len()], policy, cal, counter);
+        kernels::intersect_into_cal(level, ext, &buf[..parts.len()], policy, cal, counter)
     } else {
         let slices: Vec<&[Value]> = parts.iter().map(|&ci| cursors[ci].remaining()).collect();
-        kernels::intersect_into_cal(level, ext, &slices, policy, cal, counter);
+        kernels::intersect_into_cal(level, ext, &slices, policy, cal, counter)
+    };
+    if let (Some((rec, lvl)), Some((steps0, cmps0))) = (trace, before) {
+        rec.record_intersection(
+            lvl,
+            ext.len() as u64,
+            chosen.map(trace_kernel),
+            counter.intersect_steps() - steps0,
+            counter.comparisons() - cmps0,
+        );
+    }
+}
+
+/// The trace spelling of a kernel choice.
+fn trace_kernel(kind: kernels::KernelKind) -> TraceKernel {
+    match kind {
+        kernels::KernelKind::Merge => TraceKernel::Merge,
+        kernels::KernelKind::Gallop => TraceKernel::Gallop,
+        kernels::KernelKind::Bitmap => TraceKernel::Bitmap,
     }
 }
 
@@ -969,15 +1340,30 @@ pub(crate) fn engine_join_extensions<C: TrieAccess>(
     policy: KernelPolicy,
     cal: &KernelCalibration,
     counter: &WorkCounter,
+    trace: Option<&LevelRecorder>,
     out: &mut Vec<Value>,
 ) {
     match engine {
-        Engine::GenericJoin => {
-            generic::join_extensions(cursors, participants, values, policy, cal, counter, out)
-        }
-        Engine::Leapfrog => {
-            leapfrog::join_extensions(cursors, participants, values, policy, cal, counter, out)
-        }
+        Engine::GenericJoin => generic::join_extensions(
+            cursors,
+            participants,
+            values,
+            policy,
+            cal,
+            counter,
+            trace,
+            out,
+        ),
+        Engine::Leapfrog => leapfrog::join_extensions(
+            cursors,
+            participants,
+            values,
+            policy,
+            cal,
+            counter,
+            trace,
+            out,
+        ),
         Engine::BinaryHash => unreachable!("the binary baseline has no cursor path"),
     }
 }

@@ -42,10 +42,11 @@
 //! equal the serial engine's for *any* thread count. The differential test suite
 //! asserts both properties for threads ∈ {1, 2, 4, 8}.
 
-use super::{engine_join_extensions, first_extension_set, CancelToken, Engine};
+use super::{engine_join_extensions, first_extension_set, CancelToken, Engine, TraceCtx};
 use crate::error::ExecError;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
+use wcoj_obs::{MorselTrace, WorkerTrace};
 use wcoj_storage::topology::{self, CpuTopology};
 use wcoj_storage::{KernelCalibration, KernelPolicy, TrieAccess, Value, WorkCounter};
 
@@ -101,15 +102,17 @@ impl MorselSchedule {
     }
 
     /// Claim the next morsel for `worker`: its own socket group's range first,
-    /// then the other groups' leftovers (work stealing).
-    fn claim(&self, worker: usize) -> Option<usize> {
+    /// then the other groups' leftovers (work stealing). The flag reports
+    /// whether the claim came from a foreign group — a steal — so the trace
+    /// can attribute scheduling behavior without touching the hot path.
+    fn claim(&self, worker: usize) -> Option<(usize, bool)> {
         let own = self.group_of[worker];
         let order = std::iter::once(own).chain((0..self.ranges.len()).filter(move |&g| g != own));
         for g in order {
             let (start, end) = self.ranges[g];
             let i = self.next[g].fetch_add(1, Ordering::Relaxed);
             if start + i < end {
-                return Some(start + i);
+                return Some((start + i, g != own));
             }
         }
         None
@@ -134,6 +137,7 @@ pub(crate) fn morsel_join<C, F>(
     cal: &KernelCalibration,
     counter: &WorkCounter,
     token: Option<&CancelToken>,
+    trace: Option<&TraceCtx>,
 ) -> Result<Vec<Value>, ExecError>
 where
     C: TrieAccess,
@@ -143,6 +147,7 @@ where
     if let Some(t) = token {
         t.check()?;
     }
+    let levels = trace.map(|t| &t.levels);
     // The driver computes the extension set once, charging the intersection work to
     // the main counter — the same charge serial execution makes.
     let extensions = {
@@ -150,9 +155,22 @@ where
         for c in driver_cursors.iter_mut() {
             c.set_seek_calibration(cal.linear_seek_max);
         }
-        first_extension_set(&mut driver_cursors, &participants[0], policy, cal, counter)
+        first_extension_set(
+            &mut driver_cursors,
+            &participants[0],
+            policy,
+            cal,
+            counter,
+            levels,
+        )
     };
     if extensions.is_empty() {
+        if let Some(t) = trace {
+            *t.morsels.lock().expect("morsel trace slot") = Some(MorselTrace {
+                morsels: 0,
+                workers: Vec::new(),
+            });
+        }
         return Ok(Vec::new());
     }
 
@@ -168,6 +186,9 @@ where
     // shutdown
     let results: Mutex<Vec<(usize, Vec<Value>)>> = Mutex::new(Vec::with_capacity(morsels.len()));
     let worker_counters: Mutex<Vec<WorkCounter>> = Mutex::new(Vec::with_capacity(threads));
+    // per-worker scheduling reports, deposited only when tracing (worker id
+    // keyed so the trace lists workers in order regardless of finish order)
+    let worker_traces: Mutex<Vec<(usize, WorkerTrace)>> = Mutex::new(Vec::new());
 
     std::thread::scope(|scope| {
         for w in 0..threads {
@@ -177,21 +198,26 @@ where
             let morsels = &morsels;
             let results = &results;
             let worker_counters = &worker_counters;
+            let worker_traces = &worker_traces;
             scope.spawn(move || {
-                topology::pin_current_thread(pin_plan[w]);
+                let pinned = topology::pin_current_thread(pin_plan[w]);
                 let local = WorkCounter::new();
                 let mut cursors = make_cursors();
                 for c in cursors.iter_mut() {
                     c.set_seek_calibration(cal.linear_seek_max);
                 }
                 let mut opened = false;
+                let mut claimed = 0u64;
+                let mut stolen = 0u64;
                 let mut produced: Vec<(usize, Vec<Value>)> = Vec::new();
-                while let Some(m) = schedule.claim(w) {
+                while let Some((m, stole)) = schedule.claim(w) {
                     // cooperative cancellation: stop claiming once the token
                     // fires; the partial output is discarded by the caller
                     if token.is_some_and(|t| t.is_canceled()) {
                         break;
                     }
+                    claimed += 1;
+                    stolen += stole as u64;
                     if !opened {
                         // lazily open the level-0 participants: workers that never
                         // claim a morsel touch nothing
@@ -210,16 +236,35 @@ where
                         policy,
                         cal,
                         &local,
+                        levels,
                         &mut rows,
                     );
                     produced.push((m, rows));
                 }
                 results.lock().expect("result sink").extend(produced);
                 worker_counters.lock().expect("counter sink").push(local);
+                if trace.is_some() {
+                    worker_traces.lock().expect("trace sink").push((
+                        w,
+                        WorkerTrace {
+                            claimed,
+                            stolen,
+                            pin: pinned.then_some(pin_plan[w]),
+                        },
+                    ));
+                }
             });
         }
     });
 
+    if let Some(t) = trace {
+        let mut per_worker = worker_traces.into_inner().expect("trace sink");
+        per_worker.sort_unstable_by_key(|&(w, _)| w);
+        *t.morsels.lock().expect("morsel trace slot") = Some(MorselTrace {
+            morsels: morsels.len() as u64,
+            workers: per_worker.into_iter().map(|(_, wt)| wt).collect(),
+        });
+    }
     if let Some(t) = token {
         t.check()?; // cancelled mid-run: the deposited output is partial
     }
@@ -279,6 +324,7 @@ mod tests {
                 &KernelCalibration::fixed(),
                 &parallel_counter,
                 None,
+                None,
             )
             .unwrap();
             assert_eq!(out, serial, "rows with {threads} threads");
@@ -306,6 +352,7 @@ mod tests {
             KernelPolicy::Adaptive,
             &KernelCalibration::fixed(),
             &w,
+            None,
             None,
         )
         .unwrap();

@@ -58,8 +58,9 @@ pub mod planner;
 
 pub use error::ExecError;
 pub use exec::{
-    cache_partitions_enabled, execute, execute_cancellable, execute_opts, execute_opts_with_order,
-    execute_with_order, set_cache_partitions, Backend, CacheMode, CacheStats, CancelToken, Engine,
-    ExecOptions, ExecOutput,
+    cache_partitions_enabled, execute, execute_cancellable, execute_explain, execute_opts,
+    execute_opts_with_order, execute_with_order, set_cache_partitions, Backend, CacheMode,
+    CacheStats, CancelToken, Engine, ExecOptions, ExecOutput,
 };
 pub use planner::{agm_variable_order, plan_order};
+pub use wcoj_obs::{AtomTrace, LevelTrace, MorselTrace, QueryTrace, TraceSink, WorkerTrace};

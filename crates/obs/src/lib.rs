@@ -1,0 +1,34 @@
+//! Observability substrate for the workspace: a dependency-free metrics
+//! registry (counters, gauges, log-bucketed histograms with JSON and
+//! Prometheus-style exposition) and a query-trace model (per-level join
+//! statistics, cache outcomes, phase timings) rendered by EXPLAIN ANALYZE.
+//!
+//! This crate sits at the bottom of the dependency graph — storage, core,
+//! service, and bench all build on it — so it depends on nothing and defines
+//! its own tiny JSON reader/writer instead of pulling in serde.
+//!
+//! Two invariants shape the design:
+//!
+//! - **Tracing never perturbs execution.** A [`TraceSink`] records *about* a
+//!   query; the rows and deterministic work counters are bit-identical with
+//!   tracing on or off (property-tested in `wcoj-core`). Trace fields are
+//!   split into deterministic ones (candidates, emitted, kernel picks, work)
+//!   and explicitly nondeterministic ones (wall-clock times, per-worker morsel
+//!   claims), so tests can assert the former across runs.
+//! - **Snapshots are stable.** [`Registry::snapshot`] renders metrics in
+//!   sorted name order to a stable JSON document, so diffs across runs show
+//!   value changes, never ordering noise.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod json;
+pub mod metrics;
+pub mod trace;
+
+pub use json::Json;
+pub use metrics::{Counter, Gauge, Histogram, MetricValue, MetricsSnapshot, Registry};
+pub use trace::{
+    AtomTrace, LevelRecorder, LevelTrace, MorselTrace, QueryTrace, TraceKernel, TraceSink,
+    WorkerTrace,
+};

@@ -124,15 +124,30 @@ fn parse_args() -> Result<Args, String> {
     })
 }
 
+/// The recovery breakdown, read back from the service's metrics registry —
+/// the same numbers any monitoring scrape would see.
+fn recovery_line(service: &QueryService) -> String {
+    let snap = service.registry().snapshot();
+    let gauge = |name| snap.gauge_value(name).unwrap_or(0);
+    format!(
+        "recovery: checkpoint seq {} ({} us install) + {} tail batches \
+         ({} ops replayed in {} us)",
+        gauge("recovery.checkpoint_seq"),
+        gauge("recovery.checkpoint_install_us"),
+        gauge("recovery.tail_batches"),
+        snap.counter_value("recovery.replay_ops").unwrap_or(0),
+        gauge("recovery.replay_us"),
+    )
+}
+
 fn ingest(args: &Args) -> Result<(), String> {
     let (service, replayed) = QueryService::open(&args.wal, base_db(), ServiceConfig::default())
         .map_err(|e| format!("open failed: {e}"))?;
     let start = replayed.committed as usize;
     if start > 0 {
         println!(
-            "resumed after {start} recovered batches (checkpoint at {}, {} replayed)",
-            replayed.checkpoint_seq,
-            replayed.tail.len()
+            "resumed after {start} recovered batches; {}",
+            recovery_line(&service)
         );
     }
     let stream = gen_batches(args.seed, args.batches, args.ops_per_batch);
@@ -199,15 +214,15 @@ fn verify(args: &Args) -> Result<(), String> {
         Ok(())
     })?;
     println!(
-        "OK: {committed}/{} batches recovered, {} ops, {} live rows{}",
+        "OK: {committed}/{} batches recovered, {} live rows{}; {}",
         args.batches,
-        replayed.num_ops(),
         oracle_delta.len(),
         if replayed.torn() {
             " (torn tail truncated)"
         } else {
             ""
-        }
+        },
+        recovery_line(&service)
     );
     Ok(())
 }

@@ -64,3 +64,4 @@ pub use service::{
     replay_into, QueryService, RecoveryReport, ServiceConfig, StatsSnapshot, WriteBatch,
     GROUP_SIZE_BUCKETS,
 };
+pub use wcoj_obs::{MetricValue, MetricsSnapshot, Registry};

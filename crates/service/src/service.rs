@@ -53,12 +53,13 @@
 use crate::admission::{AdmissionGate, Permit};
 use crate::error::ServiceError;
 use crate::group::{GroupQueue, Pending, Slot};
-use std::collections::{HashMap, HashSet};
+use std::collections::{HashMap, HashSet, VecDeque};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, RwLock, RwLockReadGuard, RwLockWriteGuard};
 use std::time::{Duration, Instant};
-use wcoj_core::{execute_cancellable, CancelToken, ExecOptions, ExecOutput};
+use wcoj_core::{execute_cancellable, CancelToken, ExecOptions, ExecOutput, QueryTrace, TraceSink};
+use wcoj_obs::{Counter, Gauge, Histogram, Registry};
 use wcoj_query::{ConjunctiveQuery, Database, Snapshot};
 use wcoj_storage::wal::segmented::{
     gc_checkpoint, recover_dir, segment_bytes_from_env, write_checkpoint, SegmentedWal,
@@ -102,6 +103,12 @@ pub struct ServiceConfig {
     /// `0` disables automatic checkpoints ([`QueryService::checkpoint`] can
     /// still be called directly).
     pub checkpoint_after_segments: u64,
+    /// Slow-query threshold: queries at or above it run with a per-query
+    /// [`TraceSink`] and deposit their [`QueryTrace`] into the bounded ring
+    /// behind [`QueryService::slow_queries`]. `Duration::ZERO` traces every
+    /// query; `None` (the default) disables tracing entirely. Defaults from
+    /// `WCOJ_SLOW_QUERY_MS` (milliseconds).
+    pub slow_query: Option<Duration>,
 }
 
 /// `WCOJ_GROUP_COMMIT_US` (microseconds), or zero when unset/unparsable.
@@ -111,6 +118,15 @@ fn group_commit_window_from_env() -> Duration {
         .and_then(|v| v.trim().parse::<u64>().ok())
         .map(Duration::from_micros)
         .unwrap_or(Duration::ZERO)
+}
+
+/// `WCOJ_SLOW_QUERY_MS` (milliseconds; `0` traces every query), or `None`
+/// when unset/unparsable.
+fn slow_query_from_env() -> Option<Duration> {
+    std::env::var("WCOJ_SLOW_QUERY_MS")
+        .ok()
+        .and_then(|v| v.trim().parse::<u64>().ok())
+        .map(Duration::from_millis)
 }
 
 impl Default for ServiceConfig {
@@ -127,6 +143,7 @@ impl Default for ServiceConfig {
             group_commit_window: group_commit_window_from_env(),
             segment_bytes: segment_bytes_from_env(),
             checkpoint_after_segments: 1,
+            slow_query: slow_query_from_env(),
         }
     }
 }
@@ -174,38 +191,93 @@ impl ServiceConfig {
         self.checkpoint_after_segments = segments;
         self
     }
+
+    /// Override the slow-query threshold (`Duration::ZERO` traces everything).
+    pub fn with_slow_query(mut self, threshold: Duration) -> Self {
+        self.slow_query = Some(threshold);
+        self
+    }
 }
 
 /// The `batches_per_fsync` histogram's bucket upper bounds (inclusive); the
 /// last bucket is open-ended.
 pub const GROUP_SIZE_BUCKETS: [u64; 6] = [1, 2, 4, 8, 16, u64::MAX];
 
-fn group_size_bucket(batches: u64) -> usize {
-    GROUP_SIZE_BUCKETS
-        .iter()
-        .position(|&hi| batches <= hi)
-        .expect("last bucket is open-ended")
+/// Log-bucketed microsecond latency histogram: `1 µs … ~1 s` plus `+Inf`.
+fn latency_histogram() -> Histogram {
+    Histogram::log2(22)
 }
 
-/// Monotonic operation counters, readable at any time via
-/// [`QueryService::stats`].
-#[derive(Debug, Default)]
+/// How many slow-query traces [`QueryService::slow_queries`] retains (oldest
+/// evicted first).
+const SLOW_LOG_CAP: usize = 16;
+
+/// Registry-backed service metrics. The service owns `Arc` handles so the hot
+/// paths update lock-free atomics directly (no name lookups); the same
+/// primitives are visible by name through [`QueryService::registry`] under
+/// `service.*` (admission/query), `wal.*` (durability), and `recovery.*`
+/// (startup) — [`QueryService::stats`] is a thin compatibility view over them.
+#[derive(Debug)]
 struct ServiceStats {
-    admitted: AtomicU64,
-    shed: AtomicU64,
-    deadline_exceeded: AtomicU64,
-    canceled: AtomicU64,
-    batches_committed: AtomicU64,
-    ops_committed: AtomicU64,
-    conflicts: AtomicU64,
-    write_retries: AtomicU64,
-    recovered_batches: AtomicU64,
-    recovery_replay_ops: AtomicU64,
-    group_commits: AtomicU64,
-    batches_per_fsync: [AtomicU64; 6],
-    checkpoints: AtomicU64,
-    segments_deleted: AtomicU64,
-    wal_bytes: AtomicU64,
+    admitted: Arc<Counter>,
+    shed: Arc<Counter>,
+    deadline_exceeded: Arc<Counter>,
+    canceled: Arc<Counter>,
+    slow_queries: Arc<Counter>,
+    query_us: Arc<Histogram>,
+    batches_committed: Arc<Counter>,
+    ops_committed: Arc<Counter>,
+    conflicts: Arc<Counter>,
+    write_retries: Arc<Counter>,
+    recovered_batches: Arc<Counter>,
+    recovery_replay_ops: Arc<Counter>,
+    recovery_checkpoint_seq: Arc<Gauge>,
+    recovery_tail_batches: Arc<Gauge>,
+    recovery_install_us: Arc<Gauge>,
+    recovery_replay_us: Arc<Gauge>,
+    group_commits: Arc<Counter>,
+    batches_per_fsync: Arc<Histogram>,
+    fsync_us: Arc<Histogram>,
+    apply_us: Arc<Histogram>,
+    commit_wait_us: Arc<Histogram>,
+    checkpoint_us: Arc<Histogram>,
+    checkpoints: Arc<Counter>,
+    segments_deleted: Arc<Counter>,
+    wal_bytes: Arc<Gauge>,
+}
+
+impl ServiceStats {
+    fn new(registry: &Registry) -> ServiceStats {
+        ServiceStats {
+            admitted: registry.counter("service.admitted"),
+            shed: registry.counter("service.shed"),
+            deadline_exceeded: registry.counter("service.deadline_exceeded"),
+            canceled: registry.counter("service.canceled"),
+            slow_queries: registry.counter("service.slow_queries"),
+            query_us: registry.histogram("service.query_us", latency_histogram),
+            batches_committed: registry.counter("wal.batches_committed"),
+            ops_committed: registry.counter("wal.ops_committed"),
+            conflicts: registry.counter("wal.conflicts"),
+            write_retries: registry.counter("wal.write_retries"),
+            recovered_batches: registry.counter("recovery.batches"),
+            recovery_replay_ops: registry.counter("recovery.replay_ops"),
+            recovery_checkpoint_seq: registry.gauge("recovery.checkpoint_seq"),
+            recovery_tail_batches: registry.gauge("recovery.tail_batches"),
+            recovery_install_us: registry.gauge("recovery.checkpoint_install_us"),
+            recovery_replay_us: registry.gauge("recovery.replay_us"),
+            group_commits: registry.counter("wal.group_commits"),
+            batches_per_fsync: registry.histogram("wal.batches_per_fsync", || {
+                Histogram::with_bounds(&GROUP_SIZE_BUCKETS)
+            }),
+            fsync_us: registry.histogram("wal.fsync_us", latency_histogram),
+            apply_us: registry.histogram("wal.apply_us", latency_histogram),
+            commit_wait_us: registry.histogram("wal.commit_wait_us", latency_histogram),
+            checkpoint_us: registry.histogram("wal.checkpoint_us", latency_histogram),
+            checkpoints: registry.counter("wal.checkpoints"),
+            segments_deleted: registry.counter("wal.segments_deleted"),
+            wal_bytes: registry.gauge("wal.bytes"),
+        }
+    }
 }
 
 /// A point-in-time copy of the service counters.
@@ -431,7 +503,11 @@ pub struct QueryService {
     wal_dir: Option<PathBuf>,
     group: GroupQueue,
     gate: AdmissionGate,
+    registry: Arc<Registry>,
     stats: ServiceStats,
+    /// Bounded ring of slow-query traces (newest last); see
+    /// [`ServiceConfig::slow_query`].
+    slow_log: Mutex<VecDeque<QueryTrace>>,
     config: ServiceConfig,
     /// Last WAL sequence whose effects are applied in memory. Written under
     /// the db **write** lock, read under the read lock — so a checkpoint's
@@ -450,13 +526,18 @@ impl QueryService {
     /// A service over `db` with no durability (tests, ephemeral catalogs).
     pub fn in_memory(db: Database, config: ServiceConfig) -> QueryService {
         let gate = AdmissionGate::new(config.max_concurrent, config.max_queued);
+        let registry = Arc::new(Registry::new());
+        let stats = ServiceStats::new(&registry);
+        db.access_cache().register_metrics(&registry);
         QueryService {
             db: RwLock::new(db),
             wal: None,
             wal_dir: None,
             group: GroupQueue::default(),
             gate,
-            stats: ServiceStats::default(),
+            registry,
+            stats,
+            slow_log: Mutex::new(VecDeque::new()),
             config,
             applied_seq: AtomicU64::new(0),
             checkpoint_active: AtomicBool::new(false),
@@ -480,6 +561,7 @@ impl QueryService {
         let dir = dir.as_ref().to_path_buf();
         let recovery = recover_dir(&dir)?;
         let checkpoint_seq = recovery.checkpoint_seq();
+        let install_started = Instant::now();
         if let Some(ckpt) = &recovery.checkpoint {
             for (name, bytes) in &ckpt.relations {
                 let schema = base
@@ -491,7 +573,10 @@ impl QueryService {
                 base.insert_delta_relation(name.clone(), state);
             }
         }
+        let install_us = install_started.elapsed().as_micros() as u64;
+        let replay_started = Instant::now();
         replay_into(&mut base, &recovery.tail)?;
+        let replay_us = replay_started.elapsed().as_micros() as u64;
         let writer = SegmentedWal::open(&dir, &recovery, config.segment_bytes, config.fault)?;
         let report = RecoveryReport {
             checkpoint_seq,
@@ -502,31 +587,38 @@ impl QueryService {
             segments: recovery.segments,
             wal_bytes: recovery.wal_bytes,
         };
+        let registry = Arc::new(Registry::new());
+        let stats = ServiceStats::new(&registry);
+        base.access_cache().register_metrics(&registry);
         let service = QueryService {
             db: RwLock::new(base),
             wal: Some(Mutex::new(writer)),
             wal_dir: Some(dir),
             group: GroupQueue::default(),
             gate: AdmissionGate::new(config.max_concurrent, config.max_queued),
-            stats: ServiceStats::default(),
+            registry,
+            stats,
+            slow_log: Mutex::new(VecDeque::new()),
             config,
             applied_seq: AtomicU64::new(recovery.committed),
             checkpoint_active: AtomicBool::new(false),
             last_checkpoint_seq: AtomicU64::new(checkpoint_seq),
             gc_segment_bytes: AtomicU64::new(0),
         };
-        service
-            .stats
-            .recovered_batches
-            .store(recovery.committed, Ordering::Relaxed);
+        // a fresh registry starts at zero, so `add` seeds the recovery view
+        service.stats.recovered_batches.add(recovery.committed);
         service
             .stats
             .recovery_replay_ops
-            .store(report.num_ops() as u64, Ordering::Relaxed);
+            .add(report.num_ops() as u64);
+        service.stats.recovery_checkpoint_seq.set(checkpoint_seq);
         service
             .stats
-            .wal_bytes
-            .store(recovery.wal_bytes, Ordering::Relaxed);
+            .recovery_tail_batches
+            .set(report.tail.len() as u64);
+        service.stats.recovery_install_us.set(install_us);
+        service.stats.recovery_replay_us.set(replay_us);
+        service.stats.wal_bytes.set(recovery.wal_bytes);
         Ok((service, report))
     }
 
@@ -559,28 +651,60 @@ impl QueryService {
         self.db_read().snapshot()
     }
 
-    /// Current service counters.
+    /// Current service counters — a thin view over the same registry
+    /// primitives [`QueryService::registry`] exposes by name.
     pub fn stats(&self) -> StatsSnapshot {
         let s = &self.stats;
+        let group_sizes = s.batches_per_fsync.bucket_counts();
         StatsSnapshot {
-            admitted: s.admitted.load(Ordering::Relaxed),
-            shed: s.shed.load(Ordering::Relaxed),
-            deadline_exceeded: s.deadline_exceeded.load(Ordering::Relaxed),
-            canceled: s.canceled.load(Ordering::Relaxed),
-            batches_committed: s.batches_committed.load(Ordering::Relaxed),
-            ops_committed: s.ops_committed.load(Ordering::Relaxed),
-            conflicts: s.conflicts.load(Ordering::Relaxed),
-            write_retries: s.write_retries.load(Ordering::Relaxed),
-            recovered_batches: s.recovered_batches.load(Ordering::Relaxed),
-            recovery_replay_ops: s.recovery_replay_ops.load(Ordering::Relaxed),
-            group_commits: s.group_commits.load(Ordering::Relaxed),
-            batches_per_fsync: std::array::from_fn(|i| {
-                s.batches_per_fsync[i].load(Ordering::Relaxed)
-            }),
-            checkpoints: s.checkpoints.load(Ordering::Relaxed),
-            segments_deleted: s.segments_deleted.load(Ordering::Relaxed),
-            wal_bytes: s.wal_bytes.load(Ordering::Relaxed),
+            admitted: s.admitted.get(),
+            shed: s.shed.get(),
+            deadline_exceeded: s.deadline_exceeded.get(),
+            canceled: s.canceled.get(),
+            batches_committed: s.batches_committed.get(),
+            ops_committed: s.ops_committed.get(),
+            conflicts: s.conflicts.get(),
+            write_retries: s.write_retries.get(),
+            recovered_batches: s.recovered_batches.get(),
+            recovery_replay_ops: s.recovery_replay_ops.get(),
+            group_commits: s.group_commits.get(),
+            batches_per_fsync: std::array::from_fn(|i| group_sizes[i]),
+            checkpoints: s.checkpoints.get(),
+            segments_deleted: s.segments_deleted.get(),
+            wal_bytes: s.wal_bytes.get(),
         }
+    }
+
+    /// The metrics registry behind the service: every `service.*`, `wal.*`,
+    /// `recovery.*`, and `cache.*` primitive, snapshottable as stable JSON
+    /// ([`QueryService::metrics_json`]) or Prometheus text
+    /// ([`QueryService::metrics_prometheus`]).
+    pub fn registry(&self) -> &Arc<Registry> {
+        &self.registry
+    }
+
+    /// The registry snapshot rendered as a stable JSON document.
+    pub fn metrics_json(&self) -> String {
+        self.registry.snapshot().to_json()
+    }
+
+    /// The registry snapshot in the Prometheus text exposition format.
+    pub fn metrics_prometheus(&self) -> String {
+        self.registry.snapshot().to_prometheus()
+    }
+
+    /// The retained slow-query traces, oldest first (at most 16; older
+    /// entries are evicted). Populated only when
+    /// [`ServiceConfig::slow_query`] is set.
+    pub fn slow_queries(&self) -> Vec<QueryTrace> {
+        let log = match self.slow_log.lock() {
+            Ok(g) => g,
+            Err(poisoned) => {
+                self.slow_log.clear_poison();
+                poisoned.into_inner()
+            }
+        };
+        log.iter().cloned().collect()
     }
 
     /// `(running, queued)` admission load right now.
@@ -639,21 +763,51 @@ impl QueryService {
         token: &CancelToken,
     ) -> Result<ExecOutput, ServiceError> {
         let _permit: Permit<'_> = self.gate.admit().inspect_err(|_| {
-            self.stats.shed.fetch_add(1, Ordering::Relaxed);
+            self.stats.shed.inc();
         })?;
-        self.stats.admitted.fetch_add(1, Ordering::Relaxed);
+        self.stats.admitted.inc();
         // hold the read lock only for the snapshot clone; execution runs
         // against the frozen view while writers proceed
         let snap = self.snapshot();
-        match execute_cancellable(query, &snap, &self.config.exec, None, token) {
+        // slow-query tracing: run with a per-query sink (trace-neutral by the
+        // core crate's property suite) and keep the trace only if the query
+        // breaches the threshold
+        let sink = self.config.slow_query.map(|_| Arc::new(TraceSink::new()));
+        let exec = match &sink {
+            Some(sink) => self.config.exec.with_trace(Arc::clone(sink)),
+            None => self.config.exec.clone(),
+        };
+        let started = Instant::now();
+        let result = execute_cancellable(query, &snap, &exec, None, token);
+        let elapsed = started.elapsed();
+        self.stats.query_us.observe(elapsed.as_micros() as u64);
+        if let (Some(threshold), Some(sink)) = (self.config.slow_query, sink) {
+            if elapsed >= threshold {
+                if let Some(trace) = sink.take() {
+                    self.stats.slow_queries.inc();
+                    let mut log = match self.slow_log.lock() {
+                        Ok(g) => g,
+                        Err(poisoned) => {
+                            self.slow_log.clear_poison();
+                            poisoned.into_inner()
+                        }
+                    };
+                    if log.len() == SLOW_LOG_CAP {
+                        log.pop_front();
+                    }
+                    log.push_back(trace);
+                }
+            }
+        }
+        match result {
             Ok(out) => Ok(out),
             Err(wcoj_core::ExecError::Canceled) => {
                 let by_deadline = token.deadline().is_some_and(|d| Instant::now() >= d);
                 if by_deadline {
-                    self.stats.deadline_exceeded.fetch_add(1, Ordering::Relaxed);
+                    self.stats.deadline_exceeded.inc();
                     Err(ServiceError::DeadlineExceeded)
                 } else {
-                    self.stats.canceled.fetch_add(1, Ordering::Relaxed);
+                    self.stats.canceled.inc();
                     Err(ServiceError::Canceled)
                 }
             }
@@ -687,6 +841,7 @@ impl QueryService {
         let Some(wal) = &self.wal else {
             return self.apply_in_memory(batch);
         };
+        let enqueued = Instant::now();
         let slot = Arc::new(Slot::default());
         let leader = self.group.enqueue(Pending {
             batch: batch.clone(),
@@ -709,7 +864,13 @@ impl QueryService {
             }
             self.maybe_checkpoint(wal);
         }
-        slot.wait()
+        let outcome = slot.wait();
+        // enqueue → durable ack: group-formation wait plus the group's
+        // validate/append/fsync/apply, as the committer experiences it
+        self.stats
+            .commit_wait_us
+            .observe(enqueued.elapsed().as_micros() as u64);
+        outcome
     }
 
     /// The non-durable write path: CAS + in-memory apply under the write
@@ -726,7 +887,7 @@ impl QueryService {
                     .get(rel)
                     .ok_or_else(|| ServiceError::UnknownRelation(rel.to_string()))?;
                 if expected != found {
-                    self.stats.conflicts.fetch_add(1, Ordering::Relaxed);
+                    self.stats.conflicts.inc();
                     return Err(ServiceError::Conflict {
                         relation: rel.to_string(),
                         expected,
@@ -738,10 +899,8 @@ impl QueryService {
         for op in &batch.ops {
             apply_op(&mut db, op, self.config.compact_threads, &self.config.fault)?;
         }
-        self.stats.batches_committed.fetch_add(1, Ordering::Relaxed);
-        self.stats
-            .ops_committed
-            .fetch_add(batch.ops.len() as u64, Ordering::Relaxed);
+        self.stats.batches_committed.inc();
+        self.stats.ops_committed.add(batch.ops.len() as u64);
         Ok(0)
     }
 
@@ -784,7 +943,7 @@ impl QueryService {
                             ));
                         };
                         if expected != found {
-                            self.stats.conflicts.fetch_add(1, Ordering::Relaxed);
+                            self.stats.conflicts.inc();
                             break 'decide Decision::Reject(ServiceError::Conflict {
                                 relation: rel.to_string(),
                                 expected,
@@ -824,7 +983,12 @@ impl QueryService {
                 }
             }
             if failure.is_none() {
-                if let Err(e) = w.sync() {
+                let fsync_started = Instant::now();
+                let synced = w.sync();
+                self.stats
+                    .fsync_us
+                    .observe(fsync_started.elapsed().as_micros() as u64);
+                if let Err(e) = synced {
                     failure = Some(e);
                 }
             }
@@ -852,6 +1016,7 @@ impl QueryService {
             //    deterministically — same contract as the PR 8 single path)
             let accepted_len = accepted.len() as u64;
             let mut last_seq = 0;
+            let apply_started = Instant::now();
             for (pending, seq) in accepted.into_iter().zip(seqs) {
                 let mut outcome = Ok(seq);
                 for op in &pending.batch.ops {
@@ -863,24 +1028,23 @@ impl QueryService {
                     }
                 }
                 if outcome.is_ok() {
-                    self.stats.batches_committed.fetch_add(1, Ordering::Relaxed);
-                    self.stats
-                        .ops_committed
-                        .fetch_add(pending.batch.ops.len() as u64, Ordering::Relaxed);
+                    self.stats.batches_committed.inc();
+                    self.stats.ops_committed.add(pending.batch.ops.len() as u64);
                 }
                 last_seq = seq;
                 outcomes.push((pending.slot, outcome));
             }
+            self.stats
+                .apply_us
+                .observe(apply_started.elapsed().as_micros() as u64);
             // stored under the write lock: a checkpoint's (state, seq) pair
             // read under the read lock is consistent
             self.applied_seq.store(last_seq, Ordering::Release);
-            self.stats.group_commits.fetch_add(1, Ordering::Relaxed);
-            self.stats.batches_per_fsync[group_size_bucket(accepted_len)]
-                .fetch_add(1, Ordering::Relaxed);
-            self.stats.wal_bytes.store(
-                total_bytes.saturating_sub(self.gc_segment_bytes.load(Ordering::Relaxed)),
-                Ordering::Relaxed,
-            );
+            self.stats.group_commits.inc();
+            self.stats.batches_per_fsync.observe(accepted_len);
+            self.stats
+                .wal_bytes
+                .set(total_bytes.saturating_sub(self.gc_segment_bytes.load(Ordering::Relaxed)));
         }
         drop(db);
         self.group.requeue_front(deferred);
@@ -943,6 +1107,7 @@ impl QueryService {
         if seq == 0 || seq == self.last_checkpoint_seq.load(Ordering::Acquire) {
             return Ok(None);
         }
+        let checkpoint_started = Instant::now();
         let encoded: Vec<(String, Vec<u8>)> = relations
             .iter()
             .map(|(name, d)| (name.clone(), d.encode_state()))
@@ -952,10 +1117,8 @@ impl QueryService {
         // it safe to delete the segments it covers
         let gc = gc_checkpoint(dir, seq)?;
         self.last_checkpoint_seq.store(seq, Ordering::Release);
-        self.stats.checkpoints.fetch_add(1, Ordering::Relaxed);
-        self.stats
-            .segments_deleted
-            .fetch_add(gc.segments_deleted, Ordering::Relaxed);
+        self.stats.checkpoints.inc();
+        self.stats.segments_deleted.add(gc.segments_deleted);
         let gc_total = self
             .gc_segment_bytes
             .fetch_add(gc.segment_bytes_freed, Ordering::AcqRel)
@@ -966,7 +1129,10 @@ impl QueryService {
         drop(w);
         self.stats
             .wal_bytes
-            .store(total_bytes.saturating_sub(gc_total), Ordering::Relaxed);
+            .set(total_bytes.saturating_sub(gc_total));
+        self.stats
+            .checkpoint_us
+            .observe(checkpoint_started.elapsed().as_micros() as u64);
         Ok(Some(seq))
     }
 
@@ -985,7 +1151,7 @@ impl QueryService {
             let batch = make(&snap)?;
             match self.apply(&batch) {
                 Err(ServiceError::Conflict { .. }) if attempt < self.config.write_retries => {
-                    self.stats.write_retries.fetch_add(1, Ordering::Relaxed);
+                    self.stats.write_retries.inc();
                     std::thread::sleep(backoff);
                     backoff = backoff.saturating_mul(2);
                 }

@@ -686,3 +686,165 @@ fn concurrent_cas_writers_converge_under_group_commit() {
     assert_eq!(replayed.committed, THREADS * PER_THREAD);
     std::fs::remove_dir_all(&path).ok();
 }
+
+#[test]
+fn registry_mirrors_stats_and_renders_stable_snapshots() {
+    let path = temp_wal("metrics");
+    let config = ServiceConfig {
+        slow_query: None, // isolate from WCOJ_SLOW_QUERY_MS in the env
+        ..ServiceConfig::default()
+    };
+    let (service, _) = QueryService::open(&path, triangle_db(40), config).unwrap();
+    for i in 0..6u64 {
+        let batch = WriteBatch::new().insert("R", vec![i, i + 1]).seal("R");
+        service.apply(&batch).unwrap();
+    }
+    service.query(&examples::triangle()).unwrap();
+    service.query(&examples::triangle()).unwrap();
+
+    // StatsSnapshot is a thin view over the registry: every field it reports
+    // must equal the primitive registered under the dotted name
+    let stats = service.stats();
+    let snap = service.registry().snapshot();
+    assert_eq!(
+        snap.counter_value("wal.batches_committed"),
+        Some(stats.batches_committed)
+    );
+    assert_eq!(
+        snap.counter_value("wal.ops_committed"),
+        Some(stats.ops_committed)
+    );
+    assert_eq!(snap.counter_value("service.admitted"), Some(stats.admitted));
+    assert_eq!(snap.counter_value("service.admitted"), Some(2));
+    assert_eq!(snap.gauge_value("wal.bytes"), Some(stats.wal_bytes));
+    match snap.get("wal.batches_per_fsync") {
+        Some(wcoj_service::MetricValue::Histogram { counts, count, .. }) => {
+            assert_eq!(&counts[..], &stats.batches_per_fsync[..]);
+            assert_eq!(*count, stats.group_commits);
+        }
+        other => panic!("wal.batches_per_fsync missing or wrong kind: {other:?}"),
+    }
+    // one fsync-latency observation per coalesced group
+    match snap.get("wal.fsync_us") {
+        Some(wcoj_service::MetricValue::Histogram { count, .. }) => {
+            assert_eq!(*count, stats.group_commits);
+        }
+        other => panic!("wal.fsync_us missing or wrong kind: {other:?}"),
+    }
+    // one query-latency observation per admitted query
+    match snap.get("service.query_us") {
+        Some(wcoj_service::MetricValue::Histogram { count, .. }) => {
+            assert_eq!(*count, stats.admitted);
+        }
+        other => panic!("service.query_us missing or wrong kind: {other:?}"),
+    }
+    // the database's access cache registers its own primitives
+    assert!(snap.counter_value("cache.hits").is_some());
+    assert!(snap.gauge_value("cache.resident_bytes").is_some());
+
+    // the JSON rendering is stable and parses with the crate's own parser
+    let doc = service.metrics_json();
+    assert_eq!(doc, service.metrics_json(), "snapshot JSON is stable");
+    let json = wcoj_obs::Json::parse(&doc).expect("metrics JSON parses");
+    assert_eq!(
+        json.get("wal.batches_committed")
+            .and_then(|m| m.get("value"))
+            .and_then(wcoj_obs::Json::as_u64),
+        Some(stats.batches_committed)
+    );
+    // the Prometheus exposition carries the histogram expansion
+    let prom = service.metrics_prometheus();
+    assert!(prom.contains("# TYPE wal_fsync_us histogram"));
+    assert!(prom.contains("wal_batches_per_fsync_bucket{le=\"1\"}"));
+    assert!(prom.contains("wal_bytes "));
+    std::fs::remove_dir_all(&path).ok();
+}
+
+#[test]
+fn slow_query_log_captures_traces_without_perturbing_results() {
+    let quiet_config = ServiceConfig {
+        slow_query: None, // isolate from WCOJ_SLOW_QUERY_MS in the env
+        ..ServiceConfig::default()
+    };
+    let plain = QueryService::in_memory(triangle_db(60), quiet_config.clone());
+    let traced = QueryService::in_memory(
+        triangle_db(60),
+        quiet_config.clone().with_slow_query(Duration::ZERO),
+    );
+    let q = examples::triangle();
+    let a = plain.query(&q).unwrap();
+    let b = traced.query(&q).unwrap();
+    assert_eq!(a.result, b.result, "tracing never perturbs rows");
+    assert_eq!(a.work, b.work, "tracing never perturbs work counters");
+    assert!(plain.slow_queries().is_empty(), "tracing disabled: no log");
+
+    let log = traced.slow_queries();
+    assert_eq!(log.len(), 1, "threshold zero traces every query");
+    assert_eq!(log[0].rows, b.result.len() as u64);
+    assert_eq!(log[0].work_value("total_work"), Some(b.work.total_work()));
+    let snap = traced.registry().snapshot();
+    assert_eq!(snap.counter_value("service.slow_queries"), Some(1));
+
+    // the ring is bounded: oldest traces fall off
+    for _ in 0..20 {
+        traced.query(&q).unwrap();
+    }
+    assert_eq!(traced.slow_queries().len(), 16);
+
+    // an unreachable threshold records latency but keeps no traces
+    let lenient = QueryService::in_memory(
+        triangle_db(60),
+        quiet_config.with_slow_query(Duration::from_secs(3600)),
+    );
+    lenient.query(&q).unwrap();
+    assert!(lenient.slow_queries().is_empty());
+    let snap = lenient.registry().snapshot();
+    assert_eq!(snap.counter_value("service.slow_queries"), Some(0));
+    match snap.get("service.query_us") {
+        Some(wcoj_service::MetricValue::Histogram { count, .. }) => assert_eq!(*count, 1),
+        other => panic!("service.query_us missing: {other:?}"),
+    }
+}
+
+#[test]
+fn recovery_metrics_report_checkpoint_vs_tail_breakdown() {
+    let path = temp_wal("recovery-metrics");
+    // tiny segments force rotation, so checkpoints happen under the loop
+    let config = ServiceConfig::default()
+        .with_segment_bytes(256)
+        .with_checkpoint_after_segments(1);
+    let (service, _) = QueryService::open(&path, edge_db(), config.clone()).unwrap();
+    for i in 0..30u64 {
+        let batch = WriteBatch::new().insert("E", vec![i, i + 1]);
+        service.apply(&batch).unwrap();
+    }
+    assert!(service.stats().checkpoints > 0, "tiny segments checkpoint");
+    drop(service);
+
+    let (recovered, report) = QueryService::open(&path, edge_db(), config).unwrap();
+    assert!(
+        report.checkpoint_seq > 0,
+        "recovery starts from a checkpoint"
+    );
+    let snap = recovered.registry().snapshot();
+    assert_eq!(
+        snap.counter_value("recovery.replay_ops"),
+        Some(report.num_ops() as u64)
+    );
+    assert_eq!(
+        snap.counter_value("recovery.batches"),
+        Some(report.committed)
+    );
+    assert_eq!(
+        snap.gauge_value("recovery.checkpoint_seq"),
+        Some(report.checkpoint_seq)
+    );
+    assert_eq!(
+        snap.gauge_value("recovery.tail_batches"),
+        Some(report.tail.len() as u64)
+    );
+    // wall-time gauges exist (values are timing-dependent)
+    assert!(snap.gauge_value("recovery.replay_us").is_some());
+    assert!(snap.gauge_value("recovery.checkpoint_install_us").is_some());
+    std::fs::remove_dir_all(&path).ok();
+}

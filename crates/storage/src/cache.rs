@@ -41,6 +41,7 @@ use crate::trie::Trie;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
+use wcoj_obs::{Counter, Gauge, Registry};
 
 /// Default cache budget (bytes) when `WCOJ_CACHE_BYTES` is unset: 256 MiB.
 pub const DEFAULT_CACHE_BYTES: usize = 256 << 20;
@@ -161,6 +162,15 @@ struct Inner {
 pub struct AccessCache {
     budget: usize,
     inner: Mutex<Inner>,
+    /// Cumulative process-lifetime tallies, kept as shared `wcoj-obs`
+    /// primitives so a service can register them in its metrics [`Registry`]
+    /// (see [`AccessCache::register_metrics`]). Per-query [`CacheStats`] stay
+    /// the execution layer's concern; these fold every query in.
+    hits: Arc<Counter>,
+    misses: Arc<Counter>,
+    incremental_merges: Arc<Counter>,
+    evictions: Arc<Counter>,
+    resident_bytes: Arc<Gauge>,
 }
 
 impl Default for AccessCache {
@@ -181,7 +191,49 @@ impl AccessCache {
         AccessCache {
             budget,
             inner: Mutex::new(Inner::default()),
+            hits: Arc::new(Counter::new()),
+            misses: Arc::new(Counter::new()),
+            incremental_merges: Arc::new(Counter::new()),
+            evictions: Arc::new(Counter::new()),
+            resident_bytes: Arc::new(Gauge::new()),
         }
+    }
+
+    /// Fold one query's [`CacheStats`] into the cumulative counters. Called
+    /// once per query by the execution layer (never inside the join loop).
+    pub fn record_query(&self, stats: &CacheStats) {
+        self.hits.add(stats.hits);
+        self.misses.add(stats.misses);
+        self.incremental_merges.add(stats.incremental_merges);
+        self.evictions.add(stats.evictions);
+        self.resident_bytes.set(stats.bytes);
+    }
+
+    /// The cumulative process-lifetime tallies as a [`CacheStats`] view —
+    /// the same shape callers already consume per query.
+    pub fn cumulative_stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.get(),
+            misses: self.misses.get(),
+            incremental_merges: self.incremental_merges.get(),
+            bytes: self.resident_bytes.get(),
+            evictions: self.evictions.get(),
+        }
+    }
+
+    /// Register the cumulative counters (and the residency gauge) in a
+    /// metrics [`Registry`] under `cache.*` names. Idempotent for one cache
+    /// instance; registering two caches in one registry is a caller error
+    /// (the registry will panic on the identity mismatch).
+    pub fn register_metrics(&self, registry: &Registry) {
+        registry.register_counter("cache.hits", Arc::clone(&self.hits));
+        registry.register_counter("cache.misses", Arc::clone(&self.misses));
+        registry.register_counter(
+            "cache.incremental_merges",
+            Arc::clone(&self.incremental_merges),
+        );
+        registry.register_counter("cache.evictions", Arc::clone(&self.evictions));
+        registry.register_gauge("cache.resident_bytes", Arc::clone(&self.resident_bytes));
     }
 
     /// Lock the cache state, **recovering** from a poisoned mutex: a build
@@ -454,6 +506,37 @@ mod tests {
             cache.get(&key("small", 1)).is_none(),
             "only the unpinned entry could yield"
         );
+    }
+
+    #[test]
+    fn cumulative_counters_fold_queries_and_register() {
+        let cache = AccessCache::with_budget(1 << 20);
+        cache.record_query(&CacheStats {
+            hits: 2,
+            misses: 1,
+            incremental_merges: 1,
+            bytes: 512,
+            evictions: 0,
+        });
+        cache.record_query(&CacheStats {
+            hits: 1,
+            misses: 0,
+            incremental_merges: 0,
+            bytes: 640,
+            evictions: 3,
+        });
+        let total = cache.cumulative_stats();
+        assert_eq!(total.hits, 3);
+        assert_eq!(total.misses, 1);
+        assert_eq!(total.incremental_merges, 1);
+        assert_eq!(total.evictions, 3);
+        assert_eq!(total.bytes, 640, "residency is a level, not a flow");
+        let registry = Registry::new();
+        cache.register_metrics(&registry);
+        cache.register_metrics(&registry); // idempotent for the same cache
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter_value("cache.hits"), Some(3));
+        assert_eq!(snap.gauge_value("cache.resident_bytes"), Some(640));
     }
 
     #[test]

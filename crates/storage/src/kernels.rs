@@ -153,13 +153,14 @@ pub fn intersect(lists: &[&[Value]], policy: KernelPolicy, counter: &WorkCounter
 /// Intersect `lists` into `out` (cleared first) under `policy`, recording work
 /// and the kernel choice into `counter`. All kernels produce identical output:
 /// the ascending sorted intersection. Runs at the detected SIMD level with the
-/// fixed thresholds; the SIMD level never changes output or counters.
+/// fixed thresholds; the SIMD level never changes output or counters. Returns
+/// the kernel that ran (`None` when a short-circuit skipped the kernel layer).
 pub fn intersect_into(
     out: &mut Vec<Value>,
     lists: &[&[Value]],
     policy: KernelPolicy,
     counter: &WorkCounter,
-) {
+) -> Option<KernelKind> {
     intersect_into_cal(
         simd::active_level(),
         out,
@@ -178,7 +179,7 @@ pub fn intersect_into_at(
     lists: &[&[Value]],
     policy: KernelPolicy,
     counter: &WorkCounter,
-) {
+) -> Option<KernelKind> {
     intersect_into_cal(
         level,
         out,
@@ -192,6 +193,10 @@ pub fn intersect_into_at(
 /// The full-control intersection entry point: explicit SIMD level and policy
 /// thresholds. The execution layer resolves both once per query (from
 /// `ExecOptions` / the host calibration) and calls this in its hot loop.
+/// Returns the kernel that ran, so tracing can attribute the choice per level;
+/// `None` means a short-circuit (empty operand, single list, disjoint spans)
+/// answered before any kernel dispatched. The return value is derived from
+/// state the function computes anyway, so ignoring it costs nothing.
 pub fn intersect_into_cal(
     level: SimdLevel,
     out: &mut Vec<Value>,
@@ -199,16 +204,16 @@ pub fn intersect_into_cal(
     policy: KernelPolicy,
     cal: &KernelCalibration,
     counter: &WorkCounter,
-) {
+) -> Option<KernelKind> {
     out.clear();
     if lists.is_empty() || lists.iter().any(|l| l.is_empty()) {
-        return;
+        return None;
     }
     if lists.len() == 1 {
         // degenerate "intersection": enumerate the single set
         counter.add_intersect_steps(lists[0].len() as u64);
         out.extend_from_slice(lists[0]);
-        return;
+        return None;
     }
     // Common span prefilter: the intersection lives in [max of firsts, min of
     // lasts]. Disjoint spans short-circuit before any kernel runs.
@@ -219,7 +224,7 @@ pub fn intersect_into_cal(
         .min()
         .expect("non-empty");
     if lo > hi {
-        return;
+        return None;
     }
     let kind = match policy {
         KernelPolicy::Adaptive => choose_kernel_with(cal, lists, lo, hi),
@@ -243,6 +248,7 @@ pub fn intersect_into_cal(
         KernelKind::Gallop => gallop_intersect(level, out, lists, counter),
         KernelKind::Bitmap => bitmap_intersect(out, lists, lo, hi, counter),
     }
+    Some(kind)
 }
 
 /// Branchless two-pointer intersection of two sorted slices, appending to `out`.

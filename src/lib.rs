@@ -2,6 +2,7 @@
 pub use wcoj_bounds as bounds;
 pub use wcoj_core as core;
 pub use wcoj_lp as lp;
+pub use wcoj_obs as obs;
 pub use wcoj_query as query;
 pub use wcoj_service as service;
 pub use wcoj_storage as storage;
